@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test vet bench cover experiments experiments-small clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet: build
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -run all
+
+experiments-small:
+	$(GO) run ./cmd/experiments -run all -scale small
+
+clean:
+	$(GO) clean ./...

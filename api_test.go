@@ -1,0 +1,197 @@
+package warping_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warping"
+)
+
+func randomWalk(r *rand.Rand, n int) warping.Series {
+	s := make(warping.Series, n)
+	v := 0.0
+	for i := range s {
+		v += r.NormFloat64()
+		s[i] = v
+	}
+	return s
+}
+
+// TestPublicAPIIndexPipeline exercises the whole public indexing surface as
+// a downstream user would.
+func TestPublicAPIIndexPipeline(t *testing.T) {
+	const n, dim = 128, 8
+	r := rand.New(rand.NewSource(1))
+
+	tr := warping.NewPAATransform(n, dim)
+	ix := warping.NewIndex(tr)
+	data := make([]warping.Series, 500)
+	for i := range data {
+		data[i] = warping.Normalize(randomWalk(r, 200+r.Intn(100)), n)
+		if err := ix.Add(int64(i), data[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Range query around a known series finds it at distance 0.
+	matches, stats := ix.RangeQuery(data[42], 5.0, 0.1)
+	found := false
+	for _, m := range matches {
+		if m.ID == 42 && m.Dist == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("self not found: %v", matches)
+	}
+	if stats.PageAccesses == 0 {
+		t.Error("no page accesses")
+	}
+
+	// kNN agrees with a manual scan.
+	q := warping.Normalize(randomWalk(r, 300), n)
+	knn, _ := ix.KNN(q, 5, 0.1)
+	if len(knn) != 5 {
+		t.Fatalf("kNN size %d", len(knn))
+	}
+	k := warping.BandRadius(n, 0.1)
+	bestManual := math.Inf(1)
+	for _, s := range data {
+		if d := warping.DTWBanded(q, s, k); d < bestManual {
+			bestManual = d
+		}
+	}
+	if math.Abs(knn[0].Dist-bestManual) > 1e-9 {
+		t.Errorf("kNN best %v, manual %v", knn[0].Dist, bestManual)
+	}
+}
+
+// TestPublicAPIDistances checks the exported distance functions agree with
+// their documented relationships.
+func TestPublicAPIDistances(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := randomWalk(r, 64)
+	y := randomWalk(r, 64)
+	if warping.DTW(x, y) > warping.EuclideanDist(x, y)+1e-9 {
+		t.Error("DTW exceeds Euclidean")
+	}
+	if warping.DTWBanded(x, y, 0) != warping.EuclideanDist(x, y) {
+		t.Error("band 0 != Euclidean")
+	}
+	if lb := warping.LBKeogh(x, y, 5); lb > warping.DTWBanded(x, y, 5)+1e-9 {
+		t.Error("LBKeogh not a lower bound")
+	}
+	for _, tr := range []warping.Transform{
+		warping.NewPAATransform(64, 8),
+		warping.NewKeoghPAATransform(64, 8),
+		warping.NewDFTTransform(64, 8),
+		warping.NewHaarTransform(64, 8),
+		warping.NewSVDTransform([]warping.Series{x, y}, 4),
+	} {
+		if lb := warping.LowerBoundDTW(tr, x, y, 5); lb > warping.DTWBanded(x, y, 5)+1e-9 {
+			t.Errorf("%s: feature lower bound exceeds DTW", tr.Name())
+		}
+	}
+	// Envelope containment.
+	env := warping.NewEnvelope(y, 3)
+	if !env.Contains(y, 0) {
+		t.Error("envelope must contain its series")
+	}
+}
+
+// TestPublicAPIQBH exercises the query-by-humming surface end to end.
+func TestPublicAPIQBH(t *testing.T) {
+	songs := warping.BuiltinSongs()
+	sys, err := warping.BuildQBH(songs, warping.QBHOptions{PhraseMin: 8, PhraseMax: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	q := warping.Hum(warping.GoodSinger(), songs[0].Melody, r)
+	matches, _ := sys.Query(q, 3, 0.1)
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	if matches[0].SongID != songs[0].ID {
+		t.Errorf("top match %+v, want song %d", matches[0], songs[0].ID)
+	}
+}
+
+// TestPublicAPIMIDI round-trips a generated song through the MIDI facade.
+func TestPublicAPIMIDI(t *testing.T) {
+	songs := warping.GenerateSongs(4, 3, 40, 60)
+	for _, s := range songs {
+		data, err := warping.EncodeMIDI(s.Melody, 500000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := warping.DecodeMIDI(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(s.Melody) {
+			t.Fatalf("round trip lost notes: %d vs %d", len(back), len(s.Melody))
+		}
+	}
+	phrases := warping.SegmentPhrases(songs[0].Melody, 10, 20)
+	if len(phrases) < 2 {
+		t.Errorf("phrases = %d", len(phrases))
+	}
+}
+
+// TestNewSeries checks the trivial constructor copies.
+func TestNewSeries(t *testing.T) {
+	vals := []float64{1, 2}
+	s := warping.NewSeries(vals...)
+	vals[0] = 9
+	if s[0] != 1 {
+		t.Error("NewSeries did not copy")
+	}
+}
+
+// TestNewIndexWithConfig exercises the custom tree configuration path.
+func TestNewIndexWithConfig(t *testing.T) {
+	tr := warping.NewPAATransform(64, 8)
+	ix := warping.NewIndexWithConfig(tr, warping.RTreeConfig{MaxEntries: 8})
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		if err := ix.Add(int64(i), warping.Normalize(randomWalk(r, 80), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 100 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+}
+
+func TestDTWBandedWithin(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	x := randomWalk(r, 64)
+	y := randomWalk(r, 64)
+	exact := warping.DTWBanded(x, y, 5)
+	if d, ok := warping.DTWBandedWithin(x, y, 5, exact+1); !ok || math.Abs(d-exact) > 1e-9 {
+		t.Errorf("within: %v %v, exact %v", d, ok, exact)
+	}
+	if _, ok := warping.DTWBandedWithin(x, y, 5, exact/2); ok {
+		t.Error("should abandon below the exact distance")
+	}
+}
+
+func TestRangeQueryEuclideanFacade(t *testing.T) {
+	tr := warping.NewPAATransform(64, 8)
+	ix := warping.NewIndex(tr)
+	r := rand.New(rand.NewSource(8))
+	var data []warping.Series
+	for i := 0; i < 100; i++ {
+		s := warping.Normalize(randomWalk(r, 70), 64)
+		data = append(data, s)
+		if err := ix.Add(int64(i), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := warping.RangeQueryEuclidean(ix, data[3], 1e-9)
+	if len(got) == 0 || got[0].ID != 3 {
+		t.Errorf("self not found: %v", got)
+	}
+}

@@ -1,0 +1,113 @@
+// Command qbhd serves a query-by-humming system over HTTP.
+//
+//	qbhd -addr :8080 -songs 500            # generated demo database
+//	qbhd -addr :8080 -loaddb db.bin        # saved database (see cmd/qbh -savedb)
+//	qbhd -addr :8080 -mididir ./corpus     # index a directory of .mid files
+//
+// API (JSON responses):
+//
+//	GET  /stats
+//	GET  /songs
+//	POST /query?top=5&delta=0.1      body: mono 16-bit PCM WAV hum
+//	POST /query/pitch?top=5          body: JSON array of MIDI pitches
+//	POST /songs?title=Name           body: Standard MIDI File
+//
+// Example:
+//
+//	go run ./cmd/qbh -target twinkle -wavout hum.wav
+//	curl -s --data-binary @hum.wav 'localhost:8080/query?top=3' | jq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"warping"
+	"warping/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	songCount := flag.Int("songs", 200, "number of generated songs for the demo database")
+	loadDB := flag.String("loaddb", "", "load a saved database instead of generating")
+	midiDir := flag.String("mididir", "", "index a directory of .mid files instead of generating")
+	flag.Parse()
+
+	sys, err := buildSystem(*loadDB, *midiDir, *songCount)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	log.Printf("database ready: %d songs, %d phrases", sys.NumSongs(), sys.NumPhrases())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(server.New(sys)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildSystem(loadDB, midiDir string, songCount int) (*warping.QBH, error) {
+	if loadDB != "" {
+		f, err := os.Open(loadDB)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return warping.LoadQBH(f)
+	}
+	var songs []warping.Song
+	if midiDir != "" {
+		entries, err := os.ReadDir(midiDir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".mid" {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(midiDir, e.Name()))
+			if err != nil {
+				return nil, err
+			}
+			m, err := warping.DecodeMIDI(data)
+			if err != nil {
+				log.Printf("skipping %s: %v", e.Name(), err)
+				continue
+			}
+			songs = append(songs, warping.Song{
+				ID:     int64(len(songs)),
+				Title:  strings.TrimSuffix(e.Name(), ".mid"),
+				Melody: m,
+			})
+		}
+		if len(songs) == 0 {
+			return nil, fmt.Errorf("no parseable .mid files in %s", midiDir)
+		}
+	} else {
+		songs = warping.BuiltinSongs()
+		for _, s := range warping.GenerateSongs(7, songCount, 200, 400) {
+			s.ID += int64(len(warping.BuiltinSongs()))
+			songs = append(songs, s)
+		}
+	}
+	return warping.BuildQBH(songs, warping.QBHOptions{PhraseMin: 10, PhraseMax: 25})
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

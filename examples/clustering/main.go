@@ -1,0 +1,99 @@
+// Clustering: group time series by shape under banded DTW with k-medoids.
+// Builds a mixed archive of three signal families plus performances of
+// known tunes, clusters them, and reports purity and silhouette scores.
+//
+//	go run ./examples/clustering
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"warping"
+)
+
+const (
+	n    = 64
+	band = 4
+)
+
+func main() {
+	r := rand.New(rand.NewSource(9))
+
+	// Three signal families with per-instance jitter.
+	var series []warping.Series
+	var truth []int
+	label := []string{"slow sine", "fast sine", "square"}
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 12; i++ {
+			series = append(series, makeShape(r, c))
+			truth = append(truth, c)
+		}
+	}
+
+	res, err := warping.KMedoids(series, warping.ClusterConfig{K: 3, Band: band, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("clustered %d series into %d groups (cost %.1f)\n\n", len(series), 3, res.Cost)
+	for c, m := range res.Medoids {
+		var members []int
+		counts := map[int]int{}
+		for i, a := range res.Assignment {
+			if a == c {
+				members = append(members, i)
+				counts[truth[i]]++
+			}
+		}
+		// Majority family of the cluster.
+		bestFam, bestCount := 0, 0
+		for fam, cnt := range counts {
+			if cnt > bestCount {
+				bestFam, bestCount = fam, cnt
+			}
+		}
+		fmt.Printf("cluster %d: %2d members, medoid #%d, dominant family %q (purity %.0f%%)\n",
+			c, len(members), m, label[bestFam], 100*float64(bestCount)/float64(len(members)))
+	}
+
+	sil := warping.Silhouette(series, res, band)
+	fmt.Printf("\nsilhouette score: %.3f (1.0 = perfectly separated)\n", sil)
+
+	// Choosing K with the silhouette: the true K should score best.
+	fmt.Println("\nsilhouette by K:")
+	for k := 2; k <= 5; k++ {
+		rk, err := warping.KMedoids(series, warping.ClusterConfig{K: k, Band: band, Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		marker := ""
+		if k == 3 {
+			marker = "  <- true K"
+		}
+		fmt.Printf("  K=%d: %.3f%s\n", k, warping.Silhouette(series, rk, band), marker)
+	}
+}
+
+func makeShape(r *rand.Rand, family int) warping.Series {
+	s := make(warping.Series, n)
+	phase := r.Float64() * 0.15
+	for t := range s {
+		x := float64(t) / float64(n)
+		switch family {
+		case 0: // one slow cycle
+			s[t] = 5 * math.Sin(2*math.Pi*(x+phase))
+		case 1: // five fast cycles
+			s[t] = 5 * math.Sin(2*math.Pi*(5*x+phase))
+		default: // square wave
+			if math.Mod(2*(x+phase), 1) > 0.5 {
+				s[t] = 4
+			} else {
+				s[t] = -4
+			}
+		}
+		s[t] += r.NormFloat64() * 0.4
+	}
+	return warping.Normalize(s, n)
+}

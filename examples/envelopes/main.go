@@ -1,0 +1,162 @@
+// Envelopes: a visual walk through the paper's core idea (Figure 5).
+// Renders a time series, its k-envelope, and the PAA reduction of the
+// envelope under both Keogh's min/max method and the paper's New_PAA
+// averaging method as ASCII charts, then reports the resulting lower
+// bounds against the true banded DTW distance.
+//
+//	go run ./examples/envelopes
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"warping"
+)
+
+const (
+	n   = 64
+	dim = 8
+	k   = 4 // band radius
+)
+
+func main() {
+	r := rand.New(rand.NewSource(5))
+	y := warping.Normalize(randomWalk(r, n), n)
+	env := warping.NewEnvelope(y, k)
+
+	newPAA := warping.NewPAATransform(n, dim)
+	keogh := warping.NewKeoghPAATransform(n, dim)
+	feNew := newPAA.ApplyEnvelope(env)
+	feKeogh := keogh.ApplyEnvelope(env)
+
+	fmt.Printf("series of length %d, band radius k=%d, reduced to %d PAA frames\n\n", n, k, dim)
+	fmt.Println("series (*) inside its k-envelope (- lower, + upper):")
+	plotSeries(y, env.Lower, env.Upper)
+
+	// Expand the 8-dim feature envelopes back to length n for display
+	// (each frame is constant over n/dim samples; undo the 1/sqrt(m)
+	// feature scaling).
+	m := n / dim
+	scale := 1 / math.Sqrt(float64(m))
+	fmt.Println("\nPAA envelope reductions (K = Keogh min/max, N = New_PAA averages):")
+	fmt.Println("New_PAA's box (N) nests strictly inside Keogh's (K) — a tighter bound.")
+	plotBoxes(expand(feKeogh.Lower, m, scale), expand(feKeogh.Upper, m, scale),
+		expand(feNew.Lower, m, scale), expand(feNew.Upper, m, scale))
+
+	// Quantify: lower bounds for queries at increasing distance.
+	fmt.Println("\nlower bounds vs true banded DTW distance:")
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "query", "true DTW", "LB_Keogh", "Keogh_PAA", "New_PAA")
+	for _, noise := range []float64{0.5, 2, 5, 10} {
+		x := y.Clone()
+		for i := range x {
+			x[i] += r.NormFloat64() * noise
+		}
+		x = warping.Normalize(x, n)
+		trueDTW := warping.DTWBanded(x, y, k)
+		fmt.Printf("noise %-4.1f %12.3f %12.3f %12.3f %12.3f\n",
+			noise,
+			trueDTW,
+			warping.LBKeogh(x, y, k),
+			warping.LowerBoundDTW(keogh, x, y, k),
+			warping.LowerBoundDTW(newPAA, x, y, k),
+		)
+	}
+	fmt.Println("\nevery bound is below the true distance (no false negatives);")
+	fmt.Println("New_PAA is always at least as tight as Keogh_PAA.")
+}
+
+func randomWalk(r *rand.Rand, n int) warping.Series {
+	s := make(warping.Series, n)
+	v := 0.0
+	for i := range s {
+		v += r.NormFloat64()
+		s[i] = v
+	}
+	return s
+}
+
+func expand(feature []float64, m int, scale float64) []float64 {
+	out := make([]float64, 0, len(feature)*m)
+	for _, f := range feature {
+		v := f * scale // back to series units (frame average)
+		for j := 0; j < m; j++ {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+const plotRows = 16
+
+func plotSeries(s, lo, hi []float64) {
+	grid := newGrid(len(s), s, lo, hi)
+	grid.mark(lo, '-')
+	grid.mark(hi, '+')
+	grid.mark(s, '*')
+	grid.print()
+}
+
+func plotBoxes(kLo, kHi, nLo, nHi []float64) {
+	grid := newGrid(len(kLo), kLo, kHi, nLo, nHi)
+	grid.mark(kLo, 'K')
+	grid.mark(kHi, 'K')
+	grid.mark(nLo, 'N')
+	grid.mark(nHi, 'N')
+	grid.print()
+}
+
+type grid struct {
+	cells    [][]byte
+	min, max float64
+	inited   bool
+}
+
+// newGrid sizes the plot from all series to be drawn, so every mark call
+// shares one vertical scale.
+func newGrid(width int, series ...[]float64) *grid {
+	g := &grid{}
+	g.cells = make([][]byte, plotRows)
+	for i := range g.cells {
+		g.cells[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for _, v := range s {
+			if !g.inited {
+				g.min, g.max, g.inited = v, v, true
+				continue
+			}
+			if v < g.min {
+				g.min = v
+			}
+			if v > g.max {
+				g.max = v
+			}
+		}
+	}
+	return g
+}
+
+func (g *grid) mark(s []float64, ch byte) {
+	for x, v := range s {
+		row := 0
+		if g.max > g.min {
+			row = int((g.max - v) / (g.max - g.min) * float64(plotRows-1))
+		}
+		if row < 0 {
+			row = 0
+		}
+		if row >= plotRows {
+			row = plotRows - 1
+		}
+		g.cells[row][x] = ch
+	}
+}
+
+func (g *grid) print() {
+	for _, row := range g.cells {
+		fmt.Printf("  |%s|\n", row)
+	}
+}

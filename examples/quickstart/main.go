@@ -1,0 +1,85 @@
+// Quickstart: index 10,000 random-walk time series under banded Dynamic
+// Time Warping and run exact range and kNN queries with no false negatives.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"warping"
+)
+
+func main() {
+	const (
+		n      = 128 // normal-form length
+		dim    = 8   // reduced dimensionality
+		dbSize = 10000
+	)
+
+	// 1. Choose an envelope transform. New_PAA is the paper's improved
+	// reduction and the recommended default.
+	transform := warping.NewPAATransform(n, dim)
+	ix := warping.NewIndex(transform)
+
+	// 2. Add series. Normalize stretches each series to the common
+	// normal-form length and subtracts its mean, making queries
+	// invariant to value shifts and uniform time scaling.
+	r := rand.New(rand.NewSource(1))
+	series := make([]warping.Series, dbSize)
+	for i := range series {
+		raw := randomWalk(r, 100+r.Intn(200)) // arbitrary original lengths
+		series[i] = warping.Normalize(raw, n)
+		if err := ix.Add(int64(i), series[i]); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("indexed %d series of length %d in %d dims\n", ix.Len(), n, dim)
+
+	// 3. Range query: all series within DTW distance 8 of a noisy copy
+	// of series 4242, allowing a warping width of 0.1 (a Sakoe-Chiba
+	// band of ~6 samples at n=128).
+	query := series[4242].Clone()
+	for i := range query {
+		query[i] += r.NormFloat64() * 0.2
+	}
+	query = warping.Normalize(query, n)
+
+	matches, stats := ix.RangeQuery(query, 8.0, 0.1)
+	fmt.Printf("\nrange query (radius 8, width 0.1): %d matches\n", len(matches))
+	for i, m := range matches {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(matches)-5)
+			break
+		}
+		fmt.Printf("  id=%5d  dtw=%.3f\n", m.ID, m.Dist)
+	}
+	fmt.Printf("cost: %d candidates, %d exact DTW computations, %d page accesses (of %d series)\n",
+		stats.Candidates, stats.ExactDTW, stats.PageAccesses, dbSize)
+
+	// 4. kNN query: the 3 nearest series under banded DTW, exact.
+	knn, kstats := ix.KNN(query, 3, 0.1)
+	fmt.Printf("\n3-NN query:\n")
+	for _, m := range knn {
+		fmt.Printf("  id=%5d  dtw=%.3f\n", m.ID, m.Dist)
+	}
+	fmt.Printf("cost: %d candidates, %d exact DTW computations\n",
+		kstats.Candidates, kstats.ExactDTW)
+
+	// 5. The same bound is available standalone.
+	k := warping.BandRadius(n, 0.1)
+	lb := warping.LowerBoundDTW(transform, series[0], query, k)
+	exact := warping.DTWBanded(series[0], query, k)
+	fmt.Printf("\nfeature-space lower bound %.3f <= exact banded DTW %.3f\n", lb, exact)
+}
+
+func randomWalk(r *rand.Rand, n int) warping.Series {
+	s := make(warping.Series, n)
+	v := 0.0
+	for i := range s {
+		v += r.NormFloat64()
+		s[i] = v
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+// Streaming: monitor a live pitch stream for a known tune with the SPRING
+// algorithm — no index, O(len(query)) work per sample. Simulates a "radio
+// feed" of back-to-back melodies and detects every performance of a target
+// tune as it happens, including transposed and tempo-warped ones.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+
+	"warping"
+)
+
+func main() {
+	target := warping.BuiltinSongs()[2] // Frere Jacques
+	fmt.Printf("monitoring a simulated feed for %q...\n\n", target.Title)
+
+	// Build a long "broadcast": random songs with three hidden
+	// performances of the target (one transposed, one slowed down).
+	filler := warping.GenerateSongs(12, 12, 60, 100)
+	var feed warping.Series
+	var plantedAt []int
+	appendTune := func(m warping.Melody) {
+		feed = append(feed, m.TimeSeries()...)
+	}
+	plant := func(m warping.Melody) {
+		plantedAt = append(plantedAt, len(feed))
+		appendTune(m)
+	}
+	appendTune(filler[0].Melody)
+	plant(target.Melody)
+	appendTune(filler[1].Melody)
+	appendTune(filler[2].Melody)
+	plant(target.Melody.Transpose(5)) // up a fourth
+	appendTune(filler[3].Melody)
+	plant(target.Melody.ScaleTempo(1.5)) // slower
+	appendTune(filler[4].Melody)
+
+	// The stream and query are mean-free per the usual normal form; for
+	// transposition invariance the monitor watches the *differenced*
+	// stream (pitch steps), which removes any constant offset.
+	diff := func(s warping.Series) warping.Series {
+		out := make(warping.Series, len(s)-1)
+		for i := 1; i < len(s); i++ {
+			out[i-1] = s[i] - s[i-1]
+		}
+		return out
+	}
+	query := diff(target.Melody.TimeSeries())
+	stream := diff(feed)
+
+	monitor, err := warping.NewStreamMonitor(query, 3.0)
+	if err != nil {
+		panic(err)
+	}
+
+	var found []warping.StreamMatch
+	for t, x := range stream {
+		for _, m := range monitor.Update(x) {
+			found = append(found, m)
+			fmt.Printf("t=%5d: match at ticks [%d, %d], DTW distance %.2f\n",
+				t, m.Start, m.End, m.Dist)
+		}
+	}
+	for _, m := range monitor.Flush() {
+		found = append(found, m)
+		fmt.Printf("flush: match at ticks [%d, %d], DTW distance %.2f\n", m.Start, m.End, m.Dist)
+	}
+
+	fmt.Printf("\nplanted %d performances at ticks %v\n", len(plantedAt), plantedAt)
+	if len(found) < len(plantedAt) {
+		panic("missed a planted performance")
+	}
+	hits := 0
+	for _, at := range plantedAt {
+		for _, m := range found {
+			if m.Start >= at-8 && m.Start <= at+8 {
+				hits++
+				break
+			}
+		}
+	}
+	fmt.Printf("%d/%d planted performances detected at the right position\n", hits, len(plantedAt))
+	if hits != len(plantedAt) {
+		panic("positions wrong")
+	}
+}

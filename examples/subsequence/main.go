@@ -1,0 +1,84 @@
+// Subsequence: find which song contains a hummed fragment — and where —
+// without segmenting songs into phrases. Demonstrates the sliding-window
+// subsequence index (Section 3.2's alternative matching strategy) on whole
+// melodies.
+//
+//	go run ./examples/subsequence
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"warping"
+)
+
+func main() {
+	const (
+		normLen = 64
+		window  = 96 // in melody ticks (16ths): six 4/4 bars
+		hop     = 8
+	)
+	tr := warping.NewPAATransform(normLen, 8)
+	ix, err := warping.NewSubseqIndex(tr, window, hop)
+	if err != nil {
+		panic(err)
+	}
+
+	// Index whole songs (not phrases): built-in tunes + generated ones.
+	songs := warping.BuiltinSongs()
+	for _, s := range warping.GenerateSongs(21, 60, 150, 250) {
+		s.ID += int64(len(warping.BuiltinSongs()))
+		songs = append(songs, s)
+	}
+	titles := map[int64]string{}
+	indexed := 0
+	for _, s := range songs {
+		serie := s.Melody.TimeSeries()
+		if len(serie) < window {
+			continue
+		}
+		if err := ix.AddSequence(s.ID, serie); err != nil {
+			panic(err)
+		}
+		titles[s.ID] = s.Title
+		indexed++
+	}
+	fmt.Printf("indexed %d songs as %d sliding windows\n\n", indexed, ix.NumWindows())
+
+	// Hum a fragment from the middle of a song (not a phrase boundary).
+	r := rand.New(rand.NewSource(5))
+	target := songs[0] // Ode to Joy
+	full := target.Melody.TimeSeries()
+	fragStart := len(full) - window - 8
+	fragment := full[fragStart : fragStart+window]
+
+	// Distort it like a hummer would: transpose + mild noise.
+	query := fragment.Shift(5).Clone()
+	for i := range query {
+		query[i] += r.NormFloat64() * 0.3
+	}
+
+	fmt.Printf("query: %d-tick fragment of %q starting at tick %d, transposed +5\n\n",
+		window, target.Title, fragStart)
+
+	best, ok := ix.Best(query, 0.1)
+	if !ok {
+		panic("no match")
+	}
+	fmt.Printf("best match: %q at tick offset %d (dist %.3f)\n",
+		titles[best.SeriesID], best.Offset, best.Dist)
+
+	matches, stats := ix.RangeQuery(query, 4, 0.1)
+	fmt.Printf("\nall matches within distance 4:\n")
+	for _, m := range matches {
+		fmt.Printf("  %-36q offset %4d  dist %.3f\n", titles[m.SeriesID], m.Offset, m.Dist)
+	}
+	fmt.Printf("\nsearch cost: %d candidates, %d exact DTW, %d page accesses\n",
+		stats.Candidates, stats.ExactDTW, stats.PageAccesses)
+
+	if best.SeriesID != target.ID {
+		panic("wrong song retrieved")
+	}
+	fmt.Println("\nthe fragment was located inside the right song at the right position.")
+}

@@ -1,0 +1,3 @@
+module warping
+
+go 1.22

@@ -1,0 +1,238 @@
+// Package audio provides the acoustic front end of the query-by-humming
+// pipeline: rendering a (possibly expressive) pitch contour to a PCM
+// waveform, and estimating a pitch time series back from audio with an
+// autocorrelation pitch tracker — our stand-in for the Tolonen-Karjalainen
+// multi-pitch analysis model the paper cites [27].
+//
+// The paper's input stage is "acoustic input segmented into frames of 10ms,
+// each frame resolved into a pitch"; TrackPitch reproduces exactly that
+// interface.
+package audio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"warping/internal/ts"
+)
+
+const (
+	// DefaultSampleRate is sufficient for vocal pitch range (up to the
+	// ~1 kHz fundamental, far above a hummed melody).
+	DefaultSampleRate = 8000
+	// FrameMs is the analysis hop size in milliseconds (paper: 10 ms).
+	FrameMs = 10
+	// minPitchHz and maxPitchHz bound the tracker's search range; they
+	// generously cover the human humming range.
+	minPitchHz = 60
+	maxPitchHz = 800
+)
+
+// MIDIToFreq converts a (possibly fractional) MIDI pitch to Hz.
+func MIDIToFreq(pitch float64) float64 {
+	return 440 * math.Pow(2, (pitch-69)/12)
+}
+
+// FreqToMIDI converts a frequency in Hz to a fractional MIDI pitch.
+// Non-positive frequencies return 0 (unvoiced marker).
+func FreqToMIDI(freq float64) float64 {
+	if freq <= 0 {
+		return 0
+	}
+	return 69 + 12*math.Log2(freq/440)
+}
+
+// SynthesisOptions controls waveform rendering.
+type SynthesisOptions struct {
+	// SampleRate in Hz; DefaultSampleRate if zero.
+	SampleRate int
+	// Harmonics are the relative amplitudes of the overtone series
+	// (element 0 = fundamental). A hummed "voice" default is used when
+	// empty.
+	Harmonics []float64
+	// NoiseLevel adds white noise (breathiness); 0 = clean.
+	NoiseLevel float64
+	// VibratoCents and VibratoHz add pitch vibrato; 0 disables.
+	VibratoCents float64
+	VibratoHz    float64
+	// Rand is the noise source; required when NoiseLevel > 0.
+	Rand *rand.Rand
+}
+
+func (o *SynthesisOptions) fill() {
+	if o.SampleRate == 0 {
+		o.SampleRate = DefaultSampleRate
+	}
+	if len(o.Harmonics) == 0 {
+		o.Harmonics = []float64{1, 0.4, 0.2}
+	}
+}
+
+// Synthesize renders a frame-level pitch contour (one MIDI pitch per 10 ms
+// frame; 0 marks silence) into a PCM waveform in [-1, 1]. The oscillator is
+// phase-continuous across frames so pitch glides do not click.
+func Synthesize(pitchFrames ts.Series, opts SynthesisOptions) []float64 {
+	opts.fill()
+	if opts.NoiseLevel > 0 && opts.Rand == nil {
+		panic("audio: NoiseLevel requires a Rand source")
+	}
+	samplesPerFrame := opts.SampleRate * FrameMs / 1000
+	out := make([]float64, len(pitchFrames)*samplesPerFrame)
+	phase := 0.0
+	vibPhase := 0.0
+	for f, pitch := range pitchFrames {
+		base := out[f*samplesPerFrame : (f+1)*samplesPerFrame]
+		if pitch <= 0 {
+			if opts.NoiseLevel > 0 {
+				for i := range base {
+					base[i] = opts.Rand.NormFloat64() * opts.NoiseLevel * 0.25
+				}
+			}
+			continue
+		}
+		for i := range base {
+			p := pitch
+			if opts.VibratoCents > 0 {
+				vibPhase += 2 * math.Pi * opts.VibratoHz / float64(opts.SampleRate)
+				p += opts.VibratoCents / 100 * math.Sin(vibPhase)
+			}
+			freq := MIDIToFreq(p)
+			phase += 2 * math.Pi * freq / float64(opts.SampleRate)
+			var v float64
+			for h, amp := range opts.Harmonics {
+				v += amp * math.Sin(phase*float64(h+1))
+			}
+			if opts.NoiseLevel > 0 {
+				v += opts.Rand.NormFloat64() * opts.NoiseLevel
+			}
+			base[i] = v * 0.5
+		}
+	}
+	return out
+}
+
+// TrackPitch estimates a pitch time series from PCM audio: one MIDI pitch
+// per 10 ms frame, 0 for unvoiced/silent frames. The estimator is a
+// normalized autocorrelation over a 32 ms window with parabolic peak
+// interpolation.
+func TrackPitch(samples []float64, sampleRate int) ts.Series {
+	if sampleRate <= 0 {
+		panic(fmt.Sprintf("audio: invalid sample rate %d", sampleRate))
+	}
+	hop := sampleRate * FrameMs / 1000
+	window := sampleRate * 32 / 1000
+	if hop == 0 || window == 0 {
+		panic("audio: sample rate too low for framing")
+	}
+	minLag := sampleRate / maxPitchHz
+	maxLag := sampleRate / minPitchHz
+	if minLag < 2 {
+		minLag = 2
+	}
+	numFrames := len(samples) / hop
+	out := make(ts.Series, 0, numFrames)
+	for f := 0; f < numFrames; f++ {
+		start := f * hop
+		end := start + window
+		if end > len(samples) {
+			end = len(samples)
+		}
+		frame := samples[start:end]
+		if len(frame) < minLag*2 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, estimateFrame(frame, sampleRate, minLag, maxLag))
+	}
+	return out
+}
+
+// estimateFrame returns the MIDI pitch of one analysis frame, or 0.
+func estimateFrame(frame []float64, sampleRate, minLag, maxLag int) float64 {
+	n := len(frame)
+	var energy float64
+	for _, v := range frame {
+		energy += v * v
+	}
+	if energy/float64(n) < 1e-4 { // silence gate
+		return 0
+	}
+	if maxLag > n-1 {
+		maxLag = n - 1
+	}
+	// Normalized autocorrelation r(lag) / r(0).
+	r0 := energy
+	bestLag := 0
+	bestVal := 0.0
+	acf := make([]float64, maxLag+1)
+	for lag := minLag; lag <= maxLag; lag++ {
+		var s float64
+		for i := 0; i+lag < n; i++ {
+			s += frame[i] * frame[i+lag]
+		}
+		// Length-normalize so long lags are not penalized.
+		norm := s / float64(n-lag) * float64(n)
+		acf[lag] = norm / r0
+	}
+	// Pick the first peak above a voicing threshold; prefer earlier lags
+	// (higher frequencies) to avoid octave-down errors.
+	const voicing = 0.5
+	for lag := minLag + 1; lag < maxLag; lag++ {
+		v := acf[lag]
+		if v > voicing && v >= acf[lag-1] && v >= acf[lag+1] {
+			bestLag = lag
+			bestVal = v
+			break
+		}
+	}
+	if bestLag == 0 {
+		// Fall back to the global maximum.
+		for lag := minLag; lag <= maxLag; lag++ {
+			if acf[lag] > bestVal {
+				bestVal = acf[lag]
+				bestLag = lag
+			}
+		}
+		if bestVal < voicing {
+			return 0
+		}
+	}
+	// Parabolic interpolation around the peak for sub-sample precision.
+	lag := float64(bestLag)
+	if bestLag > minLag && bestLag < maxLag {
+		y0, y1, y2 := acf[bestLag-1], acf[bestLag], acf[bestLag+1]
+		den := y0 - 2*y1 + y2
+		if den != 0 {
+			delta := 0.5 * (y0 - y2) / den
+			if delta > -1 && delta < 1 {
+				lag += delta
+			}
+		}
+	}
+	return FreqToMIDI(float64(sampleRate) / lag)
+}
+
+// FrameEnergies returns the mean energy of each 10 ms frame — the loudness
+// contour used by onset-based note segmentation (a hummer separates notes
+// with small dips in breath pressure even without silence).
+func FrameEnergies(samples []float64, sampleRate int) ts.Series {
+	if sampleRate <= 0 {
+		panic(fmt.Sprintf("audio: invalid sample rate %d", sampleRate))
+	}
+	hop := sampleRate * FrameMs / 1000
+	if hop == 0 {
+		panic("audio: sample rate too low for framing")
+	}
+	numFrames := len(samples) / hop
+	out := make(ts.Series, numFrames)
+	for f := 0; f < numFrames; f++ {
+		frame := samples[f*hop : (f+1)*hop]
+		var e float64
+		for _, v := range frame {
+			e += v * v
+		}
+		out[f] = e / float64(len(frame))
+	}
+	return out
+}

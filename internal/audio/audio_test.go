@@ -1,0 +1,183 @@
+package audio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warping/internal/ts"
+)
+
+func TestMIDIFreqConversions(t *testing.T) {
+	if f := MIDIToFreq(69); math.Abs(f-440) > 1e-9 {
+		t.Errorf("A4 = %v Hz", f)
+	}
+	if f := MIDIToFreq(60); math.Abs(f-261.6256) > 0.001 {
+		t.Errorf("C4 = %v Hz", f)
+	}
+	if p := FreqToMIDI(880); math.Abs(p-81) > 1e-9 {
+		t.Errorf("880 Hz = MIDI %v", p)
+	}
+	if FreqToMIDI(0) != 0 || FreqToMIDI(-5) != 0 {
+		t.Error("non-positive freq should map to 0")
+	}
+	// Round trip.
+	for p := 40.0; p <= 84; p += 1.7 {
+		if got := FreqToMIDI(MIDIToFreq(p)); math.Abs(got-p) > 1e-9 {
+			t.Errorf("round trip %v -> %v", p, got)
+		}
+	}
+}
+
+func TestSynthesizeLengthAndRange(t *testing.T) {
+	frames := ts.Constant(50, 60) // 500 ms of C4
+	w := Synthesize(frames, SynthesisOptions{})
+	if len(w) != 50*DefaultSampleRate*FrameMs/1000 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for i, v := range w {
+		if v < -1 || v > 1 {
+			t.Fatalf("sample %d = %v out of range", i, v)
+		}
+	}
+}
+
+func TestSynthesizeSilence(t *testing.T) {
+	frames := ts.Constant(10, 0)
+	w := Synthesize(frames, SynthesisOptions{})
+	for _, v := range w {
+		if v != 0 {
+			t.Fatal("silence frames should render as zero without noise")
+		}
+	}
+}
+
+func TestSynthesizeNoiseNeedsRand(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Synthesize(ts.Constant(2, 60), SynthesisOptions{NoiseLevel: 0.1})
+}
+
+func TestTrackPitchConstantTone(t *testing.T) {
+	for _, pitch := range []float64{48, 55, 60, 67, 72} {
+		frames := ts.Constant(60, pitch)
+		w := Synthesize(frames, SynthesisOptions{})
+		got := TrackPitch(w, DefaultSampleRate)
+		if len(got) == 0 {
+			t.Fatal("no frames")
+		}
+		// Ignore edge frames (window spills past the end).
+		voiced := 0
+		for _, v := range got[2 : len(got)-4] {
+			if v == 0 {
+				continue
+			}
+			voiced++
+			if math.Abs(v-pitch) > 0.5 {
+				t.Fatalf("pitch %v: tracked %v", pitch, v)
+			}
+		}
+		if voiced < len(got)/2 {
+			t.Fatalf("pitch %v: only %d voiced frames", pitch, voiced)
+		}
+	}
+}
+
+func TestTrackPitchSilence(t *testing.T) {
+	w := make([]float64, DefaultSampleRate) // 1 s of silence
+	got := TrackPitch(w, DefaultSampleRate)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("frame %d of silence tracked as %v", i, v)
+		}
+	}
+}
+
+func TestTrackPitchMelodySteps(t *testing.T) {
+	// Three held notes; the tracker must follow the steps.
+	var frames ts.Series
+	for _, p := range []float64{60, 64, 67} {
+		frames = append(frames, ts.Constant(40, p)...)
+	}
+	w := Synthesize(frames, SynthesisOptions{})
+	got := TrackPitch(w, DefaultSampleRate)
+	// Check mid-note frames (avoid transition frames).
+	checks := []struct {
+		frame int
+		want  float64
+	}{{20, 60}, {60, 64}, {100, 67}}
+	for _, c := range checks {
+		if c.frame >= len(got) {
+			t.Fatalf("only %d frames", len(got))
+		}
+		if math.Abs(got[c.frame]-c.want) > 0.5 {
+			t.Errorf("frame %d: got %v, want %v", c.frame, got[c.frame], c.want)
+		}
+	}
+}
+
+func TestTrackPitchWithNoiseAndVibrato(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	frames := ts.Constant(80, 62)
+	w := Synthesize(frames, SynthesisOptions{
+		NoiseLevel:   0.05,
+		VibratoCents: 30,
+		VibratoHz:    5,
+		Rand:         r,
+	})
+	got := TrackPitch(w, DefaultSampleRate)
+	var sum float64
+	var count int
+	for _, v := range got[2 : len(got)-4] {
+		if v > 0 {
+			sum += v
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("nothing voiced")
+	}
+	if mean := sum / float64(count); math.Abs(mean-62) > 0.7 {
+		t.Errorf("mean tracked pitch %v, want ~62", mean)
+	}
+}
+
+func TestTrackPitchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	TrackPitch(make([]float64, 100), 0)
+}
+
+func BenchmarkTrackPitch(b *testing.B) {
+	frames := ts.Constant(100, 60)
+	w := Synthesize(frames, SynthesisOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrackPitch(w, DefaultSampleRate)
+	}
+}
+
+func TestFrameEnergies(t *testing.T) {
+	// Loud then silent: energies must reflect the split.
+	frames := append(ts.Constant(20, 60), ts.Constant(20, 0)...)
+	w := Synthesize(frames, SynthesisOptions{})
+	e := FrameEnergies(w, DefaultSampleRate)
+	if len(e) != 40 {
+		t.Fatalf("frames = %d", len(e))
+	}
+	if e[10] <= e[30]*10 {
+		t.Errorf("voiced energy %v not well above silent %v", e[10], e[30])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad rate")
+		}
+	}()
+	FrameEnergies(w, 0)
+}

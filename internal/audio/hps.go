@@ -1,0 +1,119 @@
+package audio
+
+import (
+	"math"
+	"math/cmplx"
+
+	"warping/internal/fft"
+	"warping/internal/ts"
+)
+
+// TrackPitchHPS estimates a pitch time series using the Harmonic Product
+// Spectrum method: the magnitude spectrum of each 32 ms frame is multiplied
+// with its 2x- and 3x-downsampled copies, which reinforces the fundamental
+// and suppresses octave errors. It is the spectral-domain alternative to
+// the autocorrelation tracker (TrackPitch); both implement the paper's
+// "each frame is resolved into a pitch" interface, and the test suite
+// cross-validates them against each other.
+func TrackPitchHPS(samples []float64, sampleRate int) ts.Series {
+	if sampleRate <= 0 {
+		panic("audio: invalid sample rate")
+	}
+	hop := sampleRate * FrameMs / 1000
+	window := sampleRate * 32 / 1000
+	if hop == 0 || window == 0 {
+		panic("audio: sample rate too low for framing")
+	}
+	// FFT length: next power of two >= 2*window for decent resolution.
+	fftLen := 1
+	for fftLen < 2*window {
+		fftLen <<= 1
+	}
+	numFrames := len(samples) / hop
+	out := make(ts.Series, 0, numFrames)
+	buf := make([]complex128, fftLen)
+	for f := 0; f < numFrames; f++ {
+		start := f * hop
+		end := start + window
+		if end > len(samples) {
+			end = len(samples)
+		}
+		frame := samples[start:end]
+		var energy float64
+		for _, v := range frame {
+			energy += v * v
+		}
+		if len(frame) < window/2 || energy/float64(len(frame)) < 1e-4 {
+			out = append(out, 0)
+			continue
+		}
+		// Hann-windowed, zero-padded frame.
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i, v := range frame {
+			w := 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/float64(len(frame)-1))
+			buf[i] = complex(v*w, 0)
+		}
+		spec := fft.Forward(buf)
+		out = append(out, hpsPitch(spec, fftLen, sampleRate))
+	}
+	return out
+}
+
+// hpsPitch picks the fundamental from one spectrum via the harmonic
+// product, with parabolic interpolation on the product peak.
+func hpsPitch(spec []complex128, fftLen, sampleRate int) float64 {
+	half := fftLen / 2
+	mag := make([]float64, half)
+	for i := range mag {
+		mag[i] = cmplx.Abs(spec[i])
+	}
+	binHz := float64(sampleRate) / float64(fftLen)
+	minBin := int(minPitchHz/binHz) + 1
+	maxBin := int(maxPitchHz / binHz)
+	if maxBin*3 >= half {
+		maxBin = half/3 - 1
+	}
+	if minBin < 1 {
+		minBin = 1
+	}
+	if maxBin <= minBin {
+		return 0
+	}
+	// Harmonic product over 3 harmonics (log domain to avoid underflow).
+	best := minBin
+	bestVal := math.Inf(-1)
+	prod := make([]float64, maxBin+2)
+	for b := minBin; b <= maxBin; b++ {
+		v := math.Log(mag[b]+1e-12) + math.Log(mag[2*b]+1e-12) + math.Log(mag[3*b]+1e-12)
+		prod[b] = v
+		if v > bestVal {
+			bestVal = v
+			best = b
+		}
+	}
+	// Voicing gate: the peak magnitude must stand out from the frame's
+	// average spectral level.
+	var avg float64
+	for _, m := range mag[minBin:maxBin] {
+		avg += m
+	}
+	avg /= float64(maxBin - minBin)
+	if mag[best] < 4*avg {
+		return 0
+	}
+	// Parabolic interpolation on the product curve.
+	bin := float64(best)
+	if best > minBin && best < maxBin {
+		y0, y1, y2 := prod[best-1], prod[best], prod[best+1]
+		den := y0 - 2*y1 + y2
+		if den != 0 {
+			delta := 0.5 * (y0 - y2) / den
+			if delta > -1 && delta < 1 {
+				bin += delta
+			}
+		}
+	}
+	return FreqToMIDI(bin * binHz)
+}

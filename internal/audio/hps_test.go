@@ -1,0 +1,88 @@
+package audio
+
+import (
+	"math"
+	"testing"
+
+	"warping/internal/ts"
+)
+
+func TestHPSConstantTone(t *testing.T) {
+	for _, pitch := range []float64{48, 55, 60, 67, 72} {
+		frames := ts.Constant(60, pitch)
+		w := Synthesize(frames, SynthesisOptions{})
+		got := TrackPitchHPS(w, DefaultSampleRate)
+		voiced := 0
+		for _, v := range got[2 : len(got)-4] {
+			if v == 0 {
+				continue
+			}
+			voiced++
+			if math.Abs(v-pitch) > 0.6 {
+				t.Fatalf("pitch %v: HPS tracked %v", pitch, v)
+			}
+		}
+		if voiced < len(got)/2 {
+			t.Fatalf("pitch %v: only %d voiced frames", pitch, voiced)
+		}
+	}
+}
+
+func TestHPSSilence(t *testing.T) {
+	got := TrackPitchHPS(make([]float64, DefaultSampleRate), DefaultSampleRate)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("silence frame %d tracked as %v", i, v)
+		}
+	}
+}
+
+// Cross-validation: both trackers must agree on clean melodic input.
+func TestHPSAgreesWithAutocorrelation(t *testing.T) {
+	var frames ts.Series
+	for _, p := range []float64{57, 60, 64, 62} {
+		frames = append(frames, ts.Constant(40, p)...)
+	}
+	w := Synthesize(frames, SynthesisOptions{})
+	acf := TrackPitch(w, DefaultSampleRate)
+	hps := TrackPitchHPS(w, DefaultSampleRate)
+	if len(acf) != len(hps) {
+		t.Fatalf("frame counts differ: %d vs %d", len(acf), len(hps))
+	}
+	agreements, comparisons := 0, 0
+	for i := 4; i < len(acf)-4; i++ {
+		if acf[i] == 0 || hps[i] == 0 {
+			continue
+		}
+		comparisons++
+		if math.Abs(acf[i]-hps[i]) <= 0.6 {
+			agreements++
+		}
+	}
+	if comparisons == 0 {
+		t.Fatal("no voiced frames to compare")
+	}
+	// Note transitions confuse each tracker differently; 85%+ agreement
+	// on steady-state frames is the expected regime.
+	if float64(agreements)/float64(comparisons) < 0.85 {
+		t.Errorf("trackers agree on only %d/%d frames", agreements, comparisons)
+	}
+}
+
+func TestHPSPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	TrackPitchHPS(make([]float64, 10), 0)
+}
+
+func BenchmarkTrackPitchHPS(b *testing.B) {
+	frames := ts.Constant(100, 60)
+	w := Synthesize(frames, SynthesisOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrackPitchHPS(w, DefaultSampleRate)
+	}
+}

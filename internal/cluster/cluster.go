@@ -1,0 +1,204 @@
+// Package cluster groups time series under banded Dynamic Time Warping
+// with k-medoids (PAM-style) clustering — a common downstream use of a DTW
+// toolkit (grouping melodies by shape, sensor traces by behaviour). Using
+// medoids rather than means avoids the notorious "DTW averaging" problem:
+// every cluster is represented by one of its own members.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"warping/internal/dtw"
+	"warping/internal/ts"
+)
+
+// Result holds a clustering.
+type Result struct {
+	// Medoids are the indexes of the representative series per cluster.
+	Medoids []int
+	// Assignment[i] is the cluster of series i (index into Medoids).
+	Assignment []int
+	// Cost is the sum of distances from each series to its medoid.
+	Cost float64
+}
+
+// Config controls the clustering.
+type Config struct {
+	// K is the number of clusters (required, 1 <= K <= len(series)).
+	K int
+	// Band is the Sakoe-Chiba radius used for all DTW distances.
+	Band int
+	// MaxIterations bounds the swap phase (default 20).
+	MaxIterations int
+	// Seed drives the medoid initialization.
+	Seed int64
+}
+
+// KMedoids clusters the series (all equal length). The algorithm is
+// standard PAM on a precomputed (parallel) DTW distance matrix:
+// k-means++-style seeding, then alternate assignment and in-cluster medoid
+// refinement until no medoid moves.
+func KMedoids(series []ts.Series, cfg Config) (*Result, error) {
+	n := len(series)
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("cluster: K=%d out of range [1,%d]", cfg.K, n)
+	}
+	for i := 1; i < n; i++ {
+		if len(series[i]) != len(series[0]) {
+			return nil, fmt.Errorf("cluster: series %d has length %d, want %d", i, len(series[i]), len(series[0]))
+		}
+	}
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = 20
+	}
+	dist := dtw.DistanceMatrix(series, cfg.Band)
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// k-means++-style seeding on the precomputed matrix.
+	medoids := make([]int, 0, cfg.K)
+	medoids = append(medoids, r.Intn(n))
+	for len(medoids) < cfg.K {
+		// Pick proportional to squared distance to the nearest medoid.
+		weights := make([]float64, n)
+		var total float64
+		for i := 0; i < n; i++ {
+			d := math.Inf(1)
+			for _, m := range medoids {
+				if dist[i][m] < d {
+					d = dist[i][m]
+				}
+			}
+			weights[i] = d * d
+			total += weights[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with medoids; pick any
+			// non-medoid.
+			next := 0
+			taken := map[int]bool{}
+			for _, m := range medoids {
+				taken[m] = true
+			}
+			for i := 0; i < n; i++ {
+				if !taken[i] {
+					next = i
+					break
+				}
+			}
+			medoids = append(medoids, next)
+			continue
+		}
+		pick := r.Float64() * total
+		for i := 0; i < n; i++ {
+			pick -= weights[i]
+			if pick <= 0 {
+				medoids = append(medoids, i)
+				break
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	assignAll := func() float64 {
+		var cost float64
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c, m := range medoids {
+				if dist[i][m] < bestD {
+					bestD = dist[i][m]
+					best = c
+				}
+			}
+			assign[i] = best
+			cost += bestD
+		}
+		return cost
+	}
+
+	cost := assignAll()
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		moved := false
+		// Refine each medoid to the in-cluster point minimizing the sum
+		// of distances to its cluster.
+		for c := range medoids {
+			var members []int
+			for i, a := range assign {
+				if a == c {
+					members = append(members, i)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			best, bestSum := medoids[c], math.Inf(1)
+			for _, cand := range members {
+				var sum float64
+				for _, m := range members {
+					sum += dist[cand][m]
+				}
+				if sum < bestSum {
+					bestSum = sum
+					best = cand
+				}
+			}
+			if best != medoids[c] {
+				medoids[c] = best
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+		cost = assignAll()
+	}
+	return &Result{Medoids: medoids, Assignment: assign, Cost: cost}, nil
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering over
+// the same distance matrix convention ([-1, 1]; higher is better). It is
+// the standard internal quality measure for judging K.
+func Silhouette(series []ts.Series, res *Result, band int) float64 {
+	n := len(series)
+	if n < 2 || len(res.Medoids) < 2 {
+		return 0
+	}
+	dist := dtw.DistanceMatrix(series, band)
+	var total float64
+	for i := 0; i < n; i++ {
+		var a float64 // mean intra-cluster distance
+		var aCount int
+		bByCluster := make(map[int]float64)
+		bCount := make(map[int]int)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if res.Assignment[j] == res.Assignment[i] {
+				a += dist[i][j]
+				aCount++
+			} else {
+				bByCluster[res.Assignment[j]] += dist[i][j]
+				bCount[res.Assignment[j]]++
+			}
+		}
+		if aCount > 0 {
+			a /= float64(aCount)
+		}
+		b := math.Inf(1)
+		for c, sum := range bByCluster {
+			if v := sum / float64(bCount[c]); v < b {
+				b = v
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warping/internal/dtw"
+	"warping/internal/music"
+	"warping/internal/ts"
+)
+
+// threeShapes builds well-separated clusters: sines, ramps, and steps, each
+// with per-instance jitter and small time warps.
+func threeShapes(r *rand.Rand, perCluster, n int) ([]ts.Series, []int) {
+	var series []ts.Series
+	var truth []int
+	for c := 0; c < 3; c++ {
+		for i := 0; i < perCluster; i++ {
+			s := make(ts.Series, n)
+			phase := r.Float64() * 0.5
+			for t := range s {
+				x := float64(t) / float64(n)
+				switch c {
+				case 0:
+					s[t] = 5 * math.Sin(2*math.Pi*(2*x+phase))
+				case 1:
+					s[t] = 10*x - 5
+				default:
+					if x > 0.5 {
+						s[t] = 4
+					} else {
+						s[t] = -4
+					}
+				}
+				s[t] += r.NormFloat64() * 0.3
+			}
+			series = append(series, s.ZeroMean())
+			truth = append(truth, c)
+		}
+	}
+	return series, truth
+}
+
+func TestDistanceMatrixProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	series := make([]ts.Series, 12)
+	for i := range series {
+		s := make(ts.Series, 40)
+		for j := range s {
+			s[j] = r.NormFloat64()
+		}
+		series[i] = s
+	}
+	m := dtw.DistanceMatrix(series, 4)
+	for i := range series {
+		if m[i][i] != 0 {
+			t.Fatalf("diagonal [%d] = %v", i, m[i][i])
+		}
+		for j := range series {
+			if m[i][j] != m[j][i] {
+				t.Fatalf("asymmetric [%d][%d]", i, j)
+			}
+			want := dtw.Banded(series[i], series[j], 4)
+			if math.Abs(m[i][j]-want) > 1e-9 {
+				t.Fatalf("[%d][%d] = %v, want %v", i, j, m[i][j], want)
+			}
+		}
+	}
+	// Degenerate sizes.
+	if got := dtw.DistanceMatrix(nil, 3); len(got) != 0 {
+		t.Error("empty matrix")
+	}
+	if got := dtw.DistanceMatrix(series[:1], 3); got[0][0] != 0 {
+		t.Error("singleton matrix")
+	}
+}
+
+func TestKMedoidsRecoversShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	series, truth := threeShapes(r, 10, 64)
+	res, err := KMedoids(series, Config{K: 3, Band: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Medoids) != 3 || len(res.Assignment) != len(series) {
+		t.Fatalf("shape: %d medoids, %d assignments", len(res.Medoids), len(res.Assignment))
+	}
+	// Every ground-truth cluster must map to exactly one found cluster.
+	mapping := map[int]map[int]int{}
+	for i, tc := range truth {
+		if mapping[tc] == nil {
+			mapping[tc] = map[int]int{}
+		}
+		mapping[tc][res.Assignment[i]]++
+	}
+	for tc, counts := range mapping {
+		// The dominant found-cluster must hold >= 90% of the members.
+		best, total := 0, 0
+		for _, c := range counts {
+			total += c
+			if c > best {
+				best = c
+			}
+		}
+		if best*10 < total*9 {
+			t.Errorf("truth cluster %d split: %v", tc, counts)
+		}
+	}
+	// Quality: silhouette of the correct K is clearly positive.
+	if s := Silhouette(series, res, 4); s < 0.5 {
+		t.Errorf("silhouette %v < 0.5 on well-separated data", s)
+	}
+}
+
+func TestKMedoidsValidation(t *testing.T) {
+	series := []ts.Series{ts.New(1, 2), ts.New(3, 4)}
+	if _, err := KMedoids(series, Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := KMedoids(series, Config{K: 3}); err == nil {
+		t.Error("K > n accepted")
+	}
+	bad := []ts.Series{ts.New(1, 2), ts.New(3)}
+	if _, err := KMedoids(bad, Config{K: 1}); err == nil {
+		t.Error("ragged series accepted")
+	}
+}
+
+func TestKMedoidsKEqualsN(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	series, _ := threeShapes(r, 2, 32)
+	res, err := KMedoids(series, Config{K: len(series), Band: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 1e-9 {
+		t.Errorf("K=n cost %v, want 0", res.Cost)
+	}
+}
+
+func TestKMedoidsDeterministicPerSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	series, _ := threeShapes(r, 5, 32)
+	a, err := KMedoids(series, Config{K: 3, Band: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMedoids(series, Config{K: 3, Band: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Medoids {
+		if a.Medoids[i] != b.Medoids[i] {
+			t.Fatal("clustering not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestClusterMelodies(t *testing.T) {
+	// Domain check: performances of the same tune cluster together.
+	r := rand.New(rand.NewSource(8))
+	const n = 96
+	tunes := []music.Melody{music.TwinkleTwinkle(), music.FrereJacques(), music.AmazingGrace()}
+	var series []ts.Series
+	var truth []int
+	for ti, tune := range tunes {
+		for v := 0; v < 5; v++ {
+			// Transposed, tempo-varied renditions.
+			variant := tune.Transpose(r.Intn(13) - 6).ScaleTempo(0.8 + r.Float64()*0.5)
+			series = append(series, variant.TimeSeries().NormalForm(n))
+			truth = append(truth, ti)
+		}
+	}
+	res, err := KMedoids(series, Config{K: 3, Band: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All renditions of a tune must share a cluster.
+	for ti := 0; ti < 3; ti++ {
+		want := -1
+		for i, tr := range truth {
+			if tr != ti {
+				continue
+			}
+			if want == -1 {
+				want = res.Assignment[i]
+			} else if res.Assignment[i] != want {
+				t.Fatalf("tune %d split across clusters", ti)
+			}
+		}
+	}
+}

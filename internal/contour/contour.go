@@ -1,0 +1,252 @@
+// Package contour implements the note-contour baseline that the paper
+// compares against (Table 2): the hummed query is segmented into discrete
+// notes, reduced to a melodic-contour string over a small alphabet, and
+// matched against the database by edit distance, optionally accelerated by
+// q-gram filtering.
+//
+// The note segmentation step is deliberately the weak link — the paper's
+// argument is that "no good algorithm is known to segment such a time
+// series of pitches into discrete notes", so this stage makes the same
+// class of errors (merged and split notes) as the commercial transcriber
+// the authors used.
+package contour
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"warping/internal/music"
+	"warping/internal/ts"
+)
+
+// Alphabet selects the contour granularity.
+type Alphabet int
+
+const (
+	// Alphabet3 uses U (up), D (down), S (same) — the classic 3-letter
+	// contour of Ghias et al.
+	Alphabet3 Alphabet = 3
+	// Alphabet5 refines to u/U (slightly/much higher) and d/D, plus S.
+	// The split between "slightly" and "much" is at 2 semitones.
+	Alphabet5 Alphabet = 5
+)
+
+// String renders the melodic contour of a melody: one letter per interval
+// between successive notes (length len(m)-1).
+func String(m music.Melody, a Alphabet) string {
+	var b strings.Builder
+	for i := 1; i < len(m); i++ {
+		diff := m[i].Pitch - m[i-1].Pitch
+		b.WriteByte(letter(diff, a))
+	}
+	return b.String()
+}
+
+func letter(diff int, a Alphabet) byte {
+	switch a {
+	case Alphabet3:
+		switch {
+		case diff > 0:
+			return 'U'
+		case diff < 0:
+			return 'D'
+		default:
+			return 'S'
+		}
+	case Alphabet5:
+		switch {
+		case diff > 2:
+			return 'U'
+		case diff > 0:
+			return 'u'
+		case diff < -2:
+			return 'D'
+		case diff < 0:
+			return 'd'
+		default:
+			return 'S'
+		}
+	default:
+		panic(fmt.Sprintf("contour: unknown alphabet %d", a))
+	}
+}
+
+// SegmentNotes transcribes a frame-level pitch series into discrete notes:
+// pitches are rounded to the nearest semitone, consecutive equal semitones
+// form a run, silence (zero) frames break runs, and runs shorter than
+// minFrames are merged into their longer neighbor (they are usually pitch-
+// tracking glitches or glide frames). framesPerTick converts run lengths to
+// note durations.
+//
+// This is the error-prone preprocessing stage the paper criticizes: a
+// wavering hum splits one intended note into several, and a glide merges
+// two notes into one.
+func SegmentNotes(pitch ts.Series, framesPerTick, minFrames int) music.Melody {
+	if framesPerTick < 1 {
+		panic("contour: framesPerTick < 1")
+	}
+	if minFrames < 1 {
+		minFrames = 1
+	}
+	type run struct {
+		semitone int
+		frames   int
+	}
+	var runs []run
+	for _, v := range pitch {
+		if v <= 0 {
+			// Silence breaks the current run but emits nothing.
+			runs = append(runs, run{semitone: -1})
+			continue
+		}
+		st := int(math.Round(v))
+		if len(runs) > 0 && runs[len(runs)-1].semitone == st {
+			runs[len(runs)-1].frames++
+		} else {
+			runs = append(runs, run{semitone: st, frames: 1})
+		}
+	}
+	// Drop silence markers and absorb glitch runs into the previous note.
+	// A silence prevents merging the notes on either side: the hummer
+	// articulated them separately.
+	var clean []run
+	broke := false
+	for _, r := range runs {
+		if r.semitone < 0 {
+			broke = true
+			continue
+		}
+		if r.frames < minFrames {
+			if len(clean) > 0 && !broke {
+				clean[len(clean)-1].frames += r.frames
+			}
+			continue
+		}
+		if len(clean) > 0 && !broke && clean[len(clean)-1].semitone == r.semitone {
+			clean[len(clean)-1].frames += r.frames
+			continue
+		}
+		clean = append(clean, r)
+		broke = false
+	}
+	var m music.Melody
+	for _, r := range clean {
+		d := (r.frames + framesPerTick/2) / framesPerTick
+		if d < 1 {
+			d = 1
+		}
+		st := r.semitone
+		if st < 0 {
+			st = 0
+		}
+		if st > 127 {
+			st = 127
+		}
+		m = append(m, music.Note{Pitch: st, Duration: d})
+	}
+	return m
+}
+
+// EditDistance returns the Levenshtein distance between two strings with
+// unit costs, in O(len(a)*len(b)) time and O(min) memory.
+func EditDistance(a, b string) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	curr := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if v := prev[j] + 1; v < m {
+				m = v
+			}
+			if v := curr[j-1] + 1; v < m {
+				m = v
+			}
+			curr[j] = m
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)]
+}
+
+// QGramProfile counts the q-grams of s.
+func QGramProfile(s string, q int) map[string]int {
+	if q < 1 {
+		panic("contour: q < 1")
+	}
+	out := make(map[string]int)
+	for i := 0; i+q <= len(s); i++ {
+		out[s[i:i+q]]++
+	}
+	return out
+}
+
+// CommonQGrams returns the size of the multiset intersection of two q-gram
+// profiles. If EditDistance(a, b) <= k then a and b share at least
+// max(|a|,|b|) - q + 1 - k*q q-grams, so a small common count safely rules
+// out close matches — the "q-grams" speed-up the paper mentions for string
+// matching.
+func CommonQGrams(a, b map[string]int) int {
+	var common int
+	for g, ca := range a {
+		if cb, ok := b[g]; ok {
+			if cb < ca {
+				common += cb
+			} else {
+				common += ca
+			}
+		}
+	}
+	return common
+}
+
+// SegmentNotesOnset transcribes a pitch series into notes using loudness
+// onsets in addition to pitch changes: a local energy dip below dipRatio of
+// the neighbouring level starts a new note even when the pitch holds (a
+// hummer re-articulating the same note). This is the second segmentation
+// process of the paper's Table 2 protocol ("we used the silence information
+// between pitches to segment notes" alongside the commercial transcriber);
+// callers take the better rank of the two.
+//
+// energy must be frame-aligned with pitch (one value per 10 ms frame).
+func SegmentNotesOnset(pitch, energy ts.Series, framesPerTick, minFrames int, dipRatio float64) music.Melody {
+	if len(energy) != len(pitch) {
+		panic("contour: pitch/energy length mismatch")
+	}
+	if dipRatio <= 0 || dipRatio >= 1 {
+		panic("contour: dipRatio must be in (0,1)")
+	}
+	// Mark onset frames: energy local minimum below dipRatio * the
+	// surrounding average, with voiced neighbours.
+	smoothed := ts.MovingAverage(energy, 5)
+	cut := make([]bool, len(pitch))
+	for i := 2; i < len(pitch)-2; i++ {
+		if energy[i] <= energy[i-1] && energy[i] <= energy[i+1] &&
+			smoothed[i] > 0 && energy[i] < dipRatio*smoothed[i] {
+			cut[i] = true
+		}
+	}
+	// Replace pitch with 0 at cut frames so the base segmenter splits
+	// there, then reuse its run logic.
+	marked := pitch.Clone()
+	for i, c := range cut {
+		if c {
+			marked[i] = 0
+		}
+	}
+	return SegmentNotes(marked, framesPerTick, minFrames)
+}

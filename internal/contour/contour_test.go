@@ -1,0 +1,289 @@
+package contour
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"warping/internal/hum"
+	"warping/internal/music"
+	"warping/internal/ts"
+)
+
+func TestContourString3(t *testing.T) {
+	m := music.Melody{{Pitch: 60, Duration: 1}, {Pitch: 62, Duration: 1}, {Pitch: 62, Duration: 1}, {Pitch: 59, Duration: 1}}
+	if got := String(m, Alphabet3); got != "USD" {
+		t.Errorf("contour = %q, want USD", got)
+	}
+}
+
+func TestContourString5(t *testing.T) {
+	m := music.Melody{{Pitch: 60, Duration: 1}, {Pitch: 61, Duration: 1}, {Pitch: 65, Duration: 1}, {Pitch: 64, Duration: 1}, {Pitch: 57, Duration: 1}, {Pitch: 57, Duration: 1}}
+	if got := String(m, Alphabet5); got != "uUdDS" {
+		t.Errorf("contour = %q, want uUdDS", got)
+	}
+}
+
+func TestContourSingleNote(t *testing.T) {
+	m := music.Melody{{Pitch: 60, Duration: 4}}
+	if got := String(m, Alphabet3); got != "" {
+		t.Errorf("single-note contour = %q", got)
+	}
+}
+
+func TestEditDistanceKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "xy", 2},
+		{"kitten", "sitting", 3},
+		{"UUDS", "UUDS", 0},
+		{"UUDS", "UDDS", 1},
+		{"abc", "acb", 2},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("ed(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: edit distance is a metric.
+func TestPropEditDistanceMetric(t *testing.T) {
+	letters := []byte("UDS")
+	randStr := func(r *rand.Rand) string {
+		n := r.Intn(25)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(letters[r.Intn(3)])
+		}
+		return b.String()
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randStr(r), randStr(r), randStr(r)
+		if EditDistance(a, b) != EditDistance(b, a) {
+			return false
+		}
+		if (a == b) != (EditDistance(a, b) == 0) {
+			return false
+		}
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQGramProfile(t *testing.T) {
+	p := QGramProfile("UUDU", 2)
+	if p["UU"] != 1 || p["UD"] != 1 || p["DU"] != 1 || len(p) != 3 {
+		t.Errorf("profile = %v", p)
+	}
+	if got := QGramProfile("ab", 3); len(got) != 0 {
+		t.Errorf("short string profile = %v", got)
+	}
+}
+
+// Property: the q-gram count filter is sound — the bound never exceeds the
+// actual common q-grams for strings within edit distance k.
+func TestPropQGramFilterSound(t *testing.T) {
+	letters := []byte("UDS")
+	randStr := func(r *rand.Rand, n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(letters[r.Intn(3)])
+		}
+		return b.String()
+	}
+	const q = 3
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randStr(r, 5+r.Intn(30))
+		b := randStr(r, 5+r.Intn(30))
+		k := EditDistance(a, b)
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		need := maxLen - q + 1 - k*q
+		if need <= 0 {
+			return true // bound vacuous
+		}
+		return CommonQGrams(QGramProfile(a, q), QGramProfile(b, q)) >= need
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentNotesCleanInput(t *testing.T) {
+	// A perfect rendition must segment back into the same pitch sequence.
+	m := music.TwinkleTwinkle()
+	contour := hum.PerfectSinger().RenderPitch(m, rand.New(rand.NewSource(1)))
+	got := SegmentNotes(contour, hum.FramesPerTick, 3)
+	// Adjacent repeated notes merge (60,60 -> one long 60), so compare
+	// the deduplicated pitch sequences.
+	dedup := func(mm music.Melody) []int {
+		var out []int
+		for _, n := range mm {
+			if len(out) == 0 || out[len(out)-1] != n.Pitch {
+				out = append(out, n.Pitch)
+			}
+		}
+		return out
+	}
+	a, b := dedup(m), dedup(got)
+	if len(a) != len(b) {
+		t.Fatalf("pitch runs: got %v, want %v", b, a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d: got %d, want %d", i, b[i], a[i])
+		}
+	}
+}
+
+func TestSegmentNotesGlitchAbsorption(t *testing.T) {
+	// 20 frames of C4, 1 glitch frame, 20 frames of D4.
+	var p ts.Series
+	p = append(p, ts.Constant(20, 60)...)
+	p = append(p, 73) // tracking glitch
+	p = append(p, ts.Constant(20, 62)...)
+	m := SegmentNotes(p, 10, 3)
+	if len(m) != 2 || m[0].Pitch != 60 || m[1].Pitch != 62 {
+		t.Errorf("melody = %v", m)
+	}
+}
+
+func TestSegmentNotesSilenceBreaks(t *testing.T) {
+	var p ts.Series
+	p = append(p, ts.Constant(15, 60)...)
+	p = append(p, ts.Constant(5, 0)...) // breath
+	p = append(p, ts.Constant(15, 60)...)
+	m := SegmentNotes(p, 10, 3)
+	if len(m) != 2 {
+		t.Errorf("expected silence to split the note: %v", m)
+	}
+}
+
+func TestSegmentNotesEmpty(t *testing.T) {
+	if m := SegmentNotes(ts.Series{}, 10, 3); len(m) != 0 {
+		t.Errorf("melody from empty series: %v", m)
+	}
+	if m := SegmentNotes(ts.Constant(10, 0), 10, 3); len(m) != 0 {
+		t.Errorf("melody from silence: %v", m)
+	}
+}
+
+func TestDBQueryRanking(t *testing.T) {
+	db := NewDB(Alphabet3, 0)
+	db.Add(1, music.TwinkleTwinkle())
+	db.Add(2, music.OdeToJoy())
+	db.Add(3, music.FrereJacques())
+	db.Add(4, music.AmazingGrace())
+	// Query with an exact copy: must rank first with distance 0.
+	res, _ := db.Query(music.OdeToJoy(), 4)
+	if res[0].ID != 2 || res[0].Dist != 0 {
+		t.Errorf("results = %v", res)
+	}
+	rank, _ := db.Rank(music.OdeToJoy(), 2)
+	if rank != 1 {
+		t.Errorf("rank = %d", rank)
+	}
+	if rank, _ := db.Rank(music.OdeToJoy(), 99); rank != 0 {
+		t.Errorf("absent id rank = %d", rank)
+	}
+}
+
+func TestDBQGramFilterConsistency(t *testing.T) {
+	// With and without the q-gram filter the top results must agree.
+	r := rand.New(rand.NewSource(2))
+	plain := NewDB(Alphabet3, 0)
+	filtered := NewDB(Alphabet3, 3)
+	var melodies []music.Melody
+	for i := 0; i < 200; i++ {
+		m := music.GenerateMelody(r, 15+r.Intn(15))
+		melodies = append(melodies, m)
+		plain.Add(int64(i), m)
+		filtered.Add(int64(i), m)
+	}
+	for trial := 0; trial < 10; trial++ {
+		q := melodies[r.Intn(len(melodies))]
+		a, _ := plain.Query(q, 5)
+		b, sb := filtered.Query(q, 5)
+		if len(a) != len(b) {
+			t.Fatalf("result sizes differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Dist != b[i].Dist {
+				t.Fatalf("trial %d: dist[%d] %d vs %d", trial, i, a[i].Dist, b[i].Dist)
+			}
+		}
+		if sb.Pruned == 0 {
+			t.Log("q-gram filter pruned nothing (allowed but unexpected)")
+		}
+	}
+}
+
+func TestContourAmbiguity(t *testing.T) {
+	// The core weakness the paper reports: many melodies share short
+	// contours. Two different melodies with the same up/down pattern are
+	// indistinguishable under Alphabet3.
+	a := music.Melody{{Pitch: 60, Duration: 1}, {Pitch: 62, Duration: 1}, {Pitch: 60, Duration: 1}}
+	b := music.Melody{{Pitch: 50, Duration: 1}, {Pitch: 60, Duration: 1}, {Pitch: 40, Duration: 1}}
+	if String(a, Alphabet3) != String(b, Alphabet3) {
+		t.Error("expected identical 3-letter contours")
+	}
+	if String(a, Alphabet5) == String(b, Alphabet5) {
+		t.Error("5-letter contour should distinguish them")
+	}
+}
+
+func TestSegmentNotesOnsetSplitsRearticulation(t *testing.T) {
+	// Two re-articulated C4s: constant pitch, but an energy dip between.
+	pitch := ts.Constant(40, 60)
+	energy := ts.Constant(40, 1.0)
+	energy[20] = 0.05 // articulation dip
+	energy[19] = 0.5
+	energy[21] = 0.5
+	m := SegmentNotesOnset(pitch, energy, 10, 3, 0.35)
+	if len(m) != 2 {
+		t.Errorf("expected the dip to split the note: %v", m)
+	}
+	// Without the energy information the same input is one note.
+	if got := SegmentNotes(pitch, 10, 3); len(got) != 1 {
+		t.Errorf("baseline should merge: %v", got)
+	}
+}
+
+func TestSegmentNotesOnsetNoDips(t *testing.T) {
+	pitch := ts.Constant(30, 64)
+	energy := ts.Constant(30, 1.0)
+	m := SegmentNotesOnset(pitch, energy, 10, 3, 0.35)
+	if len(m) != 1 || m[0].Pitch != 64 {
+		t.Errorf("flat energy should not split: %v", m)
+	}
+}
+
+func TestSegmentNotesOnsetPanics(t *testing.T) {
+	cases := []func(){
+		func() { SegmentNotesOnset(ts.Constant(5, 60), ts.Constant(4, 1), 10, 3, 0.3) },
+		func() { SegmentNotesOnset(ts.Constant(5, 60), ts.Constant(5, 1), 10, 3, 0) },
+		func() { SegmentNotesOnset(ts.Constant(5, 60), ts.Constant(5, 1), 10, 3, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

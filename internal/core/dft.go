@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"warping/internal/linalg"
+)
+
+// NewDFT returns the Discrete Fourier Transform dimensionality reduction
+// for series of length n with N real features. The feature vector consists
+// of the lowest-frequency Fourier coefficients in the order
+//
+//	[DC, cos f=1, sin f=1, cos f=2, sin f=2, ...]
+//
+// truncated to N entries. Every row is scaled to unit Euclidean norm
+// (1/sqrt(n) for the DC and Nyquist rows, sqrt(2/n) for the others), so the
+// rows form an orthonormal family and Euclidean distance on features is the
+// tightest subset-of-coefficients DFT lower bound.
+//
+// Since cosine and sine rows have mixed signs, the envelope extension goes
+// through the generic Lemma 3 sign-split of LinearTransform.
+func NewDFT(n, N int) *LinearTransform {
+	if N < 1 || N > n {
+		panic(fmt.Sprintf("core: DFT N=%d out of range [1,%d]", N, n))
+	}
+	a := linalg.NewMatrix(N, n)
+	row := 0
+	// DC row.
+	dc := 1 / math.Sqrt(float64(n))
+	for j := 0; j < n; j++ {
+		a.Set(row, j, dc)
+	}
+	row++
+	scale := math.Sqrt(2 / float64(n))
+	for f := 1; row < N; f++ {
+		if 2*f == n {
+			// Nyquist frequency: cosine alternates +-1, sine is zero;
+			// the cosine row has norm sqrt(n)*1/sqrt(n) with scale
+			// 1/sqrt(n).
+			for j := 0; j < n; j++ {
+				v := dc
+				if j%2 == 1 {
+					v = -dc
+				}
+				a.Set(row, j, v)
+			}
+			row++
+			continue
+		}
+		if 2*f > n {
+			panic(fmt.Sprintf("core: DFT cannot produce %d orthogonal rows from length %d", N, n))
+		}
+		// Cosine row.
+		for j := 0; j < n; j++ {
+			a.Set(row, j, scale*math.Cos(2*math.Pi*float64(f)*float64(j)/float64(n)))
+		}
+		row++
+		if row == N {
+			break
+		}
+		// Sine row.
+		for j := 0; j < n; j++ {
+			a.Set(row, j, scale*math.Sin(2*math.Pi*float64(f)*float64(j)/float64(n)))
+		}
+		row++
+	}
+	return NewLinearTransform("DFT", a)
+}

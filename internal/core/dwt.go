@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"warping/internal/linalg"
+)
+
+// NewHaar returns the Haar Discrete Wavelet Transform dimensionality
+// reduction for series of length n (a power of two) keeping the N coarsest
+// coefficients: the scaling (average) coefficient followed by wavelet
+// coefficients from the coarsest level down. The Haar basis is orthonormal,
+// so the transform is lower-bounding; mixed signs in the wavelet rows mean
+// the envelope extension uses the generic Lemma 3 sign-split.
+func NewHaar(n, N int) *LinearTransform {
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("core: Haar needs power-of-two length, got %d", n))
+	}
+	if N < 1 || N > n {
+		panic(fmt.Sprintf("core: Haar N=%d out of range [1,%d]", N, n))
+	}
+	a := linalg.NewMatrix(N, n)
+	// Row 0: scaling function, 1/sqrt(n) everywhere.
+	s := 1 / math.Sqrt(float64(n))
+	for j := 0; j < n; j++ {
+		a.Set(0, j, s)
+	}
+	row := 1
+	// Wavelet rows: level width is the support of each wavelet. The
+	// coarsest wavelet spans the whole series (+ on the first half, - on
+	// the second); each finer level halves the support and doubles the
+	// count.
+	for width := n; width >= 2 && row < N; width /= 2 {
+		count := n / width
+		norm := 1 / math.Sqrt(float64(width))
+		for b := 0; b < count && row < N; b++ {
+			start := b * width
+			half := width / 2
+			for j := 0; j < half; j++ {
+				a.Set(row, start+j, norm)
+				a.Set(row, start+half+j, -norm)
+			}
+			row++
+		}
+	}
+	return NewLinearTransform("DWT", a)
+}

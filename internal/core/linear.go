@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"warping/internal/dtw"
+	"warping/internal/linalg"
+	"warping/internal/ts"
+)
+
+// LinearTransform is a dimensionality reduction transform defined by an
+// N x n matrix A: features X = A x. Its envelope extension uses the
+// sign-split construction of Lemma 3, which is container-invariant for any
+// real matrix.
+//
+// The transform is lower-bounding whenever the rows of A are mutually
+// orthogonal with Euclidean norm at most 1; all constructors in this
+// package produce such matrices. Validate checks this property.
+type LinearTransform struct {
+	name string
+	a    *linalg.Matrix // N x n
+	// positive is true when every coefficient of a is >= 0; the envelope
+	// transform then reduces to transforming lower and upper separately
+	// (the New_PAA fast path).
+	positive bool
+}
+
+// NewLinearTransform wraps an N x n matrix as a Transform. The caller is
+// responsible for the rows being orthogonal with norm <= 1 if the transform
+// is to be lower-bounding; Validate can verify this.
+func NewLinearTransform(name string, a *linalg.Matrix) *LinearTransform {
+	positive := true
+	for _, v := range a.Data {
+		if v < 0 {
+			positive = false
+			break
+		}
+	}
+	return &LinearTransform{name: name, a: a, positive: positive}
+}
+
+// Name implements Transform.
+func (t *LinearTransform) Name() string { return t.name }
+
+// InputLen implements Transform.
+func (t *LinearTransform) InputLen() int { return t.a.Cols }
+
+// OutputLen implements Transform.
+func (t *LinearTransform) OutputLen() int { return t.a.Rows }
+
+// Matrix returns the underlying transform matrix (shared, do not mutate).
+func (t *LinearTransform) Matrix() *linalg.Matrix { return t.a }
+
+// Apply implements Transform: X = A x.
+func (t *LinearTransform) Apply(x ts.Series) []float64 {
+	if len(x) != t.a.Cols {
+		panic(fmt.Sprintf("core: %s expects length %d, got %d", t.name, t.a.Cols, len(x)))
+	}
+	return t.a.MulVec(x)
+}
+
+// ApplyEnvelope implements Transform using the Lemma 3 sign-split:
+//
+//	U^_j = sum_i a_ij * (u_i if a_ij >= 0 else l_i)
+//	L^_j = sum_i a_ij * (l_i if a_ij >= 0 else u_i)
+//
+// For an all-positive matrix this reduces to (A l, A u).
+func (t *LinearTransform) ApplyEnvelope(e dtw.Envelope) FeatureEnvelope {
+	n := t.a.Cols
+	if e.Len() != n {
+		panic(fmt.Sprintf("core: %s expects envelope length %d, got %d", t.name, n, e.Len()))
+	}
+	if t.positive {
+		return FeatureEnvelope{
+			Lower: t.a.MulVec(e.Lower),
+			Upper: t.a.MulVec(e.Upper),
+		}
+	}
+	nOut := t.a.Rows
+	lo := make([]float64, nOut)
+	hi := make([]float64, nOut)
+	for j := 0; j < nOut; j++ {
+		row := t.a.Row(j)
+		var l, u float64
+		for i, aij := range row {
+			if aij >= 0 {
+				u += aij * e.Upper[i]
+				l += aij * e.Lower[i]
+			} else {
+				u += aij * e.Lower[i]
+				l += aij * e.Upper[i]
+			}
+		}
+		lo[j] = l
+		hi[j] = u
+	}
+	return FeatureEnvelope{Lower: lo, Upper: hi}
+}
+
+// Validate checks that the rows of the transform matrix are mutually
+// orthogonal with norm at most 1 (within tol), the sufficient condition for
+// the transform to be lower-bounding. It returns a descriptive error when
+// the condition fails.
+func (t *LinearTransform) Validate(tol float64) error {
+	for i := 0; i < t.a.Rows; i++ {
+		ri := t.a.Row(i)
+		norm := linalg.Dot(ri, ri)
+		if norm > 1+tol {
+			return fmt.Errorf("core: %s row %d has norm^2 %.6f > 1", t.name, i, norm)
+		}
+		for j := i + 1; j < t.a.Rows; j++ {
+			d := linalg.Dot(ri, t.a.Row(j))
+			if d > tol || d < -tol {
+				return fmt.Errorf("core: %s rows %d,%d not orthogonal (dot %.2e)", t.name, i, j, d)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"warping/internal/linalg"
+)
+
+// Snapshot is a serializable description of a Transform, used by the index
+// persistence layer. Linear transforms are stored by their full matrix, so
+// even data-fitted transforms (SVD) restore exactly; Keogh_PAA is stored by
+// its two shape parameters.
+type Snapshot struct {
+	// Kind discriminates the reconstruction: "linear" or "keogh_paa".
+	Kind string
+	// Name is the transform's reported name.
+	Name string
+	// N is the input length, Dim the output dimensionality.
+	N, Dim int
+	// Matrix holds the Dim x N transform matrix row-major (linear only).
+	Matrix []float64
+}
+
+// SnapshotOf captures a Transform for serialization. It supports the
+// transform types constructed by this package.
+func SnapshotOf(t Transform) (Snapshot, error) {
+	switch tr := t.(type) {
+	case *LinearTransform:
+		m := tr.Matrix()
+		data := make([]float64, len(m.Data))
+		copy(data, m.Data)
+		return Snapshot{
+			Kind: "linear", Name: tr.Name(),
+			N: tr.InputLen(), Dim: tr.OutputLen(),
+			Matrix: data,
+		}, nil
+	case *KeoghPAA:
+		return Snapshot{
+			Kind: "keogh_paa", Name: tr.Name(),
+			N: tr.InputLen(), Dim: tr.OutputLen(),
+		}, nil
+	default:
+		return Snapshot{}, fmt.Errorf("core: cannot snapshot transform type %T", t)
+	}
+}
+
+// FromSnapshot reconstructs the Transform described by a Snapshot.
+func FromSnapshot(s Snapshot) (Transform, error) {
+	switch s.Kind {
+	case "linear":
+		if s.N <= 0 || s.Dim <= 0 || len(s.Matrix) != s.N*s.Dim {
+			return nil, fmt.Errorf("core: snapshot matrix %d values, want %d x %d", len(s.Matrix), s.Dim, s.N)
+		}
+		m := linalg.NewMatrix(s.Dim, s.N)
+		copy(m.Data, s.Matrix)
+		return NewLinearTransform(s.Name, m), nil
+	case "keogh_paa":
+		if s.N <= 0 || s.Dim <= 0 || s.N%s.Dim != 0 {
+			return nil, fmt.Errorf("core: invalid keogh_paa snapshot %d/%d", s.N, s.Dim)
+		}
+		return NewKeoghPAA(s.N, s.Dim), nil
+	default:
+		return nil, fmt.Errorf("core: unknown snapshot kind %q", s.Kind)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"warping/internal/dtw"
+	"warping/internal/ts"
+)
+
+func TestSnapshotRoundTripAllTransforms(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	const n, N = 64, 8
+	for _, tr := range allTransforms(r, n, N) {
+		snap, err := SnapshotOf(tr)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		back, err := FromSnapshot(snap)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if back.Name() != tr.Name() || back.InputLen() != tr.InputLen() || back.OutputLen() != tr.OutputLen() {
+			t.Fatalf("%s: shape mismatch after round trip", tr.Name())
+		}
+		x := randomWalk(r, n)
+		a, b := tr.Apply(x), back.Apply(x)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: feature %d differs", tr.Name(), i)
+			}
+		}
+		e := dtw.NewEnvelope(x, 4)
+		fa, fb := tr.ApplyEnvelope(e), back.ApplyEnvelope(e)
+		for i := range fa.Lower {
+			if fa.Lower[i] != fb.Lower[i] || fa.Upper[i] != fb.Upper[i] {
+				t.Fatalf("%s: envelope differs", tr.Name())
+			}
+		}
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	// Unknown transform type.
+	if _, err := SnapshotOf(fakeTransform{}); err == nil {
+		t.Error("unknown type snapshotted")
+	}
+	// Corrupt snapshots.
+	bad := []Snapshot{
+		{Kind: "nope"},
+		{Kind: "linear", N: 4, Dim: 2, Matrix: []float64{1}}, // wrong size
+		{Kind: "linear", N: 0, Dim: 2},
+		{Kind: "keogh_paa", N: 10, Dim: 3}, // not divisible
+		{Kind: "keogh_paa", N: 0, Dim: 0},
+	}
+	for i, s := range bad {
+		if _, err := FromSnapshot(s); err == nil {
+			t.Errorf("bad snapshot %d accepted", i)
+		}
+	}
+}
+
+type fakeTransform struct{}
+
+func (fakeTransform) Name() string                                 { return "fake" }
+func (fakeTransform) InputLen() int                                { return 1 }
+func (fakeTransform) OutputLen() int                               { return 1 }
+func (fakeTransform) Apply(x ts.Series) []float64                  { return []float64{0} }
+func (fakeTransform) ApplyEnvelope(e dtw.Envelope) FeatureEnvelope { return FeatureEnvelope{} }

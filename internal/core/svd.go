@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+
+	"warping/internal/linalg"
+	"warping/internal/ts"
+)
+
+// NewSVD returns the SVD (principal component) dimensionality reduction
+// fitted on a training set of series, all of length n, keeping the top N
+// components. The rows of the transform matrix are the orthonormal right
+// singular vectors of the centered training matrix, so the transform is
+// lower-bounding; the envelope extension uses the Lemma 3 sign-split since
+// singular vectors have mixed signs.
+//
+// Following the paper's GEMINI usage, the projection is a plain linear map
+// (no mean subtraction inside the transform): indexed series are expected
+// to already be mean-normalized, which the query pipeline guarantees.
+func NewSVD(training []ts.Series, N int) *LinearTransform {
+	if len(training) == 0 {
+		panic("core: SVD needs a non-empty training set")
+	}
+	n := len(training[0])
+	if n == 0 {
+		panic("core: SVD training series are empty")
+	}
+	if N < 1 || N > n {
+		panic(fmt.Sprintf("core: SVD N=%d out of range [1,%d]", N, n))
+	}
+	data := linalg.NewMatrix(len(training), n)
+	for i, s := range training {
+		if len(s) != n {
+			panic(fmt.Sprintf("core: SVD training series %d has length %d, want %d", i, len(s), n))
+		}
+		copy(data.Row(i), s)
+	}
+	pca := linalg.NewPCA(data, N)
+	return NewLinearTransform("SVD", pca.Components)
+}

@@ -1,0 +1,117 @@
+package dtw
+
+import (
+	"fmt"
+	"math"
+
+	"warping/internal/ts"
+)
+
+// Envelope is the k-envelope of a time series (Definition 6): Lower[i] and
+// Upper[i] are the minimum and maximum of the series over the window
+// [i-k, i+k]. Any series that stays within a warping band of radius k of the
+// original is pointwise contained in its k-envelope.
+type Envelope struct {
+	Lower ts.Series
+	Upper ts.Series
+}
+
+// NewEnvelope computes the k-envelope of x in O(n).
+func NewEnvelope(x ts.Series, k int) Envelope {
+	return Envelope{
+		Lower: ts.SlidingMin(x, k),
+		Upper: ts.SlidingMax(x, k),
+	}
+}
+
+// PointEnvelope returns the degenerate envelope whose lower and upper bounds
+// both equal x (the k = 0 envelope). Transforming a point envelope is the
+// same as transforming the series.
+func PointEnvelope(x ts.Series) Envelope {
+	return Envelope{Lower: x.Clone(), Upper: x.Clone()}
+}
+
+// Len returns the envelope length.
+func (e Envelope) Len() int { return len(e.Lower) }
+
+// Valid reports whether the envelope is well-formed: equal lengths and
+// Lower <= Upper pointwise.
+func (e Envelope) Valid() bool {
+	if len(e.Lower) != len(e.Upper) {
+		return false
+	}
+	for i := range e.Lower {
+		if e.Lower[i] > e.Upper[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether x lies pointwise within the envelope, allowing a
+// tolerance tol for floating-point slack.
+func (e Envelope) Contains(x ts.Series, tol float64) bool {
+	if len(x) != len(e.Lower) {
+		return false
+	}
+	for i, v := range x {
+		if v < e.Lower[i]-tol || v > e.Upper[i]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Shift returns the envelope translated by delta.
+func (e Envelope) Shift(delta float64) Envelope {
+	return Envelope{Lower: e.Lower.Shift(delta), Upper: e.Upper.Shift(delta)}
+}
+
+// SquaredDistToEnvelope returns the squared Euclidean distance between a
+// series and an envelope (Definition 7): the distance to the nearest series
+// contained in the envelope, which decomposes pointwise.
+func SquaredDistToEnvelope(x ts.Series, e Envelope) float64 {
+	if len(x) != e.Len() {
+		panic(fmt.Sprintf("dtw: series length %d vs envelope length %d", len(x), e.Len()))
+	}
+	var sum float64
+	for i, v := range x {
+		switch {
+		case v > e.Upper[i]:
+			d := v - e.Upper[i]
+			sum += d * d
+		case v < e.Lower[i]:
+			d := e.Lower[i] - v
+			sum += d * d
+		}
+	}
+	return sum
+}
+
+// DistToEnvelope returns the Euclidean distance between a series and an
+// envelope.
+func DistToEnvelope(x ts.Series, e Envelope) float64 {
+	return math.Sqrt(SquaredDistToEnvelope(x, e))
+}
+
+// LBKeogh returns the LB_Keogh lower bound on the banded DTW distance
+// between x and y with band radius k (Lemma 2): the distance from x to the
+// k-envelope of y. It never exceeds Banded(x, y, k).
+func LBKeogh(x, y ts.Series, k int) float64 {
+	return DistToEnvelope(x, NewEnvelope(y, k))
+}
+
+// SquaredLBKeogh is the squared form of LBKeogh.
+func SquaredLBKeogh(x, y ts.Series, k int) float64 {
+	return SquaredDistToEnvelope(x, NewEnvelope(y, k))
+}
+
+// GlobalEnvelope returns the whole-series min/max envelope used by the
+// global lower-bounding technique of Yi et al.: a constant envelope with the
+// series minimum and maximum at every position. It is the k >= n-1 envelope
+// and yields the loosest (2-value) bound the paper compares against.
+func GlobalEnvelope(x ts.Series) Envelope {
+	mn, mx := x.Min(), x.Max()
+	n := len(x)
+	return Envelope{Lower: ts.Constant(n, mn), Upper: ts.Constant(n, mx)}
+}

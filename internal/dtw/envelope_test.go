@@ -1,0 +1,164 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"warping/internal/ts"
+)
+
+func TestEnvelopeBasics(t *testing.T) {
+	x := ts.New(3, 1, 4, 1, 5)
+	e := NewEnvelope(x, 1)
+	if !e.Valid() {
+		t.Fatal("envelope invalid")
+	}
+	if !e.Contains(x, 0) {
+		t.Fatal("envelope must contain its own series")
+	}
+	wantLo := ts.New(1, 1, 1, 1, 1)
+	wantHi := ts.New(3, 4, 4, 5, 5)
+	if !e.Lower.Equal(wantLo) || !e.Upper.Equal(wantHi) {
+		t.Errorf("envelope = %v / %v", e.Lower, e.Upper)
+	}
+}
+
+func TestPointEnvelope(t *testing.T) {
+	x := ts.New(2, 7)
+	e := PointEnvelope(x)
+	if !e.Lower.Equal(x) || !e.Upper.Equal(x) {
+		t.Error("point envelope should equal the series")
+	}
+	e.Lower[0] = -1
+	if x[0] != 2 {
+		t.Error("point envelope aliases input")
+	}
+}
+
+func TestDistToEnvelopeZeroInside(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	x := randomSeries(r, 50)
+	e := NewEnvelope(x, 3)
+	if d := DistToEnvelope(x, e); d != 0 {
+		t.Errorf("distance of series to own envelope = %v", d)
+	}
+}
+
+func TestDistToEnvelopeKnown(t *testing.T) {
+	e := Envelope{Lower: ts.New(0, 0), Upper: ts.New(1, 1)}
+	x := ts.New(2, -2) // 1 above, 2 below
+	if d := SquaredDistToEnvelope(x, e); d != 1+4 {
+		t.Errorf("squared dist = %v, want 5", d)
+	}
+}
+
+func TestGlobalEnvelope(t *testing.T) {
+	x := ts.New(1, 9, 4)
+	g := GlobalEnvelope(x)
+	if !g.Lower.Equal(ts.New(1, 1, 1)) || !g.Upper.Equal(ts.New(9, 9, 9)) {
+		t.Errorf("global envelope = %v / %v", g.Lower, g.Upper)
+	}
+}
+
+// Property (Lemma 2): LB_Keogh lower-bounds the banded DTW distance.
+func TestPropLBKeoghLowerBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(60)
+		k := r.Intn(n)
+		x := randomWalk(r, n)
+		y := randomWalk(r, n)
+		return LBKeogh(x, y, k) <= Banded(x, y, k)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the global envelope bound is looser than (<=) LB_Keogh.
+func TestPropGlobalLooserThanKeogh(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(60)
+		k := r.Intn(n)
+		x := randomWalk(r, n)
+		y := randomWalk(r, n)
+		g := DistToEnvelope(x, GlobalEnvelope(y))
+		return g <= LBKeogh(x, y, k)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any series formed by warping y within the band stays inside the
+// k-envelope of y.
+func TestPropEnvelopeContainsWarps(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		k := 1 + r.Intn(5)
+		y := randomWalk(r, n)
+		e := NewEnvelope(y, k)
+		// Build z with z_i = y_{i+off}, |off| <= k.
+		z := make(ts.Series, n)
+		for i := range z {
+			off := r.Intn(2*k+1) - k
+			j := i + off
+			if j < 0 {
+				j = 0
+			}
+			if j >= n {
+				j = n - 1
+			}
+			z[i] = y[j]
+		}
+		return e.Contains(z, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: envelopes widen with k, so distances to them shrink.
+func TestPropEnvelopeDistMonotoneInK(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		x := randomWalk(r, n)
+		y := randomWalk(r, n)
+		last := math.MaxFloat64
+		for k := 0; k < n; k += 1 + n/8 {
+			d := SquaredLBKeogh(x, y, k)
+			if d > last+1e-9 {
+				return false
+			}
+			last = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnvelopeShift(t *testing.T) {
+	e := NewEnvelope(ts.New(1, 2, 3), 1)
+	s := e.Shift(10)
+	if !s.Lower.Equal(e.Lower.Shift(10)) || !s.Upper.Equal(e.Upper.Shift(10)) {
+		t.Error("Shift mismatch")
+	}
+}
+
+func TestEnvelopeValidRejects(t *testing.T) {
+	bad := Envelope{Lower: ts.New(2), Upper: ts.New(1)}
+	if bad.Valid() {
+		t.Error("crossed envelope reported valid")
+	}
+	mismatch := Envelope{Lower: ts.New(1, 2), Upper: ts.New(1)}
+	if mismatch.Valid() {
+		t.Error("length-mismatched envelope reported valid")
+	}
+}

@@ -1,0 +1,58 @@
+package dtw
+
+import (
+	"runtime"
+	"sync"
+
+	"warping/internal/ts"
+)
+
+// DistanceMatrix computes the symmetric pairwise banded DTW distance matrix
+// of the series (all equal length), parallelized across CPUs. Entry [i][j]
+// is Banded(series[i], series[j], k); the diagonal is zero. This is the
+// building block for DTW-based clustering and batch analyses.
+func DistanceMatrix(series []ts.Series, k int) [][]float64 {
+	n := len(series)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	if n < 2 {
+		return out
+	}
+	// Flatten the upper triangle into a work list and shard it.
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for _, p := range pairs[lo:hi] {
+				d := Banded(series[p.i], series[p.j], k)
+				out[p.i][p.j] = d
+				out[p.j][p.i] = d
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,120 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 5). Each experiment is a pure function from a
+// configuration to a typed result with a text rendering, so the same code
+// backs the cmd/experiments binary, the benchmark harness and the tests.
+//
+// Experiment-to-paper map:
+//
+//	Table2    — retrieval ranks, time-series vs contour approach
+//	Table3    — retrieval ranks for poor singers vs warping width
+//	Figure6   — tightness of lower bound across 24 dataset families
+//	Figure7   — tightness vs warping width, five transforms, random walk
+//	Figure8   — candidates vs warping width, melody database
+//	Figure9   — candidates and page accesses, large music (MIDI) database
+//	Figure10  — candidates and page accesses, large random-walk database
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RankBucket labels the rank histogram rows used by Tables 2 and 3.
+type RankBucket int
+
+// Bucket boundaries follow the paper exactly.
+const (
+	Rank1 RankBucket = iota
+	Rank2to3
+	Rank4to5
+	Rank6to10
+	RankOver10
+	numBuckets
+)
+
+// BucketOf classifies a 1-based rank (0 = not found, counted as >10).
+func BucketOf(rank int) RankBucket {
+	switch {
+	case rank == 1:
+		return Rank1
+	case rank >= 2 && rank <= 3:
+		return Rank2to3
+	case rank >= 4 && rank <= 5:
+		return Rank4to5
+	case rank >= 6 && rank <= 10:
+		return Rank6to10
+	default:
+		return RankOver10
+	}
+}
+
+// String implements fmt.Stringer with the paper's row labels.
+func (b RankBucket) String() string {
+	switch b {
+	case Rank1:
+		return "1"
+	case Rank2to3:
+		return "2-3"
+	case Rank4to5:
+		return "4-5"
+	case Rank6to10:
+		return "6-10"
+	default:
+		return "10-"
+	}
+}
+
+// Histogram is a rank histogram over the paper's buckets.
+type Histogram [numBuckets]int
+
+// Add increments the bucket for a rank.
+func (h *Histogram) Add(rank int) { h[BucketOf(rank)]++ }
+
+// Total returns the number of observations.
+func (h Histogram) Total() int {
+	var t int
+	for _, v := range h {
+		t += v
+	}
+	return t
+}
+
+// renderTable draws an aligned text table.
+func renderTable(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"warping/internal/core"
+	"warping/internal/dtw"
+	"warping/internal/hum"
+	"warping/internal/music"
+	"warping/internal/plot"
+	"warping/internal/ts"
+)
+
+// The paper's Figures 1-5 are illustrations rather than measurements; these
+// runners regenerate each as an ASCII sketch from live pipeline data, so
+// `cmd/experiments -run fig1,...,fig5` covers every figure in the paper.
+// Figure 1's "Hey Jude" is replaced by a public-domain tune (copyright;
+// substitution documented in DESIGN.md).
+
+// illustrationTune is the melody used by the illustration figures.
+func illustrationTune() music.Song {
+	return music.BuiltinSongs()[1] // Twinkle, Twinkle
+}
+
+// RunFigure1 renders a hummed pitch time series, like the paper's example
+// of an amateur humming the opening of a song.
+func RunFigure1() string {
+	song := illustrationTune()
+	r := rand.New(rand.NewSource(1))
+	pitch := hum.GoodSinger().Hum(song.Melody, r)
+	chart := plot.Render([]plot.Series{{Name: "pitch (MIDI)", Values: pitch}}, plot.Options{
+		Title:   fmt.Sprintf("Figure 1: pitch time series of %q hummed by the simulated amateur", song.Title),
+		XLabels: [2]string{"0s", fmt.Sprintf("%.1fs", float64(len(pitch))*0.01)},
+	})
+	return chart + fmt.Sprintf("(%d voiced 10ms frames after silence removal)\n", len(pitch))
+}
+
+// RunFigure2 renders a melody and its time-series representation — the
+// paper's sheet-music-to-series figure.
+func RunFigure2() string {
+	song := illustrationTune()
+	serie := song.Melody.TimeSeries()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: %q as (Note, Duration) tuples and as a time series\n\n", song.Title)
+	fmt.Fprintf(&b, "melody: %s\n\n", song.Melody.String())
+	b.WriteString(plot.Render([]plot.Series{{Name: "pitch", Values: serie}}, plot.Options{
+		XLabels: [2]string{"beat 1", fmt.Sprintf("beat %d", song.Melody.TotalDuration())},
+	}))
+	return b.String()
+}
+
+// RunFigure3 renders the normal forms of a hum and its candidate melody —
+// the paper's "after they are transformed to their normal forms" figure.
+func RunFigure3() string {
+	song := illustrationTune()
+	r := rand.New(rand.NewSource(3))
+	const n = 128
+	humNF := hum.GoodSinger().Hum(song.Melody, r).NormalForm(n)
+	melodyNF := song.Melody.TimeSeries().NormalForm(n)
+	chart := plot.Render([]plot.Series{
+		{Name: "humming", Values: humNF, Marker: 'h'},
+		{Name: "music", Values: melodyNF, Marker: 'm'},
+	}, plot.Options{
+		Title: "Figure 3: humming and candidate tune after normal-form transformation",
+	})
+	d := dtw.Banded(humNF, melodyNF, dtw.BandRadius(n, 0.1))
+	return chart + fmt.Sprintf("banded DTW distance between the normal forms: %.2f\n", d)
+}
+
+// RunFigure4 renders a warping path inside its Sakoe-Chiba band — the
+// paper's warping-grid figure.
+func RunFigure4() string {
+	// Two short series whose optimal path visibly leaves the diagonal.
+	x := ts.New(0, 0, 1, 2, 3, 3, 2, 1, 0, 0, 0, 0)
+	y := ts.New(0, 1, 2, 3, 3, 3, 2, 1, 1, 0, 0, 0)
+	const k = 2
+	_, path := dtw.AlignBanded(x, y, k)
+	n := len(x)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: warping path (*) within a band of radius k=%d (shaded .)\n\n", k)
+	for i := n - 1; i >= 0; i-- {
+		b.WriteString("  |")
+		for j := 0; j < n; j++ {
+			ch := byte(' ')
+			if abs(i-j) <= k {
+				ch = '.'
+			}
+			for _, p := range path {
+				if p.I == i && p.J == j {
+					ch = '*'
+					break
+				}
+			}
+			b.WriteByte(ch)
+			b.WriteByte(' ')
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "\npath length %d, constraint |i-j| <= %d holds for every step\n", len(path), k)
+	return b.String()
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// RunFigure5 renders a time series, its k-envelope and the two PAA
+// envelope reductions — the paper's Keogh-vs-New comparison figure.
+func RunFigure5() string {
+	r := rand.New(rand.NewSource(5))
+	const n, dim, k = 64, 8, 4
+	y := make(ts.Series, n)
+	v := 0.0
+	for i := range y {
+		v += r.NormFloat64()
+		y[i] = v
+	}
+	y = y.ZeroMean()
+	env := dtw.NewEnvelope(y, k)
+	newPAA := core.NewPAA(n, dim)
+	keogh := core.NewKeoghPAA(n, dim)
+	feNew := newPAA.ApplyEnvelope(env)
+	feKeogh := keogh.ApplyEnvelope(env)
+
+	// Expand the reduced envelopes back to length n for display (undo
+	// the 1/sqrt(m) feature scaling).
+	m := n / dim
+	scale := 1 / math.Sqrt(float64(m))
+	expand := func(f []float64) []float64 {
+		out := make([]float64, 0, n)
+		for _, v := range f {
+			for j := 0; j < m; j++ {
+				out = append(out, v*scale)
+			}
+		}
+		return out
+	}
+	chart := plot.Render([]plot.Series{
+		{Name: "series", Values: y, Marker: '*'},
+		{Name: "Keogh_PAA box", Values: expand(feKeogh.Lower), Marker: 'K'},
+		{Name: "(upper)", Values: expand(feKeogh.Upper), Marker: 'K'},
+		{Name: "New_PAA box", Values: expand(feNew.Lower), Marker: 'N'},
+		{Name: "(upper)", Values: expand(feNew.Upper), Marker: 'N'},
+	}, plot.Options{
+		Title:  fmt.Sprintf("Figure 5: PAA envelope reductions (k=%d, %d frames)", k, dim),
+		Height: 20,
+	})
+	return chart + "the New_PAA box (N) nests inside the Keogh_PAA box (K): a tighter bound\n"
+}

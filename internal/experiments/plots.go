@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"warping/internal/plot"
+)
+
+// Plot renders the Figure 7 curves as an ASCII chart.
+func (f *Figure7Result) Plot() string {
+	series := make([]plot.Series, len(f.Names))
+	for ti, name := range f.Names {
+		vals := make([]float64, len(f.Config.Widths))
+		for wi := range f.Config.Widths {
+			vals[wi] = f.T[wi][ti]
+		}
+		series[ti] = plot.Series{Name: name, Values: vals}
+	}
+	return plot.Render(series, plot.Options{
+		Title: "Figure 7: tightness of lower bound vs warping width",
+		XLabels: [2]string{
+			fmt.Sprintf("%.2f", f.Config.Widths[0]),
+			fmt.Sprintf("%.2f", f.Config.Widths[len(f.Config.Widths)-1]),
+		},
+	})
+}
+
+// Plot renders candidate-count curves (one chart per threshold).
+func (s *ScalabilityResult) Plot() string {
+	out := ""
+	for ti, eps := range s.Config.Thresholds {
+		keogh := make([]float64, len(s.Config.Widths))
+		newPAA := make([]float64, len(s.Config.Widths))
+		for wi := range s.Config.Widths {
+			keogh[wi] = s.Candidates[ti][wi][0]
+			newPAA[wi] = s.Candidates[ti][wi][1]
+		}
+		out += plot.Render([]plot.Series{
+			{Name: "Keogh_PAA", Values: keogh, Marker: 'K'},
+			{Name: "New_PAA", Values: newPAA, Marker: 'N'},
+		}, plot.Options{
+			Title: fmt.Sprintf("%s: candidates vs width (threshold %.1f)", s.Title, eps),
+			XLabels: [2]string{
+				fmt.Sprintf("%.2f", s.Config.Widths[0]),
+				fmt.Sprintf("%.2f", s.Config.Widths[len(s.Config.Widths)-1]),
+			},
+		}) + "\n"
+	}
+	return out
+}
+
+// Plot renders the per-dataset Figure 6 bars as grouped columns (datasets
+// on the x axis).
+func (f *Figure6Result) Plot() string {
+	return plot.Render([]plot.Series{
+		{Name: "LB", Values: f.LB},
+		{Name: "New_PAA", Values: f.NewPAA},
+		{Name: "Keogh_PAA", Values: f.Keogh},
+	}, plot.Options{
+		Title:   "Figure 6: mean tightness per dataset (x = dataset 1..24)",
+		XLabels: [2]string{"1", "24"},
+	})
+}

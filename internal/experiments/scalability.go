@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"warping/internal/core"
+	"warping/internal/datasets"
+	"warping/internal/hum"
+	"warping/internal/index"
+	"warping/internal/midi"
+	"warping/internal/music"
+	"warping/internal/ts"
+)
+
+// ScalabilityConfig parameterizes the candidate/page-access experiments of
+// Figures 8, 9 and 10.
+//
+// Threshold semantics: the paper issues range queries "with range n*epsilon".
+// Our series are z-normalized before indexing (the common convention that
+// makes thresholds comparable across databases), and the query radius is
+// epsilon * sqrt(n), i.e. an allowed root-mean-square deviation of epsilon
+// standard deviations per sample. This keeps the candidate counts in the
+// regime the paper plots while preserving the selectivity ordering of the
+// two thresholds.
+type ScalabilityConfig struct {
+	// DBSize is the number of indexed series.
+	DBSize int
+	// SeriesLen is the normal-form length (paper: 128).
+	SeriesLen int
+	// Dim is the reduced dimensionality (paper: 8).
+	Dim int
+	// Widths is the warping-width sweep (paper: 0.02 .. 0.2).
+	Widths []float64
+	// Thresholds are the epsilon values (paper: 0.2 and 0.8).
+	Thresholds []float64
+	// Queries is the number of queries averaged per point.
+	Queries int
+	Seed    int64
+}
+
+func defaultWidths() []float64 {
+	return []float64{0.02, 0.04, 0.06, 0.08, 0.1, 0.12, 0.14, 0.16, 0.18, 0.2}
+}
+
+// DefaultFigure8Config is the melody-database configuration at the paper's
+// Beatles-database scale (1000 phrases).
+func DefaultFigure8Config() ScalabilityConfig {
+	return ScalabilityConfig{
+		DBSize: 1000, SeriesLen: 128, Dim: 8,
+		Widths: defaultWidths(), Thresholds: []float64{0.2, 0.8},
+		Queries: 25, Seed: 8,
+	}
+}
+
+// DefaultFigure9Config is the large music-database configuration (35,000
+// MIDI-extracted melodies).
+func DefaultFigure9Config() ScalabilityConfig {
+	cfg := DefaultFigure8Config()
+	cfg.DBSize = 35000
+	cfg.Seed = 9
+	return cfg
+}
+
+// DefaultFigure10Config is the random-walk database configuration (50,000
+// series of length 128 indexed by 8 reduced dimensions).
+func DefaultFigure10Config() ScalabilityConfig {
+	cfg := DefaultFigure8Config()
+	cfg.DBSize = 50000
+	cfg.Seed = 10
+	return cfg
+}
+
+// MethodCount is the number of compared envelope transforms (Keogh_PAA and
+// New_PAA).
+const MethodCount = 2
+
+// ScalabilityResult holds mean candidate and page-access counts indexed by
+// [threshold][width][method], method 0 = Keogh_PAA, 1 = New_PAA.
+type ScalabilityResult struct {
+	Config       ScalabilityConfig
+	Title        string
+	Candidates   [][][MethodCount]float64
+	PageAccesses [][][MethodCount]float64
+}
+
+// runScalability builds Keogh_PAA and New_PAA indexes over the database
+// series and sweeps queries across widths and thresholds.
+func runScalability(cfg ScalabilityConfig, title string, db, queries []ts.Series) *ScalabilityResult {
+	n := cfg.SeriesLen
+	entries := make([]index.Entry, len(db))
+	for i, s := range db {
+		entries[i] = index.Entry{ID: int64(i), Series: s}
+	}
+	ixKeogh, err := index.BulkLoad(core.NewKeoghPAA(n, cfg.Dim), index.Config{}, entries)
+	if err != nil {
+		panic(err)
+	}
+	ixNew, err := index.BulkLoad(core.NewPAA(n, cfg.Dim), index.Config{}, entries)
+	if err != nil {
+		panic(err)
+	}
+	res := &ScalabilityResult{Config: cfg, Title: title}
+	for _, eps := range cfg.Thresholds {
+		radius := eps * math.Sqrt(float64(n))
+		candRow := make([][MethodCount]float64, len(cfg.Widths))
+		pageRow := make([][MethodCount]float64, len(cfg.Widths))
+		for wi, w := range cfg.Widths {
+			var cand, page [MethodCount]float64
+			for _, q := range queries {
+				_, sk := ixKeogh.RangeQuery(q, radius, w)
+				_, sn := ixNew.RangeQuery(q, radius, w)
+				cand[0] += float64(sk.Candidates)
+				cand[1] += float64(sn.Candidates)
+				page[0] += float64(sk.PageAccesses)
+				page[1] += float64(sn.PageAccesses)
+			}
+			qn := float64(len(queries))
+			for m := 0; m < MethodCount; m++ {
+				cand[m] /= qn
+				page[m] /= qn
+			}
+			candRow[wi] = cand
+			pageRow[wi] = page
+		}
+		res.Candidates = append(res.Candidates, candRow)
+		res.PageAccesses = append(res.PageAccesses, pageRow)
+	}
+	return res
+}
+
+// znorm stretches a series to length n and z-normalizes it.
+func znorm(s ts.Series, n int) ts.Series {
+	return s.Stretch(n).ZNormalize()
+}
+
+// RunFigure8 reproduces Figure 8: candidates retrieved vs warping width on
+// the phrase-level melody database, with hummed queries, for Keogh_PAA and
+// New_PAA.
+func RunFigure8(cfg ScalabilityConfig) (*ScalabilityResult, error) {
+	// Build a phrase corpus of the requested size.
+	songCount := cfg.DBSize/20 + 1
+	songs := music.GenerateSongs(cfg.Seed, songCount, 440, 520)
+	var phrases []music.Melody
+	for _, s := range songs {
+		for _, ph := range music.SegmentPhrases(s.Melody, 15, 30) {
+			phrases = append(phrases, ph)
+		}
+	}
+	if len(phrases) < cfg.DBSize {
+		return nil, fmt.Errorf("experiments: only %d phrases for db size %d", len(phrases), cfg.DBSize)
+	}
+	phrases = phrases[:cfg.DBSize]
+	db := make([]ts.Series, len(phrases))
+	for i, ph := range phrases {
+		db[i] = znorm(ph.TimeSeries(), cfg.SeriesLen)
+	}
+	// Queries: good-singer hums of random database phrases, through the
+	// fast pitch-contour path (the audio path adds nothing to an index
+	// cost measurement).
+	r := rand.New(rand.NewSource(cfg.Seed + 1))
+	singer := hum.GoodSinger()
+	queries := make([]ts.Series, cfg.Queries)
+	for i := range queries {
+		ph := phrases[r.Intn(len(phrases))]
+		queries[i] = znorm(hum.StripSilence(singer.RenderPitch(ph, r)), cfg.SeriesLen)
+	}
+	return runScalability(cfg, "Figure 8: melody database", db, queries), nil
+}
+
+// RunFigure9 reproduces Figure 9: candidates and page accesses on the large
+// music database. Every melody passes through a Standard MIDI File
+// round-trip, mirroring the paper's "notes extracted from the melody
+// channel of MIDI files" pipeline.
+func RunFigure9(cfg ScalabilityConfig) (*ScalabilityResult, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db := make([]ts.Series, cfg.DBSize)
+	melodies := make([]music.Melody, cfg.DBSize)
+	for i := 0; i < cfg.DBSize; i++ {
+		m := music.GenerateMelody(r, 15+r.Intn(16))
+		data, err := midi.EncodeMelody(m, 500000)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: encoding melody %d: %w", i, err)
+		}
+		back, err := midi.DecodeMelody(data)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: decoding melody %d: %w", i, err)
+		}
+		melodies[i] = back
+		db[i] = znorm(back.TimeSeries(), cfg.SeriesLen)
+	}
+	singer := hum.GoodSinger()
+	queries := make([]ts.Series, cfg.Queries)
+	for i := range queries {
+		m := melodies[r.Intn(len(melodies))]
+		queries[i] = znorm(hum.StripSilence(singer.RenderPitch(m, r)), cfg.SeriesLen)
+	}
+	return runScalability(cfg, "Figure 9: large music (MIDI) database", db, queries), nil
+}
+
+// RunFigure10 reproduces Figure 10: candidates and page accesses on the
+// random-walk database. Queries are noisy versions of database series, so
+// range queries have non-trivial selectivity as in the paper.
+func RunFigure10(cfg ScalabilityConfig) (*ScalabilityResult, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	raw := datasets.Sample(datasets.RandomWalk, cfg.DBSize, cfg.SeriesLen, cfg.Seed)
+	db := make([]ts.Series, len(raw))
+	for i, s := range raw {
+		db[i] = s.ZNormalize()
+	}
+	queries := make([]ts.Series, cfg.Queries)
+	for i := range queries {
+		base := db[r.Intn(len(db))]
+		q := base.Clone()
+		for j := range q {
+			q[j] += r.NormFloat64() * 0.3
+		}
+		queries[i] = q.ZNormalize()
+	}
+	return runScalability(cfg, "Figure 10: random-walk database", db, queries), nil
+}
+
+// Render formats candidates and page accesses for every threshold.
+func (s *ScalabilityResult) Render() string {
+	out := ""
+	for ti, eps := range s.Config.Thresholds {
+		rows := make([][]string, len(s.Config.Widths))
+		for wi, w := range s.Config.Widths {
+			ratio := 0.0
+			if s.Candidates[ti][wi][1] > 0 {
+				ratio = s.Candidates[ti][wi][0] / s.Candidates[ti][wi][1]
+			}
+			rows[wi] = []string{
+				fmt.Sprintf("%.2f", w),
+				f2(s.Candidates[ti][wi][0]), f2(s.Candidates[ti][wi][1]),
+				f2(s.PageAccesses[ti][wi][0]), f2(s.PageAccesses[ti][wi][1]),
+				f2(ratio),
+			}
+		}
+		out += renderTable(
+			fmt.Sprintf("%s (threshold=%.1f, %d series, %d queries)",
+				s.Title, eps, s.Config.DBSize, s.Config.Queries),
+			[]string{"Width", "Cand Keogh", "Cand New", "Pages Keogh", "Pages New", "Keogh/New"},
+			rows,
+		) + "\n"
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Package fft implements the discrete Fourier transform used by the DFT
+// dimensionality-reduction transform. Power-of-two lengths use an iterative
+// in-place radix-2 Cooley-Tukey FFT; other lengths fall back to a direct
+// O(n^2) DFT, which is fine for the short feature-extraction inputs this
+// library uses.
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Forward returns the unnormalized DFT of x:
+//
+//	X[k] = sum_j x[j] * exp(-2*pi*i*j*k/n)
+func Forward(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	transform(out, false)
+	return out
+}
+
+// Inverse returns the inverse DFT with 1/n normalization, so that
+// Inverse(Forward(x)) == x up to rounding.
+func Inverse(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	transform(out, true)
+	n := float64(len(out))
+	for i := range out {
+		out[i] /= complex(n, 0)
+	}
+	return out
+}
+
+// ForwardReal returns the DFT of a real-valued input.
+func ForwardReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	transform(c, false)
+	return c
+}
+
+// transform computes the (inverse) DFT of x in place.
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+		return
+	}
+	direct(x, inverse)
+}
+
+// radix2 is the iterative Cooley-Tukey FFT for power-of-two n.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		angle := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, angle))
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := x[start+j]
+				v := x[start+j+half] * w
+				x[start+j] = u + v
+				x[start+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// direct is the O(n^2) fallback for arbitrary n.
+func direct(x []complex128, inverse bool) {
+	n := len(x)
+	in := make([]complex128, n)
+	copy(in, x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := sign * 2 * math.Pi * float64(j) * float64(k) / float64(n)
+			sum += in[j] * cmplx.Exp(complex(0, angle))
+		}
+		x[k] = sum
+	}
+}

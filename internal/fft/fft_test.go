@@ -1,0 +1,167 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveDFT is the textbook O(n^2) reference.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randomComplex(r *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func approxEqual(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 32, 64, 100, 128} {
+		x := randomComplex(r, n)
+		got := Forward(x)
+		want := naiveDFT(x)
+		if !approxEqual(got, want, 1e-8*float64(n)) {
+			t.Errorf("n=%d: FFT disagrees with naive DFT", n)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 8, 13, 64, 100, 256} {
+		x := randomComplex(r, n)
+		back := Inverse(Forward(x))
+		if !approxEqual(back, x, 1e-9*float64(n+1)) {
+			t.Errorf("n=%d: round trip failed", n)
+		}
+	}
+}
+
+func TestForwardRealConjugateSymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	X := ForwardReal(x)
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(X[k]-cmplx.Conj(X[n-k])) > 1e-9 {
+			t.Fatalf("conjugate symmetry violated at k=%d", k)
+		}
+	}
+	if math.Abs(imag(X[0])) > 1e-12 {
+		t.Error("DC component should be real")
+	}
+}
+
+func TestImpulse(t *testing.T) {
+	// DFT of an impulse is all-ones.
+	x := make([]complex128, 16)
+	x[0] = 1
+	X := Forward(x)
+	for k, v := range X {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("X[%d] = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestDCSignal(t *testing.T) {
+	// DFT of a constant is an impulse of size n at k=0.
+	n := 32
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 3
+	}
+	X := Forward(x)
+	if cmplx.Abs(X[0]-complex(3*float64(n), 0)) > 1e-9 {
+		t.Errorf("X[0] = %v", X[0])
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(X[k]) > 1e-9 {
+			t.Errorf("X[%d] = %v, want 0", k, X[k])
+		}
+	}
+}
+
+// Property (Parseval): sum |x|^2 == (1/n) sum |X|^2.
+func TestPropParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(128)
+		x := randomComplex(r, n)
+		X := Forward(x)
+		var ex, eX float64
+		for i := range x {
+			ex += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+			eX += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		return math.Abs(ex-eX/float64(n)) <= 1e-6*(1+ex)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linearity.
+func TestPropLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(64)
+		a := randomComplex(r, n)
+		b := randomComplex(r, n)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a[i] + 2*b[i]
+		}
+		A, B, S := Forward(a), Forward(b), Forward(sum)
+		for i := range S {
+			if cmplx.Abs(S[i]-(A[i]+2*B[i])) > 1e-7*float64(n+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x := randomComplex(r, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Forward(x)
+	}
+}

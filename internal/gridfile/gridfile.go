@@ -1,0 +1,280 @@
+// Package gridfile implements a sparse grid-file index over points, the
+// alternative multidimensional index structure the paper cites (as used by
+// StatStream [35]). Feature space is partitioned into uniform cells; each
+// non-empty cell holds a bucket of items. The directory is a hash map, so
+// only occupied cells cost memory, which keeps the structure practical in
+// the 4-8 dimensional feature spaces this library produces.
+//
+// Like the R*-tree, the grid file counts every bucket visited by a query as
+// one page access, so the two indexes are directly comparable in the
+// paper's implementation-bias-free cost measure.
+package gridfile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Item is a stored object.
+type Item struct {
+	ID    int64
+	Point []float64
+}
+
+// Stats holds query-cost counters.
+type Stats struct {
+	// BucketAccesses counts buckets (pages) visited by queries.
+	BucketAccesses int
+	// CellProbes counts directory lookups, including empty cells.
+	CellProbes int
+}
+
+// Grid is a sparse uniform grid index. Not safe for concurrent mutation.
+type Grid struct {
+	dim      int
+	cellSize float64
+	buckets  map[string][]Item
+	size     int
+	stats    Stats
+	// minCell/maxCell bound the occupied cells (valid when size > 0);
+	// the kNN ring search uses them to know when to stop expanding.
+	minCell, maxCell []int
+}
+
+// New creates a grid with the given cell edge length. Smaller cells probe
+// more directory entries per query but scan fewer points per bucket.
+func New(dim int, cellSize float64) *Grid {
+	if dim < 1 {
+		panic(fmt.Sprintf("gridfile: invalid dimension %d", dim))
+	}
+	if cellSize <= 0 {
+		panic(fmt.Sprintf("gridfile: invalid cell size %v", cellSize))
+	}
+	return &Grid{
+		dim:      dim,
+		cellSize: cellSize,
+		buckets:  make(map[string][]Item),
+	}
+}
+
+// Len returns the number of stored items.
+func (g *Grid) Len() int { return g.size }
+
+// Stats returns a snapshot of the counters.
+func (g *Grid) Stats() Stats { return g.stats }
+
+// ResetStats zeroes the counters.
+func (g *Grid) ResetStats() { g.stats = Stats{} }
+
+// cellOf maps a point to its cell coordinates.
+func (g *Grid) cellOf(p []float64) []int {
+	c := make([]int, g.dim)
+	for i, v := range p {
+		c[i] = int(math.Floor(v / g.cellSize))
+	}
+	return c
+}
+
+func cellKey(c []int) string {
+	// Fixed-width-ish encoding; fine for the directory sizes in play.
+	key := make([]byte, 0, len(c)*4)
+	for _, v := range c {
+		key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(key)
+}
+
+// Insert adds an item. The point slice is retained.
+func (g *Grid) Insert(id int64, point []float64) {
+	if len(point) != g.dim {
+		panic(fmt.Sprintf("gridfile: point dim %d, grid dim %d", len(point), g.dim))
+	}
+	cell := g.cellOf(point)
+	k := cellKey(cell)
+	g.buckets[k] = append(g.buckets[k], Item{ID: id, Point: point})
+	if g.size == 0 {
+		g.minCell = append([]int(nil), cell...)
+		g.maxCell = append([]int(nil), cell...)
+	} else {
+		for d, v := range cell {
+			if v < g.minCell[d] {
+				g.minCell[d] = v
+			}
+			if v > g.maxCell[d] {
+				g.maxCell[d] = v
+			}
+		}
+	}
+	g.size++
+}
+
+// RangeSearch returns all items within Euclidean distance radius of the
+// query point.
+func (g *Grid) RangeSearch(point []float64, radius float64) []Item {
+	if len(point) != g.dim {
+		panic(fmt.Sprintf("gridfile: query dim %d, grid dim %d", len(point), g.dim))
+	}
+	lo := make([]float64, g.dim)
+	hi := make([]float64, g.dim)
+	copy(lo, point)
+	copy(hi, point)
+	return g.RangeSearchBox(lo, hi, radius)
+}
+
+// RangeSearchBox returns all items whose Euclidean distance to the
+// axis-aligned box [lo, hi] is at most radius. It probes every grid cell
+// intersecting the box expanded by radius, then filters points exactly.
+func (g *Grid) RangeSearchBox(lo, hi []float64, radius float64) []Item {
+	if len(lo) != g.dim || len(hi) != g.dim {
+		panic("gridfile: query dimension mismatch")
+	}
+	cLo := make([]int, g.dim)
+	cHi := make([]int, g.dim)
+	for i := 0; i < g.dim; i++ {
+		cLo[i] = int(math.Floor((lo[i] - radius) / g.cellSize))
+		cHi[i] = int(math.Floor((hi[i] + radius) / g.cellSize))
+	}
+	r2 := radius * radius
+	var out []Item
+	cur := make([]int, g.dim)
+	copy(cur, cLo)
+	for {
+		g.stats.CellProbes++
+		if bucket, ok := g.buckets[cellKey(cur)]; ok {
+			g.stats.BucketAccesses++
+			for _, it := range bucket {
+				if squaredDistToBox(it.Point, lo, hi) <= r2 {
+					out = append(out, it)
+				}
+			}
+		}
+		// Advance the multidimensional counter.
+		d := 0
+		for d < g.dim {
+			cur[d]++
+			if cur[d] <= cHi[d] {
+				break
+			}
+			cur[d] = cLo[d]
+			d++
+		}
+		if d == g.dim {
+			break
+		}
+	}
+	return out
+}
+
+func squaredDistToBox(p, lo, hi []float64) float64 {
+	var sum float64
+	for i, v := range p {
+		switch {
+		case v < lo[i]:
+			d := lo[i] - v
+			sum += d * d
+		case v > hi[i]:
+			d := v - hi[i]
+			sum += d * d
+		}
+	}
+	return sum
+}
+
+// Neighbor is one kNN result.
+type Neighbor struct {
+	Item Item
+	Dist float64
+}
+
+// KNN returns the k nearest items to the query point by Euclidean distance,
+// closest first, using an expanding ring search: cells are visited shell by
+// shell outward from the query cell, stopping when the next shell cannot
+// contain anything closer than the current kth best.
+func (g *Grid) KNN(point []float64, k int) []Neighbor {
+	if len(point) != g.dim {
+		panic(fmt.Sprintf("gridfile: query dim %d, grid dim %d", len(point), g.dim))
+	}
+	if k <= 0 || g.size == 0 {
+		return nil
+	}
+	center := g.cellOf(point)
+	var best []Neighbor
+	worst := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[len(best)-1].Dist
+	}
+	insert := func(it Item, d float64) {
+		i := sort.Search(len(best), func(i int) bool { return best[i].Dist > d })
+		best = append(best, Neighbor{})
+		copy(best[i+1:], best[i:])
+		best[i] = Neighbor{Item: it, Dist: d}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	// No shell beyond maxRing can contain an occupied cell.
+	maxRing := 0
+	for d := 0; d < g.dim; d++ {
+		if v := center[d] - g.minCell[d]; v > maxRing {
+			maxRing = v
+		}
+		if v := g.maxCell[d] - center[d]; v > maxRing {
+			maxRing = v
+		}
+	}
+	// Visit shells of Chebyshev radius ring = 0, 1, 2, ...
+	for ring := 0; ring <= maxRing; ring++ {
+		// Everything in shell `ring` is at least (ring-1)*cellSize away.
+		if float64(ring-1)*g.cellSize > worst() {
+			break
+		}
+		g.visitShell(center, ring, func(bucket []Item) {
+			g.stats.BucketAccesses++
+			for _, it := range bucket {
+				var d2 float64
+				for d, v := range it.Point {
+					dd := v - point[d]
+					d2 += dd * dd
+				}
+				if d := math.Sqrt(d2); d < worst() || len(best) < k {
+					insert(it, d)
+				}
+			}
+		})
+	}
+	return best
+}
+
+// visitShell enumerates all cells at Chebyshev distance exactly ring from
+// center, invoking fn on each non-empty bucket.
+func (g *Grid) visitShell(center []int, ring int, fn func([]Item)) {
+	if ring == 0 {
+		g.stats.CellProbes++
+		if bucket, ok := g.buckets[cellKey(center)]; ok {
+			fn(bucket)
+		}
+		return
+	}
+	cur := make([]int, g.dim)
+	var walk func(d int, onBoundary bool)
+	walk = func(d int, onBoundary bool) {
+		if d == g.dim {
+			if !onBoundary {
+				return // interior cell, already visited in a smaller ring
+			}
+			g.stats.CellProbes++
+			if bucket, ok := g.buckets[cellKey(cur)]; ok {
+				fn(bucket)
+			}
+			return
+		}
+		for off := -ring; off <= ring; off++ {
+			cur[d] = center[d] + off
+			walk(d+1, onBoundary || off == -ring || off == ring)
+		}
+	}
+	walk(0, false)
+}

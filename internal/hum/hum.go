@@ -1,0 +1,204 @@
+// Package hum simulates human hummers. The paper's experiments use
+// recordings of real people ("we asked people with different musical skills
+// to hum for the system"); this package substitutes parameterized singer
+// models that reproduce the documented error characteristics:
+//
+//   - wrong absolute pitch (only ~1 in 10,000 people has perfect pitch):
+//     a global transposition drawn per performance;
+//   - tempo scaling (half to double the original tempo), uniform over the
+//     performance;
+//   - relative pitch errors: per-note deviations in semitones;
+//   - local timing variation: per-note duration jitter — exactly the
+//     error DTW is meant to absorb;
+//   - portamento (pitch glides between notes), vibrato and breath noise.
+//
+// Two render paths are provided. RenderPitch produces the frame-level pitch
+// contour directly; Hum runs the full acoustic pipeline (synthesize a
+// waveform, re-estimate pitch with the autocorrelation tracker) so the
+// system is exercised end to end, including pitch-tracking artifacts.
+package hum
+
+import (
+	"math/rand"
+
+	"warping/internal/audio"
+	"warping/internal/music"
+	"warping/internal/ts"
+)
+
+// FramesPerTick is the nominal number of 10 ms pitch frames per melody tick
+// (16th note) at tempo factor 1.0 — a 16th of 120 ms, i.e. 125 BPM.
+const FramesPerTick = 12
+
+// Singer is a parameterized hummer model.
+type Singer struct {
+	// Name labels the model in reports.
+	Name string
+	// PitchShiftStd is the standard deviation (semitones) of the global
+	// transposition drawn once per performance.
+	PitchShiftStd float64
+	// PitchErrorStd is the per-note relative pitch error (semitones).
+	PitchErrorStd float64
+	// TempoMin and TempoMax bound the global tempo factor drawn per
+	// performance (1.0 = nominal; the paper observes 0.5-2.0).
+	TempoMin, TempoMax float64
+	// TimingJitter is the per-note duration jitter as a fraction of the
+	// nominal duration (0.3 = up to +-30%).
+	TimingJitter float64
+	// GlideFrames is the length of the portamento between notes.
+	GlideFrames int
+	// BreathProb is the chance of a short silent gap before a note.
+	BreathProb float64
+	// DropNoteProb is the chance of skipping a note entirely (poor
+	// hummers forget or elide notes); the first note is never dropped.
+	DropNoteProb float64
+	// RepeatNoteProb is the chance of stuttering a note (humming it
+	// twice).
+	RepeatNoteProb float64
+	// NoiseLevel and VibratoCents feed the audio synthesis path.
+	NoiseLevel   float64
+	VibratoCents float64
+}
+
+// GoodSinger returns a competent amateur: small pitch errors, mild tempo
+// drift. Matches the "better singers" cohort of Table 2.
+func GoodSinger() Singer {
+	return Singer{
+		Name:          "good",
+		PitchShiftStd: 2.0,
+		PitchErrorStd: 0.15,
+		TempoMin:      0.85,
+		TempoMax:      1.2,
+		TimingJitter:  0.12,
+		GlideFrames:   2,
+		BreathProb:    0.05,
+		NoiseLevel:    0.02,
+		VibratoCents:  10,
+	}
+}
+
+// PoorSinger returns a poor hummer ("for example, by one of the authors"):
+// large per-note pitch errors and heavy timing variation. Matches the
+// Table 3 cohort.
+func PoorSinger() Singer {
+	return Singer{
+		Name:           "poor",
+		PitchShiftStd:  5.0,
+		PitchErrorStd:  1.1,
+		TempoMin:       0.55,
+		TempoMax:       1.8,
+		TimingJitter:   0.5,
+		GlideFrames:    5,
+		BreathProb:     0.15,
+		DropNoteProb:   0.08,
+		RepeatNoteProb: 0.06,
+		NoiseLevel:     0.06,
+		VibratoCents:   25,
+	}
+}
+
+// PerfectSinger returns a machine-accurate rendition (for tests and
+// calibration): no pitch or timing error at nominal tempo.
+func PerfectSinger() Singer {
+	return Singer{Name: "perfect", TempoMin: 1, TempoMax: 1}
+}
+
+// RenderPitch produces the frame-level pitch contour of one performance of
+// m: one (possibly fractional) MIDI pitch per 10 ms frame, with 0 marking
+// breaths. Deterministic for a fixed source r.
+func (s Singer) RenderPitch(m music.Melody, r *rand.Rand) ts.Series {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	shift := r.NormFloat64() * s.PitchShiftStd
+	tempo := s.TempoMin
+	if s.TempoMax > s.TempoMin {
+		tempo += r.Float64() * (s.TempoMax - s.TempoMin)
+	}
+	if tempo <= 0 {
+		tempo = 1
+	}
+	var out ts.Series
+	prevPitch := 0.0
+	for i, n := range m {
+		if i > 0 && s.DropNoteProb > 0 && r.Float64() < s.DropNoteProb {
+			continue
+		}
+		repeats := 1
+		if s.RepeatNoteProb > 0 && r.Float64() < s.RepeatNoteProb {
+			repeats = 2
+		}
+		target := float64(n.Pitch) + shift + r.NormFloat64()*s.PitchErrorStd
+		frames := int(float64(n.Duration*FramesPerTick)/tempo + 0.5)
+		if frames < 2 {
+			frames = 2
+		}
+		if s.TimingJitter > 0 {
+			j := 1 + (r.Float64()*2-1)*s.TimingJitter
+			frames = int(float64(frames)*j + 0.5)
+			if frames < 2 {
+				frames = 2
+			}
+		}
+		if i > 0 && s.BreathProb > 0 && r.Float64() < s.BreathProb {
+			gap := 2 + r.Intn(6)
+			for g := 0; g < gap; g++ {
+				out = append(out, 0)
+			}
+			prevPitch = 0
+		}
+		glide := s.GlideFrames
+		if i == 0 || prevPitch == 0 || glide >= frames {
+			glide = 0
+		}
+		for rep := 0; rep < repeats; rep++ {
+			for f := 0; f < frames; f++ {
+				p := target
+				if rep == 0 && f < glide {
+					frac := float64(f+1) / float64(glide+1)
+					p = prevPitch + (target-prevPitch)*frac
+				}
+				out = append(out, p)
+			}
+			if repeats > 1 && rep == 0 {
+				// Tiny gap articulates the stutter.
+				out = append(out, 0, 0)
+			}
+		}
+		prevPitch = target
+	}
+	return out
+}
+
+// RenderAudio renders a performance to a PCM waveform at the default
+// sample rate.
+func (s Singer) RenderAudio(m music.Melody, r *rand.Rand) []float64 {
+	contour := s.RenderPitch(m, r)
+	return audio.Synthesize(contour, audio.SynthesisOptions{
+		NoiseLevel:   s.NoiseLevel,
+		VibratoCents: s.VibratoCents,
+		VibratoHz:    5.5,
+		Rand:         r,
+	})
+}
+
+// Hum performs the full pipeline of Section 3.1: the performance is
+// rendered to audio, the pitch tracker resolves each 10 ms frame to a
+// pitch, and silent frames are dropped ("we simply ignore the silent
+// information in the user input humming"). The result is the query time
+// series handed to the search system.
+func (s Singer) Hum(m music.Melody, r *rand.Rand) ts.Series {
+	w := s.RenderAudio(m, r)
+	return StripSilence(audio.TrackPitch(w, audio.DefaultSampleRate))
+}
+
+// StripSilence removes unvoiced (zero) frames from a pitch series.
+func StripSilence(p ts.Series) ts.Series {
+	out := make(ts.Series, 0, len(p))
+	for _, v := range p {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

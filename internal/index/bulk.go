@@ -1,0 +1,73 @@
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"warping/internal/core"
+	"warping/internal/rtree"
+	"warping/internal/ts"
+)
+
+// Entry is one (id, series) pair for bulk loading.
+type Entry struct {
+	ID     int64
+	Series ts.Series
+}
+
+// BulkLoad builds an index from a static collection in one pass: feature
+// vectors are computed in parallel across CPUs and the R*-tree is packed
+// with Sort-Tile-Recursive bulk loading, which both builds faster and
+// clusters better (fewer page accesses per query) than repeated Add calls.
+// IDs must be unique and every series must have length t.InputLen().
+func BulkLoad(t core.Transform, cfg Config, entries []Entry) (*Index, error) {
+	n := t.InputLen()
+	series := make(map[int64]ts.Series, len(entries))
+	for i, e := range entries {
+		if len(e.Series) != n {
+			return nil, fmt.Errorf("index: entry %d has length %d, want %d", i, len(e.Series), n)
+		}
+		if _, dup := series[e.ID]; dup {
+			return nil, fmt.Errorf("index: duplicate id %d", e.ID)
+		}
+		series[e.ID] = e.Series
+	}
+
+	// Parallel feature extraction.
+	items := make([]rtree.Item, len(entries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(entries) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				items[i] = rtree.Item{ID: entries[i].ID, Point: t.Apply(entries[i].Series)}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	return &Index{
+		transform: t,
+		tree:      rtree.BulkLoad(t.OutputLen(), cfg.Tree, items),
+		series:    series,
+		n:         n,
+	}, nil
+}

@@ -1,0 +1,347 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"warping/internal/core"
+	"warping/internal/ts"
+)
+
+const (
+	testN   = 128
+	testDim = 8
+)
+
+func randomWalk(r *rand.Rand, n int) ts.Series {
+	s := make(ts.Series, n)
+	v := 0.0
+	for i := range s {
+		v += r.NormFloat64()
+		s[i] = v
+	}
+	return s.ZeroMean()
+}
+
+func buildIndex(r *rand.Rand, t core.Transform, count int) (*Index, *LinearScan, []ts.Series) {
+	ix := New(t, Config{})
+	scan := NewLinearScan(testN, true)
+	data := make([]ts.Series, count)
+	for i := 0; i < count; i++ {
+		data[i] = randomWalk(r, testN)
+		ix.MustAdd(int64(i), data[i])
+		scan.Add(int64(i), data[i])
+	}
+	return ix, scan, data
+}
+
+func matchIDs(ms []Match) map[int64]bool {
+	out := map[int64]bool{}
+	for _, m := range ms {
+		out[m.ID] = true
+	}
+	return out
+}
+
+func TestAddValidation(t *testing.T) {
+	ix := New(core.NewPAA(testN, testDim), Config{})
+	if err := ix.Add(1, make(ts.Series, 5)); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := ix.Add(1, make(ts.Series, testN)); err != nil {
+		t.Errorf("valid add failed: %v", err)
+	}
+	if err := ix.Add(1, make(ts.Series, testN)); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	if _, ok := ix.Get(1); !ok {
+		t.Error("Get(1) failed")
+	}
+	if _, ok := ix.Get(99); ok {
+		t.Error("Get(99) should miss")
+	}
+}
+
+// The fundamental exactness property: the index returns exactly the same
+// matches as the brute-force linear scan (no false negatives from pruning,
+// no false positives after refinement).
+func TestRangeQueryMatchesLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, tr := range []core.Transform{
+		core.NewPAA(testN, testDim),
+		core.NewKeoghPAA(testN, testDim),
+		core.NewDFT(testN, testDim),
+		core.NewHaar(testN, testDim),
+	} {
+		ix, scan, _ := buildIndex(r, tr, 300)
+		for trial := 0; trial < 10; trial++ {
+			q := randomWalk(r, testN)
+			epsilon := float64(testN) * (0.2 + r.Float64()*0.6) * 0.1
+			delta := 0.02 + r.Float64()*0.18
+			got, stats := ix.RangeQuery(q, epsilon, delta)
+			want, _ := scan.RangeQuery(q, epsilon, delta)
+			if len(got) != len(want) {
+				t.Fatalf("%s: got %d matches, scan %d", tr.Name(), len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+					t.Fatalf("%s: match %d differs: %+v vs %+v", tr.Name(), i, got[i], want[i])
+				}
+			}
+			if stats.Candidates < len(want) {
+				t.Fatalf("%s: candidates %d < matches %d (false negative)", tr.Name(), stats.Candidates, len(want))
+			}
+		}
+	}
+}
+
+func TestKNNMatchesLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ix, scan, _ := buildIndex(r, core.NewPAA(testN, testDim), 400)
+	for trial := 0; trial < 10; trial++ {
+		q := randomWalk(r, testN)
+		k := 1 + r.Intn(10)
+		delta := 0.05 + r.Float64()*0.15
+		got, _ := ix.KNN(q, k, delta)
+		want, _ := scan.KNN(q, k, delta)
+		if len(got) != k || len(want) != k {
+			t.Fatalf("sizes: %d %d want %d", len(got), len(want), k)
+		}
+		// Distances must agree (IDs may tie-swap only at equal distance).
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("trial %d: kth=%d dist %v vs %v", trial, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ix, _, _ := buildIndex(r, core.NewPAA(testN, testDim), 5)
+	q := randomWalk(r, testN)
+	if got, _ := ix.KNN(q, 0, 0.1); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	got, _ := ix.KNN(q, 10, 0.1)
+	if len(got) != 5 {
+		t.Errorf("k > size: got %d, want 5", len(got))
+	}
+}
+
+func TestSelfQueryFindsSelf(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	ix, _, data := buildIndex(r, core.NewPAA(testN, testDim), 100)
+	for i := 0; i < 10; i++ {
+		got, _ := ix.KNN(data[i], 1, 0.1)
+		if len(got) != 1 || got[0].Dist != 0 {
+			t.Fatalf("self-query %d: %+v", i, got)
+		}
+	}
+}
+
+// Property: New_PAA retrieves no more candidates than Keogh_PAA for the
+// same query (tighter feature boxes prune more) — the mechanism behind
+// Figures 8-10.
+func TestPropNewPAAFewerCandidates(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ixNew, _, data := buildIndex(r, core.NewPAA(testN, testDim), 300)
+	ixKeogh := New(core.NewKeoghPAA(testN, testDim), Config{})
+	for i, x := range data {
+		ixKeogh.MustAdd(int64(i), x)
+	}
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		q := randomWalk(rr, testN)
+		epsilon := float64(testN) * 0.05
+		delta := 0.02 + rr.Float64()*0.18
+		_, sNew := ixNew.RangeQuery(q, epsilon, delta)
+		_, sKeogh := ixKeogh.RangeQuery(q, epsilon, delta)
+		return sNew.Candidates <= sKeogh.Candidates
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stats are internally consistent.
+func TestPropStatsConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	ix, _, _ := buildIndex(r, core.NewPAA(testN, testDim), 200)
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		q := randomWalk(rr, testN)
+		matches, s := ix.RangeQuery(q, float64(testN)*0.08, 0.1)
+		return s.LBSurvivors <= s.Candidates &&
+			s.ExactDTW == s.LBSurvivors &&
+			len(matches) <= s.LBSurvivors &&
+			s.PageAccesses > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearScanNoLB(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	scanLB := NewLinearScan(testN, true)
+	scanRaw := NewLinearScan(testN, false)
+	for i := 0; i < 150; i++ {
+		x := randomWalk(r, testN)
+		scanLB.Add(int64(i), x)
+		scanRaw.Add(int64(i), x)
+	}
+	q := randomWalk(r, testN)
+	a, sa := scanLB.RangeQuery(q, float64(testN)*0.05, 0.1)
+	b, sb := scanRaw.RangeQuery(q, float64(testN)*0.05, 0.1)
+	if len(a) != len(b) {
+		t.Fatalf("LB pruning changed results: %d vs %d", len(a), len(b))
+	}
+	if sa.ExactDTW > sb.ExactDTW {
+		t.Error("LB pruning did not reduce exact DTW count")
+	}
+	if sb.ExactDTW != 150 {
+		t.Errorf("raw scan should compute DTW for all: %d", sb.ExactDTW)
+	}
+}
+
+func TestRangeQueryEmptyIndex(t *testing.T) {
+	ix := New(core.NewPAA(testN, testDim), Config{})
+	q := make(ts.Series, testN)
+	got, _ := ix.RangeQuery(q, 1, 0.1)
+	if len(got) != 0 {
+		t.Error("matches on empty index")
+	}
+}
+
+func TestCandidatesGrowWithWidth(t *testing.T) {
+	// Larger warping widths loosen the bounds -> more candidates (the
+	// x-axis trend of Figures 8-10).
+	r := rand.New(rand.NewSource(8))
+	ix, _, _ := buildIndex(r, core.NewKeoghPAA(testN, testDim), 400)
+	q := randomWalk(r, testN)
+	epsilon := float64(testN) * 0.05
+	var prev int
+	for _, delta := range []float64{0.02, 0.1, 0.2} {
+		_, s := ix.RangeQuery(q, epsilon, delta)
+		if s.Candidates < prev {
+			t.Fatalf("candidates decreased with width: %d -> %d", prev, s.Candidates)
+		}
+		prev = s.Candidates
+	}
+}
+
+func TestQueryPanicsOnBadLength(t *testing.T) {
+	ix := New(core.NewPAA(testN, testDim), Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ix.RangeQuery(make(ts.Series, 3), 1, 0.1)
+}
+
+// KNN consistency: the kth best distance from KNN equals the threshold at
+// which a range query returns exactly >= k results.
+func TestKNNRangeConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	ix, _, _ := buildIndex(r, core.NewPAA(testN, testDim), 200)
+	q := randomWalk(r, testN)
+	const k = 5
+	knn, _ := ix.KNN(q, k, 0.1)
+	eps := knn[k-1].Dist
+	rq, _ := ix.RangeQuery(q, eps+1e-9, 0.1)
+	if len(rq) < k {
+		t.Errorf("range at kth distance returned %d < %d", len(rq), k)
+	}
+	ids := matchIDs(rq)
+	for _, m := range knn {
+		if !ids[m.ID] {
+			t.Errorf("kNN result %d missing from range query", m.ID)
+		}
+	}
+}
+
+func BenchmarkRangeQueryNewPAA(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ix, _, _ := buildIndex(r, core.NewPAA(testN, testDim), 2000)
+	q := randomWalk(r, testN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.RangeQuery(q, float64(testN)*0.05, 0.1)
+	}
+}
+
+func BenchmarkDTWvsIndex(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ix, scan, _ := buildIndex(r, core.NewPAA(testN, testDim), 1000)
+	q := randomWalk(r, testN)
+	b.Run("index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.RangeQuery(q, float64(testN)*0.05, 0.1)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			scan.RangeQuery(q, float64(testN)*0.05, 0.1)
+		}
+	})
+}
+
+// The retrofit claim: one index serves both Euclidean and DTW queries.
+func TestRangeQueryEuclidean(t *testing.T) {
+	r := rand.New(rand.NewSource(141))
+	ix, _, data := buildIndex(r, core.NewPAA(testN, testDim), 400)
+	for trial := 0; trial < 10; trial++ {
+		q := randomWalk(r, testN)
+		eps := float64(testN) * (0.03 + r.Float64()*0.06)
+		got, stats := ix.RangeQueryEuclidean(q, eps)
+		// Brute-force reference.
+		want := 0
+		for id, x := range data {
+			if ts.Dist(x, q) <= eps {
+				want++
+				found := false
+				for _, m := range got {
+					if m.ID == int64(id) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d: missing id %d", trial, id)
+				}
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), want)
+		}
+		if stats.PageAccesses == 0 {
+			t.Error("no page accounting")
+		}
+		// A Euclidean match is always a DTW match at the same epsilon
+		// (DTW <= Euclidean), so the DTW result set is a superset.
+		dtwGot, _ := ix.RangeQuery(q, eps, 0.1)
+		dtwIDs := matchIDs(dtwGot)
+		for _, m := range got {
+			if !dtwIDs[m.ID] {
+				t.Fatalf("Euclidean match %d missing from DTW results", m.ID)
+			}
+		}
+	}
+}
+
+func TestRangeQueryEuclideanPanics(t *testing.T) {
+	ix := New(core.NewPAA(testN, testDim), Config{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ix.RangeQueryEuclidean(make(ts.Series, 2), 1)
+}

@@ -1,0 +1,71 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"warping/internal/core"
+	"warping/internal/ts"
+)
+
+// persistFormat versions the on-disk encoding; bump on incompatible change.
+const persistFormat = 1
+
+// persisted is the gob payload. The R*-tree is not serialized — it is
+// rebuilt deterministically from the series on load, which keeps the format
+// small and immune to internal tree-layout changes.
+type persisted struct {
+	Format    int
+	Transform core.Snapshot
+	IDs       []int64
+	Series    []ts.Series
+}
+
+// Save writes the index to w in a self-contained binary format (gob). The
+// format captures the transform (including fitted SVD matrices) and all
+// stored series; the search tree is rebuilt on Load.
+func (ix *Index) Save(w io.Writer) error {
+	snap, err := core.SnapshotOf(ix.transform)
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	p := persisted{Format: persistFormat, Transform: snap}
+	p.IDs = make([]int64, 0, len(ix.series))
+	for id := range ix.series {
+		p.IDs = append(p.IDs, id)
+	}
+	sort.Slice(p.IDs, func(i, j int) bool { return p.IDs[i] < p.IDs[j] })
+	p.Series = make([]ts.Series, len(p.IDs))
+	for i, id := range p.IDs {
+		p.Series[i] = ix.series[id]
+	}
+	return gob.NewEncoder(w).Encode(p)
+}
+
+// Load reads an index previously written by Save. The tree configuration of
+// the reconstructed index comes from cfg (it is not part of the format).
+func Load(r io.Reader, cfg Config) (*Index, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("index: decoding: %w", err)
+	}
+	if p.Format != persistFormat {
+		return nil, fmt.Errorf("index: unsupported format %d", p.Format)
+	}
+	if len(p.IDs) != len(p.Series) {
+		return nil, fmt.Errorf("index: corrupt payload: %d ids, %d series", len(p.IDs), len(p.Series))
+	}
+	tr, err := core.FromSnapshot(p.Transform)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	ix := New(tr, cfg)
+	for i, id := range p.IDs {
+		if err := ix.Add(id, p.Series[i]); err != nil {
+			return nil, fmt.Errorf("index: rebuilding: %w", err)
+		}
+	}
+	return ix, nil
+}

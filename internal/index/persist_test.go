@@ -1,0 +1,107 @@
+package index
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"warping/internal/core"
+	"warping/internal/ts"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for _, tr := range []core.Transform{
+		core.NewPAA(testN, testDim),
+		core.NewKeoghPAA(testN, testDim),
+		core.NewDFT(testN, testDim),
+		core.NewHaar(testN, testDim),
+	} {
+		ix, _, data := buildIndex(r, tr, 100)
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		back, err := Load(&buf, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if back.Len() != ix.Len() {
+			t.Fatalf("%s: len %d vs %d", tr.Name(), back.Len(), ix.Len())
+		}
+		if back.Transform().Name() != tr.Name() {
+			t.Errorf("%s: transform name %q", tr.Name(), back.Transform().Name())
+		}
+		// Queries must return identical results.
+		for trial := 0; trial < 5; trial++ {
+			q := randomWalk(r, testN)
+			a, _ := ix.RangeQuery(q, float64(testN)*0.06, 0.1)
+			b, _ := back.RangeQuery(q, float64(testN)*0.06, 0.1)
+			if len(a) != len(b) {
+				t.Fatalf("%s: %d vs %d matches", tr.Name(), len(a), len(b))
+			}
+			for i := range a {
+				if a[i].ID != b[i].ID || math.Abs(a[i].Dist-b[i].Dist) > 1e-12 {
+					t.Fatalf("%s: match %d differs", tr.Name(), i)
+				}
+			}
+		}
+		_ = data
+	}
+}
+
+func TestSaveLoadSVD(t *testing.T) {
+	// SVD matrices are data-fitted; the snapshot must restore the exact
+	// matrix, not refit.
+	r := rand.New(rand.NewSource(52))
+	training := make([]ts.Series, 30)
+	for i := range training {
+		training[i] = randomWalk(r, testN)
+	}
+	tr := core.NewSVD(training, testDim)
+	ix := New(tr, Config{})
+	for i := 0; i < 50; i++ {
+		ix.MustAdd(int64(i), randomWalk(r, testN))
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomWalk(r, testN)
+	a := ix.Transform().Apply(x)
+	b := back.Transform().Apply(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("feature %d: %v vs %v (matrix not restored exactly)", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk")), Config{}); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil), Config{}); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+func TestSaveLoadEmptyIndex(t *testing.T) {
+	ix := New(core.NewPAA(testN, testDim), Config{})
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Errorf("Len = %d", back.Len())
+	}
+}

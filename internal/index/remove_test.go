@@ -1,0 +1,78 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warping/internal/core"
+)
+
+func TestRemove(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	ix, _, data := buildIndex(r, core.NewPAA(testN, testDim), 200)
+	if !ix.Remove(42) {
+		t.Fatal("remove failed")
+	}
+	if ix.Remove(42) {
+		t.Error("double remove succeeded")
+	}
+	if ix.Len() != 199 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	if _, ok := ix.Get(42); ok {
+		t.Error("removed id still gettable")
+	}
+	// The removed series must no longer appear in query results; the
+	// rest must be unaffected.
+	matches, _ := ix.RangeQuery(data[42], 1e-6, 0.1)
+	for _, m := range matches {
+		if m.ID == 42 {
+			t.Error("removed series still matches")
+		}
+	}
+	got, _ := ix.KNN(data[41], 1, 0.1)
+	if len(got) != 1 || got[0].ID != 41 || got[0].Dist != 0 {
+		t.Errorf("survivor query broken: %+v", got)
+	}
+}
+
+func TestRemoveUnknown(t *testing.T) {
+	ix := New(core.NewPAA(testN, testDim), Config{})
+	if ix.Remove(5) {
+		t.Error("remove on empty index succeeded")
+	}
+}
+
+func TestRemoveThenReAdd(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	ix, scan, data := buildIndex(r, core.NewPAA(testN, testDim), 150)
+	// Remove a third, re-add them under new ids, verify against a
+	// freshly built scan.
+	for id := int64(0); id < 50; id++ {
+		if !ix.Remove(id) {
+			t.Fatalf("remove %d", id)
+		}
+		if err := ix.Add(id+1000, data[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ix.Len() != 150 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	q := randomWalk(r, testN)
+	want, _ := scan.RangeQuery(q, float64(testN)*0.06, 0.1)
+	got, _ := ix.RangeQuery(q, float64(testN)*0.06, 0.1)
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		id := got[i].ID
+		if id >= 1000 {
+			id -= 1000
+		}
+		if id != want[i].ID || math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("match %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}

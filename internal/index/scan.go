@@ -1,0 +1,91 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"warping/internal/dtw"
+	"warping/internal/ts"
+)
+
+// LinearScan is the brute-force baseline (the approach of the direct-audio
+// matchers the paper criticizes as "very slow"): every query computes DTW
+// against every database series, optionally short-circuited by the
+// full-dimensional LB_Keogh bound.
+type LinearScan struct {
+	ids    []int64
+	series []ts.Series
+	n      int
+	// UseLB enables the envelope lower-bound pre-check (global
+	// lower-bounding pipeline of Yi et al.); disable for the pure
+	// brute-force baseline.
+	UseLB bool
+}
+
+// NewLinearScan creates an empty scan baseline for series of length n.
+func NewLinearScan(n int, useLB bool) *LinearScan {
+	return &LinearScan{n: n, UseLB: useLB}
+}
+
+// Add appends a series.
+func (s *LinearScan) Add(id int64, x ts.Series) {
+	if len(x) != s.n {
+		panic("index: linear scan series length mismatch")
+	}
+	s.ids = append(s.ids, id)
+	s.series = append(s.series, x)
+}
+
+// Len returns the database size.
+func (s *LinearScan) Len() int { return len(s.ids) }
+
+// RangeQuery returns all matches within epsilon under banded DTW with
+// warping width delta. Stats report exact-DTW invocations; Candidates is
+// always the full database size (no index pruning).
+func (s *LinearScan) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, QueryStats) {
+	k := dtw.BandRadius(s.n, delta)
+	env := dtw.NewEnvelope(q, k)
+	stats := QueryStats{Candidates: len(s.ids)}
+	var out []Match
+	for i, x := range s.series {
+		if s.UseLB {
+			if dtw.DistToEnvelope(x, env) > epsilon {
+				continue
+			}
+		}
+		stats.LBSurvivors++
+		stats.ExactDTW++
+		if d2, ok := dtw.SquaredBandedWithin(x, q, k, epsilon*epsilon); ok {
+			out = append(out, Match{ID: s.ids[i], Dist: math.Sqrt(d2)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, stats
+}
+
+// KNN returns the k nearest series under banded DTW, closest first.
+func (s *LinearScan) KNN(q ts.Series, k int, delta float64) ([]Match, QueryStats) {
+	if k <= 0 {
+		return nil, QueryStats{}
+	}
+	band := dtw.BandRadius(s.n, delta)
+	env := dtw.NewEnvelope(q, band)
+	stats := QueryStats{Candidates: len(s.ids)}
+	best := newTopK(k)
+	for i, x := range s.series {
+		if s.UseLB && best.full() {
+			if dtw.DistToEnvelope(x, env) > best.worst() {
+				continue
+			}
+		}
+		stats.LBSurvivors++
+		stats.ExactDTW++
+		best.offer(Match{ID: s.ids[i], Dist: dtw.Banded(x, q, band)})
+	}
+	return best.sorted(), stats
+}

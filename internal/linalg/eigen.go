@@ -1,0 +1,108 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues in descending order and
+// a matrix whose ROWS are the corresponding orthonormal eigenvectors.
+//
+// The input must be square and (numerically) symmetric; only the upper
+// triangle is trusted. Convergence is to machine precision for the modest
+// sizes (n <= a few hundred) used by the SVD transform.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
+	n := a.Rows
+	if a.Cols != n {
+		panic(fmt.Sprintf("linalg: EigenSym needs square matrix, got %dx%d", n, a.Cols))
+	}
+	m := a.Clone()
+	// Symmetrize to guard against tiny asymmetries in the input.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			avg := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, avg)
+			m.Set(j, i, avg)
+		}
+	}
+	v := Identity(n)
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += m.At(i, j) * m.At(i, j)
+			}
+		}
+		return s
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if offDiag() < 1e-24 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := m.At(p, p)
+				aqq := m.At(q, q)
+				// Rotation angle.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply rotation J(p,q,theta): m = J^T m J.
+				for k := 0; k < n; k++ {
+					akp := m.At(k, p)
+					akq := m.At(k, q)
+					m.Set(k, p, c*akp-s*akq)
+					m.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk := m.At(p, k)
+					aqk := m.At(q, k)
+					m.Set(p, k, c*apk-s*aqk)
+					m.Set(q, k, s*apk+c*aqk)
+				}
+				// Accumulate eigenvectors (rows of v are vectors, so
+				// rotate columns of v^T == rows combine).
+				for k := 0; k < n; k++ {
+					vkp := v.At(p, k)
+					vkq := v.At(q, k)
+					v.Set(p, k, c*vkp-s*vkq)
+					v.Set(q, k, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m.At(i, i)
+	}
+	// Sort descending by eigenvalue, permuting vector rows alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sortedVals := make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for r, id := range idx {
+		sortedVals[r] = values[id]
+		copy(vectors.Row(r), v.Row(id))
+	}
+	return sortedVals, vectors
+}

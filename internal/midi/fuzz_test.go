@@ -1,0 +1,75 @@
+package midi
+
+import (
+	"testing"
+
+	"warping/internal/music"
+)
+
+// FuzzParse exercises the SMF parser with arbitrary bytes. Run with
+// `go test -fuzz=FuzzParse ./internal/midi`; without -fuzz the seed corpus
+// runs as a regular test. The parser must never panic, and anything it
+// parses must survive melody extraction.
+func FuzzParse(f *testing.F) {
+	// Seed corpus: valid files, a truncation, and raw junk.
+	valid, err := EncodeMelody(music.TwinkleTwinkle(), 500000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:20])
+	f.Add([]byte("MThd"))
+	f.Add([]byte{})
+	f.Add([]byte("RIFFnotmidi"))
+	long, err := EncodeMelody(music.Greensleeves(), 250000)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Successfully parsed input must be safe to process further.
+		_, _ = ExtractMelody(file)
+	})
+}
+
+// FuzzRoundTrip checks that melodies built from fuzzed parameters encode
+// and decode losslessly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(60), uint8(4), uint8(10))
+	f.Add(uint8(0), uint8(1), uint8(1))
+	f.Add(uint8(127), uint8(200), uint8(30))
+	f.Fuzz(func(t *testing.T, pitch, dur, count uint8) {
+		if dur == 0 || count == 0 {
+			return
+		}
+		m := make(music.Melody, 0, count)
+		for i := uint8(0); i < count; i++ {
+			p := int(pitch) + int(i)%12
+			if p > 127 {
+				p -= 12
+			}
+			m = append(m, music.Note{Pitch: p, Duration: int(dur)})
+		}
+		data, err := EncodeMelody(m, 500000)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := DecodeMelody(data)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(back) != len(m) {
+			t.Fatalf("lost notes: %d vs %d", len(back), len(m))
+		}
+		for i := range m {
+			if back[i] != m[i] {
+				t.Fatalf("note %d: %v vs %v", i, back[i], m[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package midi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"warping/internal/music"
+)
+
+// DefaultDivision is the ticks-per-quarter-note used by the writer. A
+// melody tick (16th note) is Division/4 MIDI ticks.
+const DefaultDivision = 480
+
+// EncodeMelody serializes a melody as a format-0 SMF on channel 0 at the
+// given tempo (microseconds per quarter note; 500000 = 120 BPM).
+func EncodeMelody(m music.Melody, tempoMicros uint32) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ticksPer16th := uint32(DefaultDivision / 4)
+	var tr []byte
+	// Tempo meta event.
+	tr = appendVLQ(tr, 0)
+	tr = append(tr, statusMeta, metaTempo, 3,
+		byte(tempoMicros>>16), byte(tempoMicros>>8), byte(tempoMicros))
+	for _, n := range m {
+		// Note on at delta 0 (notes are contiguous; rests are not
+		// represented, per the paper).
+		tr = appendVLQ(tr, 0)
+		tr = append(tr, statusNoteOn, byte(n.Pitch), 64)
+		// Note off after the duration.
+		tr = appendVLQ(tr, uint32(n.Duration)*ticksPer16th)
+		tr = append(tr, statusNoteOff, byte(n.Pitch), 0)
+	}
+	tr = appendVLQ(tr, 0)
+	tr = append(tr, statusMeta, metaEndOfTrack, 0)
+
+	out := make([]byte, 0, len(tr)+22)
+	out = append(out, 'M', 'T', 'h', 'd')
+	out = binary.BigEndian.AppendUint32(out, 6)
+	out = binary.BigEndian.AppendUint16(out, 0) // format 0
+	out = binary.BigEndian.AppendUint16(out, 1) // one track
+	out = binary.BigEndian.AppendUint16(out, DefaultDivision)
+	out = append(out, 'M', 'T', 'r', 'k')
+	out = binary.BigEndian.AppendUint32(out, uint32(len(tr)))
+	out = append(out, tr...)
+	return out, nil
+}
+
+// ExtractMelody recovers a monophonic melody from a parsed MIDI file: the
+// channel with the most note-on events is chosen as the melody channel, and
+// overlapping notes are flattened by truncating a sounding note when the
+// next one starts (melody channels are mostly monophonic already).
+// Durations are quantized to 16th-note melody ticks, minimum 1.
+func ExtractMelody(f *File) (music.Melody, error) {
+	if f.Division == 0 {
+		return nil, fmt.Errorf("midi: zero time division")
+	}
+	type noteEvent struct {
+		tick  uint64
+		pitch int
+		on    bool
+	}
+	// Count note-ons per channel and collect events.
+	counts := [16]int{}
+	perChannel := [16][]noteEvent{}
+	for _, tr := range f.Tracks {
+		var tick uint64
+		for _, ev := range tr.Events {
+			tick += uint64(ev.Delta)
+			op := ev.Status & 0xF0
+			if op != statusNoteOn && op != statusNoteOff {
+				continue
+			}
+			ch := int(ev.Status & 0x0F)
+			pitch := int(ev.Data[0])
+			vel := int(ev.Data[1])
+			on := op == statusNoteOn && vel > 0
+			if on {
+				counts[ch]++
+			}
+			perChannel[ch] = append(perChannel[ch], noteEvent{tick, pitch, on})
+		}
+	}
+	best := 0
+	for ch := 1; ch < 16; ch++ {
+		if counts[ch] > counts[best] {
+			best = ch
+		}
+	}
+	if counts[best] == 0 {
+		return nil, fmt.Errorf("midi: no notes in file")
+	}
+	events := perChannel[best]
+	// Flatten monophonically.
+	ticksPer16th := float64(f.Division) / 4
+	var melody music.Melody
+	curPitch := -1
+	var curStart uint64
+	emit := func(endTick uint64) {
+		if curPitch < 0 {
+			return
+		}
+		d := int(float64(endTick-curStart)/ticksPer16th + 0.5)
+		if d < 1 {
+			d = 1
+		}
+		melody = append(melody, music.Note{Pitch: curPitch, Duration: d})
+		curPitch = -1
+	}
+	for _, ev := range events {
+		if ev.on {
+			emit(ev.tick)
+			curPitch = ev.pitch
+			curStart = ev.tick
+		} else if curPitch == ev.pitch {
+			emit(ev.tick)
+		}
+	}
+	if curPitch >= 0 {
+		// Dangling note-on: close with a quarter-note duration.
+		melody = append(melody, music.Note{Pitch: curPitch, Duration: 4})
+	}
+	if len(melody) == 0 {
+		return nil, fmt.Errorf("midi: no notes in file")
+	}
+	return melody, nil
+}
+
+// DecodeMelody parses SMF bytes and extracts the melody in one step.
+func DecodeMelody(data []byte) (music.Melody, error) {
+	f, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return ExtractMelody(f)
+}

@@ -1,0 +1,223 @@
+// Package midi implements a minimal Standard MIDI File (SMF) reader and
+// writer, sufficient to round-trip monophonic melodies. The paper built its
+// large music database by extracting notes "from the melody channel of MIDI
+// files"; this package provides that pipeline: melodies are serialized to
+// format-0 SMF and melodies are extracted back from arbitrary format-0/1
+// files by picking the busiest channel and flattening it monophonically.
+package midi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Event statuses handled explicitly.
+const (
+	statusNoteOff  = 0x80
+	statusNoteOn   = 0x90
+	statusMeta     = 0xFF
+	statusSysEx    = 0xF0
+	statusSysExEnd = 0xF7
+
+	metaEndOfTrack = 0x2F
+	metaTempo      = 0x51
+)
+
+// Event is one MIDI track event.
+type Event struct {
+	// Delta is the delta time in ticks since the previous event.
+	Delta uint32
+	// Status is the full status byte (channel messages include channel).
+	Status byte
+	// MetaType is set for meta events (Status == 0xFF).
+	MetaType byte
+	// Data holds the event payload (2 bytes for note on/off, the
+	// payload for meta/sysex events).
+	Data []byte
+}
+
+// Track is an ordered list of events.
+type Track struct {
+	Events []Event
+}
+
+// File is a parsed Standard MIDI File.
+type File struct {
+	// Format is 0, 1 or 2.
+	Format uint16
+	// Division is ticks per quarter note (SMPTE divisions unsupported).
+	Division uint16
+	Tracks   []Track
+}
+
+// Errors returned by the parser.
+var (
+	ErrNotSMF       = errors.New("midi: not a standard MIDI file")
+	ErrTruncated    = errors.New("midi: truncated file")
+	ErrUnsupported  = errors.New("midi: unsupported feature")
+	errBadVLQ       = errors.New("midi: invalid variable-length quantity")
+	errNoEndOfTrack = errors.New("midi: track missing end-of-track")
+)
+
+// appendVLQ encodes v as a MIDI variable-length quantity.
+func appendVLQ(buf []byte, v uint32) []byte {
+	if v > 0x0FFFFFFF {
+		panic("midi: VLQ overflow")
+	}
+	var tmp [4]byte
+	i := 3
+	tmp[i] = byte(v & 0x7F)
+	v >>= 7
+	for v > 0 {
+		i--
+		tmp[i] = byte(v&0x7F) | 0x80
+		v >>= 7
+	}
+	return append(buf, tmp[i:]...)
+}
+
+// readVLQ decodes a variable-length quantity, returning the value and the
+// number of bytes consumed.
+func readVLQ(b []byte) (uint32, int, error) {
+	var v uint32
+	for i := 0; i < len(b); i++ {
+		v = v<<7 | uint32(b[i]&0x7F)
+		if b[i]&0x80 == 0 {
+			return v, i + 1, nil
+		}
+		if i == 3 {
+			return 0, 0, errBadVLQ
+		}
+	}
+	return 0, 0, ErrTruncated
+}
+
+// Parse reads a Standard MIDI File from data.
+func Parse(data []byte) (*File, error) {
+	if len(data) < 14 || string(data[0:4]) != "MThd" {
+		return nil, ErrNotSMF
+	}
+	hlen := binary.BigEndian.Uint32(data[4:8])
+	if hlen < 6 {
+		return nil, ErrNotSMF
+	}
+	if len(data) < int(8+hlen) {
+		return nil, ErrTruncated
+	}
+	f := &File{
+		Format:   binary.BigEndian.Uint16(data[8:10]),
+		Division: binary.BigEndian.Uint16(data[12:14]),
+	}
+	ntracks := int(binary.BigEndian.Uint16(data[10:12]))
+	if f.Division&0x8000 != 0 {
+		return nil, fmt.Errorf("%w: SMPTE time division", ErrUnsupported)
+	}
+	pos := int(8 + hlen)
+	for t := 0; t < ntracks; t++ {
+		if pos+8 > len(data) {
+			return nil, ErrTruncated
+		}
+		if string(data[pos:pos+4]) != "MTrk" {
+			return nil, fmt.Errorf("midi: track %d: bad chunk id %q", t, data[pos:pos+4])
+		}
+		tlen := int(binary.BigEndian.Uint32(data[pos+4 : pos+8]))
+		pos += 8
+		if pos+tlen > len(data) {
+			return nil, ErrTruncated
+		}
+		track, err := parseTrack(data[pos : pos+tlen])
+		if err != nil {
+			return nil, fmt.Errorf("midi: track %d: %w", t, err)
+		}
+		f.Tracks = append(f.Tracks, track)
+		pos += tlen
+	}
+	return f, nil
+}
+
+// channelDataLen returns the number of data bytes for a channel message
+// status, or -1 if not a channel message.
+func channelDataLen(status byte) int {
+	switch status & 0xF0 {
+	case 0x80, 0x90, 0xA0, 0xB0, 0xE0:
+		return 2
+	case 0xC0, 0xD0:
+		return 1
+	}
+	return -1
+}
+
+func parseTrack(b []byte) (Track, error) {
+	var tr Track
+	var running byte
+	pos := 0
+	for pos < len(b) {
+		delta, n, err := readVLQ(b[pos:])
+		if err != nil {
+			return tr, err
+		}
+		pos += n
+		if pos >= len(b) {
+			return tr, ErrTruncated
+		}
+		status := b[pos]
+		if status < 0x80 {
+			// Running status: reuse previous channel-message status.
+			if running == 0 {
+				return tr, fmt.Errorf("midi: running status with no prior status")
+			}
+			status = running
+		} else {
+			pos++
+		}
+		switch {
+		case status == statusMeta:
+			if pos >= len(b) {
+				return tr, ErrTruncated
+			}
+			metaType := b[pos]
+			pos++
+			length, n, err := readVLQ(b[pos:])
+			if err != nil {
+				return tr, err
+			}
+			pos += n
+			if pos+int(length) > len(b) {
+				return tr, ErrTruncated
+			}
+			ev := Event{Delta: delta, Status: statusMeta, MetaType: metaType,
+				Data: append([]byte(nil), b[pos:pos+int(length)]...)}
+			pos += int(length)
+			tr.Events = append(tr.Events, ev)
+			if metaType == metaEndOfTrack {
+				return tr, nil
+			}
+		case status == statusSysEx || status == statusSysExEnd:
+			length, n, err := readVLQ(b[pos:])
+			if err != nil {
+				return tr, err
+			}
+			pos += n
+			if pos+int(length) > len(b) {
+				return tr, ErrTruncated
+			}
+			tr.Events = append(tr.Events, Event{Delta: delta, Status: status,
+				Data: append([]byte(nil), b[pos:pos+int(length)]...)})
+			pos += int(length)
+		default:
+			dl := channelDataLen(status)
+			if dl < 0 {
+				return tr, fmt.Errorf("midi: unexpected status byte 0x%02X", status)
+			}
+			if pos+dl > len(b) {
+				return tr, ErrTruncated
+			}
+			running = status
+			tr.Events = append(tr.Events, Event{Delta: delta, Status: status,
+				Data: append([]byte(nil), b[pos:pos+dl]...)})
+			pos += dl
+		}
+	}
+	return tr, errNoEndOfTrack
+}

@@ -1,0 +1,306 @@
+package midi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"warping/internal/music"
+)
+
+func TestVLQRoundTrip(t *testing.T) {
+	cases := []uint32{0, 1, 127, 128, 0x3FFF, 0x4000, 0x1FFFFF, 0x0FFFFFFF}
+	for _, v := range cases {
+		buf := appendVLQ(nil, v)
+		got, n, err := readVLQ(buf)
+		if err != nil || got != v || n != len(buf) {
+			t.Errorf("VLQ %d: got %d (n=%d, err=%v)", v, got, n, err)
+		}
+	}
+}
+
+func TestVLQKnownEncodings(t *testing.T) {
+	// From the SMF specification.
+	cases := map[uint32][]byte{
+		0x00:       {0x00},
+		0x40:       {0x40},
+		0x7F:       {0x7F},
+		0x80:       {0x81, 0x00},
+		0x2000:     {0xC0, 0x00},
+		0x1FFFFF:   {0xFF, 0xFF, 0x7F},
+		0x0FFFFFFF: {0xFF, 0xFF, 0xFF, 0x7F},
+	}
+	for v, want := range cases {
+		if got := appendVLQ(nil, v); !bytes.Equal(got, want) {
+			t.Errorf("VLQ %#x = % X, want % X", v, got, want)
+		}
+	}
+}
+
+func TestVLQErrors(t *testing.T) {
+	if _, _, err := readVLQ([]byte{0x80, 0x80}); err == nil {
+		t.Error("truncated VLQ accepted")
+	}
+	if _, _, err := readVLQ([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}); err == nil {
+		t.Error("overlong VLQ accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on VLQ overflow")
+		}
+	}()
+	appendVLQ(nil, 0x10000000)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := music.TwinkleTwinkle()
+	data, err := EncodeMelody(m, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMelody(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(m) {
+		t.Fatalf("got %d notes, want %d", len(got), len(m))
+	}
+	for i := range m {
+		if got[i] != m[i] {
+			t.Fatalf("note %d: %v vs %v", i, got[i], m[i])
+		}
+	}
+}
+
+func TestParseHeader(t *testing.T) {
+	data, err := EncodeMelody(music.OdeToJoy(), 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Format != 0 || f.Division != DefaultDivision || len(f.Tracks) != 1 {
+		t.Errorf("header: %+v", f)
+	}
+	// First event must be the tempo meta event.
+	ev := f.Tracks[0].Events[0]
+	if ev.Status != 0xFF || ev.MetaType != 0x51 || len(ev.Data) != 3 {
+		t.Errorf("first event: %+v", ev)
+	}
+	micros := uint32(ev.Data[0])<<16 | uint32(ev.Data[1])<<8 | uint32(ev.Data[2])
+	if micros != 500000 {
+		t.Errorf("tempo = %d", micros)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not a midi file at all"),
+		[]byte("MThd"),
+	}
+	for i, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestParseTruncatedTrack(t *testing.T) {
+	data, _ := EncodeMelody(music.FrereJacques(), 500000)
+	for _, cut := range []int{15, 20, len(data) - 3} {
+		if _, err := Parse(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestParseRejectsSMPTE(t *testing.T) {
+	data, _ := EncodeMelody(music.FrereJacques(), 500000)
+	// Set the high bit of the division field (SMPTE format).
+	binary.BigEndian.PutUint16(data[12:14], 0x8000|480)
+	if _, err := Parse(data); err == nil {
+		t.Error("SMPTE division accepted")
+	}
+}
+
+func TestRunningStatus(t *testing.T) {
+	// Hand-build a track using running status: note-on, then another
+	// note-on without repeating the status byte.
+	var tr []byte
+	tr = appendVLQ(tr, 0)
+	tr = append(tr, 0x90, 60, 64) // note on C4
+	tr = appendVLQ(tr, 120)
+	tr = append(tr, 60, 0) // running status: note on vel 0 == note off
+	tr = appendVLQ(tr, 0)
+	tr = append(tr, 62, 64) // running status: note on D4
+	tr = appendVLQ(tr, 120)
+	tr = append(tr, 62, 0)
+	tr = appendVLQ(tr, 0)
+	tr = append(tr, 0xFF, 0x2F, 0)
+
+	var data []byte
+	data = append(data, 'M', 'T', 'h', 'd')
+	data = binary.BigEndian.AppendUint32(data, 6)
+	data = binary.BigEndian.AppendUint16(data, 0)
+	data = binary.BigEndian.AppendUint16(data, 1)
+	data = binary.BigEndian.AppendUint16(data, 480)
+	data = append(data, 'M', 'T', 'r', 'k')
+	data = binary.BigEndian.AppendUint32(data, uint32(len(tr)))
+	data = append(data, tr...)
+
+	m, err := DecodeMelody(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[0].Pitch != 60 || m[1].Pitch != 62 {
+		t.Errorf("melody = %v", m)
+	}
+	// 120 ticks at division 480 = one 16th.
+	if m[0].Duration != 1 {
+		t.Errorf("duration = %d", m[0].Duration)
+	}
+}
+
+func TestExtractMelodyPicksBusiestChannel(t *testing.T) {
+	// Build a two-channel file: channel 3 has more notes than channel 0.
+	var tr []byte
+	add := func(status, d1, d2 byte, delta uint32) {
+		tr = appendVLQ(tr, delta)
+		tr = append(tr, status, d1, d2)
+	}
+	add(0x90, 40, 64, 0) // ch0 note
+	add(0x80, 40, 0, 60)
+	for i := 0; i < 3; i++ {
+		add(0x93, byte(70+i), 64, 0) // ch3 notes
+		add(0x83, byte(70+i), 0, 120)
+	}
+	tr = appendVLQ(tr, 0)
+	tr = append(tr, 0xFF, 0x2F, 0)
+	var data []byte
+	data = append(data, 'M', 'T', 'h', 'd')
+	data = binary.BigEndian.AppendUint32(data, 6)
+	data = binary.BigEndian.AppendUint16(data, 0)
+	data = binary.BigEndian.AppendUint16(data, 1)
+	data = binary.BigEndian.AppendUint16(data, 480)
+	data = append(data, 'M', 'T', 'r', 'k')
+	data = binary.BigEndian.AppendUint32(data, uint32(len(tr)))
+	data = append(data, tr...)
+
+	m, err := DecodeMelody(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m[0].Pitch != 70 {
+		t.Errorf("melody = %v, want the 3 channel-3 notes", m)
+	}
+}
+
+func TestExtractMelodyNoNotes(t *testing.T) {
+	var tr []byte
+	tr = appendVLQ(tr, 0)
+	tr = append(tr, 0xFF, 0x2F, 0)
+	var data []byte
+	data = append(data, 'M', 'T', 'h', 'd')
+	data = binary.BigEndian.AppendUint32(data, 6)
+	data = binary.BigEndian.AppendUint16(data, 0)
+	data = binary.BigEndian.AppendUint16(data, 1)
+	data = binary.BigEndian.AppendUint16(data, 480)
+	data = append(data, 'M', 'T', 'r', 'k')
+	data = binary.BigEndian.AppendUint32(data, uint32(len(tr)))
+	data = append(data, tr...)
+	if _, err := DecodeMelody(data); err == nil {
+		t.Error("file without notes accepted")
+	}
+}
+
+func TestEncodeRejectsInvalidMelody(t *testing.T) {
+	if _, err := EncodeMelody(music.Melody{}, 500000); err == nil {
+		t.Error("empty melody accepted")
+	}
+	if _, err := EncodeMelody(music.Melody{{Pitch: 200, Duration: 1}}, 500000); err == nil {
+		t.Error("out-of-range pitch accepted")
+	}
+}
+
+// Property: any generated melody round-trips exactly through SMF.
+func TestPropMelodyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := music.GenerateMelody(r, 1+r.Intn(80))
+		data, err := EncodeMelody(m, 500000)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeMelody(data)
+		if err != nil || len(got) != len(m) {
+			return false
+		}
+		for i := range m {
+			if got[i] != m[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormat1MultiTrack(t *testing.T) {
+	// Format-1 file: a tempo-only conductor track plus a melody track.
+	var track0 []byte
+	track0 = appendVLQ(track0, 0)
+	track0 = append(track0, 0xFF, 0x51, 3, 0x07, 0xA1, 0x20) // tempo
+	track0 = appendVLQ(track0, 0)
+	track0 = append(track0, 0xFF, 0x2F, 0)
+
+	var track1 []byte
+	for i, p := range []byte{60, 64, 67} {
+		delta := uint32(0)
+		if i > 0 {
+			delta = 0
+		}
+		track1 = appendVLQ(track1, delta)
+		track1 = append(track1, 0x90, p, 80)
+		track1 = appendVLQ(track1, 240) // two 16ths at division 480
+		track1 = append(track1, 0x80, p, 0)
+	}
+	track1 = appendVLQ(track1, 0)
+	track1 = append(track1, 0xFF, 0x2F, 0)
+
+	var data []byte
+	data = append(data, 'M', 'T', 'h', 'd')
+	data = binary.BigEndian.AppendUint32(data, 6)
+	data = binary.BigEndian.AppendUint16(data, 1) // format 1
+	data = binary.BigEndian.AppendUint16(data, 2) // two tracks
+	data = binary.BigEndian.AppendUint16(data, 480)
+	for _, tr := range [][]byte{track0, track1} {
+		data = append(data, 'M', 'T', 'r', 'k')
+		data = binary.BigEndian.AppendUint32(data, uint32(len(tr)))
+		data = append(data, tr...)
+	}
+
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Format != 1 || len(f.Tracks) != 2 {
+		t.Fatalf("format %d, %d tracks", f.Format, len(f.Tracks))
+	}
+	m, err := ExtractMelody(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m[0].Pitch != 60 || m[2].Pitch != 67 {
+		t.Errorf("melody = %v", m)
+	}
+	if m[0].Duration != 2 {
+		t.Errorf("duration = %d, want 2", m[0].Duration)
+	}
+}

@@ -1,0 +1,82 @@
+package midi
+
+import (
+	"math/rand"
+	"testing"
+
+	"warping/internal/music"
+)
+
+// The parser must never panic, whatever bytes it is fed — it may only
+// return errors. These tests exercise it with random garbage and with
+// random mutations/truncations of valid files (the realistic corruption
+// mode for files collected "from the Internet", as the paper did).
+
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 2000; trial++ {
+		n := r.Intn(200)
+		data := make([]byte, n)
+		r.Read(data)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on random input (trial %d): %v", trial, p)
+				}
+			}()
+			_, _ = Parse(data)
+		}()
+	}
+}
+
+func TestParseNeverPanicsOnMutatedFiles(t *testing.T) {
+	r := rand.New(rand.NewSource(102))
+	base, err := EncodeMelody(music.GenerateMelody(r, 30), 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		data := append([]byte(nil), base...)
+		// Flip a few random bytes.
+		for flips := 1 + r.Intn(6); flips > 0; flips-- {
+			data[r.Intn(len(data))] = byte(r.Intn(256))
+		}
+		// Occasionally truncate.
+		if r.Intn(3) == 0 {
+			data = data[:r.Intn(len(data)+1)]
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on mutated input (trial %d): %v", trial, p)
+				}
+			}()
+			f, err := Parse(data)
+			if err == nil && f != nil {
+				// Extraction on a successfully parsed mutant must not
+				// panic either.
+				_, _ = ExtractMelody(f)
+			}
+		}()
+	}
+}
+
+func TestParseNeverPanicsOnHeaderPrefixes(t *testing.T) {
+	// Valid header magic followed by garbage of every short length.
+	r := rand.New(rand.NewSource(103))
+	prefix := []byte("MThd\x00\x00\x00\x06\x00\x00\x00\x01\x01\xe0MTrk")
+	for n := 0; n < 64; n++ {
+		data := append([]byte(nil), prefix...)
+		tail := make([]byte, n)
+		r.Read(tail)
+		data = append(data, tail...)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic at tail length %d: %v", n, p)
+				}
+			}()
+			_, _ = Parse(data)
+		}()
+	}
+}

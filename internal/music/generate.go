@@ -1,0 +1,106 @@
+package music
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Scale intervals (semitones from the tonic) used by the generator.
+var (
+	majorScale = []int{0, 2, 4, 5, 7, 9, 11}
+	minorScale = []int{0, 2, 3, 5, 7, 8, 10}
+)
+
+// Durations drawn by the generator, in 16th-note ticks, weighted toward
+// quarter and eighth notes like real melodies.
+var durationChoices = []int{2, 2, 2, 4, 4, 4, 4, 8, 8, 1, 6, 12}
+
+// GenerateMelody produces a tonal melody of numNotes notes: a biased random
+// walk over scale degrees with occasional leaps, phrase-final long notes
+// and a preference for returning to the tonic. The output is deterministic
+// for a fixed source.
+func GenerateMelody(r *rand.Rand, numNotes int) Melody {
+	if numNotes < 1 {
+		panic(fmt.Sprintf("music: numNotes %d < 1", numNotes))
+	}
+	scale := majorScale
+	if r.Intn(3) == 0 {
+		scale = minorScale
+	}
+	tonic := 55 + r.Intn(14) // G3..G4 tonics keep melodies in vocal range
+	degree := 0              // scale degree relative to tonic, can exceed octave
+	m := make(Melody, 0, numNotes)
+	for i := 0; i < numNotes; i++ {
+		// Step distribution: mostly steps, some thirds, rare leaps,
+		// with gravity toward the tonic.
+		var step int
+		switch p := r.Float64(); {
+		case p < 0.35:
+			step = 1
+		case p < 0.70:
+			step = -1
+		case p < 0.82:
+			step = 2
+		case p < 0.94:
+			step = -2
+		case p < 0.97:
+			step = 3 + r.Intn(2)
+		default:
+			step = -(3 + r.Intn(2))
+		}
+		if degree > 7 {
+			step -= 1
+		}
+		if degree < -4 {
+			step += 1
+		}
+		degree += step
+		oct := degree / len(scale)
+		idx := degree % len(scale)
+		if idx < 0 {
+			idx += len(scale)
+			oct--
+		}
+		pitch := tonic + 12*oct + scale[idx]
+		if pitch < 36 {
+			pitch += 12
+		}
+		if pitch > 84 {
+			pitch -= 12
+		}
+		dur := durationChoices[r.Intn(len(durationChoices))]
+		// Lengthen phrase-final notes (every ~8 notes).
+		if (i+1)%8 == 0 {
+			dur += 4
+		}
+		m = append(m, Note{Pitch: pitch, Duration: dur})
+	}
+	return m
+}
+
+// Song is a named melody in a database.
+type Song struct {
+	ID     int64
+	Title  string
+	Melody Melody
+}
+
+// GenerateSongs builds a deterministic corpus of count songs with
+// noteCount notes in [minNotes, maxNotes]. Seeded generation makes
+// databases reproducible across runs (required for the benchmark harness).
+func GenerateSongs(seed int64, count, minNotes, maxNotes int) []Song {
+	if minNotes < 1 || maxNotes < minNotes {
+		panic(fmt.Sprintf("music: invalid note bounds [%d,%d]", minNotes, maxNotes))
+	}
+	r := rand.New(rand.NewSource(seed))
+	songs := make([]Song, count)
+	for i := range songs {
+		n := minNotes + r.Intn(maxNotes-minNotes+1)
+		songs[i] = Song{
+			ID:     int64(i),
+			Title:  fmt.Sprintf("Generated Song %04d", i),
+			Melody: GenerateMelody(r, n),
+		}
+	}
+	return songs
+}

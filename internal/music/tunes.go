@@ -1,0 +1,65 @@
+package music
+
+// Built-in public-domain tunes used by examples and tests. Durations are in
+// 16th-note ticks (4 = quarter note). These stand in for the hand-entered
+// song collection of the paper's experiments; being real, widely known
+// melodies they make example output easy to eyeball.
+
+// OdeToJoy is the main theme of Beethoven's 9th, first phrase pair.
+func OdeToJoy() Melody {
+	p := []int{64, 64, 65, 67, 67, 65, 64, 62, 60, 60, 62, 64, 64, 62, 62,
+		64, 64, 65, 67, 67, 65, 64, 62, 60, 60, 62, 64, 62, 60, 60}
+	d := []int{4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 6, 2, 8,
+		4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 6, 2, 8}
+	return fromSlices(p, d)
+}
+
+// TwinkleTwinkle is the first two phrases of "Twinkle, Twinkle, Little Star".
+func TwinkleTwinkle() Melody {
+	p := []int{60, 60, 67, 67, 69, 69, 67, 65, 65, 64, 64, 62, 62, 60}
+	d := []int{4, 4, 4, 4, 4, 4, 8, 4, 4, 4, 4, 4, 4, 8}
+	return fromSlices(p, d)
+}
+
+// FrereJacques is the first half of "Frère Jacques".
+func FrereJacques() Melody {
+	p := []int{60, 62, 64, 60, 60, 62, 64, 60, 64, 65, 67, 64, 65, 67}
+	d := []int{4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 8, 4, 4, 8}
+	return fromSlices(p, d)
+}
+
+// AmazingGrace is the opening phrase of "Amazing Grace".
+func AmazingGrace() Melody {
+	p := []int{60, 65, 69, 65, 69, 67, 65, 62, 60, 60, 65, 69, 65, 69, 67, 72}
+	d := []int{4, 8, 2, 2, 4, 4, 8, 4, 4, 4, 8, 2, 2, 4, 4, 12}
+	return fromSlices(p, d)
+}
+
+// Greensleeves is the opening phrase of "Greensleeves".
+func Greensleeves() Melody {
+	p := []int{57, 60, 62, 64, 65, 64, 62, 59, 55, 57, 59, 60, 57, 57, 56, 57, 59, 56, 52}
+	d := []int{4, 8, 4, 6, 2, 4, 8, 4, 6, 2, 4, 8, 4, 6, 2, 4, 8, 4, 8}
+	return fromSlices(p, d)
+}
+
+// BuiltinSongs returns the public-domain tunes as a song collection.
+func BuiltinSongs() []Song {
+	return []Song{
+		{ID: 0, Title: "Ode to Joy", Melody: OdeToJoy()},
+		{ID: 1, Title: "Twinkle, Twinkle, Little Star", Melody: TwinkleTwinkle()},
+		{ID: 2, Title: "Frere Jacques", Melody: FrereJacques()},
+		{ID: 3, Title: "Amazing Grace", Melody: AmazingGrace()},
+		{ID: 4, Title: "Greensleeves", Melody: Greensleeves()},
+	}
+}
+
+func fromSlices(pitches, durations []int) Melody {
+	if len(pitches) != len(durations) {
+		panic("music: tune table mismatch")
+	}
+	m := make(Melody, len(pitches))
+	for i := range pitches {
+		m[i] = Note{Pitch: pitches[i], Duration: durations[i]}
+	}
+	return m
+}

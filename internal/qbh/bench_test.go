@@ -1,0 +1,68 @@
+package qbh
+
+import (
+	"math/rand"
+	"testing"
+
+	"warping/internal/eval"
+	"warping/internal/hum"
+	"warping/internal/music"
+)
+
+func BenchmarkBuild1000Phrases(b *testing.B) {
+	songs := music.GenerateSongs(301, 50, 440, 520)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(songs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	songs := music.GenerateSongs(302, 50, 440, 520)
+	s, err := Build(songs, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(303))
+	singer := hum.GoodSinger()
+	queries := make([][]float64, 20)
+	for i := range queries {
+		ph, _ := s.PhraseByID(int64(r.Intn(s.NumPhrases())))
+		queries[i] = hum.StripSilence(singer.RenderPitch(ph.Melody, r))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Query(queries[i%len(queries)], 5, 0.1)
+	}
+}
+
+// TestSoakRetrievalQuality is a longer-running end-to-end quality check:
+// on a 200-song database, good-singer queries must achieve a high mean
+// reciprocal rank. Skipped with -short.
+func TestSoakRetrievalQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped with -short")
+	}
+	songs := music.GenerateSongs(304, 200, 300, 400)
+	s, err := Build(songs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(305))
+	singer := hum.GoodSinger()
+	var ranks []int
+	const queries = 30
+	for i := 0; i < queries; i++ {
+		ph, _ := s.PhraseByID(int64(r.Intn(s.NumPhrases())))
+		q := hum.StripSilence(singer.RenderPitch(ph.Melody, r))
+		ranks = append(ranks, s.Rank(q, ph.SongID, 0.1))
+	}
+	if mrr := eval.MRR(ranks); mrr < 0.7 {
+		t.Errorf("MRR %.3f below 0.7 on 200-song database (ranks %v)", mrr, ranks)
+	}
+	if top10 := eval.TopK(ranks, 10); top10 < 0.9 {
+		t.Errorf("top-10 accuracy %.2f below 0.9", top10)
+	}
+}

@@ -1,0 +1,68 @@
+package qbh
+
+import (
+	"io"
+	"sync"
+
+	"warping/internal/index"
+	"warping/internal/music"
+	"warping/internal/ts"
+)
+
+// Concurrent wraps a System for concurrent use. The underlying index
+// mutates shared page-access counters during every query, so even read-only
+// traffic must be serialized; Concurrent does that with a mutex, which is
+// the right trade-off for a request-serving deployment where queries take
+// milliseconds.
+type Concurrent struct {
+	mu  sync.Mutex
+	sys *System
+}
+
+// NewConcurrent wraps a built System. The caller must not keep using the
+// inner System directly.
+func NewConcurrent(sys *System) *Concurrent {
+	return &Concurrent{sys: sys}
+}
+
+// Query is System.Query under the lock.
+func (c *Concurrent) Query(pitch ts.Series, topK int, delta float64) ([]SongMatch, index.QueryStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Query(pitch, topK, delta)
+}
+
+// NumSongs is System.NumSongs under the lock.
+func (c *Concurrent) NumSongs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.NumSongs()
+}
+
+// NumPhrases is System.NumPhrases under the lock.
+func (c *Concurrent) NumPhrases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.NumPhrases()
+}
+
+// AddSong is System.AddSong under the lock.
+func (c *Concurrent) AddSong(song music.Song) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.AddSong(song)
+}
+
+// Save is System.Save under the lock.
+func (c *Concurrent) Save(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Save(w)
+}
+
+// Songs is System.Songs under the lock.
+func (c *Concurrent) Songs() []music.Song {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sys.Songs()
+}

@@ -1,0 +1,52 @@
+package qbh
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"warping/internal/music"
+)
+
+const persistFormat = 1
+
+// persisted stores the inputs of Build rather than the built structures:
+// construction is deterministic, so rebuilding on load reproduces the exact
+// same system while keeping the format trivially small and stable.
+type persisted struct {
+	Format  int
+	Options Options
+	Songs   []music.Song
+}
+
+// Save writes the system's song database and configuration to w. Load
+// rebuilds the phrase segmentation, transform and index from them.
+func (s *System) Save(w io.Writer) error {
+	p := persisted{Format: persistFormat, Options: s.opts}
+	p.Songs = make([]music.Song, 0, len(s.songs))
+	// Persist songs in id order for deterministic output bytes.
+	maxID := int64(-1)
+	for id := range s.songs {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for id := int64(0); id <= maxID; id++ {
+		if song, ok := s.songs[id]; ok {
+			p.Songs = append(p.Songs, song)
+		}
+	}
+	return gob.NewEncoder(w).Encode(p)
+}
+
+// Load reads a system previously written by Save and rebuilds it.
+func Load(r io.Reader) (*System, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("qbh: decoding: %w", err)
+	}
+	if p.Format != persistFormat {
+		return nil, fmt.Errorf("qbh: unsupported format %d", p.Format)
+	}
+	return Build(p.Songs, p.Options)
+}

@@ -1,0 +1,76 @@
+package qbh
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"warping/internal/hum"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	songs := testSongs(71, 15)
+	orig, err := Build(songs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSongs() != orig.NumSongs() || back.NumPhrases() != orig.NumPhrases() {
+		t.Fatalf("shape: %d/%d vs %d/%d",
+			back.NumSongs(), back.NumPhrases(), orig.NumSongs(), orig.NumPhrases())
+	}
+	// Identical queries must produce identical rankings.
+	r := rand.New(rand.NewSource(72))
+	singer := hum.GoodSinger()
+	for trial := 0; trial < 5; trial++ {
+		ph, _ := orig.PhraseByID(int64(trial * 3))
+		q := hum.StripSilence(singer.RenderPitch(ph.Melody, r))
+		a, _ := orig.Query(q, 5, 0.1)
+		b, _ := back.Query(q, 5, 0.1)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].SongID != b[i].SongID || math.Abs(a[i].Dist-b[i].Dist) > 1e-12 {
+				t.Fatalf("trial %d result %d: %+v vs %+v", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSaveLoadSVDSystem(t *testing.T) {
+	songs := testSongs(73, 12)
+	orig, err := Build(songs, Options{Transform: TransformSVD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, _ := orig.PhraseByID(0)
+	q := ph.Melody.TimeSeries()
+	a, _ := orig.Query(q, 3, 0.1)
+	b, _ := back.Query(q, 3, 0.1)
+	if a[0].SongID != b[0].SongID || a[0].Dist != b[0].Dist {
+		t.Errorf("SVD rebuild diverged: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,320 @@
+// Package qbh assembles the full query-by-humming system of Section 3:
+// a song database segmented into phrases, phrase time series normalized to
+// be invariant under pitch shifting and tempo scaling, a DTW index over the
+// normal forms, and ranked song retrieval for hummed queries.
+//
+// The pipeline for a query is exactly the paper's: pitch time series (from
+// the pitch tracker, silence removed) -> UTW normal form (stretch to the
+// database's normal-form length, subtract the mean) -> envelope ->
+// feature-space envelope -> index search -> LB filter -> exact banded DTW
+// -> ranking of songs by their best-matching phrase.
+package qbh
+
+import (
+	"fmt"
+	"sort"
+
+	"warping/internal/core"
+	"warping/internal/index"
+	"warping/internal/music"
+	"warping/internal/rtree"
+	"warping/internal/ts"
+)
+
+// TransformKind selects the dimensionality-reduction envelope transform.
+type TransformKind string
+
+// Supported transforms.
+const (
+	TransformNewPAA   TransformKind = "new_paa"
+	TransformKeoghPAA TransformKind = "keogh_paa"
+	TransformDFT      TransformKind = "dft"
+	TransformDWT      TransformKind = "dwt"
+	TransformSVD      TransformKind = "svd"
+)
+
+// Options configures a System.
+type Options struct {
+	// NormalLen is the UTW normal-form length (default 128).
+	NormalLen int
+	// Dim is the reduced dimensionality (default 8; must divide
+	// NormalLen for the PAA transforms).
+	Dim int
+	// Transform selects the envelope transform (default TransformNewPAA).
+	Transform TransformKind
+	// PhraseMin and PhraseMax bound phrase sizes in notes (defaults 15
+	// and 30, the paper's melody sizes).
+	PhraseMin, PhraseMax int
+	// ScaleInvariant additionally divides each normal form by its standard
+	// deviation (z-normalization), making matching invariant to interval
+	// compression — a hummer whose intervals are systematically too
+	// narrow still matches. Off by default (the paper uses shift
+	// invariance only; semitone units carry meaning).
+	ScaleInvariant bool
+	// Tree configures the R*-tree.
+	Tree rtree.Config
+}
+
+func (o *Options) fill() {
+	if o.NormalLen == 0 {
+		o.NormalLen = 128
+	}
+	if o.Dim == 0 {
+		o.Dim = 8
+	}
+	if o.Transform == "" {
+		o.Transform = TransformNewPAA
+	}
+	if o.PhraseMin == 0 {
+		o.PhraseMin = 15
+	}
+	if o.PhraseMax == 0 {
+		o.PhraseMax = 30
+	}
+}
+
+// Phrase is one indexed melody segment.
+type Phrase struct {
+	SongID int64
+	// Ordinal is the phrase position within its song.
+	Ordinal int
+	Melody  music.Melody
+}
+
+// System is a query-by-humming search system.
+type System struct {
+	opts    Options
+	ix      *index.Index
+	phrases []Phrase
+	songs   map[int64]music.Song
+}
+
+// Build constructs a system over the given songs. Songs are segmented into
+// phrases, each phrase is normalized and indexed. For TransformSVD the
+// transform is trained on the phrase normal forms themselves.
+func Build(songs []music.Song, opts Options) (*System, error) {
+	opts.fill()
+	s := &System{opts: opts, songs: make(map[int64]music.Song)}
+
+	// Collect phrases and normal forms first (SVD needs them for
+	// training before the index exists).
+	var normals []ts.Series
+	for _, song := range songs {
+		if err := song.Melody.Validate(); err != nil {
+			return nil, fmt.Errorf("qbh: song %d (%s): %w", song.ID, song.Title, err)
+		}
+		if _, dup := s.songs[song.ID]; dup {
+			return nil, fmt.Errorf("qbh: duplicate song id %d", song.ID)
+		}
+		s.songs[song.ID] = song
+		for ord, ph := range music.SegmentPhrases(song.Melody, opts.PhraseMin, opts.PhraseMax) {
+			s.phrases = append(s.phrases, Phrase{SongID: song.ID, Ordinal: ord, Melody: ph})
+			normals = append(normals, s.Normalize(ph.TimeSeries()))
+		}
+	}
+	if len(s.phrases) == 0 {
+		return nil, fmt.Errorf("qbh: no phrases to index")
+	}
+
+	tr, err := makeTransform(opts, normals)
+	if err != nil {
+		return nil, err
+	}
+	s.ix = index.New(tr, index.Config{Tree: opts.Tree})
+	for i, nf := range normals {
+		if err := s.ix.Add(int64(i), nf); err != nil {
+			return nil, fmt.Errorf("qbh: indexing phrase %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+func makeTransform(opts Options, training []ts.Series) (core.Transform, error) {
+	n, dim := opts.NormalLen, opts.Dim
+	switch opts.Transform {
+	case TransformNewPAA:
+		return core.NewPAA(n, dim), nil
+	case TransformKeoghPAA:
+		return core.NewKeoghPAA(n, dim), nil
+	case TransformDFT:
+		return core.NewDFT(n, dim), nil
+	case TransformDWT:
+		return core.NewHaar(n, dim), nil
+	case TransformSVD:
+		return core.NewSVD(training, dim), nil
+	default:
+		return nil, fmt.Errorf("qbh: unknown transform %q", opts.Transform)
+	}
+}
+
+// AddSong indexes an additional song into a built system. The transform is
+// the one chosen at Build time (for TransformSVD it stays fitted on the
+// original training phrases, which remains lower-bounding — only tightness
+// on very different material may degrade).
+func (s *System) AddSong(song music.Song) error {
+	if err := song.Melody.Validate(); err != nil {
+		return fmt.Errorf("qbh: song %d (%s): %w", song.ID, song.Title, err)
+	}
+	if _, dup := s.songs[song.ID]; dup {
+		return fmt.Errorf("qbh: duplicate song id %d", song.ID)
+	}
+	s.songs[song.ID] = song
+	for ord, ph := range music.SegmentPhrases(song.Melody, s.opts.PhraseMin, s.opts.PhraseMax) {
+		id := int64(len(s.phrases))
+		s.phrases = append(s.phrases, Phrase{SongID: song.ID, Ordinal: ord, Melody: ph})
+		if err := s.ix.Add(id, s.Normalize(ph.TimeSeries())); err != nil {
+			return fmt.Errorf("qbh: indexing phrase %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// NumPhrases returns the number of indexed phrases.
+func (s *System) NumPhrases() int { return len(s.phrases) }
+
+// NumSongs returns the number of songs.
+func (s *System) NumSongs() int { return len(s.songs) }
+
+// PhraseByID returns the phrase indexed under the given phrase id.
+func (s *System) PhraseByID(id int64) (Phrase, bool) {
+	if id < 0 || int(id) >= len(s.phrases) {
+		return Phrase{}, false
+	}
+	return s.phrases[id], true
+}
+
+// Songs returns the song database in id order.
+func (s *System) Songs() []music.Song {
+	out := make([]music.Song, 0, len(s.songs))
+	for _, song := range s.songs {
+		out = append(out, song)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Normalize converts a raw query pitch series (silence already removed)
+// into the system's normal form.
+func (s *System) Normalize(pitch ts.Series) ts.Series {
+	nf := pitch.NormalForm(s.opts.NormalLen)
+	if s.opts.ScaleInvariant {
+		nf = nf.ZNormalize()
+	}
+	return nf
+}
+
+// SongMatch is one ranked retrieval result.
+type SongMatch struct {
+	SongID int64
+	Title  string
+	// Dist is the banded DTW distance of the best-matching phrase.
+	Dist float64
+	// PhraseOrdinal is the position of the matched phrase in the song.
+	PhraseOrdinal int
+}
+
+// Query returns the topK songs most similar to the hummed pitch series
+// under banded DTW with warping width delta. The query pitch series should
+// have silence removed (hum.StripSilence) and be at least a few samples
+// long.
+func (s *System) Query(pitch ts.Series, topK int, delta float64) ([]SongMatch, index.QueryStats) {
+	if len(pitch) == 0 {
+		return nil, index.QueryStats{}
+	}
+	q := s.Normalize(pitch)
+	var stats index.QueryStats
+	// Grow k until we have topK distinct songs (phrases of one song can
+	// crowd the front of the list).
+	k := topK * 4
+	if k < 8 {
+		k = 8
+	}
+	for {
+		matches, st := s.ix.KNN(q, k, delta)
+		stats = st
+		songs := s.aggregate(matches)
+		if len(songs) >= topK || k >= len(s.phrases) {
+			if len(songs) > topK {
+				songs = songs[:topK]
+			}
+			return songs, stats
+		}
+		k *= 2
+		if k > len(s.phrases) {
+			k = len(s.phrases)
+		}
+	}
+}
+
+// aggregate folds phrase matches into per-song best matches, sorted by
+// distance.
+func (s *System) aggregate(matches []index.Match) []SongMatch {
+	best := make(map[int64]SongMatch)
+	for _, m := range matches {
+		ph := s.phrases[m.ID]
+		cur, ok := best[ph.SongID]
+		if !ok || m.Dist < cur.Dist {
+			best[ph.SongID] = SongMatch{
+				SongID:        ph.SongID,
+				Title:         s.songs[ph.SongID].Title,
+				Dist:          m.Dist,
+				PhraseOrdinal: ph.Ordinal,
+			}
+		}
+	}
+	out := make([]SongMatch, 0, len(best))
+	for _, sm := range best {
+		out = append(out, sm)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].SongID < out[j].SongID
+	})
+	return out
+}
+
+// Rank returns the 1-based rank of targetSong in the full song ranking for
+// the query (the quality measure of Tables 2 and 3), or 0 if the song is
+// not in the database.
+func (s *System) Rank(pitch ts.Series, targetSong int64, delta float64) int {
+	if _, ok := s.songs[targetSong]; !ok {
+		return 0
+	}
+	ranked, _ := s.Query(pitch, len(s.songs), delta)
+	for i, sm := range ranked {
+		if sm.SongID == targetSong {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// RankPhrase returns the 1-based rank of the target phrase among all
+// indexed phrases for the query (the melody-level quality measure of
+// Tables 2 and 3, where each database entry is one segmented melody), or 0
+// if the phrase id is unknown.
+func (s *System) RankPhrase(pitch ts.Series, phraseID int64, delta float64) int {
+	if phraseID < 0 || int(phraseID) >= len(s.phrases) || len(pitch) == 0 {
+		return 0
+	}
+	q := s.Normalize(pitch)
+	matches, _ := s.ix.KNN(q, len(s.phrases), delta)
+	for i, m := range matches {
+		if m.ID == phraseID {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// RangeQueryPhrases exposes the underlying phrase-level range query (used
+// by the Figure 8 experiments): all phrases within epsilon of the
+// normalized query.
+func (s *System) RangeQueryPhrases(pitch ts.Series, epsilon, delta float64) ([]index.Match, index.QueryStats) {
+	return s.ix.RangeQuery(s.Normalize(pitch), epsilon, delta)
+}
+
+// Index exposes the underlying DTW index (read-only use).
+func (s *System) Index() *index.Index { return s.ix }

@@ -1,0 +1,310 @@
+package qbh
+
+import (
+	"math/rand"
+	"testing"
+
+	"warping/internal/hum"
+	"warping/internal/music"
+	"warping/internal/ts"
+)
+
+func testSongs(seed int64, count int) []music.Song {
+	return music.GenerateSongs(seed, count, 60, 120)
+}
+
+func TestBuildBasics(t *testing.T) {
+	songs := testSongs(1, 20)
+	s, err := Build(songs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSongs() != 20 {
+		t.Errorf("NumSongs = %d", s.NumSongs())
+	}
+	if s.NumPhrases() < 20*2 {
+		t.Errorf("NumPhrases = %d, expected several per song", s.NumPhrases())
+	}
+	if _, ok := s.PhraseByID(0); !ok {
+		t.Error("PhraseByID(0) failed")
+	}
+	if _, ok := s.PhraseByID(int64(s.NumPhrases())); ok {
+		t.Error("out-of-range phrase id accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Error("empty song list accepted")
+	}
+	bad := []music.Song{{ID: 1, Melody: music.Melody{}}}
+	if _, err := Build(bad, Options{}); err == nil {
+		t.Error("invalid melody accepted")
+	}
+	dup := []music.Song{
+		{ID: 1, Melody: music.OdeToJoy()},
+		{ID: 1, Melody: music.TwinkleTwinkle()},
+	}
+	if _, err := Build(dup, Options{}); err == nil {
+		t.Error("duplicate song id accepted")
+	}
+	if _, err := Build(testSongs(1, 2), Options{Transform: "bogus"}); err == nil {
+		t.Error("unknown transform accepted")
+	}
+}
+
+func TestAllTransformsBuild(t *testing.T) {
+	songs := testSongs(2, 10)
+	for _, tr := range []TransformKind{
+		TransformNewPAA, TransformKeoghPAA, TransformDFT, TransformDWT, TransformSVD,
+	} {
+		s, err := Build(songs, Options{Transform: tr})
+		if err != nil {
+			t.Errorf("%s: %v", tr, err)
+			continue
+		}
+		// Hum one phrase of song 0 exactly (the database matches whole
+		// phrases, not whole songs).
+		ph, _ := s.PhraseByID(0)
+		q := ph.Melody.TimeSeries()
+		got, _ := s.Query(q, 3, 0.1)
+		if len(got) == 0 || got[0].SongID != ph.SongID || got[0].Dist > 1e-9 {
+			t.Errorf("%s: exact phrase query did not return its song first: %v", tr, got)
+		}
+	}
+}
+
+func TestQueryExactMelodyRanksFirst(t *testing.T) {
+	songs := testSongs(3, 50)
+	s, err := Build(songs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		// Query with a phrase of the song itself, shifted and
+		// tempo-scaled: normal forms make this an exact match.
+		ph, _ := s.PhraseByID(int64(i * 7 % s.NumPhrases()))
+		q := ph.Melody.Transpose(5).ScaleTempo(2).TimeSeries()
+		matches, _ := s.Query(q, 3, 0.1)
+		if len(matches) == 0 {
+			t.Fatalf("no matches")
+		}
+		if matches[0].SongID != ph.SongID || matches[0].Dist > 1e-9 {
+			t.Errorf("phrase %d: top match %+v, want song %d at 0",
+				i, matches[0], ph.SongID)
+		}
+	}
+}
+
+func TestRankHummedQueries(t *testing.T) {
+	songs := testSongs(4, 40)
+	s, err := Build(songs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	singer := hum.GoodSinger()
+	top1 := 0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		ph, _ := s.PhraseByID(int64(r.Intn(s.NumPhrases())))
+		q := singer.RenderPitch(ph.Melody, r)
+		q = hum.StripSilence(q)
+		rank := s.Rank(q, ph.SongID, 0.1)
+		if rank == 0 {
+			t.Fatalf("target song not ranked")
+		}
+		if rank == 1 {
+			top1++
+		}
+	}
+	// A good singer on a 40-song database should mostly hit rank 1.
+	if top1 < trials/2 {
+		t.Errorf("only %d/%d rank-1 retrievals for good singer", top1, trials)
+	}
+}
+
+func TestRankUnknownSong(t *testing.T) {
+	s, err := Build(testSongs(6, 5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank := s.Rank(ts.Constant(50, 60), 999, 0.1); rank != 0 {
+		t.Errorf("rank of absent song = %d", rank)
+	}
+}
+
+func TestQueryEmptyPitch(t *testing.T) {
+	s, err := Build(testSongs(7, 5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Query(ts.Series{}, 3, 0.1); got != nil {
+		t.Error("empty query should return nil")
+	}
+}
+
+func TestQueryReturnsDistinctSongs(t *testing.T) {
+	s, err := Build(testSongs(8, 30), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := s.phrases[0].Melody.TimeSeries()
+	got, _ := s.Query(q, 10, 0.1)
+	seen := map[int64]bool{}
+	for _, m := range got {
+		if seen[m.SongID] {
+			t.Fatalf("song %d appears twice", m.SongID)
+		}
+		seen[m.SongID] = true
+	}
+	if len(got) != 10 {
+		t.Errorf("got %d songs, want 10", len(got))
+	}
+}
+
+func TestRangeQueryPhrases(t *testing.T) {
+	s, err := Build(testSongs(9, 20), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := s.phrases[3]
+	q := ph.Melody.TimeSeries()
+	matches, stats := s.RangeQueryPhrases(q, 1.0, 0.1)
+	found := false
+	for _, m := range matches {
+		if m.ID == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("range query missed the phrase itself")
+	}
+	if stats.PageAccesses == 0 {
+		t.Error("no page accesses recorded")
+	}
+}
+
+func TestBuiltinSongsSystem(t *testing.T) {
+	s, err := Build(music.BuiltinSongs(), Options{PhraseMin: 8, PhraseMax: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(10))
+	q := hum.GoodSinger().Hum(music.TwinkleTwinkle(), r)
+	matches, _ := s.Query(q, 3, 0.1)
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	if matches[0].Title != "Twinkle, Twinkle, Little Star" {
+		t.Errorf("top match = %q", matches[0].Title)
+	}
+}
+
+func TestSongsAccessor(t *testing.T) {
+	songs := testSongs(99, 8)
+	s, err := Build(songs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Songs()
+	if len(got) != 8 {
+		t.Fatalf("Songs returned %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].ID <= got[i-1].ID {
+			t.Fatal("Songs not sorted by id")
+		}
+	}
+	if got[0].Title != songs[0].Title {
+		t.Errorf("title mismatch: %q", got[0].Title)
+	}
+}
+
+func TestRankPhraseEdgeCases(t *testing.T) {
+	s, err := Build(testSongs(98, 5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RankPhrase(ts.Constant(50, 60), -1, 0.1) != 0 {
+		t.Error("negative phrase id ranked")
+	}
+	if s.RankPhrase(ts.Constant(50, 60), int64(s.NumPhrases()), 0.1) != 0 {
+		t.Error("out-of-range phrase id ranked")
+	}
+	if s.RankPhrase(ts.Series{}, 0, 0.1) != 0 {
+		t.Error("empty query ranked")
+	}
+}
+
+func TestScaleInvariantMode(t *testing.T) {
+	songs := testSongs(401, 20)
+	s, err := Build(songs, Options{ScaleInvariant: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hummer with systematically compressed intervals (all pitch
+	// distances scaled toward the mean) still finds the song.
+	ph, _ := s.PhraseByID(5)
+	serie := ph.Melody.TimeSeries()
+	mean := serie.Mean()
+	squashed := make(ts.Series, len(serie))
+	for i, v := range serie {
+		squashed[i] = mean + (v-mean)*0.5 // half-size intervals
+	}
+	matches, _ := s.Query(squashed, 1, 0.1)
+	if len(matches) != 1 || matches[0].SongID != ph.SongID {
+		t.Errorf("scale-invariant query failed: %+v", matches)
+	}
+	if matches[0].Dist > 1e-9 {
+		t.Errorf("squashed rendition should match exactly: %v", matches[0].Dist)
+	}
+	// The default (scale-sensitive) system must see a nonzero distance.
+	plain, err := Build(songs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, _ := plain.Query(squashed, 1, 0.1)
+	if len(pm) == 1 && pm[0].Dist < 1e-9 {
+		t.Error("default mode unexpectedly scale-invariant")
+	}
+}
+
+func TestQueryGrowLoopCoversManyPhrasesPerSong(t *testing.T) {
+	// One song with many phrases plus a few decoys: asking for more
+	// distinct songs than the initial kNN batch contains forces the
+	// grow-and-retry path in Query.
+	songs := testSongs(402, 6)
+	big := music.GenerateMelody(rand.New(rand.NewSource(403)), 600)
+	songs = append(songs, music.Song{ID: 100, Title: "Big Song", Melody: big})
+	s, err := Build(songs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, _ := s.PhraseByID(0)
+	// Request every song: forces k to grow to all phrases.
+	matches, _ := s.Query(ph.Melody.TimeSeries(), s.NumSongs(), 0.1)
+	if len(matches) != s.NumSongs() {
+		t.Errorf("got %d songs, want %d", len(matches), s.NumSongs())
+	}
+	seen := map[int64]bool{}
+	for _, m := range matches {
+		if seen[m.SongID] {
+			t.Fatal("duplicate song")
+		}
+		seen[m.SongID] = true
+	}
+}
+
+func TestAddSongErrors(t *testing.T) {
+	s, err := Build(testSongs(404, 3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddSong(music.Song{ID: 0, Melody: music.OdeToJoy()}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := s.AddSong(music.Song{ID: 99, Melody: music.Melody{}}); err == nil {
+		t.Error("invalid melody accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package qbh
+
+import (
+	"fmt"
+	"sort"
+
+	"warping/internal/index"
+	"warping/internal/music"
+	"warping/internal/subseq"
+	"warping/internal/ts"
+)
+
+// SubseqSystem is the alternative query-by-humming architecture of Section
+// 3.2, method 1: instead of segmenting songs into phrases, whole-song time
+// series are indexed under sliding-window subsequence indexes, and a hum
+// matches any position in any song.
+//
+// Because a hum may span anywhere from a few notes to a long passage, the
+// system indexes windows at several geometric scales; every scale maps to
+// the same normal-form length, so distances are comparable and a query is
+// answered by the best window across all scales. As the paper notes, this
+// is more flexible but "generally slower ... because the size of the
+// potential candidate sequences is much larger" — compare NumWindows here
+// with NumPhrases in the phrase-based System.
+type SubseqSystem struct {
+	opts   Options
+	scales []scaleIndex
+	songs  map[int64]music.Song
+}
+
+type scaleIndex struct {
+	windowTicks int
+	ix          *subseq.Index
+}
+
+// BuildSubseq constructs a multi-scale subsequence-matching system. Window
+// scales are derived from the phrase bounds (short phrases of short notes
+// up to long phrases of long notes). Songs shorter than the smallest
+// window are rejected; larger scales simply skip songs they don't fit.
+func BuildSubseq(songs []music.Song, opts Options) (*SubseqSystem, error) {
+	opts.fill()
+	if opts.Transform == TransformSVD {
+		return nil, fmt.Errorf("qbh: subsequence system does not support SVD (no phrase training set)")
+	}
+	if len(songs) == 0 {
+		return nil, fmt.Errorf("qbh: no songs to index")
+	}
+	// Geometric window ladder: a PhraseMin-note phrase of short (2-tick)
+	// notes up to a PhraseMax-note phrase of long (6-tick) notes.
+	minW := opts.PhraseMin * 2
+	maxW := opts.PhraseMax * 6
+	var windows []int
+	for w := minW; w < maxW; w = w * 3 / 2 {
+		windows = append(windows, w)
+	}
+	windows = append(windows, maxW)
+
+	s := &SubseqSystem{opts: opts, songs: make(map[int64]music.Song)}
+	for _, w := range windows {
+		tr, err := makeTransform(opts, nil)
+		if err != nil {
+			return nil, err
+		}
+		ix, err := subseq.New(tr, subseq.Config{
+			Window: w,
+			Hop:    w / 8,
+			Tree:   index.Config{Tree: opts.Tree},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.scales = append(s.scales, scaleIndex{windowTicks: w, ix: ix})
+	}
+
+	for _, song := range songs {
+		if err := song.Melody.Validate(); err != nil {
+			return nil, fmt.Errorf("qbh: song %d (%s): %w", song.ID, song.Title, err)
+		}
+		if _, dup := s.songs[song.ID]; dup {
+			return nil, fmt.Errorf("qbh: duplicate song id %d", song.ID)
+		}
+		serie := song.Melody.TimeSeries()
+		if len(serie) < s.scales[0].windowTicks {
+			return nil, fmt.Errorf("qbh: song %d (%s) shorter (%d ticks) than the smallest window (%d)",
+				song.ID, song.Title, len(serie), s.scales[0].windowTicks)
+		}
+		for _, sc := range s.scales {
+			if len(serie) < sc.windowTicks {
+				continue // song covered by smaller scales
+			}
+			if err := sc.ix.AddSequence(song.ID, serie); err != nil {
+				return nil, err
+			}
+		}
+		s.songs[song.ID] = song
+	}
+	return s, nil
+}
+
+// NumSongs returns the number of indexed songs.
+func (s *SubseqSystem) NumSongs() int { return len(s.songs) }
+
+// NumWindows returns the total number of indexed sliding windows across
+// all scales (the candidate population the paper warns grows much larger
+// than whole phrases).
+func (s *SubseqSystem) NumWindows() int {
+	total := 0
+	for _, sc := range s.scales {
+		total += sc.ix.NumWindows()
+	}
+	return total
+}
+
+// NumScales returns the number of window scales.
+func (s *SubseqSystem) NumScales() int { return len(s.scales) }
+
+// SubseqMatch is one retrieval result with the matched position.
+type SubseqMatch struct {
+	SongID int64
+	Title  string
+	// TickOffset is the window start within the song time series.
+	TickOffset int
+	// WindowTicks is the matched window scale.
+	WindowTicks int
+	Dist        float64
+}
+
+// Query returns the topK songs whose best-matching window (at any scale
+// and position) is nearest the hummed pitch series.
+func (s *SubseqSystem) Query(pitch ts.Series, topK int, delta float64) []SubseqMatch {
+	if len(pitch) == 0 || topK <= 0 {
+		return nil
+	}
+	best := map[int64]SubseqMatch{}
+	for _, sc := range s.scales {
+		for _, m := range sc.ix.TopK(pitch, topK*2, delta) {
+			cur, ok := best[m.SeriesID]
+			if !ok || m.Dist < cur.Dist {
+				best[m.SeriesID] = SubseqMatch{
+					SongID:      m.SeriesID,
+					Title:       s.songs[m.SeriesID].Title,
+					TickOffset:  m.Offset,
+					WindowTicks: sc.windowTicks,
+					Dist:        m.Dist,
+				}
+			}
+		}
+	}
+	out := make([]SubseqMatch, 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].SongID < out[j].SongID
+	})
+	if len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package qbh
+
+import (
+	"math/rand"
+	"testing"
+
+	"warping/internal/hum"
+	"warping/internal/music"
+	"warping/internal/ts"
+)
+
+func TestBuildSubseqBasics(t *testing.T) {
+	songs := testSongs(201, 15)
+	s, err := BuildSubseq(songs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSongs() != 15 {
+		t.Errorf("NumSongs = %d", s.NumSongs())
+	}
+	if s.NumWindows() <= 15 {
+		t.Errorf("NumWindows = %d, expected many windows per song", s.NumWindows())
+	}
+}
+
+func TestBuildSubseqErrors(t *testing.T) {
+	if _, err := BuildSubseq(nil, Options{}); err == nil {
+		t.Error("empty songs accepted")
+	}
+	short := []music.Song{{ID: 1, Melody: music.Melody{{Pitch: 60, Duration: 2}}}}
+	if _, err := BuildSubseq(short, Options{}); err == nil {
+		t.Error("too-short song accepted")
+	}
+	if _, err := BuildSubseq(testSongs(202, 3), Options{Transform: TransformSVD}); err == nil {
+		t.Error("SVD accepted")
+	}
+	dup := testSongs(203, 2)
+	dup[1].ID = dup[0].ID
+	if _, err := BuildSubseq(dup, Options{}); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+}
+
+func TestSubseqQueryFindsFragmentMidSong(t *testing.T) {
+	songs := testSongs(204, 25)
+	s, err := BuildSubseq(songs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hum a fragment from the MIDDLE of a song — not aligned to any
+	// phrase boundary. The subsequence system should still find it.
+	target := songs[7]
+	serie := target.Melody.TimeSeries()
+	start := len(serie)/2 - 10
+	fragLen := s.scales[1].windowTicks
+	frag := serie[start : start+fragLen].Shift(4) // transposed
+	got := s.Query(frag, 3, 0.1)
+	if len(got) == 0 {
+		t.Fatal("no matches")
+	}
+	if got[0].SongID != target.ID {
+		t.Errorf("top match song %d, want %d", got[0].SongID, target.ID)
+	}
+	// Position should be near the fragment start.
+	off := got[0].TickOffset - start
+	if off < 0 {
+		off = -off
+	}
+	if off > fragLen {
+		t.Errorf("match at tick %d, fragment at %d", got[0].TickOffset, start)
+	}
+}
+
+func TestSubseqQueryWithHummedInput(t *testing.T) {
+	songs := testSongs(205, 20)
+	s, err := BuildSubseq(songs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(206))
+	singer := hum.GoodSinger()
+	hits := 0
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		target := songs[r.Intn(len(songs))]
+		phrases := music.SegmentPhrases(target.Melody, 15, 30)
+		ph := phrases[r.Intn(len(phrases))]
+		q := hum.StripSilence(singer.RenderPitch(ph, r))
+		// Top-3 rather than rank-1: a hummed phrase rarely aligns with a
+		// fixed-length window's content, which is exactly why the paper
+		// prefers whole-phrase matching (Section 3.2). The subsequence
+		// system trades precision for positional freedom.
+		for _, m := range s.Query(q, 3, 0.1) {
+			if m.SongID == target.ID {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < trials-1 {
+		t.Errorf("only %d/%d hummed fragments in the top 3", hits, trials)
+	}
+}
+
+func TestSubseqQueryEdgeCases(t *testing.T) {
+	s, err := BuildSubseq(testSongs(207, 3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Query(ts.Series{}, 3, 0.1); got != nil {
+		t.Error("empty query returned matches")
+	}
+	if got := s.Query(ts.Constant(100, 60), 0, 0.1); got != nil {
+		t.Error("topK 0 returned matches")
+	}
+	// Distinct songs only.
+	got := s.Query(s.songs[0].Melody.TimeSeries()[:s.scales[0].windowTicks], 10, 0.1)
+	seen := map[int64]bool{}
+	for _, m := range got {
+		if seen[m.SongID] {
+			t.Fatal("duplicate song in results")
+		}
+		seen[m.SongID] = true
+	}
+}

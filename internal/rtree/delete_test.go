@@ -1,0 +1,180 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New(2, Config{MaxEntries: 4})
+	tr.Insert(1, []float64{1, 1})
+	tr.Insert(2, []float64{2, 2})
+	if !tr.Delete(1, []float64{1, 1}) {
+		t.Fatal("delete failed")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.RangeSearch([]float64{1, 1}, 0.1); len(got) != 0 {
+		t.Errorf("deleted item still found: %v", got)
+	}
+	if got := tr.RangeSearch([]float64{2, 2}, 0.1); len(got) != 1 {
+		t.Errorf("surviving item lost: %v", got)
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := New(2, Config{MaxEntries: 4})
+	tr.Insert(1, []float64{1, 1})
+	if tr.Delete(99, []float64{1, 1}) {
+		t.Error("deleted non-existent id")
+	}
+	if tr.Delete(1, []float64{5, 5}) {
+		t.Error("deleted with wrong point")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len changed: %d", tr.Len())
+	}
+}
+
+func TestDeleteEmptyTree(t *testing.T) {
+	tr := New(2, Config{})
+	if tr.Delete(1, []float64{0, 0}) {
+		t.Error("delete on empty tree returned true")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr, points := buildRandomTree(r, 500, 3, Config{MaxEntries: 8})
+	for id, p := range points {
+		if !tr.Delete(int64(id), p) {
+			t.Fatalf("delete %d failed", id)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after deleting %d: %v", id, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting all", tr.Len())
+	}
+	if got := tr.RangeSearch(points[0], 1000); len(got) != 0 {
+		t.Errorf("items remain: %v", got)
+	}
+	// Tree stays usable after emptying.
+	tr.Insert(7, []float64{1, 2, 3})
+	if got := tr.RangeSearch([]float64{1, 2, 3}, 0.1); len(got) != 1 {
+		t.Error("insert after emptying failed")
+	}
+}
+
+func TestDeleteHalfThenSearch(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	tr, points := buildRandomTree(r, 1000, 4, Config{MaxEntries: 12})
+	// Delete every even id.
+	for id := 0; id < 1000; id += 2 {
+		if !tr.Delete(int64(id), points[id]) {
+			t.Fatalf("delete %d failed", id)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Searches must exactly match a linear scan of survivors.
+	for trial := 0; trial < 10; trial++ {
+		q := randomPoint(r, 4)
+		radius := 10 + r.Float64()*30
+		got := map[int64]bool{}
+		for _, it := range tr.RangeSearch(q, radius) {
+			got[it.ID] = true
+		}
+		for id := 1; id < 1000; id += 2 {
+			want := euclid(q, points[id]) <= radius
+			if got[int64(id)] != want {
+				t.Fatalf("id %d: got %v want %v", id, got[int64(id)], want)
+			}
+		}
+		for id := 0; id < 1000; id += 2 {
+			if got[int64(id)] {
+				t.Fatalf("deleted id %d returned", id)
+			}
+		}
+	}
+}
+
+func TestDeleteDuplicatePointsById(t *testing.T) {
+	tr := New(2, Config{MaxEntries: 4})
+	for i := 0; i < 20; i++ {
+		tr.Insert(int64(i), []float64{3, 3})
+	}
+	if !tr.Delete(7, []float64{3, 3}) {
+		t.Fatal("delete failed")
+	}
+	got := tr.RangeSearch([]float64{3, 3}, 0)
+	if len(got) != 19 {
+		t.Fatalf("%d items remain", len(got))
+	}
+	for _, it := range got {
+		if it.ID == 7 {
+			t.Fatal("id 7 still present")
+		}
+	}
+}
+
+// Property: random interleaving of inserts and deletes preserves invariants
+// and exact search results.
+func TestPropInsertDeleteInterleaved(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(4)
+		tr := New(dim, Config{MaxEntries: 4 + r.Intn(12)})
+		live := map[int64][]float64{}
+		nextID := int64(0)
+		for op := 0; op < 300; op++ {
+			if len(live) == 0 || r.Float64() < 0.6 {
+				p := randomPoint(r, dim)
+				tr.Insert(nextID, p)
+				live[nextID] = p
+				nextID++
+			} else {
+				// Delete a random live item.
+				var id int64
+				for k := range live {
+					id = k
+					break
+				}
+				if !tr.Delete(id, live[id]) {
+					return false
+				}
+				delete(live, id)
+			}
+		}
+		if tr.Len() != len(live) {
+			return false
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		// Zero-radius search finds exactly the live items.
+		for id, p := range live {
+			found := false
+			for _, it := range tr.RangeSearch(p, 1e-12) {
+				if it.ID == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,387 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoint(r *rand.Rand, dim int) []float64 {
+	p := make([]float64, dim)
+	for i := range p {
+		p[i] = r.Float64() * 100
+	}
+	return p
+}
+
+func buildRandomTree(r *rand.Rand, n, dim int, cfg Config) (*Tree, [][]float64) {
+	t := New(dim, cfg)
+	points := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		points[i] = randomPoint(r, dim)
+		t.Insert(int64(i), points[i])
+	}
+	return t, points
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestRectBasics(t *testing.T) {
+	r, err := NewRect([]float64{0, 0}, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Area() != 6 {
+		t.Errorf("Area = %v", r.Area())
+	}
+	if r.Margin() != 5 {
+		t.Errorf("Margin = %v", r.Margin())
+	}
+	c := r.Center()
+	if c[0] != 1 || c[1] != 1.5 {
+		t.Errorf("Center = %v", c)
+	}
+	if !r.Contains([]float64{1, 1}) || r.Contains([]float64{3, 1}) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestNewRectRejects(t *testing.T) {
+	if _, err := NewRect([]float64{1}, []float64{0}); err == nil {
+		t.Error("inverted rect accepted")
+	}
+	if _, err := NewRect([]float64{1}, []float64{0, 1}); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestRectUnionOverlap(t *testing.T) {
+	a, _ := NewRect([]float64{0, 0}, []float64{2, 2})
+	b, _ := NewRect([]float64{1, 1}, []float64{3, 3})
+	u := a.Union(b)
+	if u.Lo[0] != 0 || u.Hi[1] != 3 {
+		t.Errorf("Union = %v", u)
+	}
+	if got := a.OverlapArea(b); got != 1 {
+		t.Errorf("OverlapArea = %v, want 1", got)
+	}
+	c, _ := NewRect([]float64{5, 5}, []float64{6, 6})
+	if a.OverlapArea(c) != 0 || a.Intersects(c) {
+		t.Error("disjoint rects should not overlap")
+	}
+	if !a.Intersects(b) {
+		t.Error("overlapping rects should intersect")
+	}
+}
+
+func TestRectMinDist(t *testing.T) {
+	r, _ := NewRect([]float64{0, 0}, []float64{1, 1})
+	if d := r.SquaredMinDist([]float64{0.5, 0.5}); d != 0 {
+		t.Errorf("inside: %v", d)
+	}
+	if d := r.SquaredMinDist([]float64{2, 0.5}); d != 1 {
+		t.Errorf("right: %v", d)
+	}
+	if d := r.SquaredMinDist([]float64{2, 2}); d != 2 {
+		t.Errorf("corner: %v", d)
+	}
+	s, _ := NewRect([]float64{3, 0}, []float64{4, 1})
+	if d := r.SquaredMinDistRect(s); d != 4 {
+		t.Errorf("rect-rect: %v", d)
+	}
+	if d := r.SquaredMinDistRect(r); d != 0 {
+		t.Errorf("self: %v", d)
+	}
+}
+
+func TestTreeInsertAndLen(t *testing.T) {
+	tr := New(2, Config{MaxEntries: 8})
+	for i := 0; i < 100; i++ {
+		tr.Insert(int64(i), []float64{float64(i), float64(i % 10)})
+	}
+	if tr.Len() != 100 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Error("tree should have split")
+	}
+}
+
+func TestTreeVisitFindsAll(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr, _ := buildRandomTree(r, 500, 3, Config{MaxEntries: 10})
+	seen := map[int64]bool{}
+	tr.Visit(func(it Item) { seen[it.ID] = true })
+	if len(seen) != 500 {
+		t.Errorf("Visit found %d items", len(seen))
+	}
+}
+
+func TestRangeSearchMatchesLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	tr, points := buildRandomTree(r, 1000, 4, Config{MaxEntries: 16})
+	for trial := 0; trial < 20; trial++ {
+		q := randomPoint(r, 4)
+		radius := 5 + r.Float64()*40
+		got := tr.RangeSearch(q, radius)
+		gotIDs := map[int64]bool{}
+		for _, it := range got {
+			gotIDs[it.ID] = true
+		}
+		count := 0
+		for id, p := range points {
+			if euclid(q, p) <= radius {
+				count++
+				if !gotIDs[int64(id)] {
+					t.Fatalf("missing id %d at dist %v radius %v", id, euclid(q, p), radius)
+				}
+			}
+		}
+		if count != len(got) {
+			t.Fatalf("got %d results, want %d", len(got), count)
+		}
+	}
+}
+
+func TestRangeSearchRectMatchesLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tr, points := buildRandomTree(r, 800, 3, Config{MaxEntries: 12})
+	for trial := 0; trial < 20; trial++ {
+		lo := randomPoint(r, 3)
+		hi := make([]float64, 3)
+		for i := range hi {
+			hi[i] = lo[i] + r.Float64()*20
+		}
+		q := Rect{Lo: lo, Hi: hi}
+		radius := r.Float64() * 15
+		got := tr.RangeSearchRect(q, radius)
+		gotIDs := map[int64]bool{}
+		for _, it := range got {
+			gotIDs[it.ID] = true
+		}
+		count := 0
+		for id, p := range points {
+			if math.Sqrt(q.SquaredMinDist(p)) <= radius {
+				count++
+				if !gotIDs[int64(id)] {
+					t.Fatalf("missing id %d", id)
+				}
+			}
+		}
+		if count != len(got) {
+			t.Fatalf("got %d, want %d", len(got), count)
+		}
+	}
+}
+
+func TestKNNMatchesLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	tr, points := buildRandomTree(r, 600, 3, Config{MaxEntries: 10})
+	for trial := 0; trial < 10; trial++ {
+		q := randomPoint(r, 3)
+		k := 1 + r.Intn(20)
+		got := tr.KNN(q, k)
+		if len(got) != k {
+			t.Fatalf("got %d neighbors, want %d", len(got), k)
+		}
+		dists := make([]float64, len(points))
+		for i, p := range points {
+			dists[i] = euclid(q, p)
+		}
+		sort.Float64s(dists)
+		for i, nb := range got {
+			if math.Abs(nb.Dist-dists[i]) > 1e-9 {
+				t.Fatalf("neighbor %d dist %v, want %v", i, nb.Dist, dists[i])
+			}
+		}
+		// Ascending order.
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Fatal("neighbors not sorted")
+			}
+		}
+	}
+}
+
+func TestIncrementalNNStops(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tr, _ := buildRandomTree(r, 300, 2, Config{MaxEntries: 8})
+	calls := 0
+	tr.IncrementalNN(PointRect([]float64{50, 50}), func(Neighbor) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Errorf("yield called %d times", calls)
+	}
+}
+
+func TestKNNMoreThanSize(t *testing.T) {
+	tr := New(2, Config{MaxEntries: 4})
+	for i := 0; i < 3; i++ {
+		tr.Insert(int64(i), []float64{float64(i), 0})
+	}
+	got := tr.KNN([]float64{0, 0}, 10)
+	if len(got) != 3 {
+		t.Errorf("got %d, want all 3", len(got))
+	}
+}
+
+func TestEmptyTreeSearches(t *testing.T) {
+	tr := New(2, Config{})
+	if got := tr.RangeSearch([]float64{0, 0}, 10); len(got) != 0 {
+		t.Error("range on empty tree")
+	}
+	if got := tr.KNN([]float64{0, 0}, 3); len(got) != 0 {
+		t.Error("knn on empty tree")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	tr, _ := buildRandomTree(r, 2000, 4, Config{MaxEntries: 16})
+	tr.ResetStats()
+	tr.RangeSearch(randomPoint(r, 4), 10)
+	s := tr.Stats()
+	if s.NodeAccesses == 0 {
+		t.Error("no node accesses recorded")
+	}
+	tr.ResetStats()
+	if tr.Stats().NodeAccesses != 0 {
+		t.Error("ResetStats did not reset")
+	}
+	// A tiny-radius search must access far fewer nodes than a full scan.
+	tr.ResetStats()
+	tr.RangeSearch(randomPoint(r, 4), 1)
+	small := tr.Stats().NodeAccesses
+	tr.ResetStats()
+	tr.RangeSearch(randomPoint(r, 4), 1000)
+	large := tr.Stats().NodeAccesses
+	if small >= large {
+		t.Errorf("small-radius accesses %d >= full-scan accesses %d", small, large)
+	}
+}
+
+func TestInvariantsManyConfigs(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, cfg := range []Config{
+		{MaxEntries: 4},
+		{MaxEntries: 8, MinEntries: 3},
+		{MaxEntries: 50},
+		{MaxEntries: 10, DisableReinsert: true},
+		{}, // derived from page size
+	} {
+		tr, _ := buildRandomTree(r, 700, 3, cfg)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Errorf("cfg %+v: %v", cfg, err)
+		}
+		if tr.Len() != 700 {
+			t.Errorf("cfg %+v: len %d", cfg, tr.Len())
+		}
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr := New(2, Config{MaxEntries: 4})
+	p := []float64{1, 1}
+	for i := 0; i < 50; i++ {
+		tr.Insert(int64(i), []float64{1, 1})
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.RangeSearch(p, 0)
+	if len(got) != 50 {
+		t.Errorf("found %d duplicates, want 50", len(got))
+	}
+}
+
+func TestReinsertionHappens(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	tr, _ := buildRandomTree(r, 1000, 2, Config{MaxEntries: 8})
+	if tr.Stats().Reinserts == 0 {
+		t.Error("expected forced reinserts with default config")
+	}
+	tr2, _ := buildRandomTree(r, 1000, 2, Config{MaxEntries: 8, DisableReinsert: true})
+	if tr2.Stats().Reinserts != 0 {
+		t.Error("reinserts happened despite DisableReinsert")
+	}
+}
+
+// Property: every inserted point is findable with a zero-radius search.
+func TestPropAllPointsFindable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		dim := 1 + r.Intn(5)
+		tr, points := buildRandomTree(r, n, dim, Config{MaxEntries: 4 + r.Intn(20)})
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		for id, p := range points {
+			found := false
+			for _, it := range tr.RangeSearch(p, 1e-9) {
+				if it.ID == int64(id) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPanicsOnMismatchedDims(t *testing.T) {
+	tr := New(3, Config{})
+	cases := []func(){
+		func() { tr.Insert(0, []float64{1, 2}) },
+		func() { tr.RangeSearch([]float64{1}, 5) },
+		func() { New(0, Config{}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := New(8, Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int64(i), randomPoint(r, 8))
+	}
+}
+
+func BenchmarkRangeSearch50k(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr, _ := buildRandomTree(r, 50000, 8, Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.RangeSearch(randomPoint(r, 8), 20)
+	}
+}

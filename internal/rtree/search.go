@@ -1,0 +1,216 @@
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// RangeSearch returns the IDs of all items within Euclidean distance radius
+// of the query point, updating the page-access counters.
+func (t *Tree) RangeSearch(point []float64, radius float64) []Item {
+	return t.RangeSearchRect(PointRect(point), radius)
+}
+
+// RangeSearchRect returns all items whose Euclidean distance to the query
+// rectangle (e.g. a feature-space envelope box) is at most radius. A node is
+// visited only if MINDIST(node MBR, query rect) <= radius; every visited
+// node counts as one page access.
+func (t *Tree) RangeSearchRect(q Rect, radius float64) []Item {
+	if q.Dim() != t.dim {
+		panic("rtree: query dimension mismatch")
+	}
+	r2 := radius * radius
+	var out []Item
+	var walk func(n *node)
+	walk = func(n *node) {
+		t.stats.NodeAccesses++
+		if n.leaf {
+			for i, it := range n.items {
+				if q.SquaredMinDist(n.rects[i].Lo) <= r2 {
+					out = append(out, it)
+					t.stats.LeafHits++
+				}
+			}
+			return
+		}
+		for i, child := range n.children {
+			if n.rects[i].SquaredMinDistRect(q) <= r2 {
+				walk(child)
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Neighbor is one result of a nearest-neighbor search.
+type Neighbor struct {
+	Item Item
+	// Dist is the Euclidean distance from the query (point or rect) to
+	// the item's point.
+	Dist float64
+}
+
+// KNN returns the k nearest items to the query point by Euclidean distance,
+// closest first, using best-first MINDIST traversal.
+func (t *Tree) KNN(point []float64, k int) []Neighbor {
+	return t.KNNRect(PointRect(point), k)
+}
+
+// KNNRect returns the k items nearest to the query rectangle (distance 0
+// for points inside the rect).
+func (t *Tree) KNNRect(q Rect, k int) []Neighbor {
+	var out []Neighbor
+	t.IncrementalNN(q, func(nb Neighbor) bool {
+		out = append(out, nb)
+		return len(out) < k
+	})
+	return out
+}
+
+// IncrementalNN enumerates items in ascending order of distance to the
+// query rectangle, invoking yield for each; traversal stops when yield
+// returns false. This is the incremental ranking primitive of the optimal
+// multi-step kNN algorithm (Seidl & Kriegel): the caller can keep pulling
+// candidates until the feature-space distance exceeds its current exact
+// kth-best distance.
+func (t *Tree) IncrementalNN(q Rect, yield func(Neighbor) bool) {
+	if q.Dim() != t.dim {
+		panic("rtree: query dimension mismatch")
+	}
+	pq := &nnHeap{}
+	heap.Init(pq)
+	heap.Push(pq, nnEntry{node: t.root, dist: math.Sqrt(t.root.mbrOrZero().SquaredMinDistRect(q))})
+	for pq.Len() > 0 {
+		e := heap.Pop(pq).(nnEntry)
+		if e.node != nil {
+			n := e.node
+			t.stats.NodeAccesses++
+			if n.leaf {
+				for i, it := range n.items {
+					d := math.Sqrt(q.SquaredMinDist(n.rects[i].Lo))
+					heap.Push(pq, nnEntry{item: it, hasItem: true, dist: d})
+				}
+			} else {
+				for i, child := range n.children {
+					d := math.Sqrt(n.rects[i].SquaredMinDistRect(q))
+					heap.Push(pq, nnEntry{node: child, dist: d})
+				}
+			}
+			continue
+		}
+		t.stats.LeafHits++
+		if !yield(Neighbor{Item: e.item, Dist: e.dist}) {
+			return
+		}
+	}
+}
+
+// mbrOrZero returns the node MBR, or a degenerate rect when empty.
+func (n *node) mbrOrZero() Rect {
+	if len(n.rects) == 0 {
+		return Rect{Lo: []float64{}, Hi: []float64{}}
+	}
+	return n.mbr()
+}
+
+type nnEntry struct {
+	node    *node
+	item    Item
+	hasItem bool
+	dist    float64
+}
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int { return len(h) }
+func (h nnHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	// Prefer items over nodes at equal distance so results surface first.
+	return h[i].hasItem && !h[j].hasItem
+}
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Visit walks every item in the tree (no stats impact), for tests and
+// linear-scan baselines.
+func (t *Tree) Visit(fn func(Item)) {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			for _, it := range n.items {
+				fn(it)
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+}
+
+// CheckInvariants validates structural invariants (for tests): MBR
+// containment, entry counts, uniform leaf depth. It returns the first
+// violation found, or nil.
+func (t *Tree) CheckInvariants() error {
+	return t.check(t.root, nil, true)
+}
+
+func (t *Tree) check(n *node, parentRect *Rect, isRoot bool) error {
+	count := len(n.rects)
+	if n.leaf {
+		if len(n.items) != count {
+			return errf("leaf has %d rects but %d items", count, len(n.items))
+		}
+		if n.level != 0 {
+			return errf("leaf at level %d", n.level)
+		}
+	} else {
+		if len(n.children) != count {
+			return errf("internal node has %d rects but %d children", count, len(n.children))
+		}
+	}
+	if !isRoot {
+		if count < t.cfg.MinEntries {
+			return errf("underfull node: %d < %d", count, t.cfg.MinEntries)
+		}
+	}
+	if count > t.cfg.MaxEntries {
+		return errf("overfull node: %d > %d", count, t.cfg.MaxEntries)
+	}
+	if parentRect != nil && count > 0 {
+		m := n.mbr()
+		for i := range m.Lo {
+			if m.Lo[i] < parentRect.Lo[i]-1e-9 || m.Hi[i] > parentRect.Hi[i]+1e-9 {
+				return errf("child MBR escapes parent rect")
+			}
+		}
+	}
+	if !n.leaf {
+		for i, c := range n.children {
+			if c.level != n.level-1 {
+				return errf("child level %d under node level %d", c.level, n.level)
+			}
+			r := n.rects[i]
+			if err := t.check(c, &r, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func errf(format string, args ...interface{}) error {
+	return fmt.Errorf("rtree: "+format, args...)
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// Client is a typed client for the QBH HTTP API, for programs embedding a
+// remote humming-search service.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient creates a client for the server at baseURL (e.g.
+// "http://localhost:8080"). httpClient may be nil for http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+// Stats fetches database statistics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := c.getJSON("/stats", &out)
+	return out, err
+}
+
+// Songs fetches the song catalogue.
+func (c *Client) Songs() ([]SongInfo, error) {
+	var out []SongInfo
+	err := c.getJSON("/songs", &out)
+	return out, err
+}
+
+// QueryWAV submits a mono 16-bit PCM WAV hum and returns ranked matches.
+func (c *Client) QueryWAV(wavData []byte, topK int, delta float64) (QueryResponse, error) {
+	var out QueryResponse
+	err := c.postJSON("/query"+queryString(topK, delta), "audio/wav", wavData, &out)
+	return out, err
+}
+
+// QueryPitch submits a pitch series (MIDI pitches, one per 10 ms frame;
+// zeros mark silence) and returns ranked matches.
+func (c *Client) QueryPitch(pitch []float64, topK int, delta float64) (QueryResponse, error) {
+	body, err := json.Marshal(pitch)
+	if err != nil {
+		return QueryResponse{}, err
+	}
+	var out QueryResponse
+	err = c.postJSON("/query/pitch"+queryString(topK, delta), "application/json", body, &out)
+	return out, err
+}
+
+// AddSong uploads a Standard MIDI File and indexes its melody.
+func (c *Client) AddSong(title string, midiData []byte) (SongInfo, error) {
+	var out SongInfo
+	err := c.postJSON("/songs?title="+url.QueryEscape(title), "audio/midi", midiData, &out)
+	return out, err
+}
+
+func queryString(topK int, delta float64) string {
+	return "?top=" + strconv.Itoa(topK) + "&delta=" + strconv.FormatFloat(delta, 'f', -1, 64)
+}
+
+func (c *Client) getJSON(path string, out interface{}) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func (c *Client) postJSON(path, contentType string, body []byte, out interface{}) error {
+	resp, err := c.http.Post(c.base+path, contentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeResponse(resp, out)
+}
+
+func decodeResponse(resp *http.Response, out interface{}) error {
+	if resp.StatusCode >= 400 {
+		var e errorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (status %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: status %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

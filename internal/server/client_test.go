@@ -1,0 +1,120 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"warping/internal/hum"
+	"warping/internal/midi"
+	"warping/internal/music"
+	"warping/internal/wav"
+)
+
+func TestClientStatsAndSongs(t *testing.T) {
+	srv, songs := newTestServer(t)
+	c := NewClient(srv.URL, nil)
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Songs != len(songs) {
+		t.Errorf("stats = %+v", stats)
+	}
+	list, err := c.Songs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(songs) {
+		t.Errorf("songs = %d", len(list))
+	}
+}
+
+func TestClientQueryPitch(t *testing.T) {
+	srv, songs := newTestServer(t)
+	c := NewClient(srv.URL, nil)
+	r := rand.New(rand.NewSource(51))
+	phrase := music.SegmentPhrases(songs[0].Melody, 8, 20)[0]
+	pitch := hum.GoodSinger().RenderPitch(phrase, r)
+	resp, err := c.QueryPitch(pitch, 3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) != 3 || resp.Matches[0].SongID != songs[0].ID {
+		t.Errorf("matches = %+v", resp.Matches)
+	}
+}
+
+func TestClientQueryWAV(t *testing.T) {
+	srv, songs := newTestServer(t)
+	c := NewClient(srv.URL, nil)
+	r := rand.New(rand.NewSource(52))
+	audio := hum.GoodSinger().RenderAudio(songs[2].Melody, r)
+	var buf bytes.Buffer
+	if err := wav.Encode(&buf, audio, 8000); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.QueryWAV(buf.Bytes(), 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) != 1 || resp.Matches[0].SongID != songs[2].ID {
+		t.Errorf("matches = %+v", resp.Matches)
+	}
+}
+
+func TestClientAddSong(t *testing.T) {
+	srv, _ := newTestServer(t)
+	c := NewClient(srv.URL, nil)
+	tune := music.GenerateMelody(rand.New(rand.NewSource(53)), 50)
+	data, err := midi.EncodeMelody(tune, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.AddSong("Client Upload & Co", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Title != "Client Upload & Co" || info.Notes != 50 {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestClientErrorSurface(t *testing.T) {
+	srv, _ := newTestServer(t)
+	c := NewClient(srv.URL, nil)
+	if _, err := c.QueryWAV([]byte("junk"), 3, 0.1); err == nil {
+		t.Error("bad WAV accepted")
+	}
+	if _, err := c.AddSong("x", []byte("junk")); err == nil {
+		t.Error("bad MIDI accepted")
+	}
+	// The error message from the server must surface.
+	_, err := c.QueryPitch([]float64{60}, 3, 0.1)
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("too short")) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestClientAgainstDeadServer(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1", nil) // nothing listens on port 1
+	if _, err := c.Stats(); err == nil {
+		t.Error("dead server reachable?")
+	}
+}
+
+func TestQueryResponseJSONShape(t *testing.T) {
+	// The wire format is part of the API contract.
+	data, err := json.Marshal(QueryResponse{
+		Matches:      []MatchResponse{{SongID: 1, Title: "t", Dist: 2.5}},
+		VoicedFrames: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `"matches":[{"song_id":1,"title":"t","dist":2.5}]`
+	if !bytes.Contains(data, []byte(want)) {
+		t.Errorf("JSON = %s", data)
+	}
+}

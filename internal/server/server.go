@@ -1,0 +1,234 @@
+// Package server exposes a query-by-humming system over HTTP — the
+// deployable face of the library. The API is deliberately small:
+//
+//	GET  /stats                 database size and configuration
+//	GET  /songs                 the song catalogue (id, title, note count)
+//	POST /query?top=K&delta=D   body: mono 16-bit PCM WAV of a hum
+//	POST /query/pitch?...       body: JSON array of MIDI pitches (10 ms frames)
+//	POST /songs?title=T         body: Standard MIDI File; indexes the melody
+//
+// Responses are JSON. The handler serializes access to the underlying
+// system (index queries mutate shared cost counters), so it is safe under
+// concurrent requests.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"warping/internal/audio"
+	"warping/internal/hum"
+	"warping/internal/midi"
+	"warping/internal/music"
+	"warping/internal/qbh"
+	"warping/internal/ts"
+)
+
+// maxBodyBytes bounds uploads (a minute of 8 kHz 16-bit audio is ~1 MB).
+const maxBodyBytes = 16 << 20
+
+// Handler serves the QBH API over a concurrent system wrapper.
+type Handler struct {
+	sys *qbh.Concurrent
+	mux *http.ServeMux
+}
+
+// New builds the HTTP handler around a built system.
+func New(sys *qbh.System) *Handler {
+	h := &Handler{sys: qbh.NewConcurrent(sys), mux: http.NewServeMux()}
+	h.mux.HandleFunc("/stats", h.handleStats)
+	h.mux.HandleFunc("/songs", h.handleSongs)
+	h.mux.HandleFunc("/query", h.handleQueryWAV)
+	h.mux.HandleFunc("/query/pitch", h.handleQueryPitch)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// StatsResponse is the /stats payload.
+type StatsResponse struct {
+	Songs   int `json:"songs"`
+	Phrases int `json:"phrases"`
+}
+
+// SongInfo is one /songs row.
+type SongInfo struct {
+	ID    int64  `json:"id"`
+	Title string `json:"title"`
+	Notes int    `json:"notes"`
+}
+
+// MatchResponse is one ranked query result.
+type MatchResponse struct {
+	SongID int64   `json:"song_id"`
+	Title  string  `json:"title"`
+	Dist   float64 `json:"dist"`
+}
+
+// QueryResponse is the /query payload.
+type QueryResponse struct {
+	Matches      []MatchResponse `json:"matches"`
+	VoicedFrames int             `json:"voiced_frames"`
+	Candidates   int             `json:"candidates"`
+	ExactDTW     int             `json:"exact_dtw"`
+	PageAccesses int             `json:"page_accesses"`
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, StatsResponse{Songs: h.sys.NumSongs(), Phrases: h.sys.NumPhrases()})
+}
+
+func (h *Handler) handleSongs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		songs := h.sys.Songs()
+		out := make([]SongInfo, len(songs))
+		for i, s := range songs {
+			out[i] = SongInfo{ID: s.ID, Title: s.Title, Notes: s.Melody.NumNotes()}
+		}
+		writeJSON(w, out)
+	case http.MethodPost:
+		h.handleAddSong(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+func (h *Handler) handleAddSong(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	melody, err := midi.DecodeMelody(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing MIDI: %v", err)
+		return
+	}
+	title := r.URL.Query().Get("title")
+	if title == "" {
+		title = fmt.Sprintf("Uploaded Song %d", h.sys.NumSongs())
+	}
+	// Allocate the next free id.
+	var id int64
+	for _, s := range h.sys.Songs() {
+		if s.ID >= id {
+			id = s.ID + 1
+		}
+	}
+	song := music.Song{ID: id, Title: title, Melody: melody}
+	if err := h.sys.AddSong(song); err != nil {
+		httpError(w, http.StatusBadRequest, "indexing: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, SongInfo{ID: id, Title: title, Notes: melody.NumNotes()})
+}
+
+// queryParams extracts top and delta with defaults.
+func queryParams(r *http.Request) (topK int, delta float64, err error) {
+	topK, delta = 5, 0.1
+	if v := r.URL.Query().Get("top"); v != "" {
+		topK, err = strconv.Atoi(v)
+		if err != nil || topK < 1 || topK > 100 {
+			return 0, 0, fmt.Errorf("invalid top %q", v)
+		}
+	}
+	if v := r.URL.Query().Get("delta"); v != "" {
+		delta, err = strconv.ParseFloat(v, 64)
+		if err != nil || delta < 0 || delta > 1 {
+			return 0, 0, fmt.Errorf("invalid delta %q", v)
+		}
+	}
+	return topK, delta, nil
+}
+
+func (h *Handler) handleQueryWAV(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST with a WAV body")
+		return
+	}
+	topK, delta, err := queryParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	samples, rate, err := decodeWAV(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parsing WAV: %v", err)
+		return
+	}
+	pitch := hum.StripSilence(audio.TrackPitch(samples, rate))
+	h.respondQuery(w, pitch, topK, delta)
+}
+
+func (h *Handler) handleQueryPitch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST with a JSON pitch array")
+		return
+	}
+	topK, delta, err := queryParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var pitches []float64
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(&pitches); err != nil {
+		httpError(w, http.StatusBadRequest, "parsing pitch JSON: %v", err)
+		return
+	}
+	pitch := hum.StripSilence(ts.Series(pitches))
+	h.respondQuery(w, pitch, topK, delta)
+}
+
+func (h *Handler) respondQuery(w http.ResponseWriter, pitch ts.Series, topK int, delta float64) {
+	if len(pitch) < 10 {
+		httpError(w, http.StatusBadRequest, "query too short: %d voiced frames", len(pitch))
+		return
+	}
+	matches, stats := h.sys.Query(pitch, topK, delta)
+	resp := QueryResponse{
+		VoicedFrames: len(pitch),
+		Candidates:   stats.Candidates,
+		ExactDTW:     stats.ExactDTW,
+		PageAccesses: stats.PageAccesses,
+	}
+	for _, m := range matches {
+		resp.Matches = append(resp.Matches, MatchResponse{SongID: m.SongID, Title: m.Title, Dist: m.Dist})
+	}
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do.
+		return
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,9 @@
+package server
+
+import "warping/internal/wav"
+
+// decodeWAV is a seam for the wav package (kept separate so the handler
+// file reads as pure HTTP logic).
+func decodeWAV(data []byte) ([]float64, int, error) {
+	return wav.Decode(data)
+}

@@ -1,0 +1,164 @@
+// Package spring implements the SPRING algorithm (Sakurai, Faloutsos &
+// Yamamuro, ICDE 2007): subsequence matching under unconstrained DTW over a
+// *stream*, in O(m) time and memory per arriving sample for a length-m
+// query. Where internal/subseq indexes a static database of sequences,
+// SPRING monitors live data — the natural streaming companion to this
+// library's query-by-humming indexes (this paper's authors also built
+// StatStream; monitoring hummable patterns in live feeds is squarely in
+// that lineage).
+//
+// The algorithm maintains, per query prefix, the best warping-path cost of
+// any stream subsequence ending at the current sample, together with that
+// path's start position (the "star-padding + subsequence tracking" trick).
+// A match is emitted once its cost cannot be improved by any path still in
+// flight, which guarantees each reported match is locally optimal and
+// non-overlapping.
+package spring
+
+import (
+	"fmt"
+	"math"
+
+	"warping/internal/ts"
+)
+
+// Match is one reported stream match.
+type Match struct {
+	// Start and End are the inclusive stream positions (0-based) of the
+	// matched subsequence.
+	Start, End int
+	// Dist is the DTW distance of the match.
+	Dist float64
+}
+
+// Monitor is a streaming matcher for one query. Feed it samples with
+// Update; matches are returned as soon as they are provably optimal.
+type Monitor struct {
+	query     ts.Series
+	threshold float64 // squared
+	d         []float64
+	dPrev     []float64
+	s         []int
+	sPrev     []int
+	pos       int
+	// Current best pending match.
+	dmin       float64
+	start, end int
+}
+
+// NewMonitor creates a monitor for the query with a DTW distance threshold
+// epsilon. The query must be non-empty and epsilon >= 0.
+func NewMonitor(query ts.Series, epsilon float64) (*Monitor, error) {
+	if len(query) == 0 {
+		return nil, fmt.Errorf("spring: empty query")
+	}
+	if epsilon < 0 {
+		return nil, fmt.Errorf("spring: negative epsilon %v", epsilon)
+	}
+	m := &Monitor{
+		query:     query.Clone(),
+		threshold: epsilon * epsilon,
+		d:         make([]float64, len(query)+1),
+		dPrev:     make([]float64, len(query)+1),
+		s:         make([]int, len(query)+1),
+		sPrev:     make([]int, len(query)+1),
+		dmin:      math.Inf(1),
+	}
+	for i := 1; i <= len(query); i++ {
+		m.dPrev[i] = math.Inf(1)
+	}
+	return m, nil
+}
+
+// Update feeds one stream sample and returns any match that became final.
+func (m *Monitor) Update(x float64) []Match {
+	t := m.pos
+	m.pos++
+	q := m.query
+	n := len(q)
+	// Row for stream position t. Subsequence semantics: a path may start
+	// here (prefix cost 0, start position t).
+	m.d[0] = 0
+	m.s[0] = t
+	for i := 1; i <= n; i++ {
+		diff := x - q[i-1]
+		cost := diff * diff
+		// min over (i-1, t) vertical, (i, t-1) horizontal, (i-1, t-1)
+		// diagonal — standard DTW steps.
+		best := m.d[i-1]
+		src := m.s[i-1]
+		if m.dPrev[i] < best {
+			best = m.dPrev[i]
+			src = m.sPrev[i]
+		}
+		if m.dPrev[i-1] < best {
+			best = m.dPrev[i-1]
+			src = m.sPrev[i-1]
+		}
+		if math.IsInf(best, 1) {
+			m.d[i] = math.Inf(1)
+			m.s[i] = src
+		} else {
+			m.d[i] = cost + best
+			m.s[i] = src
+		}
+	}
+
+	var out []Match
+	// Report the pending match once no in-flight path can beat or extend
+	// it: every prefix cost is either worse than dmin or starts after the
+	// pending match ends.
+	if !math.IsInf(m.dmin, 1) {
+		canReport := true
+		for i := 1; i <= n; i++ {
+			if m.d[i] < m.dmin && m.s[i] <= m.end {
+				canReport = false
+				break
+			}
+		}
+		if canReport {
+			out = append(out, Match{Start: m.start, End: m.end, Dist: math.Sqrt(m.dmin)})
+			m.dmin = math.Inf(1)
+			// Disqualify paths overlapping the reported match.
+			for i := 1; i <= n; i++ {
+				if m.s[i] <= m.end {
+					m.d[i] = math.Inf(1)
+				}
+			}
+		}
+	}
+	// Track the best full match ending here.
+	if m.d[n] <= m.threshold && m.d[n] < m.dmin {
+		m.dmin = m.d[n]
+		m.start = m.s[n]
+		m.end = t
+	}
+	m.d, m.dPrev = m.dPrev, m.d
+	m.s, m.sPrev = m.sPrev, m.s
+	return out
+}
+
+// Flush reports the pending match, if any, at end of stream.
+func (m *Monitor) Flush() []Match {
+	if math.IsInf(m.dmin, 1) {
+		return nil
+	}
+	out := []Match{{Start: m.start, End: m.end, Dist: math.Sqrt(m.dmin)}}
+	m.dmin = math.Inf(1)
+	return out
+}
+
+// Scan runs a monitor over a whole series and returns every match —
+// convenience for offline use of the streaming matcher.
+func Scan(stream, query ts.Series, epsilon float64) ([]Match, error) {
+	m, err := NewMonitor(query, epsilon)
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for _, x := range stream {
+		out = append(out, m.Update(x)...)
+	}
+	out = append(out, m.Flush()...)
+	return out, nil
+}

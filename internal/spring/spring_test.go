@@ -1,0 +1,202 @@
+package spring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warping/internal/dtw"
+	"warping/internal/ts"
+)
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(ts.Series{}, 1); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := NewMonitor(ts.New(1), -1); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestScanFindsExactOccurrences(t *testing.T) {
+	query := ts.New(1, 2, 3, 2, 1)
+	// Stream with two exact occurrences separated by flat noise.
+	var stream ts.Series
+	stream = append(stream, ts.Constant(10, 0)...)
+	stream = append(stream, query...) // at 10..14
+	stream = append(stream, ts.Constant(10, 0)...)
+	stream = append(stream, query...) // at 25..29
+	stream = append(stream, ts.Constant(10, 0)...)
+
+	matches, err := Scan(stream, query, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %v", matches)
+	}
+	for i, want := range []int{10, 25} {
+		if matches[i].Dist > 1e-9 {
+			t.Errorf("match %d dist %v", i, matches[i].Dist)
+		}
+		// DTW may extend the match into flanking equal values (the 1s
+		// border the 0s, not equal; starts must be exact here).
+		if matches[i].Start != want || matches[i].End != want+4 {
+			t.Errorf("match %d at [%d,%d], want [%d,%d]",
+				i, matches[i].Start, matches[i].End, want, want+4)
+		}
+	}
+}
+
+func TestScanFindsWarpedOccurrence(t *testing.T) {
+	query := ts.New(0, 5, 10, 5, 0)
+	// Time-warped occurrence: each value held twice.
+	var stream ts.Series
+	stream = append(stream, ts.Constant(8, -10)...)
+	for _, v := range query {
+		stream = append(stream, v, v)
+	}
+	stream = append(stream, ts.Constant(8, -10)...)
+
+	matches, err := Scan(stream, query, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("matches = %v", matches)
+	}
+	m := matches[0]
+	if m.Dist > 1e-9 {
+		t.Errorf("warped occurrence dist %v", m.Dist)
+	}
+	// With doubled samples a zero-cost path may skip one duplicate at
+	// either end, so the reported span can shrink by one sample per side.
+	if m.Start < 8 || m.Start > 9 || m.End < 16 || m.End > 17 {
+		t.Errorf("match at [%d,%d], want within [8,17] covering [9,16]", m.Start, m.End)
+	}
+}
+
+func TestScanNoFalsePositives(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	query := ts.New(0, 10, 0, 10, 0)
+	stream := make(ts.Series, 300)
+	for i := range stream {
+		stream[i] = -50 + r.NormFloat64() // far from the query range
+	}
+	matches, err := Scan(stream, query, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("false positives: %v", matches)
+	}
+}
+
+// Every reported match must genuinely be within epsilon: verify with an
+// offline DTW computation of the reported subsequence.
+func TestMatchesVerifyOffline(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	query := make(ts.Series, 12)
+	for i := range query {
+		query[i] = 5 * math.Sin(float64(i)/2)
+	}
+	stream := make(ts.Series, 500)
+	v := 0.0
+	for i := range stream {
+		v += r.NormFloat64()
+		stream[i] = v
+	}
+	// Plant two noisy occurrences.
+	for _, at := range []int{100, 300} {
+		for i, q := range query {
+			stream[at+i] = q + r.NormFloat64()*0.2
+		}
+	}
+	const eps = 3.0
+	matches, err := Scan(stream, query, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < 2 {
+		t.Fatalf("planted occurrences not found: %v", matches)
+	}
+	for _, m := range matches {
+		sub := stream[m.Start : m.End+1]
+		d := dtw.Distance(sub, query)
+		if math.Abs(d-m.Dist) > 1e-9 {
+			t.Errorf("match [%d,%d]: reported %v, offline %v", m.Start, m.End, m.Dist, d)
+		}
+		if d > eps {
+			t.Errorf("match [%d,%d] exceeds epsilon: %v", m.Start, m.End, d)
+		}
+	}
+	// Matches must not overlap.
+	for i := 1; i < len(matches); i++ {
+		if matches[i].Start <= matches[i-1].End {
+			t.Errorf("overlapping matches %v and %v", matches[i-1], matches[i])
+		}
+	}
+}
+
+func TestFlushReportsPending(t *testing.T) {
+	query := ts.New(1, 2, 3)
+	// Occurrence right at the end of the stream: only Flush can emit it.
+	stream := append(ts.Constant(5, 0), query...)
+	m, err := NewMonitor(query, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Match
+	for _, x := range stream {
+		got = append(got, m.Update(x)...)
+	}
+	got = append(got, m.Flush()...)
+	if len(got) != 1 || got[0].End != len(stream)-1 {
+		t.Errorf("matches = %v", got)
+	}
+	// Flush is idempotent.
+	if extra := m.Flush(); extra != nil {
+		t.Errorf("second flush = %v", extra)
+	}
+}
+
+func TestStreamingMatchesScan(t *testing.T) {
+	// Feeding sample by sample must equal the batch Scan.
+	r := rand.New(rand.NewSource(3))
+	query := ts.New(0, 3, 6, 3, 0, -3)
+	stream := make(ts.Series, 400)
+	for i := range stream {
+		stream[i] = r.NormFloat64() * 4
+	}
+	batch, err := Scan(stream, query, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMonitor(query, 4)
+	var inc []Match
+	for _, x := range stream {
+		inc = append(inc, m.Update(x)...)
+	}
+	inc = append(inc, m.Flush()...)
+	if len(batch) != len(inc) {
+		t.Fatalf("batch %d vs incremental %d matches", len(batch), len(inc))
+	}
+	for i := range batch {
+		if batch[i] != inc[i] {
+			t.Fatalf("match %d differs: %v vs %v", i, batch[i], inc[i])
+		}
+	}
+}
+
+func BenchmarkMonitorUpdate(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	query := make(ts.Series, 64)
+	for i := range query {
+		query[i] = r.NormFloat64()
+	}
+	m, _ := NewMonitor(query, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Update(r.NormFloat64())
+	}
+}

@@ -1,0 +1,204 @@
+// Package subseq implements subsequence matching under banded DTW — the
+// alternative the paper describes in Section 3.2 ("there are many
+// techniques for subsequence queries proposed in time series database
+// research"): instead of segmenting melodies into phrases, every sliding
+// window of a long sequence is indexed, and a query matches any position.
+//
+// The construction follows the classic FRM/ST-index recipe adapted to the
+// DTW envelope index: each window is brought to the UTW + shift normal
+// form and inserted into a DTW index; query results map back to (sequence,
+// offset) pairs, with overlapping hits on the same sequence merged to their
+// best-scoring offset.
+//
+// As the paper notes, subsequence queries are "generally slower than whole
+// sequence queries because the size of the potential candidate sequences
+// is much larger" — the index trades space (one entry per window) for
+// positional freedom.
+package subseq
+
+import (
+	"fmt"
+	"sort"
+
+	"warping/internal/core"
+	"warping/internal/index"
+	"warping/internal/ts"
+)
+
+// Match is one subsequence hit.
+type Match struct {
+	// SeriesID identifies the registered sequence.
+	SeriesID int64
+	// Offset is the window start position in original samples.
+	Offset int
+	// Dist is the banded DTW distance between the query and the window
+	// normal form.
+	Dist float64
+}
+
+// Config shapes the window decomposition.
+type Config struct {
+	// Window is the window length in original samples (must be >= 2).
+	Window int
+	// Hop is the window stride (default Window/4; 1 = every position).
+	Hop int
+	// Tree configures the underlying R*-tree.
+	Tree index.Config
+}
+
+// Index is a subsequence DTW index.
+type Index struct {
+	transform core.Transform
+	inner     *index.Index
+	cfg       Config
+	refs      []ref // window id -> (series, offset)
+	sequences map[int64]int
+}
+
+type ref struct {
+	seriesID int64
+	offset   int
+}
+
+// New creates a subsequence index. The transform defines the normal-form
+// length each window is stretched to.
+func New(t core.Transform, cfg Config) (*Index, error) {
+	if cfg.Window < 2 {
+		return nil, fmt.Errorf("subseq: window %d < 2", cfg.Window)
+	}
+	if cfg.Hop == 0 {
+		cfg.Hop = cfg.Window / 4
+	}
+	if cfg.Hop < 1 {
+		cfg.Hop = 1
+	}
+	return &Index{
+		transform: t,
+		inner:     index.New(t, cfg.Tree),
+		cfg:       cfg,
+		sequences: make(map[int64]int),
+	}, nil
+}
+
+// NumWindows returns the number of indexed windows.
+func (x *Index) NumWindows() int { return len(x.refs) }
+
+// NumSequences returns the number of registered sequences.
+func (x *Index) NumSequences() int { return len(x.sequences) }
+
+// AddSequence registers a long series under an id and indexes all its
+// sliding windows. The series must be at least one window long.
+func (x *Index) AddSequence(id int64, s ts.Series) error {
+	if len(s) < x.cfg.Window {
+		return fmt.Errorf("subseq: series length %d < window %d", len(s), x.cfg.Window)
+	}
+	if _, dup := x.sequences[id]; dup {
+		return fmt.Errorf("subseq: duplicate sequence id %d", id)
+	}
+	n := x.transform.InputLen()
+	last := len(s) - x.cfg.Window
+	offsets := make([]int, 0, last/x.cfg.Hop+2)
+	for off := 0; off <= last; off += x.cfg.Hop {
+		offsets = append(offsets, off)
+	}
+	// Always include the final window so the sequence tail is searchable.
+	if offsets[len(offsets)-1] != last {
+		offsets = append(offsets, last)
+	}
+	for _, off := range offsets {
+		window := s[off : off+x.cfg.Window].NormalForm(n)
+		wid := int64(len(x.refs))
+		if err := x.inner.Add(wid, window); err != nil {
+			return fmt.Errorf("subseq: indexing window at %d: %w", off, err)
+		}
+		x.refs = append(x.refs, ref{seriesID: id, offset: off})
+	}
+	x.sequences[id] = len(offsets)
+	return nil
+}
+
+// RangeQuery returns subsequence matches within epsilon under banded DTW
+// with warping width delta. Overlapping windows of the same sequence are
+// merged: each run of hits closer than one window length apart reports only
+// its best offset. Results are sorted by distance.
+func (x *Index) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, index.QueryStats) {
+	qn := q.NormalForm(x.transform.InputLen())
+	raw, stats := x.inner.RangeQuery(qn, epsilon, delta)
+	return x.merge(raw), stats
+}
+
+// Best returns the single best subsequence match across all sequences, or
+// false when the index is empty.
+func (x *Index) Best(q ts.Series, delta float64) (Match, bool) {
+	qn := q.NormalForm(x.transform.InputLen())
+	raw, _ := x.inner.KNN(qn, 1, delta)
+	if len(raw) == 0 {
+		return Match{}, false
+	}
+	r := x.refs[raw[0].ID]
+	return Match{SeriesID: r.seriesID, Offset: r.offset, Dist: raw[0].Dist}, true
+}
+
+// TopK returns the k best non-overlapping subsequence matches across all
+// sequences, closest first. Internally the window-level kNN is grown until
+// k merged (non-overlapping) matches survive or the index is exhausted.
+func (x *Index) TopK(q ts.Series, k int, delta float64) []Match {
+	if k <= 0 || len(x.refs) == 0 {
+		return nil
+	}
+	qn := q.NormalForm(x.transform.InputLen())
+	fetch := k * 4
+	for {
+		raw, _ := x.inner.KNN(qn, fetch, delta)
+		merged := x.merge(raw)
+		if len(merged) >= k || fetch >= len(x.refs) {
+			if len(merged) > k {
+				merged = merged[:k]
+			}
+			return merged
+		}
+		fetch *= 2
+		if fetch > len(x.refs) {
+			fetch = len(x.refs)
+		}
+	}
+}
+
+// merge maps window ids to positions and collapses overlapping hits.
+func (x *Index) merge(raw []index.Match) []Match {
+	bySeries := make(map[int64][]Match)
+	for _, m := range raw {
+		r := x.refs[m.ID]
+		bySeries[r.seriesID] = append(bySeries[r.seriesID],
+			Match{SeriesID: r.seriesID, Offset: r.offset, Dist: m.Dist})
+	}
+	var out []Match
+	for _, ms := range bySeries {
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Offset < ms[j].Offset })
+		best := ms[0]
+		lastOff := ms[0].Offset
+		for _, m := range ms[1:] {
+			if m.Offset-lastOff < x.cfg.Window {
+				// Same run: keep the better hit.
+				if m.Dist < best.Dist {
+					best = m
+				}
+			} else {
+				out = append(out, best)
+				best = m
+			}
+			lastOff = m.Offset
+		}
+		out = append(out, best)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		if out[i].SeriesID != out[j].SeriesID {
+			return out[i].SeriesID < out[j].SeriesID
+		}
+		return out[i].Offset < out[j].Offset
+	})
+	return out
+}

@@ -1,0 +1,292 @@
+package subseq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warping/internal/core"
+	"warping/internal/dtw"
+	"warping/internal/music"
+	"warping/internal/ts"
+)
+
+const (
+	normLen = 64
+	dim     = 8
+	window  = 80
+)
+
+func newTestIndex(t *testing.T, hop int) *Index {
+	t.Helper()
+	x, err := New(core.NewPAA(normLen, dim), Config{Window: window, Hop: hop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func randomWalk(r *rand.Rand, n int) ts.Series {
+	s := make(ts.Series, n)
+	v := 0.0
+	for i := range s {
+		v += r.NormFloat64()
+		s[i] = v
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(core.NewPAA(normLen, dim), Config{Window: 1}); err == nil {
+		t.Error("window 1 accepted")
+	}
+	x, err := New(core.NewPAA(normLen, dim), Config{Window: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.cfg.Hop != 2 { // default window/4
+		t.Errorf("default hop = %d", x.cfg.Hop)
+	}
+}
+
+func TestAddSequenceValidation(t *testing.T) {
+	x := newTestIndex(t, 10)
+	if err := x.AddSequence(1, make(ts.Series, window-1)); err == nil {
+		t.Error("short series accepted")
+	}
+	s := randomWalk(rand.New(rand.NewSource(1)), 200)
+	if err := x.AddSequence(1, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.AddSequence(1, s); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if x.NumSequences() != 1 || x.NumWindows() == 0 {
+		t.Errorf("seqs=%d windows=%d", x.NumSequences(), x.NumWindows())
+	}
+}
+
+func TestWindowCoverage(t *testing.T) {
+	x := newTestIndex(t, 30)
+	s := randomWalk(rand.New(rand.NewSource(2)), 200) // last = 120
+	if err := x.AddSequence(1, s); err != nil {
+		t.Fatal(err)
+	}
+	// Offsets: 0, 30, 60, 90, 120 -> 5 windows; 120 == last included.
+	if x.NumWindows() != 5 {
+		t.Errorf("windows = %d, want 5", x.NumWindows())
+	}
+	offs := map[int]bool{}
+	for _, r := range x.refs {
+		offs[r.offset] = true
+	}
+	for _, want := range []int{0, 30, 60, 90, 120} {
+		if !offs[want] {
+			t.Errorf("offset %d missing", want)
+		}
+	}
+}
+
+func TestFinalWindowIncluded(t *testing.T) {
+	x := newTestIndex(t, 50)
+	s := randomWalk(rand.New(rand.NewSource(3)), window+70) // last = 70
+	if err := x.AddSequence(1, s); err != nil {
+		t.Fatal(err)
+	}
+	// Offsets 0, 50, then forced 70.
+	if x.NumWindows() != 3 {
+		t.Fatalf("windows = %d", x.NumWindows())
+	}
+	if x.refs[len(x.refs)-1].offset != 70 {
+		t.Errorf("tail window at %d", x.refs[len(x.refs)-1].offset)
+	}
+}
+
+func TestFindsPlantedPattern(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	// A distinctive pattern planted at a known offset inside noise.
+	pattern := make(ts.Series, window)
+	for i := range pattern {
+		pattern[i] = 10 * math.Sin(float64(i)/5)
+	}
+	const plantAt = 160
+	long := randomWalk(r, 400)
+	copy(long[plantAt:plantAt+window], pattern)
+
+	x := newTestIndex(t, 8)
+	if err := x.AddSequence(7, long); err != nil {
+		t.Fatal(err)
+	}
+	// Also add pure-noise decoys.
+	for id := int64(8); id < 12; id++ {
+		if err := x.AddSequence(id, randomWalk(r, 400)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Query with a slightly distorted copy of the pattern.
+	q := pattern.Clone()
+	for i := range q {
+		q[i] += r.NormFloat64() * 0.3
+	}
+	best, ok := x.Best(q, 0.1)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if best.SeriesID != 7 {
+		t.Fatalf("best match in series %d, want 7", best.SeriesID)
+	}
+	if best.Offset < plantAt-window/2 || best.Offset > plantAt+window/2 {
+		t.Errorf("best offset %d, planted at %d", best.Offset, plantAt)
+	}
+}
+
+func TestRangeQueryMergesOverlaps(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	long := randomWalk(r, 300)
+	x := newTestIndex(t, 4) // dense overlapping windows
+	if err := x.AddSequence(1, long); err != nil {
+		t.Fatal(err)
+	}
+	// Query a region of the sequence itself: many overlapping windows
+	// match, but they must merge into few reported positions.
+	q := long[100 : 100+window]
+	matches, _ := x.RangeQuery(q, 3, 0.1)
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	// Merged matches on the same series must be >= one window apart.
+	for i := 1; i < len(matches); i++ {
+		for j := 0; j < i; j++ {
+			if matches[i].SeriesID == matches[j].SeriesID {
+				d := matches[i].Offset - matches[j].Offset
+				if d < 0 {
+					d = -d
+				}
+				if d < window {
+					t.Fatalf("overlapping matches reported: %+v and %+v", matches[i], matches[j])
+				}
+			}
+		}
+	}
+	// The best match should be at (or near) offset 100 with distance ~0.
+	if matches[0].Dist > 1e-9 {
+		t.Errorf("self-query distance %v", matches[0].Dist)
+	}
+	if matches[0].Offset != 100 {
+		t.Errorf("self-query offset %d, want 100", matches[0].Offset)
+	}
+}
+
+func TestBestEmptyIndex(t *testing.T) {
+	x := newTestIndex(t, 10)
+	if _, ok := x.Best(make(ts.Series, window), 0.1); ok {
+		t.Error("match on empty index")
+	}
+}
+
+func TestAgainstBruteForceSlidingDTW(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	long := randomWalk(r, 250)
+	x := newTestIndex(t, 1) // every offset indexed
+	if err := x.AddSequence(1, long); err != nil {
+		t.Fatal(err)
+	}
+	q := randomWalk(r, window)
+	best, ok := x.Best(q, 0.1)
+	if !ok {
+		t.Fatal("no match")
+	}
+	// Brute force: banded DTW of the query normal form against every
+	// window normal form.
+	k := dtw.BandRadius(normLen, 0.1)
+	qn := q.NormalForm(normLen)
+	bruteBest := math.Inf(1)
+	for off := 0; off+window <= len(long); off++ {
+		d := dtw.Banded(qn, long[off:off+window].NormalForm(normLen), k)
+		if d < bruteBest {
+			bruteBest = d
+		}
+	}
+	if math.Abs(best.Dist-bruteBest) > 1e-9 {
+		t.Errorf("index best %v, brute force %v", best.Dist, bruteBest)
+	}
+}
+
+func TestMelodySubsequenceSearch(t *testing.T) {
+	// Domain use: find which song contains a hummed fragment, without
+	// phrase segmentation.
+	x, err := New(core.NewPAA(normLen, dim), Config{Window: 96, Hop: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	songs := music.BuiltinSongs()
+	for _, s := range songs {
+		serie := s.Melody.TimeSeries()
+		if len(serie) < 96 {
+			continue
+		}
+		if err := x.AddSequence(s.ID, serie); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fragment: the middle of Ode to Joy, transposed (shift-invariance).
+	ode := music.OdeToJoy().TimeSeries()
+	frag := ode[16:112].Shift(7)
+	best, ok := x.Best(frag, 0.1)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if best.SeriesID != 0 { // Ode to Joy
+		t.Errorf("fragment matched series %d, want 0 (Ode to Joy)", best.SeriesID)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	x := newTestIndex(t, 8)
+	for id := int64(0); id < 6; id++ {
+		if err := x.AddSequence(id, randomWalk(r, 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := randomWalk(r, window)
+	got := x.TopK(q, 4, 0.1)
+	if len(got) != 4 {
+		t.Fatalf("TopK returned %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist < got[i-1].Dist {
+			t.Fatal("TopK not sorted")
+		}
+	}
+	// No overlapping pair within a sequence.
+	for i := range got {
+		for j := i + 1; j < len(got); j++ {
+			if got[i].SeriesID == got[j].SeriesID {
+				d := got[i].Offset - got[j].Offset
+				if d < 0 {
+					d = -d
+				}
+				if d < window {
+					t.Fatal("overlapping TopK matches")
+				}
+			}
+		}
+	}
+	// The first TopK result agrees with Best.
+	best, _ := x.Best(q, 0.1)
+	if best.Dist != got[0].Dist {
+		t.Errorf("Best %v vs TopK[0] %v", best.Dist, got[0].Dist)
+	}
+	// Edge cases.
+	if x.TopK(q, 0, 0.1) != nil {
+		t.Error("k=0 should return nil")
+	}
+	if got := x.TopK(q, 1000, 0.1); len(got) == 0 {
+		t.Error("huge k returned nothing")
+	}
+	empty := newTestIndex(t, 8)
+	if empty.TopK(q, 3, 0.1) != nil {
+		t.Error("TopK on empty index")
+	}
+}

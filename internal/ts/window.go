@@ -1,0 +1,84 @@
+package ts
+
+// SlidingMin returns, for each index i, the minimum of s over the window
+// [i-k, i+k] clipped to the series bounds. It runs in O(n) using a monotonic
+// deque. k must be >= 0; k = 0 returns a copy of s.
+func SlidingMin(s Series, k int) Series {
+	return slidingExtreme(s, k, func(a, b float64) bool { return a <= b })
+}
+
+// SlidingMax returns, for each index i, the maximum of s over the window
+// [i-k, i+k] clipped to the series bounds. It runs in O(n).
+func SlidingMax(s Series, k int) Series {
+	return slidingExtreme(s, k, func(a, b float64) bool { return a >= b })
+}
+
+// slidingExtreme computes a centered sliding-window extreme with window
+// radius k. better(a, b) reports whether a should be kept in preference to b
+// (<= for min so that older equal values survive, >= for max).
+func slidingExtreme(s Series, k int, better func(a, b float64) bool) Series {
+	n := len(s)
+	out := make(Series, n)
+	if n == 0 {
+		return out
+	}
+	if k < 0 {
+		panic("ts: negative window radius")
+	}
+	// deque holds indices of candidate extremes, values monotonic.
+	deque := make([]int, 0, 2*k+2)
+	// Prime with the first window [0, min(k, n-1)].
+	for j := 0; j <= k && j < n; j++ {
+		for len(deque) > 0 && better(s[j], s[deque[len(deque)-1]]) {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, j)
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			// The window for i adds index i+k (if in range).
+			if j := i + k; j < n {
+				for len(deque) > 0 && better(s[j], s[deque[len(deque)-1]]) {
+					deque = deque[:len(deque)-1]
+				}
+				deque = append(deque, j)
+			}
+		}
+		// Drop indices that fell out of [i-k, i+k].
+		for len(deque) > 0 && deque[0] < i-k {
+			deque = deque[1:]
+		}
+		out[i] = s[deque[0]]
+	}
+	return out
+}
+
+// MovingAverage returns the centered moving average of s with window radius
+// k (window [i-k, i+k] clipped to bounds). It runs in O(n).
+func MovingAverage(s Series, k int) Series {
+	n := len(s)
+	out := make(Series, n)
+	if n == 0 {
+		return out
+	}
+	if k < 0 {
+		panic("ts: negative window radius")
+	}
+	// Prefix sums for O(1) range sums.
+	prefix := make([]float64, n+1)
+	for i, v := range s {
+		prefix[i+1] = prefix[i] + v
+	}
+	for i := 0; i < n; i++ {
+		lo := i - k
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + k
+		if hi >= n {
+			hi = n - 1
+		}
+		out[i] = (prefix[hi+1] - prefix[lo]) / float64(hi-lo+1)
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package wav
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode exercises the WAV parser with arbitrary bytes; it must only
+// ever return errors, never panic, and successful parses must yield
+// samples in a sane range.
+func FuzzDecode(f *testing.F) {
+	var valid bytes.Buffer
+	if err := Encode(&valid, []float64{0, 0.5, -0.5, 1, -1}, 8000); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:13])
+	f.Add([]byte("RIFF"))
+	f.Add([]byte{})
+	f.Add([]byte("RIFFxxxxWAVEfmt "))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples, rate, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if rate < 0 {
+			t.Fatalf("negative sample rate %d", rate)
+		}
+		for i, v := range samples {
+			if v < -1.0001 || v > 1.0001 {
+				t.Fatalf("sample %d out of range: %v", i, v)
+			}
+		}
+	})
+}
