@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench cover experiments experiments-small clean
+.PHONY: all build test vet race race-all bench cover experiments experiments-small clean
 
 all: vet test
 
@@ -13,7 +13,11 @@ vet: build
 test:
 	$(GO) test ./...
 
+# Matches the CI race job: the packages with real concurrency.
 race:
+	$(GO) test -race ./internal/qbh/... ./internal/server/... ./internal/index/... ./internal/rtree/...
+
+race-all:
 	$(GO) test -race ./...
 
 bench:

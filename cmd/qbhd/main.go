@@ -11,6 +11,13 @@
 //	POST /query?top=5&delta=0.1      body: mono 16-bit PCM WAV hum
 //	POST /query/pitch?top=5          body: JSON array of MIDI pitches
 //	POST /songs?title=Name           body: Standard MIDI File
+//	GET  /healthz                    liveness probe
+//	GET  /readyz                     readiness probe (503 while draining)
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503,
+// in-flight requests drain for up to -drain-timeout, then the process
+// exits. Overload and per-query limits are tunable with -max-concurrent,
+// -queue-timeout, -query-timeout, and -max-dtw.
 //
 // Example:
 //
@@ -19,13 +26,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"warping"
@@ -37,6 +48,11 @@ func main() {
 	songCount := flag.Int("songs", 200, "number of generated songs for the demo database")
 	loadDB := flag.String("loaddb", "", "load a saved database instead of generating")
 	midiDir := flag.String("mididir", "", "index a directory of .mid files instead of generating")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission slots for expensive endpoints (0 = GOMAXPROCS)")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "max wait for an admission slot before 429")
+	queryTimeout := flag.Duration("query-timeout", 15*time.Second, "per-query deadline (negative = none)")
+	maxDTW := flag.Int("max-dtw", 100000, "per-query exact-DTW budget (negative = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
 	sys, err := buildSystem(*loadDB, *midiDir, *songCount)
@@ -46,15 +62,47 @@ func main() {
 	}
 	log.Printf("database ready: %d songs, %d phrases", sys.NumSongs(), sys.NumPhrases())
 
+	handler := server.NewWithConfig(sys, server.Config{
+		MaxConcurrent: *maxConcurrent,
+		QueueTimeout:  *queueTimeout,
+		QueryTimeout:  *queryTimeout,
+		MaxExactDTW:   *maxDTW,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(server.New(sys)),
+		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
 	}
+
+	// Drain: stop advertising readiness, then let in-flight requests
+	// finish within the deadline.
+	log.Printf("shutting down, draining for up to %v", *drainTimeout)
+	handler.SetReady(false)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("drain deadline exceeded, closing: %v", err)
+		_ = srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve error: %v", err)
+	}
+	log.Printf("shutdown complete")
 }
 
 func buildSystem(loadDB, midiDir string, songCount int) (*warping.QBH, error) {

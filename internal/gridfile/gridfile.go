@@ -22,7 +22,8 @@ type Item struct {
 	Point []float64
 }
 
-// Stats holds query-cost counters.
+// Stats holds query-cost counters, accumulated per query: pass a *Stats to
+// the ...Stats search variants.
 type Stats struct {
 	// BucketAccesses counts buckets (pages) visited by queries.
 	BucketAccesses int
@@ -30,13 +31,13 @@ type Stats struct {
 	CellProbes int
 }
 
-// Grid is a sparse uniform grid index. Not safe for concurrent mutation.
+// Grid is a sparse uniform grid index. Searches are read-pure and may run
+// concurrently with each other; inserts require exclusive access.
 type Grid struct {
 	dim      int
 	cellSize float64
 	buckets  map[string][]Item
 	size     int
-	stats    Stats
 	// minCell/maxCell bound the occupied cells (valid when size > 0);
 	// the kNN ring search uses them to know when to stop expanding.
 	minCell, maxCell []int
@@ -60,12 +61,6 @@ func New(dim int, cellSize float64) *Grid {
 
 // Len returns the number of stored items.
 func (g *Grid) Len() int { return g.size }
-
-// Stats returns a snapshot of the counters.
-func (g *Grid) Stats() Stats { return g.stats }
-
-// ResetStats zeroes the counters.
-func (g *Grid) ResetStats() { g.stats = Stats{} }
 
 // cellOf maps a point to its cell coordinates.
 func (g *Grid) cellOf(p []float64) []int {
@@ -126,8 +121,18 @@ func (g *Grid) RangeSearch(point []float64, radius float64) []Item {
 // axis-aligned box [lo, hi] is at most radius. It probes every grid cell
 // intersecting the box expanded by radius, then filters points exactly.
 func (g *Grid) RangeSearchBox(lo, hi []float64, radius float64) []Item {
+	return g.RangeSearchBoxStats(lo, hi, radius, nil)
+}
+
+// RangeSearchBoxStats is RangeSearchBox accumulating bucket and cell-probe
+// counts into st (which may be nil). Searches never mutate the grid, so any
+// number may run concurrently as long as each uses its own Stats.
+func (g *Grid) RangeSearchBoxStats(lo, hi []float64, radius float64, st *Stats) []Item {
 	if len(lo) != g.dim || len(hi) != g.dim {
 		panic("gridfile: query dimension mismatch")
+	}
+	if st == nil {
+		st = &Stats{}
 	}
 	cLo := make([]int, g.dim)
 	cHi := make([]int, g.dim)
@@ -140,9 +145,9 @@ func (g *Grid) RangeSearchBox(lo, hi []float64, radius float64) []Item {
 	cur := make([]int, g.dim)
 	copy(cur, cLo)
 	for {
-		g.stats.CellProbes++
+		st.CellProbes++
 		if bucket, ok := g.buckets[cellKey(cur)]; ok {
-			g.stats.BucketAccesses++
+			st.BucketAccesses++
 			for _, it := range bucket {
 				if squaredDistToBox(it.Point, lo, hi) <= r2 {
 					out = append(out, it)
@@ -192,11 +197,20 @@ type Neighbor struct {
 // shell outward from the query cell, stopping when the next shell cannot
 // contain anything closer than the current kth best.
 func (g *Grid) KNN(point []float64, k int) []Neighbor {
+	return g.KNNStats(point, k, nil)
+}
+
+// KNNStats is KNN accumulating bucket and cell-probe counts into st (which
+// may be nil).
+func (g *Grid) KNNStats(point []float64, k int, st *Stats) []Neighbor {
 	if len(point) != g.dim {
 		panic(fmt.Sprintf("gridfile: query dim %d, grid dim %d", len(point), g.dim))
 	}
 	if k <= 0 || g.size == 0 {
 		return nil
+	}
+	if st == nil {
+		st = &Stats{}
 	}
 	center := g.cellOf(point)
 	var best []Neighbor
@@ -231,8 +245,8 @@ func (g *Grid) KNN(point []float64, k int) []Neighbor {
 		if float64(ring-1)*g.cellSize > worst() {
 			break
 		}
-		g.visitShell(center, ring, func(bucket []Item) {
-			g.stats.BucketAccesses++
+		g.visitShell(center, ring, st, func(bucket []Item) {
+			st.BucketAccesses++
 			for _, it := range bucket {
 				var d2 float64
 				for d, v := range it.Point {
@@ -250,9 +264,9 @@ func (g *Grid) KNN(point []float64, k int) []Neighbor {
 
 // visitShell enumerates all cells at Chebyshev distance exactly ring from
 // center, invoking fn on each non-empty bucket.
-func (g *Grid) visitShell(center []int, ring int, fn func([]Item)) {
+func (g *Grid) visitShell(center []int, ring int, st *Stats, fn func([]Item)) {
 	if ring == 0 {
-		g.stats.CellProbes++
+		st.CellProbes++
 		if bucket, ok := g.buckets[cellKey(center)]; ok {
 			fn(bucket)
 		}
@@ -265,7 +279,7 @@ func (g *Grid) visitShell(center []int, ring int, fn func([]Item)) {
 			if !onBoundary {
 				return // interior cell, already visited in a smaller ring
 			}
-			g.stats.CellProbes++
+			st.CellProbes++
 			if bucket, ok := g.buckets[cellKey(cur)]; ok {
 				fn(bucket)
 			}

@@ -99,15 +99,15 @@ func TestStats(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		g.Insert(int64(i), randomPoint(r, 2))
 	}
-	g.ResetStats()
-	g.RangeSearch([]float64{0, 0}, 3)
-	s := g.Stats()
+	var s Stats
+	g.RangeSearchBoxStats([]float64{0, 0}, []float64{0, 0}, 3, &s)
 	if s.CellProbes == 0 {
 		t.Error("no cell probes recorded")
 	}
-	g.ResetStats()
-	if g.Stats().CellProbes != 0 {
-		t.Error("ResetStats failed")
+	var s2 Stats
+	g.KNNStats([]float64{0, 0}, 3, &s2)
+	if s2.BucketAccesses == 0 {
+		t.Error("no bucket accesses recorded for kNN")
 	}
 }
 

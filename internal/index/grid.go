@@ -62,11 +62,11 @@ func (ix *GridIndex) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, Q
 	env := dtw.NewEnvelope(q, k)
 	fe := ix.transform.ApplyEnvelope(env)
 
-	ix.grid.ResetStats()
-	items := ix.grid.RangeSearchBox(fe.Lower, fe.Upper, epsilon)
+	var gstats gridfile.Stats
+	items := ix.grid.RangeSearchBoxStats(fe.Lower, fe.Upper, epsilon, &gstats)
 	var stats QueryStats
 	stats.Candidates = len(items)
-	stats.PageAccesses = ix.grid.Stats().BucketAccesses
+	stats.PageAccesses = gstats.BucketAccesses
 
 	var out []Match
 	for _, it := range items {

@@ -15,6 +15,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -45,6 +46,25 @@ type QueryStats struct {
 	ExactDTW int
 	// PageAccesses is the number of index nodes visited.
 	PageAccesses int
+	// Degraded reports that the query hit its Limits.MaxExactDTW budget
+	// and returned without refining every candidate: the results are the
+	// best found within budget, not guaranteed exact.
+	Degraded bool
+}
+
+// Limits bounds the work a single query may perform. The zero value means
+// unlimited.
+type Limits struct {
+	// MaxExactDTW caps the number of exact DTW verifications per query.
+	// When the cap is reached the query stops refining, returns the
+	// matches found so far, and sets QueryStats.Degraded. Zero means no
+	// cap.
+	MaxExactDTW int
+	// CandidateHook, when non-nil, is invoked before each exact-DTW
+	// verification. It exists for fault injection in tests (slow-query
+	// simulation) and lightweight instrumentation; it must not mutate the
+	// index.
+	CandidateHook func()
 }
 
 // Index is a DTW similarity index over fixed-length normal-form series.
@@ -129,6 +149,16 @@ func (ix *Index) Get(id int64) (ts.Series, bool) {
 // (delta = (2k+1)/n). Results are sorted by distance. The query series must
 // be in the same normal form as the indexed data.
 func (ix *Index) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, QueryStats) {
+	out, stats, _ := ix.RangeQueryCtx(context.Background(), q, epsilon, delta, Limits{})
+	return out, stats
+}
+
+// RangeQueryCtx is RangeQuery with cancellation and work limits. The
+// context is checked between candidates: a cancelled query stops promptly
+// (without finishing the current DTW computation's candidate loop) and
+// returns the matches verified so far together with ctx.Err(). Queries
+// never mutate the index, so any number may run concurrently.
+func (ix *Index) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta float64, lim Limits) ([]Match, QueryStats, error) {
 	if len(q) != ix.n {
 		panic(fmt.Sprintf("index: query length %d, want %d", len(q), ix.n))
 	}
@@ -137,20 +167,32 @@ func (ix *Index) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, Query
 	fe := ix.transform.ApplyEnvelope(env)
 	box := rtree.Rect{Lo: fe.Lower, Hi: fe.Upper}
 
-	ix.tree.ResetStats()
-	items := ix.tree.RangeSearchRect(box, epsilon)
+	var tstats rtree.Stats
+	items := ix.tree.RangeSearchRectStats(box, epsilon, &tstats)
 	var stats QueryStats
 	stats.Candidates = len(items)
-	stats.PageAccesses = ix.tree.Stats().NodeAccesses
+	stats.PageAccesses = tstats.NodeAccesses
 
 	var out []Match
+	var err error
 	for _, it := range items {
+		if e := ctx.Err(); e != nil {
+			err = e
+			break
+		}
+		if lim.MaxExactDTW > 0 && stats.ExactDTW >= lim.MaxExactDTW {
+			stats.Degraded = true
+			break
+		}
 		x := ix.series[it.ID]
 		// Second filter: full-dimensional envelope bound (cheap, no DP).
 		if dtw.DistToEnvelope(x, env) > epsilon {
 			continue
 		}
 		stats.LBSurvivors++
+		if lim.CandidateHook != nil {
+			lim.CandidateHook()
+		}
 		stats.ExactDTW++
 		// Early-abandoning DTW: most candidates blow past epsilon in the
 		// first few DP rows.
@@ -164,7 +206,7 @@ func (ix *Index) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, Query
 		}
 		return out[i].ID < out[j].ID
 	})
-	return out, stats
+	return out, stats, err
 }
 
 // RangeQueryEuclidean returns all series within Euclidean distance epsilon
@@ -180,11 +222,11 @@ func (ix *Index) RangeQueryEuclidean(q ts.Series, epsilon float64) ([]Match, Que
 	}
 	fq := ix.transform.Apply(q)
 
-	ix.tree.ResetStats()
-	items := ix.tree.RangeSearch(fq, epsilon)
+	var tstats rtree.Stats
+	items := ix.tree.RangeSearchRectStats(rtree.PointRect(fq), epsilon, &tstats)
 	var stats QueryStats
 	stats.Candidates = len(items)
-	stats.PageAccesses = ix.tree.Stats().NodeAccesses
+	stats.PageAccesses = tstats.NodeAccesses
 
 	var out []Match
 	eps2 := epsilon * epsilon
@@ -220,24 +262,44 @@ func (ix *Index) RangeQueryEuclidean(q ts.Series, epsilon float64) ([]Match, Que
 // refined with exact DTW until the next lower bound exceeds the current
 // kth-best exact distance. Guaranteed exact (no false dismissals).
 func (ix *Index) KNN(q ts.Series, k int, delta float64) ([]Match, QueryStats) {
+	out, stats, _ := ix.KNNCtx(context.Background(), q, k, delta, Limits{})
+	return out, stats
+}
+
+// KNNCtx is KNN with cancellation and work limits. The context is checked
+// between candidates; on cancellation the neighbors verified so far are
+// returned (closest first) together with ctx.Err(). If lim.MaxExactDTW is
+// hit, traversal stops, stats.Degraded is set, and the exactness guarantee
+// no longer holds for the tail of the result. Queries never mutate the
+// index, so any number may run concurrently.
+func (ix *Index) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, lim Limits) ([]Match, QueryStats, error) {
 	if len(q) != ix.n {
 		panic(fmt.Sprintf("index: query length %d, want %d", len(q), ix.n))
 	}
 	if k <= 0 {
-		return nil, QueryStats{}
+		return nil, QueryStats{}, nil
 	}
 	band := dtw.BandRadius(ix.n, delta)
 	env := dtw.NewEnvelope(q, band)
 	fe := ix.transform.ApplyEnvelope(env)
 	box := rtree.Rect{Lo: fe.Lower, Hi: fe.Upper}
 
-	ix.tree.ResetStats()
+	var tstats rtree.Stats
 	var stats QueryStats
+	var err error
 	best := newTopK(k)
-	ix.tree.IncrementalNN(box, func(nb rtree.Neighbor) bool {
+	ix.tree.IncrementalNNStats(box, func(nb rtree.Neighbor) bool {
+		if e := ctx.Err(); e != nil {
+			err = e
+			return false
+		}
 		// Termination: the feature-space bound of the next candidate
 		// already exceeds the kth best exact distance.
 		if best.full() && nb.Dist > best.worst() {
+			return false
+		}
+		if lim.MaxExactDTW > 0 && stats.ExactDTW >= lim.MaxExactDTW {
+			stats.Degraded = true
 			return false
 		}
 		stats.Candidates++
@@ -246,6 +308,9 @@ func (ix *Index) KNN(q ts.Series, k int, delta float64) ([]Match, QueryStats) {
 			return true
 		}
 		stats.LBSurvivors++
+		if lim.CandidateHook != nil {
+			lim.CandidateHook()
+		}
 		stats.ExactDTW++
 		if best.full() {
 			w := best.worst()
@@ -256,9 +321,9 @@ func (ix *Index) KNN(q ts.Series, k int, delta float64) ([]Match, QueryStats) {
 			best.offer(Match{ID: nb.Item.ID, Dist: dtw.Banded(x, q, band)})
 		}
 		return true
-	})
-	stats.PageAccesses = ix.tree.Stats().NodeAccesses
-	return best.sorted(), stats
+	}, &tstats)
+	stats.PageAccesses = tstats.NodeAccesses
+	return best.sorted(), stats, err
 }
 
 // topK keeps the k smallest matches seen.

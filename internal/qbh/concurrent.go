@@ -1,6 +1,7 @@
 package qbh
 
 import (
+	"context"
 	"io"
 	"sync"
 
@@ -9,13 +10,13 @@ import (
 	"warping/internal/ts"
 )
 
-// Concurrent wraps a System for concurrent use. The underlying index
-// mutates shared page-access counters during every query, so even read-only
-// traffic must be serialized; Concurrent does that with a mutex, which is
-// the right trade-off for a request-serving deployment where queries take
-// milliseconds.
+// Concurrent wraps a System for concurrent use. Queries are read-pure
+// (query-time cost counters live in per-query QueryStats, not in shared
+// index state), so any number of queries run in parallel under a read
+// lock; AddSong and Save mutate or serialize the system and take the
+// write lock, draining in-flight queries first.
 type Concurrent struct {
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	sys *System
 }
 
@@ -25,44 +26,67 @@ func NewConcurrent(sys *System) *Concurrent {
 	return &Concurrent{sys: sys}
 }
 
-// Query is System.Query under the lock.
+// Query is System.Query under a read lock.
 func (c *Concurrent) Query(pitch ts.Series, topK int, delta float64) ([]SongMatch, index.QueryStats) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.sys.Query(pitch, topK, delta)
 }
 
-// NumSongs is System.NumSongs under the lock.
+// QueryCtx is System.QueryCtx under a read lock: cancellable, budgeted,
+// and concurrent with other queries.
+func (c *Concurrent) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta float64, lim index.Limits) ([]SongMatch, index.QueryStats, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sys.QueryCtx(ctx, pitch, topK, delta, lim)
+}
+
+// NumSongs is System.NumSongs under a read lock.
 func (c *Concurrent) NumSongs() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.sys.NumSongs()
 }
 
-// NumPhrases is System.NumPhrases under the lock.
+// NumPhrases is System.NumPhrases under a read lock.
 func (c *Concurrent) NumPhrases() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.sys.NumPhrases()
 }
 
-// AddSong is System.AddSong under the lock.
+// AddSong is System.AddSong under the write lock. The caller chooses the
+// song id; for server-side uploads prefer AddSongTitled, which allocates
+// the id atomically with the insert.
 func (c *Concurrent) AddSong(song music.Song) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sys.AddSong(song)
 }
 
-// Save is System.Save under the lock.
+// AddSongTitled allocates the next free song id and indexes the melody
+// under it, atomically with respect to all other operations: two
+// concurrent uploads can never observe the same "next" id.
+func (c *Concurrent) AddSongTitled(title string, melody music.Melody) (music.Song, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	song := music.Song{ID: c.sys.NextSongID(), Title: title, Melody: melody}
+	if err := c.sys.AddSong(song); err != nil {
+		return music.Song{}, err
+	}
+	return song, nil
+}
+
+// Save is System.Save under the write lock.
 func (c *Concurrent) Save(w io.Writer) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.sys.Save(w)
 }
 
-// Songs is System.Songs under the lock.
+// Songs is System.Songs under a read lock.
 func (c *Concurrent) Songs() []music.Song {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.sys.Songs()
 }

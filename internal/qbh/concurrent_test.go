@@ -1,0 +1,173 @@
+package qbh
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"warping/internal/hum"
+	"warping/internal/index"
+	"warping/internal/music"
+	"warping/internal/ts"
+)
+
+func newConcurrentSystem(t *testing.T) (*Concurrent, []music.Song) {
+	t.Helper()
+	songs := music.BuiltinSongs()
+	for _, s := range music.GenerateSongs(71, 20, 150, 250) {
+		s.ID += int64(len(music.BuiltinSongs()))
+		songs = append(songs, s)
+	}
+	sys, err := Build(songs, Options{PhraseMin: 8, PhraseMax: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewConcurrent(sys), songs
+}
+
+// TestConcurrentStress runs Query, QueryCtx, AddSongTitled, Songs, Save,
+// and the counters in parallel against one system. Its real assertion is
+// the race detector: `go test -race` must pass.
+func TestConcurrentStress(t *testing.T) {
+	c, songs := newConcurrentSystem(t)
+	// Pre-render query pitches and upload melodies (rand.Rand is not
+	// goroutine-safe).
+	r := rand.New(rand.NewSource(72))
+	pitches := make([]ts.Series, 6)
+	for i := range pitches {
+		pitches[i] = hum.GoodSinger().RenderPitch(songs[i%len(songs)].Melody, r)
+	}
+	melodies := make([]music.Melody, 4)
+	for i := range melodies {
+		melodies[i] = music.GenerateMelody(rand.New(rand.NewSource(int64(100+i))), 60)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				m, _, err := c.QueryCtx(context.Background(), pitches[i], 3, 0.1, index.Limits{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(m) == 0 {
+					errs <- fmt.Errorf("query %d/%d: no matches", i, j)
+					return
+				}
+			}
+		}(i)
+	}
+	for i := range melodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.AddSongTitled(fmt.Sprintf("Stress %d", i), melodies[i]); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if n := len(c.Songs()); n == 0 {
+					errs <- fmt.Errorf("empty song list")
+					return
+				}
+				_ = c.NumSongs()
+				_ = c.NumPhrases()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 3; j++ {
+			if err := c.Save(io.Discard); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestAddSongTitledUniqueIDs is the TOCTOU regression test: concurrent
+// uploads must never be assigned the same song id.
+func TestAddSongTitledUniqueIDs(t *testing.T) {
+	c, songs := newConcurrentSystem(t)
+	const uploads = 16
+	melodies := make([]music.Melody, uploads)
+	for i := range melodies {
+		melodies[i] = music.GenerateMelody(rand.New(rand.NewSource(int64(200+i))), 50)
+	}
+	ids := make(chan int64, uploads)
+	var wg sync.WaitGroup
+	for i := 0; i < uploads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			song, err := c.AddSongTitled(fmt.Sprintf("Upload %d", i), melodies[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids <- song.ID
+		}(i)
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[int64]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate song id %d allocated", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != uploads {
+		t.Fatalf("%d unique ids for %d uploads", len(seen), uploads)
+	}
+	if want := len(songs) + uploads; c.NumSongs() != want {
+		t.Errorf("NumSongs = %d, want %d", c.NumSongs(), want)
+	}
+}
+
+// TestQueryCtxCancelUnderConcurrentAdd cancels a query while an AddSong is
+// racing it; both must finish cleanly (checked under -race).
+func TestQueryCtxCancelUnderConcurrentAdd(t *testing.T) {
+	c, songs := newConcurrentSystem(t)
+	r := rand.New(rand.NewSource(73))
+	pitch := hum.GoodSinger().RenderPitch(songs[1].Melody, r)
+	melody := music.GenerateMelody(rand.New(rand.NewSource(300)), 60)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		cancel() // races the query below: either outcome is legal
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := c.AddSongTitled("Racer", melody); err != nil {
+			t.Error(err)
+		}
+	}()
+	_, _, err := c.QueryCtx(ctx, pitch, 3, 0.1, index.Limits{})
+	if err != nil && err != context.Canceled {
+		t.Errorf("unexpected error %v", err)
+	}
+	wg.Wait()
+}

@@ -11,6 +11,7 @@
 package qbh
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -169,6 +170,19 @@ func (s *System) AddSong(song music.Song) error {
 	return nil
 }
 
+// NextSongID returns the smallest id strictly greater than every song id in
+// the database (0 when empty). Callers that need allocation to be atomic
+// with the insert should use Concurrent.AddSongTitled.
+func (s *System) NextSongID() int64 {
+	var next int64
+	for id := range s.songs {
+		if id >= next {
+			next = id + 1
+		}
+	}
+	return next
+}
+
 // NumPhrases returns the number of indexed phrases.
 func (s *System) NumPhrases() int { return len(s.phrases) }
 
@@ -218,8 +232,19 @@ type SongMatch struct {
 // have silence removed (hum.StripSilence) and be at least a few samples
 // long.
 func (s *System) Query(pitch ts.Series, topK int, delta float64) ([]SongMatch, index.QueryStats) {
+	songs, stats, _ := s.QueryCtx(context.Background(), pitch, topK, delta, index.Limits{})
+	return songs, stats
+}
+
+// QueryCtx is Query with cancellation and per-query work limits. The
+// context is checked between candidate verifications; a cancelled query
+// returns the songs ranked from the matches verified so far together with
+// ctx.Err(). If lim.MaxExactDTW is reached, the ranking built within budget
+// is returned and stats.Degraded is set. Queries never mutate the system,
+// so any number may run concurrently.
+func (s *System) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta float64, lim index.Limits) ([]SongMatch, index.QueryStats, error) {
 	if len(pitch) == 0 {
-		return nil, index.QueryStats{}
+		return nil, index.QueryStats{}, nil
 	}
 	q := s.Normalize(pitch)
 	var stats index.QueryStats
@@ -230,14 +255,23 @@ func (s *System) Query(pitch ts.Series, topK int, delta float64) ([]SongMatch, i
 		k = 8
 	}
 	for {
-		matches, st := s.ix.KNN(q, k, delta)
+		matches, st, err := s.ix.KNNCtx(ctx, q, k, delta, lim)
 		stats = st
 		songs := s.aggregate(matches)
-		if len(songs) >= topK || k >= len(s.phrases) {
+		if err != nil || stats.Degraded || len(songs) >= topK || k >= len(s.phrases) {
 			if len(songs) > topK {
 				songs = songs[:topK]
 			}
-			return songs, stats
+			return songs, stats, err
+		}
+		// The budget must not reset across the growth loop: spend what
+		// remains after this round.
+		if lim.MaxExactDTW > 0 {
+			lim.MaxExactDTW -= st.ExactDTW
+			if lim.MaxExactDTW <= 0 {
+				stats.Degraded = true
+				return songs, stats, nil
+			}
 		}
 		k *= 2
 		if k > len(s.phrases) {

@@ -106,12 +106,11 @@ func TestBulkLoadBetterClusteringThanInserts(t *testing.T) {
 	var packedPages, grownPages int
 	for trial := 0; trial < 30; trial++ {
 		q := randomPoint(r, dim)
-		packed.ResetStats()
-		a := packed.RangeSearch(q, 25)
-		packedPages += packed.Stats().NodeAccesses
-		grown.ResetStats()
-		b := grown.RangeSearch(q, 25)
-		grownPages += grown.Stats().NodeAccesses
+		var ps, gs Stats
+		a := packed.RangeSearchRectStats(PointRect(q), 25, &ps)
+		packedPages += ps.NodeAccesses
+		b := grown.RangeSearchRectStats(PointRect(q), 25, &gs)
+		grownPages += gs.NodeAccesses
 		if len(a) != len(b) {
 			t.Fatalf("result mismatch: %d vs %d", len(a), len(b))
 		}

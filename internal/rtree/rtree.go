@@ -24,7 +24,10 @@ type Config struct {
 	DisableReinsert bool
 }
 
-// Stats accumulates search-cost counters. Reset between measurements.
+// Stats accumulates cost counters. Search-time counters (NodeAccesses,
+// LeafHits) are accumulated per query: pass a *Stats to the ...Stats search
+// variants. The tree's own Stats hold only insert-time structural counters
+// (Splits, Reinserts).
 type Stats struct {
 	// NodeAccesses counts every node visited by a query — the paper's
 	// "page accesses" measure (one node = one page).
@@ -50,9 +53,10 @@ type node struct {
 	items    []Item  // leaf nodes
 }
 
-// Tree is an R*-tree over points. A Tree is not safe for concurrent use:
-// searches update the page-access counters, so even read-only queries must
-// be externally serialized (or use one Tree per goroutine).
+// Tree is an R*-tree over points. Searches are read-pure — cost counters
+// accumulate into a caller-provided per-query Stats — so any number of
+// searches may run concurrently with each other. Inserts and deletes mutate
+// the tree and require exclusive access.
 type Tree struct {
 	dim     int
 	size    int
@@ -106,10 +110,10 @@ func (t *Tree) Dim() int { return t.dim }
 // Height returns the tree height (1 for a root-only tree).
 func (t *Tree) Height() int { return t.root.level + 1 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the insert-time structural counters.
 func (t *Tree) Stats() Stats { return t.stats }
 
-// ResetStats zeroes the counters.
+// ResetStats zeroes the structural counters.
 func (t *Tree) ResetStats() { t.stats = Stats{} }
 
 // Insert adds an item. The point slice is retained; callers must not

@@ -252,25 +252,23 @@ func TestEmptyTreeSearches(t *testing.T) {
 func TestStatsAccounting(t *testing.T) {
 	r := rand.New(rand.NewSource(6))
 	tr, _ := buildRandomTree(r, 2000, 4, Config{MaxEntries: 16})
-	tr.ResetStats()
-	tr.RangeSearch(randomPoint(r, 4), 10)
-	s := tr.Stats()
-	if s.NodeAccesses == 0 {
+	var st Stats
+	tr.RangeSearchRectStats(PointRect(randomPoint(r, 4)), 10, &st)
+	if st.NodeAccesses == 0 {
 		t.Error("no node accesses recorded")
 	}
-	tr.ResetStats()
-	if tr.Stats().NodeAccesses != 0 {
-		t.Error("ResetStats did not reset")
+	// Searches must not touch the tree's own (structural) counters.
+	before := tr.Stats()
+	tr.RangeSearch(randomPoint(r, 4), 10)
+	if tr.Stats() != before {
+		t.Error("search mutated tree counters")
 	}
 	// A tiny-radius search must access far fewer nodes than a full scan.
-	tr.ResetStats()
-	tr.RangeSearch(randomPoint(r, 4), 1)
-	small := tr.Stats().NodeAccesses
-	tr.ResetStats()
-	tr.RangeSearch(randomPoint(r, 4), 1000)
-	large := tr.Stats().NodeAccesses
-	if small >= large {
-		t.Errorf("small-radius accesses %d >= full-scan accesses %d", small, large)
+	var small, large Stats
+	tr.RangeSearchRectStats(PointRect(randomPoint(r, 4)), 1, &small)
+	tr.RangeSearchRectStats(PointRect(randomPoint(r, 4)), 1000, &large)
+	if small.NodeAccesses >= large.NodeAccesses {
+		t.Errorf("small-radius accesses %d >= full-scan accesses %d", small.NodeAccesses, large.NodeAccesses)
 	}
 }
 

@@ -7,29 +7,39 @@ import (
 )
 
 // RangeSearch returns the IDs of all items within Euclidean distance radius
-// of the query point, updating the page-access counters.
+// of the query point.
 func (t *Tree) RangeSearch(point []float64, radius float64) []Item {
 	return t.RangeSearchRect(PointRect(point), radius)
 }
 
-// RangeSearchRect returns all items whose Euclidean distance to the query
-// rectangle (e.g. a feature-space envelope box) is at most radius. A node is
-// visited only if MINDIST(node MBR, query rect) <= radius; every visited
-// node counts as one page access.
+// RangeSearchRect is RangeSearchRectStats without cost accounting.
 func (t *Tree) RangeSearchRect(q Rect, radius float64) []Item {
+	return t.RangeSearchRectStats(q, radius, nil)
+}
+
+// RangeSearchRectStats returns all items whose Euclidean distance to the
+// query rectangle (e.g. a feature-space envelope box) is at most radius. A
+// node is visited only if MINDIST(node MBR, query rect) <= radius; every
+// visited node counts as one page access, accumulated into st (which may be
+// nil). Searches never mutate the tree, so any number may run concurrently
+// as long as each query uses its own Stats.
+func (t *Tree) RangeSearchRectStats(q Rect, radius float64, st *Stats) []Item {
 	if q.Dim() != t.dim {
 		panic("rtree: query dimension mismatch")
+	}
+	if st == nil {
+		st = &Stats{}
 	}
 	r2 := radius * radius
 	var out []Item
 	var walk func(n *node)
 	walk = func(n *node) {
-		t.stats.NodeAccesses++
+		st.NodeAccesses++
 		if n.leaf {
 			for i, it := range n.items {
 				if q.SquaredMinDist(n.rects[i].Lo) <= r2 {
 					out = append(out, it)
-					t.stats.LeafHits++
+					st.LeafHits++
 				}
 			}
 			return
@@ -69,15 +79,24 @@ func (t *Tree) KNNRect(q Rect, k int) []Neighbor {
 	return out
 }
 
-// IncrementalNN enumerates items in ascending order of distance to the
+// IncrementalNN is IncrementalNNStats without cost accounting.
+func (t *Tree) IncrementalNN(q Rect, yield func(Neighbor) bool) {
+	t.IncrementalNNStats(q, yield, nil)
+}
+
+// IncrementalNNStats enumerates items in ascending order of distance to the
 // query rectangle, invoking yield for each; traversal stops when yield
 // returns false. This is the incremental ranking primitive of the optimal
 // multi-step kNN algorithm (Seidl & Kriegel): the caller can keep pulling
 // candidates until the feature-space distance exceeds its current exact
-// kth-best distance.
-func (t *Tree) IncrementalNN(q Rect, yield func(Neighbor) bool) {
+// kth-best distance. Node and leaf accesses accumulate into st (which may be
+// nil); the tree itself is never mutated, so concurrent searches are safe.
+func (t *Tree) IncrementalNNStats(q Rect, yield func(Neighbor) bool, st *Stats) {
 	if q.Dim() != t.dim {
 		panic("rtree: query dimension mismatch")
+	}
+	if st == nil {
+		st = &Stats{}
 	}
 	pq := &nnHeap{}
 	heap.Init(pq)
@@ -86,7 +105,7 @@ func (t *Tree) IncrementalNN(q Rect, yield func(Neighbor) bool) {
 		e := heap.Pop(pq).(nnEntry)
 		if e.node != nil {
 			n := e.node
-			t.stats.NodeAccesses++
+			st.NodeAccesses++
 			if n.leaf {
 				for i, it := range n.items {
 					d := math.Sqrt(q.SquaredMinDist(n.rects[i].Lo))
@@ -100,7 +119,7 @@ func (t *Tree) IncrementalNN(q Rect, yield func(Neighbor) bool) {
 			}
 			continue
 		}
-		t.stats.LeafHits++
+		st.LeafHits++
 		if !yield(Neighbor{Item: e.item, Dist: e.dist}) {
 			return
 		}

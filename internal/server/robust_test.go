@@ -1,0 +1,295 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"warping/internal/hum"
+	"warping/internal/midi"
+	"warping/internal/music"
+	"warping/internal/qbh"
+)
+
+// newRobustServer builds a handler with explicit limits and returns it
+// alongside the test server so tests can reach unexported knobs.
+func newRobustServer(t *testing.T, cfg Config) (*Handler, *httptest.Server, []music.Song) {
+	t.Helper()
+	songs := music.BuiltinSongs()
+	sys, err := qbh.Build(songs, qbh.Options{PhraseMin: 8, PhraseMax: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewWithConfig(sys, cfg)
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return h, srv, songs
+}
+
+func pitchBody(t *testing.T, songs []music.Song, seed int64) []byte {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	pitch := hum.GoodSinger().RenderPitch(songs[0].Melody, r)
+	body, err := json.Marshal([]float64(pitch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestAdmissionControl429(t *testing.T) {
+	h, srv, songs := newRobustServer(t, Config{MaxConcurrent: 1, QueueTimeout: 50 * time.Millisecond})
+	inHook := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	h.candidateHook = func() {
+		once.Do(func() {
+			close(inHook)
+			<-release
+		})
+	}
+
+	body := pitchBody(t, songs, 46)
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/query/pitch?top=1", "application/json", bytes.NewReader(body))
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		defer resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+
+	// Wait until the first query holds the only admission slot.
+	select {
+	case <-inHook:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first query never reached verification")
+	}
+
+	// The slot is occupied: a second query must be shed with 429.
+	resp, err := http.Post(srv.URL+"/query/pitch?top=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+
+	close(release)
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("first query finished with %d, want 200", code)
+	}
+}
+
+func TestQueryDeadline503(t *testing.T) {
+	h, srv, songs := newRobustServer(t, Config{QueryTimeout: 30 * time.Millisecond})
+	h.candidateHook = func() { time.Sleep(10 * time.Millisecond) }
+	start := time.Now()
+	resp, err := http.Post(srv.URL+"/query/pitch?top=1", "application/json", bytes.NewReader(pitchBody(t, songs, 47)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timed-out query took %v", elapsed)
+	}
+}
+
+func TestDegradedResponse(t *testing.T) {
+	_, srv, songs := newRobustServer(t, Config{MaxExactDTW: 1})
+	resp, err := http.Post(srv.URL+"/query/pitch?top=3", "application/json", bytes.NewReader(pitchBody(t, songs, 48)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Degraded {
+		t.Error("budget-capped query not marked degraded")
+	}
+	if qr.ExactDTW > 1 {
+		t.Errorf("ExactDTW = %d with budget 1", qr.ExactDTW)
+	}
+}
+
+func TestOversizedBody413(t *testing.T) {
+	_, srv, _ := newRobustServer(t, Config{MaxBodyBytes: 1024})
+	big := bytes.Repeat([]byte("a"), 4096)
+	// /query/pitch parses JSON incrementally, so the body must be valid
+	// JSON long enough to cross the cap before the parser can object.
+	bigJSON := []byte("[" + string(bytes.Repeat([]byte("60,"), 2000)) + "60]")
+	for _, c := range []struct {
+		path string
+		body []byte
+	}{
+		{"/query", big},
+		{"/query/pitch", bigJSON},
+		{"/songs", big},
+	} {
+		resp, err := http.Post(srv.URL+c.path, "application/octet-stream", bytes.NewReader(c.body))
+		if err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d, want 413", c.path, resp.StatusCode)
+		}
+	}
+}
+
+func TestPitchValidation(t *testing.T) {
+	_, srv, _ := newRobustServer(t, Config{MaxPitchFrames: 100})
+	long := make([]float64, 200)
+	for i := range long {
+		long[i] = 60
+	}
+	body, _ := json.Marshal(long)
+	resp, err := http.Post(srv.URL+"/query/pitch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("over-cap pitch array: status %d, want 400", resp.StatusCode)
+	}
+	// Non-finite values cannot arrive through strict JSON, but the
+	// validator must still reject them (defense in depth for future
+	// ingestion paths).
+	if err := validatePitch([]float64{60, math.NaN()}, 100); err == nil {
+		t.Error("NaN accepted")
+	}
+	if err := validatePitch([]float64{60, math.Inf(1)}, 100); err == nil {
+		t.Error("+Inf accepted")
+	}
+	if err := validatePitch([]float64{60, 62, 64}, 100); err != nil {
+		t.Errorf("valid pitch rejected: %v", err)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	h, srv, songs := newRobustServer(t, Config{})
+	h.candidateHook = func() { panic("injected fault") }
+	resp, err := http.Post(srv.URL+"/query/pitch?top=1", "application/json", bytes.NewReader(pitchBody(t, songs, 49)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	// The process (and handler) must keep serving after the panic.
+	h.candidateHook = nil
+	resp2, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-panic /stats status %d", resp2.StatusCode)
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	h, srv, _ := newRobustServer(t, Config{})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	h.SetReady(false)
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining /readyz: status %d, want 503", resp.StatusCode)
+	}
+	// Liveness is unaffected by draining.
+	resp2, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("draining /healthz: status %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestConcurrentUploadsUniqueIDs is the server-level TOCTOU regression
+// test: parallel POST /songs must produce distinct ids.
+func TestConcurrentUploadsUniqueIDs(t *testing.T) {
+	_, srv, _ := newRobustServer(t, Config{MaxConcurrent: 8})
+	const uploads = 8
+	bodies := make([][]byte, uploads)
+	for i := range bodies {
+		tune := music.GenerateMelody(rand.New(rand.NewSource(int64(400+i))), 40)
+		data, err := midi.EncodeMelody(tune, 500000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = data
+	}
+	ids := make(chan int64, uploads)
+	var wg sync.WaitGroup
+	for i := 0; i < uploads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(fmt.Sprintf("%s/songs?title=Up%d", srv.URL, i), "audio/midi", bytes.NewReader(bodies[i]))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				t.Errorf("upload %d: status %d", i, resp.StatusCode)
+				return
+			}
+			var info SongInfo
+			if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+				t.Error(err)
+				return
+			}
+			ids <- info.ID
+		}(i)
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[int64]bool{}
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate song id %d", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != uploads {
+		t.Fatalf("%d unique ids for %d uploads", len(seen), uploads)
+	}
+}

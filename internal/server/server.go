@@ -6,49 +6,179 @@
 //	POST /query?top=K&delta=D   body: mono 16-bit PCM WAV of a hum
 //	POST /query/pitch?...       body: JSON array of MIDI pitches (10 ms frames)
 //	POST /songs?title=T         body: Standard MIDI File; indexes the melody
+//	GET  /healthz               liveness probe (always 200 while serving)
+//	GET  /readyz                readiness probe (503 while draining)
 //
-// Responses are JSON. The handler serializes access to the underlying
-// system (index queries mutate shared cost counters), so it is safe under
-// concurrent requests.
+// Responses are JSON. Queries run concurrently under a read lock (index
+// searches are read-pure); uploads and saves take the write lock. The
+// expensive endpoints sit behind an admission semaphore: when every slot
+// is busy past the queue timeout the server sheds load with 429 and a
+// Retry-After header instead of queueing unboundedly. Each query carries
+// a deadline and an exact-DTW budget; a budget-capped response is marked
+// "degraded": true. Handler panics become 500s without killing the
+// process.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"log"
+	"math"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"warping/internal/audio"
 	"warping/internal/hum"
+	"warping/internal/index"
 	"warping/internal/midi"
-	"warping/internal/music"
 	"warping/internal/qbh"
 	"warping/internal/ts"
 )
 
-// maxBodyBytes bounds uploads (a minute of 8 kHz 16-bit audio is ~1 MB).
-const maxBodyBytes = 16 << 20
+// Config tunes the serving path. The zero value of any field selects the
+// default.
+type Config struct {
+	// MaxConcurrent is the number of admission slots for the expensive
+	// endpoints (/query, /query/pitch, POST /songs). Default: GOMAXPROCS,
+	// at least 2.
+	MaxConcurrent int
+	// QueueTimeout is how long a request waits for an admission slot
+	// before being shed with 429. Default 2s.
+	QueueTimeout time.Duration
+	// QueryTimeout is the per-query deadline; a query that exceeds it is
+	// cancelled and answered with 503. Default 15s. Negative disables.
+	QueryTimeout time.Duration
+	// MaxExactDTW caps exact DTW verifications per query; responses that
+	// hit the cap are marked degraded. Default 100000. Negative disables.
+	MaxExactDTW int
+	// MaxBodyBytes bounds upload bodies; larger bodies get 413.
+	// Default 16 MiB (a minute of 8 kHz 16-bit audio is ~1 MB).
+	MaxBodyBytes int64
+	// MaxPitchFrames bounds the /query/pitch array length. Default 60000
+	// (ten minutes of 10 ms frames).
+	MaxPitchFrames int
+}
+
+func (c *Config) fill() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+		if c.MaxConcurrent < 2 {
+			c.MaxConcurrent = 2
+		}
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 15 * time.Second
+	}
+	if c.MaxExactDTW == 0 {
+		c.MaxExactDTW = 100000
+	}
+	if c.MaxExactDTW < 0 {
+		c.MaxExactDTW = 0 // index.Limits semantics: 0 = unlimited
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.MaxPitchFrames <= 0 {
+		c.MaxPitchFrames = 60000
+	}
+}
 
 // Handler serves the QBH API over a concurrent system wrapper.
 type Handler struct {
-	sys *qbh.Concurrent
-	mux *http.ServeMux
+	sys   *qbh.Concurrent
+	mux   *http.ServeMux
+	cfg   Config
+	sem   chan struct{}
+	ready atomic.Bool
+	// candidateHook, when non-nil, is passed to every query's
+	// index.Limits — fault injection for tests (slow queries, blocking).
+	candidateHook func()
 }
 
-// New builds the HTTP handler around a built system.
+// New builds the HTTP handler around a built system with default Config.
 func New(sys *qbh.System) *Handler {
-	h := &Handler{sys: qbh.NewConcurrent(sys), mux: http.NewServeMux()}
+	return NewWithConfig(sys, Config{})
+}
+
+// NewWithConfig builds the HTTP handler with explicit serving limits.
+func NewWithConfig(sys *qbh.System, cfg Config) *Handler {
+	cfg.fill()
+	h := &Handler{
+		sys: qbh.NewConcurrent(sys),
+		mux: http.NewServeMux(),
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxConcurrent),
+	}
+	h.ready.Store(true)
 	h.mux.HandleFunc("/stats", h.handleStats)
 	h.mux.HandleFunc("/songs", h.handleSongs)
 	h.mux.HandleFunc("/query", h.handleQueryWAV)
 	h.mux.HandleFunc("/query/pitch", h.handleQueryPitch)
+	h.mux.HandleFunc("/healthz", h.handleHealthz)
+	h.mux.HandleFunc("/readyz", h.handleReadyz)
 	return h
 }
 
-// ServeHTTP implements http.Handler.
+// SetReady flips the /readyz state; a draining server sets it false so
+// load balancers stop routing new traffic while in-flight requests finish.
+func (h *Handler) SetReady(ready bool) { h.ready.Store(ready) }
+
+// ServeHTTP implements http.Handler with panic containment.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if p := recover(); p != nil {
+			if err, ok := p.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(p)
+			}
+			log.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			// Best effort: if the handler already wrote headers this is a
+			// no-op and the client sees a truncated response.
+			httpError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
 	h.mux.ServeHTTP(w, r)
+}
+
+// acquire takes an admission slot, waiting at most QueueTimeout. It
+// reports false when the request should be shed (timeout or client gone).
+func (h *Handler) acquire(ctx context.Context) bool {
+	select {
+	case h.sem <- struct{}{}:
+		return true
+	default:
+	}
+	t := time.NewTimer(h.cfg.QueueTimeout)
+	defer t.Stop()
+	select {
+	case h.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (h *Handler) release() { <-h.sem }
+
+// admit wraps acquire with the 429 + Retry-After overload response.
+func (h *Handler) admit(w http.ResponseWriter, r *http.Request) bool {
+	if h.acquire(r.Context()) {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests, "server at capacity (%d concurrent requests), retry shortly", h.cfg.MaxConcurrent)
+	return false
 }
 
 // StatsResponse is the /stats payload.
@@ -78,6 +208,9 @@ type QueryResponse struct {
 	Candidates   int             `json:"candidates"`
 	ExactDTW     int             `json:"exact_dtw"`
 	PageAccesses int             `json:"page_accesses"`
+	// Degraded reports that the query hit its exact-DTW budget and the
+	// ranking is best-effort rather than exact.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -86,6 +219,18 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, StatsResponse{Songs: h.sys.NumSongs(), Phrases: h.sys.NumPhrases()})
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (h *Handler) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !h.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
 }
 
 func (h *Handler) handleSongs(w http.ResponseWriter, r *http.Request) {
@@ -104,10 +249,29 @@ func (h *Handler) handleSongs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (h *Handler) handleAddSong(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+// readBody drains the request body under the upload cap, distinguishing
+// oversized bodies (413) from transport errors (400).
+func (h *Handler) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+		} else {
+			httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+func (h *Handler) handleAddSong(w http.ResponseWriter, r *http.Request) {
+	if !h.admit(w, r) {
+		return
+	}
+	defer h.release()
+	body, ok := h.readBody(w, r)
+	if !ok {
 		return
 	}
 	melody, err := midi.DecodeMelody(body)
@@ -119,20 +283,15 @@ func (h *Handler) handleAddSong(w http.ResponseWriter, r *http.Request) {
 	if title == "" {
 		title = fmt.Sprintf("Uploaded Song %d", h.sys.NumSongs())
 	}
-	// Allocate the next free id.
-	var id int64
-	for _, s := range h.sys.Songs() {
-		if s.ID >= id {
-			id = s.ID + 1
-		}
-	}
-	song := music.Song{ID: id, Title: title, Melody: melody}
-	if err := h.sys.AddSong(song); err != nil {
+	// The id is allocated inside AddSongTitled under the system's write
+	// lock, so concurrent uploads cannot race to the same id.
+	song, err := h.sys.AddSongTitled(title, melody)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "indexing: %v", err)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
-	writeJSON(w, SongInfo{ID: id, Title: title, Notes: melody.NumNotes()})
+	writeJSON(w, SongInfo{ID: song.ID, Title: title, Notes: melody.NumNotes()})
 }
 
 // queryParams extracts top and delta with defaults.
@@ -163,9 +322,12 @@ func (h *Handler) handleQueryWAV(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+	if !h.admit(w, r) {
+		return
+	}
+	defer h.release()
+	body, ok := h.readBody(w, r)
+	if !ok {
 		return
 	}
 	samples, rate, err := decodeWAV(body)
@@ -174,7 +336,7 @@ func (h *Handler) handleQueryWAV(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pitch := hum.StripSilence(audio.TrackPitch(samples, rate))
-	h.respondQuery(w, pitch, topK, delta)
+	h.respondQuery(w, r, pitch, topK, delta)
 }
 
 func (h *Handler) handleQueryPitch(w http.ResponseWriter, r *http.Request) {
@@ -187,27 +349,68 @@ func (h *Handler) handleQueryPitch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if !h.admit(w, r) {
+		return
+	}
+	defer h.release()
 	var pitches []float64
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes))
 	if err := dec.Decode(&pitches); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "parsing pitch JSON: %v", err)
 		return
 	}
+	if err := validatePitch(pitches, h.cfg.MaxPitchFrames); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	pitch := hum.StripSilence(ts.Series(pitches))
-	h.respondQuery(w, pitch, topK, delta)
+	h.respondQuery(w, r, pitch, topK, delta)
 }
 
-func (h *Handler) respondQuery(w http.ResponseWriter, pitch ts.Series, topK int, delta float64) {
+// validatePitch rejects inputs that would poison normalization: non-finite
+// values and absurdly long frame arrays.
+func validatePitch(pitches []float64, maxFrames int) error {
+	if len(pitches) > maxFrames {
+		return fmt.Errorf("pitch array has %d frames, cap is %d", len(pitches), maxFrames)
+	}
+	for i, v := range pitches {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("non-finite pitch value at frame %d", i)
+		}
+	}
+	return nil
+}
+
+func (h *Handler) respondQuery(w http.ResponseWriter, r *http.Request, pitch ts.Series, topK int, delta float64) {
 	if len(pitch) < 10 {
 		httpError(w, http.StatusBadRequest, "query too short: %d voiced frames", len(pitch))
 		return
 	}
-	matches, stats := h.sys.Query(pitch, topK, delta)
+	ctx := r.Context()
+	if h.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.cfg.QueryTimeout)
+		defer cancel()
+	}
+	lim := index.Limits{MaxExactDTW: h.cfg.MaxExactDTW, CandidateHook: h.candidateHook}
+	matches, stats, err := h.sys.QueryCtx(ctx, pitch, topK, delta, lim)
+	if err != nil {
+		// Deadline hit or the client went away; either way the result is
+		// partial, so answer with an error (best-effort for a gone client).
+		httpError(w, http.StatusServiceUnavailable, "query aborted: %v", err)
+		return
+	}
 	resp := QueryResponse{
 		VoicedFrames: len(pitch),
 		Candidates:   stats.Candidates,
 		ExactDTW:     stats.ExactDTW,
 		PageAccesses: stats.PageAccesses,
+		Degraded:     stats.Degraded,
 	}
 	for _, m := range matches {
 		resp.Matches = append(resp.Matches, MatchResponse{SongID: m.SongID, Title: m.Title, Dist: m.Dist})
