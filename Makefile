@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-all bench cover experiments experiments-small clean
+.PHONY: all build test vet race race-all bench bench-json fuzz-seeds cover experiments experiments-small clean
 
 all: vet test
 
@@ -22,6 +22,18 @@ race-all:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Capture the steady-state query benchmarks as a JSON artifact. The tracked
+# BENCH_pr2.json was produced this way (before/after numbers for the
+# zero-allocation verification pipeline).
+bench-json:
+	$(GO) test -run='^$$' -bench='BenchmarkRangeQuery$$|BenchmarkKNN$$|BenchmarkVerifyCandidates$$|BenchmarkRangeQueryParallel$$' -benchmem . ./internal/index/ \
+		| $(GO) run ./cmd/benchjson -label after -o BENCH_pr2.json
+
+# Run the fuzz seed corpora as regression tests (what CI does); use
+# `go test -fuzz=FuzzName ./internal/dtw/` for a real fuzzing session.
+fuzz-seeds:
+	$(GO) test -run='^Fuzz' ./internal/dtw/ ./internal/ts/
 
 cover:
 	$(GO) test -cover ./...

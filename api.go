@@ -136,7 +136,8 @@ func NewIndexWithConfig(t Transform, tree RTreeConfig) *Index {
 
 // RangeQueryEuclidean on an Index is available directly (the same index
 // serves both Euclidean and DTW queries — the paper's retrofit property);
-// this helper exists for discoverability.
-func RangeQueryEuclidean(ix *Index, q Series, epsilon float64) ([]Match, QueryStats) {
+// this helper exists for discoverability. A query whose length does not
+// match the index returns index.ErrQueryLength instead of panicking.
+func RangeQueryEuclidean(ix *Index, q Series, epsilon float64) ([]Match, QueryStats, error) {
 	return ix.RangeQueryEuclidean(q, epsilon)
 }

@@ -190,8 +190,14 @@ func TestRangeQueryEuclideanFacade(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got, _ := warping.RangeQueryEuclidean(ix, data[3], 1e-9)
+	got, _, err := warping.RangeQueryEuclidean(ix, data[3], 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) == 0 || got[0].ID != 3 {
 		t.Errorf("self not found: %v", got)
+	}
+	if _, _, err := warping.RangeQueryEuclidean(ix, warping.NewSeries(1, 2), 1); err == nil {
+		t.Error("wrong-length Euclidean query should error, not panic")
 	}
 }

@@ -268,6 +268,31 @@ func BenchmarkIndexVsBruteForce(b *testing.B) {
 	})
 }
 
+// --- Steady-state query benchmarks (tracked in BENCH_pr2.json) ---------------
+//
+// These are the headline serving-path numbers: a fixed seeded corpus, a
+// fixed query mix, repeated queries against a warm index. Run with
+// -benchmem (`make bench`): the candidate-verification pipeline is expected
+// to hold steady-state allocations near zero.
+
+func BenchmarkRangeQuery(b *testing.B) {
+	const n, dim, size = 128, 8, 2000
+	ix, queries := buildBenchIndex(b, warping.NewPAATransform(n, dim), size, warping.RTreeConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.RangeQuery(queries[i%len(queries)], 8, 0.1)
+	}
+}
+
+func BenchmarkKNN(b *testing.B) {
+	const n, dim, size = 128, 8, 2000
+	ix, queries := buildBenchIndex(b, warping.NewPAATransform(n, dim), size, warping.RTreeConfig{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.KNN(queries[i%len(queries)], 10, 0.1)
+	}
+}
+
 func f2s(v float64) string { return fmt.Sprintf("%.2f", v) }
 
 func dimName(d int) string { return fmt.Sprintf("dim=%d", d) }

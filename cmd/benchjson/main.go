@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so benchmark runs can be captured as machine-readable
+// artifacts (e.g. BENCH_pr2.json) without external tooling.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson > out.json
+//	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -label after -o BENCH_pr2.json
+//
+// Without -o the parsed results are written to stdout as a JSON array. With
+// -o FILE the results are stored under the -label key of a JSON object in
+// FILE, merging with any labels already present — so a "before" run and an
+// "after" run can live side by side in one artifact.
+//
+// Non-benchmark lines are ignored. Each "Benchmark..." result line becomes
+// one entry keyed by benchmark name (GOMAXPROCS suffix stripped), recording
+// ns/op, B/op, allocs/op and any extra ReportMetric columns.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	BPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	Allocs  *float64           `json:"allocs_per_op,omitempty"`
+	Extra   map[string]float64 `json:"extra,omitempty"`
+}
+
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -<GOMAXPROCS> suffix if the tail is numeric.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name, Iters: iters}
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BPerOp = &v
+		case "allocs/op":
+			r.Allocs = &v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, true
+}
+
+func main() {
+	label := flag.String("label", "current", "key to store results under when merging with -o")
+	out := flag.String("o", "", "merge results into this JSON file instead of printing an array")
+	flag.Parse()
+
+	results := []Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	if *out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	doc := map[string]json.RawMessage{}
+	if prev, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(prev, &doc); err != nil {
+			fatal(fmt.Errorf("%s: %w (not a JSON object?)", *out, err))
+		}
+	}
+	raw, err := json.MarshalIndent(results, "  ", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	doc[*label] = raw
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results under %q in %s\n", len(results), *label, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,8 +1,6 @@
 package dtw
 
 import (
-	"math"
-
 	"warping/internal/ts"
 )
 
@@ -15,91 +13,10 @@ import (
 // and (v, false) with some value > cutoff2 otherwise. With a range query's
 // epsilon^2 as the cutoff this skips most of the DP work for non-matching
 // candidates — the refinement-step optimization of the UCR-suite lineage.
+// For repeated verification without per-call allocations, use a Workspace
+// and its SquaredBandedWithin method; this function is the convenience form
+// that allocates fresh DP rows.
 func SquaredBandedWithin(x, y ts.Series, k int, cutoff2 float64) (float64, bool) {
-	n := len(x)
-	if n == 0 {
-		panic("dtw: empty series")
-	}
-	if len(y) != n {
-		panic("dtw: SquaredBandedWithin needs equal lengths")
-	}
-	if k < 0 {
-		panic("dtw: negative band radius")
-	}
-	if cutoff2 < 0 {
-		return cutoff2 + 1, false
-	}
-	if k == 0 {
-		// Euclidean with early abandon.
-		var sum float64
-		for i := range x {
-			d := x[i] - y[i]
-			sum += d * d
-			if sum > cutoff2 {
-				return sum, false
-			}
-		}
-		return sum, true
-	}
-	const inf = math.MaxFloat64
-	width := 2*k + 1
-	prev := make([]float64, width)
-	curr := make([]float64, width)
-	for i := 1; i <= n; i++ {
-		lo := i - k
-		if lo < 1 {
-			lo = 1
-		}
-		hi := i + k
-		if hi > n {
-			hi = n
-		}
-		xi := x[i-1]
-		rowMin := inf
-		for j := lo; j <= hi; j++ {
-			d := xi - y[j-1]
-			var best float64
-			switch {
-			case i == 1 && j == 1:
-				best = 0
-			default:
-				best = inf
-				if i > 1 && j > 1 && j-1 >= i-1-k && j-1 <= i-1+k {
-					if v := prev[j-i+k]; v < best {
-						best = v
-					}
-				}
-				if i > 1 && j >= i-1-k && j <= i-1+k {
-					if v := prev[j-i+k+1]; v < best {
-						best = v
-					}
-				}
-				if j > lo {
-					if v := curr[j-i+k-1]; v < best {
-						best = v
-					}
-				}
-			}
-			if best == inf {
-				curr[j-i+k] = inf
-			} else {
-				curr[j-i+k] = d*d + best
-				if curr[j-i+k] < rowMin {
-					rowMin = curr[j-i+k]
-				}
-			}
-		}
-		if rowMin > cutoff2 {
-			return rowMin, false
-		}
-		for s := 0; s < width; s++ {
-			j := s + i - k
-			if j < lo || j > hi {
-				curr[s] = inf
-			}
-		}
-		prev, curr = curr, prev
-	}
-	d := prev[k]
-	return d, d <= cutoff2
+	var w Workspace
+	return w.SquaredBandedWithin(x, y, k, cutoff2)
 }

@@ -160,7 +160,14 @@ func Banded(x, y ts.Series, k int) float64 {
 // BandRadius converts a warping width delta = (2k+1)/n into the band radius
 // k for series of length n, mirroring the paper's parameterization. A
 // delta <= 0 yields 0 (Euclidean); delta >= 1 yields n-1 (full DTW).
+//
+// Contract: the result is always in [0, max(n-1, 0)]. A non-positive n has
+// no meaningful band and yields 0 rather than a negative radius, so the
+// value is always safe to pass to the banded DTW and envelope functions.
 func BandRadius(n int, delta float64) int {
+	if n <= 0 {
+		return 0
+	}
 	if delta <= 0 {
 		return 0
 	}
@@ -179,7 +186,21 @@ func BandRadius(n int, delta float64) int {
 
 // WarpingWidth converts a band radius k back into the warping width
 // delta = (2k+1)/n.
+//
+// Contract: n <= 0 yields 0 (there is no warping width for an empty
+// series; the naive formula would divide by zero and return NaN or +Inf),
+// and a negative k is treated as 0. For n >= 1 and 0 <= k <= n-1 the value
+// lies in (0, 2). While 2k+1 < n the conversion round-trips:
+// BandRadius(n, WarpingWidth(n, k)) == k; for wider bands WarpingWidth
+// reaches >= 1 and BandRadius clamps to n-1 (full DTW), matching the
+// paper's reading of delta as the covered fraction of the warping matrix.
 func WarpingWidth(n, k int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if k < 0 {
+		k = 0
+	}
 	return float64(2*k+1) / float64(n)
 }
 

@@ -1,0 +1,162 @@
+package dtw
+
+import (
+	"math"
+	"testing"
+
+	"warping/internal/ts"
+)
+
+// fuzzSeries decodes a byte string into two equal-length series, a band
+// radius and a cutoff, rejecting degenerate inputs. Each byte becomes one
+// sample in [-8, 8) so values stay well-conditioned.
+func fuzzSeries(data []byte) (x, y ts.Series, k int, cutoff2 float64, ok bool) {
+	if len(data) < 6 {
+		return nil, nil, 0, 0, false
+	}
+	kByte := data[0]
+	cutByte := data[1]
+	payload := data[2:]
+	n := len(payload) / 2
+	if n < 1 || n > 96 {
+		return nil, nil, 0, 0, false
+	}
+	x = make(ts.Series, n)
+	y = make(ts.Series, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(payload[i])/16 - 8
+		y[i] = float64(payload[n+i])/16 - 8
+	}
+	k = int(kByte) % (n + 2) // includes k = n-1 and beyond
+	cutoff2 = float64(cutByte) * float64(cutByte) / 4
+	return x, y, k, cutoff2, true
+}
+
+func addSeed(f *testing.F, k, cut byte, xs, ys []byte) {
+	f.Helper()
+	data := append([]byte{k, cut}, append(append([]byte{}, xs...), ys...)...)
+	f.Add(data)
+}
+
+func fuzzSeeds(f *testing.F) {
+	addSeed(f, 0, 10, []byte{1, 2, 3, 4}, []byte{4, 3, 2, 1})
+	addSeed(f, 2, 0, []byte{128, 128, 128, 128, 128}, []byte{0, 64, 128, 192, 255})
+	addSeed(f, 5, 100, []byte{10, 20, 30, 40, 50, 60, 70, 80}, []byte{80, 70, 60, 50, 40, 30, 20, 10})
+	addSeed(f, 255, 255, []byte{1, 1}, []byte{255, 255})
+	var long [64]byte
+	for i := range long {
+		long[i] = byte(i * 4)
+	}
+	addSeed(f, 7, 50, long[:], long[:])
+}
+
+// FuzzSquaredBandedWithin pins the early-abandoning DP against the plain
+// SquaredBanded reference for any cutoff: a true return must carry the
+// exact distance (within float tolerance) with exact <= cutoff2, and an
+// abandoned return must only happen when the exact distance genuinely
+// exceeds the cutoff (no false dismissals).
+func FuzzSquaredBandedWithin(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, y, k, cutoff2, ok := fuzzSeries(data)
+		if !ok {
+			t.Skip()
+		}
+		exact := SquaredBanded(x, y, k)
+		got, within := SquaredBandedWithin(x, y, k, cutoff2)
+		tol := 1e-9 * (1 + exact)
+		if within {
+			if math.Abs(got-exact) > tol {
+				t.Fatalf("within but got %v, exact %v (n=%d k=%d)", got, exact, len(x), k)
+			}
+			if exact > cutoff2+tol {
+				t.Fatalf("within but exact %v > cutoff2 %v", exact, cutoff2)
+			}
+		} else {
+			if exact <= cutoff2-tol {
+				t.Fatalf("false dismissal: exact %v <= cutoff2 %v", exact, cutoff2)
+			}
+			if got <= cutoff2 {
+				t.Fatalf("abandoned but returned %v <= cutoff2 %v", got, cutoff2)
+			}
+		}
+		// The workspace form must agree bit-for-bit with the allocating
+		// form, even when reused across inputs.
+		var w Workspace
+		w.SquaredBandedWithin(y, x, k, cutoff2) // dirty the buffers
+		got2, within2 := w.SquaredBandedWithin(x, y, k, cutoff2)
+		if within2 != within || got2 != got {
+			t.Fatalf("workspace (%v,%v) != allocating (%v,%v)", got2, within2, got, within)
+		}
+	})
+}
+
+// FuzzVerificationCascade checks the whole bound cascade on arbitrary
+// series: every lower bound added by the PR (forward LB_Keogh with early
+// abandoning, reversed-role LB_Keogh) stays below the exact banded DTW
+// distance, so no stage can ever dismiss a true match.
+func FuzzVerificationCascade(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, q, k, _, ok := fuzzSeries(data)
+		if !ok {
+			t.Skip()
+		}
+		if k > len(x)-1 {
+			k = len(x) - 1
+		}
+		exact := SquaredBanded(x, q, k)
+		tol := 1e-9 * (1 + exact)
+
+		env := NewEnvelope(q, k)
+		forward, ok2 := SquaredDistToEnvelopeWithin(x, env, math.MaxFloat64)
+		if !ok2 {
+			t.Fatal("infinite cutoff abandoned")
+		}
+		if forward > exact+tol {
+			t.Fatalf("forward LB %v > exact %v (n=%d k=%d)", forward, exact, len(x), k)
+		}
+		var w Workspace
+		reversed, _ := w.SquaredReversedLBKeoghWithin(x, q, k, math.MaxFloat64)
+		if reversed > exact+tol {
+			t.Fatalf("reversed LB %v > exact %v (n=%d k=%d)", reversed, exact, len(x), k)
+		}
+		// Cutoff at the exact distance: no stage may dismiss the match.
+		if _, ok := SquaredDistToEnvelopeWithin(x, env, exact+tol); !ok {
+			t.Fatal("forward LB dismissed a true match")
+		}
+		if _, ok := w.SquaredReversedLBKeoghWithin(x, q, k, exact+tol); !ok {
+			t.Fatal("reversed LB dismissed a true match")
+		}
+		if _, ok := w.SquaredBandedWithin(x, q, k, exact+tol); !ok {
+			t.Fatal("exact stage dismissed a true match")
+		}
+	})
+}
+
+// FuzzWarpingWidthBandRadius checks the conversion guards: any (n, k,
+// delta) must produce finite, in-range values, and the round trip must
+// obey the documented clamp.
+func FuzzWarpingWidthBandRadius(f *testing.F) {
+	f.Add(int64(0), int64(0), float64(0))
+	f.Add(int64(0), int64(5), float64(1))
+	f.Add(int64(1), int64(0), float64(0.5))
+	f.Add(int64(128), int64(6), float64(0.1))
+	f.Add(int64(-4), int64(-4), float64(-1))
+	f.Fuzz(func(t *testing.T, n, k int64, delta float64) {
+		if n > 1<<20 || n < -1<<20 || k > 1<<20 || k < -1<<20 {
+			t.Skip()
+		}
+		r := BandRadius(int(n), delta)
+		if r < 0 {
+			t.Fatalf("BandRadius(%d, %v) = %d < 0", n, delta, r)
+		}
+		if n > 0 && r > int(n)-1 {
+			t.Fatalf("BandRadius(%d, %v) = %d > n-1", n, delta, r)
+		}
+		w := WarpingWidth(int(n), int(k))
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			t.Fatalf("WarpingWidth(%d, %d) = %v", n, k, w)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package dtw
+
+import (
+	"math"
+
+	"warping/internal/ts"
+)
+
+// Workspace holds the scratch buffers of the candidate-verification hot
+// path: the two dynamic-programming rows of banded DTW, the envelope
+// buffers of the reversed LB_Keogh pass, and the monotonic-deque scratch of
+// the sliding-window extremes. A zero Workspace is ready to use; buffers
+// grow on demand and are retained, so steady-state verification performs no
+// heap allocations.
+//
+// A Workspace must not be shared between goroutines. Callers that verify
+// candidates concurrently should give each worker its own (the index
+// package keeps a sync.Pool of them).
+type Workspace struct {
+	prev, curr []float64
+	lo, up     ts.Series
+	win        ts.WindowScratch
+}
+
+// NewWorkspace returns an empty workspace. Equivalent to new(Workspace);
+// provided for discoverability.
+func NewWorkspace() *Workspace { return new(Workspace) }
+
+// rows returns the two DP rows, grown to width and cleared by the caller.
+func (w *Workspace) rows(width int) ([]float64, []float64) {
+	if cap(w.prev) < width {
+		w.prev = make([]float64, width)
+		w.curr = make([]float64, width)
+	}
+	return w.prev[:width], w.curr[:width]
+}
+
+// EnvelopeInto computes the k-envelope of x into the workspace's envelope
+// buffers and returns it. The envelope aliases workspace memory: it is
+// valid until the next EnvelopeInto or SquaredReversedLBKeoghWithin call on
+// the same workspace.
+func (w *Workspace) EnvelopeInto(x ts.Series, k int) Envelope {
+	w.lo = ts.SlidingMinInto(w.lo, x, k, &w.win)
+	w.up = ts.SlidingMaxInto(w.up, x, k, &w.win)
+	return Envelope{Lower: w.lo, Upper: w.up}
+}
+
+// SquaredDistToEnvelopeWithin is SquaredDistToEnvelope with early
+// abandoning: it returns (d, true) with the exact squared distance when
+// d <= cutoff2, and (v, false) with some partial sum v > cutoff2 as soon as
+// the accumulating distance exceeds the cutoff. A negative cutoff2 abandons
+// immediately.
+func SquaredDistToEnvelopeWithin(x ts.Series, e Envelope, cutoff2 float64) (float64, bool) {
+	if len(x) != e.Len() {
+		panic("dtw: series length vs envelope length mismatch")
+	}
+	if cutoff2 < 0 {
+		return cutoff2 + 1, false
+	}
+	var sum float64
+	lo, up := e.Lower[:len(x)], e.Upper[:len(x)] // bounds-check elimination
+	for i, v := range x {
+		switch {
+		case v > up[i]:
+			d := v - up[i]
+			sum += d * d
+		case v < lo[i]:
+			d := lo[i] - v
+			sum += d * d
+		default:
+			continue
+		}
+		if sum > cutoff2 {
+			return sum, false
+		}
+	}
+	return sum, true
+}
+
+// SquaredReversedLBKeoghWithin computes the reversed-role LB_Keogh bound
+// with early abandoning: the squared distance from the query q to the
+// k-envelope of the candidate x. By the symmetry of Lemma 2 this is a lower
+// bound of the banded DTW distance just like the usual query-envelope
+// orientation, and the two bounds prune different candidates — running both
+// is the two-pass scheme of Lemire's "Faster Retrieval with a Two-Pass
+// Dynamic-Time-Warping Lower Bound". The candidate envelope is built in the
+// workspace buffers (O(n), allocation-free in steady state).
+func (w *Workspace) SquaredReversedLBKeoghWithin(q, x ts.Series, k int, cutoff2 float64) (float64, bool) {
+	return SquaredDistToEnvelopeWithin(q, w.EnvelopeInto(x, k), cutoff2)
+}
+
+// SquaredBandedWithin is the package-level SquaredBandedWithin computed in
+// the workspace's DP rows: identical results, no per-call allocation.
+func (w *Workspace) SquaredBandedWithin(x, y ts.Series, k int, cutoff2 float64) (float64, bool) {
+	n := len(x)
+	if n == 0 {
+		panic("dtw: empty series")
+	}
+	if len(y) != n {
+		panic("dtw: SquaredBandedWithin needs equal lengths")
+	}
+	if k < 0 {
+		panic("dtw: negative band radius")
+	}
+	if cutoff2 < 0 {
+		return cutoff2 + 1, false
+	}
+	if k == 0 {
+		// Euclidean with early abandon.
+		var sum float64
+		for i := range x {
+			d := x[i] - y[i]
+			sum += d * d
+			if sum > cutoff2 {
+				return sum, false
+			}
+		}
+		return sum, true
+	}
+	const inf = math.MaxFloat64
+	width := 2*k + 1
+	prev, curr := w.rows(width)
+
+	// Row i=1 is a running sum: dp(1,j) = dp(1,j-1) + d². Cell (1,1) sits
+	// at slot k; the row minimum is that first cell since the sum only
+	// grows. No other row reads outside the band cells written here: for a
+	// guarded read from row i-1, the source column provably lies inside
+	// [max(1,i-1-k), min(n,i-1+k)], so no clearing pass is needed between
+	// rows (and dirty buffers from earlier calls are never observed).
+	hi := 1 + k
+	if hi > n {
+		hi = n
+	}
+	run := 0.0
+	for j := 1; j <= hi; j++ {
+		d := x[0] - y[j-1]
+		run += d * d
+		curr[j-1+k] = run
+	}
+	if curr[k] > cutoff2 {
+		return curr[k], false
+	}
+	prev, curr = curr, prev
+
+	k2 := 2 * k
+	for i := 2; i <= n; i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi = i + k
+		if hi > n {
+			hi = n
+		}
+		xi := x[i-1]
+		rowMin := inf
+		s := lo - i + k
+		for j := lo; j <= hi; j, s = j+1, s+1 {
+			// best = min of diagonal dp(i-1,j-1), above dp(i-1,j), left
+			// dp(i,j-1), each guarded by band membership in its row.
+			var best float64
+			if j > 1 {
+				best = prev[s] // diagonal: always in row i-1's band
+				if s < k2 {
+					if v := prev[s+1]; v < best {
+						best = v
+					}
+				}
+			} else {
+				best = prev[s+1] // j==1: only the above neighbor exists
+			}
+			if j > lo {
+				if v := curr[s-1]; v < best {
+					best = v
+				}
+			}
+			if best == inf {
+				curr[s] = inf
+				continue
+			}
+			d := xi - y[j-1]
+			c := d*d + best
+			curr[s] = c
+			if c < rowMin {
+				rowMin = c
+			}
+		}
+		if rowMin > cutoff2 {
+			return rowMin, false
+		}
+		prev, curr = curr, prev
+	}
+	d := prev[k]
+	return d, d <= cutoff2
+}
+
+// SquaredBandedExact returns the exact squared banded DTW distance using
+// the workspace buffers (no cutoff, no allocation).
+func (w *Workspace) SquaredBandedExact(x, y ts.Series, k int) float64 {
+	d, _ := w.SquaredBandedWithin(x, y, k, math.MaxFloat64)
+	return d
+}

@@ -1,0 +1,209 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"warping/internal/ts"
+)
+
+func randSeries(r *rand.Rand, n int) ts.Series {
+	s := make(ts.Series, n)
+	v := 0.0
+	for i := range s {
+		v += r.NormFloat64()
+		s[i] = v
+	}
+	return s
+}
+
+// Workspace-backed banded DTW must agree exactly with the allocating form
+// and with SquaredBanded, including across reuse (dirty buffers).
+func TestWorkspaceSquaredBandedWithinMatches(t *testing.T) {
+	r := rand.New(rand.NewSource(50))
+	w := NewWorkspace()
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(64)
+		x, y := randSeries(r, n), randSeries(r, n)
+		k := r.Intn(n + 2) // includes k >= n-1
+		exact := SquaredBanded(x, y, k)
+		cutoff2 := exact * (0.5 + r.Float64())
+		got, ok := w.SquaredBandedWithin(x, y, k, cutoff2)
+		if ok != (exact <= cutoff2) && math.Abs(exact-cutoff2) > 1e-9 {
+			t.Fatalf("trial %d: ok=%v exact=%v cutoff2=%v", trial, ok, exact, cutoff2)
+		}
+		if ok && math.Abs(got-exact) > 1e-9*(1+exact) {
+			t.Fatalf("trial %d: got %v, want %v", trial, got, exact)
+		}
+		if !ok && got <= cutoff2 {
+			t.Fatalf("trial %d: abandoned but returned %v <= cutoff2 %v", trial, got, cutoff2)
+		}
+		// The allocating form must agree bit-for-bit.
+		got2, ok2 := SquaredBandedWithin(x, y, k, cutoff2)
+		if ok != ok2 || got != got2 {
+			t.Fatalf("trial %d: workspace (%v,%v) vs allocating (%v,%v)", trial, got, ok, got2, ok2)
+		}
+	}
+}
+
+func TestWorkspaceEnvelopeInto(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	w := NewWorkspace()
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(50)
+		x := randSeries(r, n)
+		k := r.Intn(n + 1)
+		got := w.EnvelopeInto(x, k)
+		want := NewEnvelope(x, k)
+		if !got.Lower.Equal(want.Lower) || !got.Upper.Equal(want.Upper) {
+			t.Fatalf("trial %d (n=%d k=%d): envelope mismatch", trial, n, k)
+		}
+	}
+}
+
+// The reversed-role LB_Keogh must lower-bound banded DTW (Lemma 2 applied
+// with the roles of query and candidate swapped) — the exactness of the
+// two-pass cascade rests on this.
+func TestReversedLBKeoghLowerBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	w := NewWorkspace()
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(64)
+		q, x := randSeries(r, n), randSeries(r, n)
+		k := r.Intn(n)
+		exact := SquaredBanded(x, q, k)
+		lb, ok := w.SquaredReversedLBKeoghWithin(q, x, k, math.MaxFloat64)
+		if !ok {
+			t.Fatalf("trial %d: infinite cutoff abandoned", trial)
+		}
+		if lb > exact+1e-9 {
+			t.Fatalf("trial %d (n=%d k=%d): reversed LB %v > exact %v", trial, n, k, lb, exact)
+		}
+		// Early abandoning must preserve the no-false-dismissal property:
+		// if the bound abandons at cutoff2, the exact distance exceeds it.
+		cutoff2 := exact * 0.99
+		if _, ok := w.SquaredReversedLBKeoghWithin(q, x, k, cutoff2); !ok && exact <= cutoff2 {
+			t.Fatalf("trial %d: false dismissal at cutoff2=%v exact=%v", trial, cutoff2, exact)
+		}
+	}
+}
+
+func TestSquaredDistToEnvelopeWithin(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(50)
+		x, y := randSeries(r, n), randSeries(r, n)
+		k := r.Intn(n)
+		e := NewEnvelope(y, k)
+		want := SquaredDistToEnvelope(x, e)
+		got, ok := SquaredDistToEnvelopeWithin(x, e, math.MaxFloat64)
+		if !ok || math.Abs(got-want) > 1e-12*(1+want) {
+			t.Fatalf("trial %d: got (%v,%v), want %v", trial, got, ok, want)
+		}
+		if want > 0 {
+			if v, ok := SquaredDistToEnvelopeWithin(x, e, want*0.5); ok {
+				t.Fatalf("trial %d: cutoff half of %v not abandoned (returned %v)", trial, want, v)
+			}
+		}
+	}
+	if _, ok := SquaredDistToEnvelopeWithin(ts.Series{1}, PointEnvelope(ts.Series{1}), -1); ok {
+		t.Error("negative cutoff must abandon immediately")
+	}
+}
+
+// Table-driven contract tests for the BandRadius/WarpingWidth guards.
+func TestBandRadiusWarpingWidthEdgeCases(t *testing.T) {
+	radiusCases := []struct {
+		n     int
+		delta float64
+		want  int
+	}{
+		{0, 0.5, 0},  // n = 0: no band, not a negative radius
+		{-3, 1, 0},   // negative n guarded
+		{0, 1, 0},    // n = 0 with full width
+		{1, 0, 0},    // delta = 0: Euclidean
+		{1, 1, 0},    // n = 1: n-1 = 0
+		{128, 0, 0},  // delta = 0 at real length
+		{128, 1, 127},
+		{128, -0.5, 0},
+		{128, 2.5, 127},
+		{128, 0.1, 5},
+	}
+	for _, tc := range radiusCases {
+		if got := BandRadius(tc.n, tc.delta); got != tc.want {
+			t.Errorf("BandRadius(%d, %v) = %d, want %d", tc.n, tc.delta, got, tc.want)
+		}
+	}
+
+	widthCases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 0},  // the old NaN case: WarpingWidth(0, k) divided by zero
+		{0, 5, 0},
+		{-1, 3, 0},
+		{1, 0, 1},
+		{128, -2, 1.0 / 128}, // negative k clamped to 0
+		{128, 0, 1.0 / 128},
+		{128, 5, 11.0 / 128},
+	}
+	for _, tc := range widthCases {
+		got := WarpingWidth(tc.n, tc.k)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("WarpingWidth(%d, %d) = %v, want finite", tc.n, tc.k, got)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-15 {
+			t.Errorf("WarpingWidth(%d, %d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+
+	// Round trip: while the band is narrower than the series the
+	// conversion inverts exactly; wider bands clamp to full DTW.
+	for _, n := range []int{1, 2, 3, 64, 128, 129} {
+		for k := 0; k <= n-1; k++ {
+			got := BandRadius(n, WarpingWidth(n, k))
+			want := k
+			if 2*k+1 >= n {
+				want = n - 1
+			}
+			if got != want {
+				t.Errorf("round trip n=%d k=%d: got %d, want %d", n, k, got, want)
+			}
+		}
+	}
+	// Degenerate round trips stay in range.
+	for _, n := range []int{0, 1} {
+		for _, delta := range []float64{0, 1} {
+			k := BandRadius(n, delta)
+			if k < 0 || (n > 0 && k > n-1) {
+				t.Errorf("BandRadius(%d, %v) = %d out of range", n, delta, k)
+			}
+			if w := WarpingWidth(n, k); math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				t.Errorf("WarpingWidth(%d, %d) = %v", n, k, w)
+			}
+		}
+	}
+}
+
+// Steady-state verification does zero heap allocations.
+func TestWorkspaceZeroAllocSteadyState(t *testing.T) {
+	r := rand.New(rand.NewSource(54))
+	const n, k = 128, 6
+	q := randSeries(r, n)
+	x := randSeries(r, n)
+	env := NewEnvelope(q, k)
+	w := NewWorkspace()
+	// Warm up the buffers.
+	w.SquaredReversedLBKeoghWithin(q, x, k, math.MaxFloat64)
+	w.SquaredBandedWithin(x, q, k, math.MaxFloat64)
+	allocs := testing.AllocsPerRun(100, func() {
+		SquaredDistToEnvelopeWithin(x, env, math.MaxFloat64)
+		w.SquaredReversedLBKeoghWithin(q, x, k, math.MaxFloat64)
+		w.SquaredBandedWithin(x, q, k, math.MaxFloat64)
+	})
+	if allocs != 0 {
+		t.Errorf("verification cascade allocates %v per run, want 0", allocs)
+	}
+}

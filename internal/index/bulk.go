@@ -23,7 +23,7 @@ type Entry struct {
 // IDs must be unique and every series must have length t.InputLen().
 func BulkLoad(t core.Transform, cfg Config, entries []Entry) (*Index, error) {
 	n := t.InputLen()
-	series := make(map[int64]ts.Series, len(entries))
+	series := make(map[int64]entry, len(entries))
 	for i, e := range entries {
 		if len(e.Series) != n {
 			return nil, fmt.Errorf("index: entry %d has length %d, want %d", i, len(e.Series), n)
@@ -31,7 +31,7 @@ func BulkLoad(t core.Transform, cfg Config, entries []Entry) (*Index, error) {
 		if _, dup := series[e.ID]; dup {
 			return nil, fmt.Errorf("index: duplicate id %d", e.ID)
 		}
-		series[e.ID] = e.Series
+		series[e.ID] = entry{x: e.Series}
 	}
 
 	// Parallel feature extraction.
@@ -63,6 +63,14 @@ func BulkLoad(t core.Transform, cfg Config, entries []Entry) (*Index, error) {
 		}(lo, hi)
 	}
 	wg.Wait()
+
+	// Cache the feature vectors computed above so queries and removals
+	// never recompute transform.Apply.
+	for i, it := range items {
+		e := series[entries[i].ID]
+		e.feat = it.Point
+		series[entries[i].ID] = e
+	}
 
 	return &Index{
 		transform: t,

@@ -20,7 +20,7 @@ import (
 type GridIndex struct {
 	transform core.Transform
 	grid      *gridfile.Grid
-	series    map[int64]ts.Series
+	series    map[int64]entry
 	n         int
 }
 
@@ -30,7 +30,7 @@ func NewGrid(t core.Transform, cellSize float64) *GridIndex {
 	return &GridIndex{
 		transform: t,
 		grid:      gridfile.New(t.OutputLen(), cellSize),
-		series:    make(map[int64]ts.Series),
+		series:    make(map[int64]entry),
 		n:         t.InputLen(),
 	}
 }
@@ -38,7 +38,8 @@ func NewGrid(t core.Transform, cellSize float64) *GridIndex {
 // Len returns the number of indexed series.
 func (ix *GridIndex) Len() int { return ix.grid.Len() }
 
-// Add inserts a normal-form series under id.
+// Add inserts a normal-form series under id. The feature vector is
+// computed once here and cached for the verification cascade.
 func (ix *GridIndex) Add(id int64, x ts.Series) error {
 	if len(x) != ix.n {
 		return fmt.Errorf("index: series length %d, want %d", len(x), ix.n)
@@ -46,14 +47,17 @@ func (ix *GridIndex) Add(id int64, x ts.Series) error {
 	if _, dup := ix.series[id]; dup {
 		return fmt.Errorf("index: duplicate id %d", id)
 	}
-	ix.series[id] = x
-	ix.grid.Insert(id, ix.transform.Apply(x))
+	feat := ix.transform.Apply(x)
+	ix.series[id] = entry{x: x, feat: feat}
+	ix.grid.Insert(id, feat)
 	return nil
 }
 
 // RangeQuery returns all series within epsilon under banded DTW with
 // warping width delta, exactly as Index.RangeQuery; PageAccesses counts
-// grid buckets visited.
+// grid buckets visited. Candidates run through the same lower-bound
+// cascade as the R*-tree backend (box check, LB_Keogh, reversed LB_Keogh)
+// before exact DTW.
 func (ix *GridIndex) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, QueryStats) {
 	if len(q) != ix.n {
 		panic(fmt.Sprintf("index: query length %d, want %d", len(q), ix.n))
@@ -68,15 +72,18 @@ func (ix *GridIndex) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, Q
 	stats.Candidates = len(items)
 	stats.PageAccesses = gstats.BucketAccesses
 
+	v := getVerifier()
+	defer putVerifier(v)
+	eps2 := epsilon * epsilon
 	var out []Match
 	for _, it := range items {
-		x := ix.series[it.ID]
-		if dtw.DistToEnvelope(x, env) > epsilon {
+		e := ix.series[it.ID]
+		if !v.passesLB(e, q, env, fe, k, eps2) {
 			continue
 		}
 		stats.LBSurvivors++
 		stats.ExactDTW++
-		if d2, ok := dtw.SquaredBandedWithin(x, q, k, epsilon*epsilon); ok {
+		if d2, ok := v.ws.SquaredBandedWithin(e.x, q, k, eps2); ok {
 			out = append(out, Match{ID: it.ID, Dist: math.Sqrt(d2)})
 		}
 	}

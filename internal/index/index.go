@@ -6,16 +6,26 @@
 //  2. a query series is expanded to its k-envelope, the envelope is
 //     transformed container-invariantly into a feature-space box, and an
 //     epsilon-range (or kNN) search on the tree returns candidates;
-//  3. candidates pass through the full-dimensional LB_Keogh second filter
-//     and finally the exact banded DTW computation.
+//  3. candidates pass through a cascade of ever-tighter lower bounds — the
+//     feature-space box distance, the full-dimensional LB_Keogh filter, the
+//     reversed-role LB_Keogh second pass — and finally the exact banded DTW
+//     computation, every stage early-abandoning at the query threshold.
 //
-// Theorem 1 guarantees no false negatives at every stage. The QueryStats
-// returned with each result expose the candidate counts and page accesses
-// that Figures 8-10 of the paper report.
+// Theorem 1 (and for the reversed pass, the symmetry of Lemma 2) guarantees
+// no false negatives at every stage. The QueryStats returned with each
+// query expose the candidate counts and page accesses that Figures 8-10 of
+// the paper report.
+//
+// The refinement hot path is allocation-free in steady state: each series'
+// feature vector is cached at Add time, and all DP rows, envelope buffers
+// and deque scratch live in pooled dtw.Workspaces. Large range-query
+// candidate sets are verified in parallel across GOMAXPROCS workers; see
+// verify.go.
 package index
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -25,6 +35,11 @@ import (
 	"warping/internal/rtree"
 	"warping/internal/ts"
 )
+
+// ErrQueryLength reports a query whose length does not match the index's
+// series length. Returned (never panicked) by the query methods so a
+// malformed request cannot kill a serving goroutine.
+var ErrQueryLength = errors.New("query length mismatch")
 
 // Match is one query result.
 type Match struct {
@@ -40,7 +55,8 @@ type QueryStats struct {
 	// (feature-space filter) before any refinement.
 	Candidates int
 	// LBSurvivors is the number of candidates remaining after the
-	// full-dimensional LB_Keogh second filter.
+	// full-dimensional lower-bound cascade (LB_Keogh and its reversed-role
+	// second pass).
 	LBSurvivors int
 	// ExactDTW is the number of exact banded DTW computations performed.
 	ExactDTW int
@@ -51,6 +67,21 @@ type QueryStats struct {
 	// best found within budget, not guaranteed exact.
 	Degraded bool
 }
+
+// add accumulates the counters of another query round into s. Degraded is
+// sticky: one degraded round degrades the whole query.
+func (s *QueryStats) add(o QueryStats) {
+	s.Candidates += o.Candidates
+	s.LBSurvivors += o.LBSurvivors
+	s.ExactDTW += o.ExactDTW
+	s.PageAccesses += o.PageAccesses
+	s.Degraded = s.Degraded || o.Degraded
+}
+
+// Add is the exported form of add, for callers (like the qbh growth loop)
+// that issue several index rounds on behalf of one logical query and must
+// report cumulative work.
+func (s *QueryStats) Add(o QueryStats) { s.add(o) }
 
 // Limits bounds the work a single query may perform. The zero value means
 // unlimited.
@@ -63,15 +94,23 @@ type Limits struct {
 	// CandidateHook, when non-nil, is invoked before each exact-DTW
 	// verification. It exists for fault injection in tests (slow-query
 	// simulation) and lightweight instrumentation; it must not mutate the
-	// index.
+	// index. Parallel range verification serializes hook invocations, so
+	// the hook itself needs no internal locking.
 	CandidateHook func()
+}
+
+// entry is one indexed series with its feature vector cached at Add time,
+// so queries and removals never recompute transform.Apply.
+type entry struct {
+	x    ts.Series
+	feat []float64
 }
 
 // Index is a DTW similarity index over fixed-length normal-form series.
 type Index struct {
 	transform core.Transform
 	tree      *rtree.Tree
-	series    map[int64]ts.Series
+	series    map[int64]entry
 	n         int
 }
 
@@ -87,7 +126,7 @@ func New(t core.Transform, cfg Config) *Index {
 	return &Index{
 		transform: t,
 		tree:      rtree.New(t.OutputLen(), cfg.Tree),
-		series:    make(map[int64]ts.Series),
+		series:    make(map[int64]entry),
 		n:         t.InputLen(),
 	}
 }
@@ -111,8 +150,9 @@ func (ix *Index) Add(id int64, x ts.Series) error {
 	if _, dup := ix.series[id]; dup {
 		return fmt.Errorf("index: duplicate id %d", id)
 	}
-	ix.series[id] = x
-	ix.tree.Insert(id, ix.transform.Apply(x))
+	feat := ix.transform.Apply(x)
+	ix.series[id] = entry{x: x, feat: feat}
+	ix.tree.Insert(id, feat)
 	return nil
 }
 
@@ -126,11 +166,11 @@ func (ix *Index) MustAdd(id int64, x ts.Series) {
 // Remove deletes the series stored under id. It returns false when the id
 // is unknown.
 func (ix *Index) Remove(id int64) bool {
-	s, ok := ix.series[id]
+	e, ok := ix.series[id]
 	if !ok {
 		return false
 	}
-	if !ix.tree.Delete(id, ix.transform.Apply(s)) {
+	if !ix.tree.Delete(id, e.feat) {
 		// The tree and the series map must stay in lockstep.
 		panic(fmt.Sprintf("index: series %d present in map but not in tree", id))
 	}
@@ -140,14 +180,23 @@ func (ix *Index) Remove(id int64) bool {
 
 // Get returns the stored series for an id.
 func (ix *Index) Get(id int64) (ts.Series, bool) {
-	s, ok := ix.series[id]
-	return s, ok
+	e, ok := ix.series[id]
+	return e.x, ok
+}
+
+// checkQuery validates a query series length.
+func (ix *Index) checkQuery(q ts.Series) error {
+	if len(q) != ix.n {
+		return fmt.Errorf("index: %w: got %d, want %d", ErrQueryLength, len(q), ix.n)
+	}
+	return nil
 }
 
 // RangeQuery returns all series whose banded DTW distance to q is at most
 // epsilon, with the band radius derived from the warping width delta
 // (delta = (2k+1)/n). Results are sorted by distance. The query series must
-// be in the same normal form as the indexed data.
+// be in the same normal form as the indexed data; a query of the wrong
+// length returns no matches (use RangeQueryCtx for the error).
 func (ix *Index) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, QueryStats) {
 	out, stats, _ := ix.RangeQueryCtx(context.Background(), q, epsilon, delta, Limits{})
 	return out, stats
@@ -156,11 +205,12 @@ func (ix *Index) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, Query
 // RangeQueryCtx is RangeQuery with cancellation and work limits. The
 // context is checked between candidates: a cancelled query stops promptly
 // (without finishing the current DTW computation's candidate loop) and
-// returns the matches verified so far together with ctx.Err(). Queries
-// never mutate the index, so any number may run concurrently.
+// returns the matches verified so far together with ctx.Err(). A query of
+// the wrong length returns ErrQueryLength. Queries never mutate the index,
+// so any number may run concurrently.
 func (ix *Index) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta float64, lim Limits) ([]Match, QueryStats, error) {
-	if len(q) != ix.n {
-		panic(fmt.Sprintf("index: query length %d, want %d", len(q), ix.n))
+	if err := ix.checkQuery(q); err != nil {
+		return nil, QueryStats{}, err
 	}
 	k := dtw.BandRadius(ix.n, delta)
 	env := dtw.NewEnvelope(q, k)
@@ -173,39 +223,8 @@ func (ix *Index) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta 
 	stats.Candidates = len(items)
 	stats.PageAccesses = tstats.NodeAccesses
 
-	var out []Match
-	var err error
-	for _, it := range items {
-		if e := ctx.Err(); e != nil {
-			err = e
-			break
-		}
-		if lim.MaxExactDTW > 0 && stats.ExactDTW >= lim.MaxExactDTW {
-			stats.Degraded = true
-			break
-		}
-		x := ix.series[it.ID]
-		// Second filter: full-dimensional envelope bound (cheap, no DP).
-		if dtw.DistToEnvelope(x, env) > epsilon {
-			continue
-		}
-		stats.LBSurvivors++
-		if lim.CandidateHook != nil {
-			lim.CandidateHook()
-		}
-		stats.ExactDTW++
-		// Early-abandoning DTW: most candidates blow past epsilon in the
-		// first few DP rows.
-		if d2, ok := dtw.SquaredBandedWithin(x, q, k, epsilon*epsilon); ok {
-			out = append(out, Match{ID: it.ID, Dist: math.Sqrt(d2)})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
+	out, err := ix.verifyCandidates(ctx, q, env, fe, items, k, epsilon, lim, &stats)
+	sortMatches(out)
 	return out, stats, err
 }
 
@@ -215,10 +234,11 @@ func (ix *Index) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta 
 // series databases indexed by DFT, DWT, PAA, SVD, etc., we can add Dynamic
 // Time Warping support without rebuilding indices ... adding the DTW
 // support requires changes only to the time series query" — conversely, a
-// DTW index keeps serving classic Euclidean queries.
-func (ix *Index) RangeQueryEuclidean(q ts.Series, epsilon float64) ([]Match, QueryStats) {
-	if len(q) != ix.n {
-		panic(fmt.Sprintf("index: query length %d, want %d", len(q), ix.n))
+// DTW index keeps serving classic Euclidean queries. A query of the wrong
+// length returns ErrQueryLength.
+func (ix *Index) RangeQueryEuclidean(q ts.Series, epsilon float64) ([]Match, QueryStats, error) {
+	if err := ix.checkQuery(q); err != nil {
+		return nil, QueryStats{}, err
 	}
 	fq := ix.transform.Apply(q)
 
@@ -231,7 +251,7 @@ func (ix *Index) RangeQueryEuclidean(q ts.Series, epsilon float64) ([]Match, Que
 	var out []Match
 	eps2 := epsilon * epsilon
 	for _, it := range items {
-		x := ix.series[it.ID]
+		x := ix.series[it.ID].x
 		stats.LBSurvivors++
 		var sum float64
 		exceeded := false
@@ -247,20 +267,16 @@ func (ix *Index) RangeQueryEuclidean(q ts.Series, epsilon float64) ([]Match, Que
 			out = append(out, Match{ID: it.ID, Dist: math.Sqrt(sum)})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out, stats
+	sortMatches(out)
+	return out, stats, nil
 }
 
 // KNN returns the k nearest series to q under banded DTW (warping width
 // delta), closest first, using the optimal multi-step algorithm: candidates
 // are drawn from the index in ascending feature-space lower-bound order and
 // refined with exact DTW until the next lower bound exceeds the current
-// kth-best exact distance. Guaranteed exact (no false dismissals).
+// kth-best exact distance. Guaranteed exact (no false dismissals). A query
+// of the wrong length returns no matches (use KNNCtx for the error).
 func (ix *Index) KNN(q ts.Series, k int, delta float64) ([]Match, QueryStats) {
 	out, stats, _ := ix.KNNCtx(context.Background(), q, k, delta, Limits{})
 	return out, stats
@@ -270,11 +286,12 @@ func (ix *Index) KNN(q ts.Series, k int, delta float64) ([]Match, QueryStats) {
 // between candidates; on cancellation the neighbors verified so far are
 // returned (closest first) together with ctx.Err(). If lim.MaxExactDTW is
 // hit, traversal stops, stats.Degraded is set, and the exactness guarantee
-// no longer holds for the tail of the result. Queries never mutate the
-// index, so any number may run concurrently.
+// no longer holds for the tail of the result. A query of the wrong length
+// returns ErrQueryLength. Queries never mutate the index, so any number may
+// run concurrently.
 func (ix *Index) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, lim Limits) ([]Match, QueryStats, error) {
-	if len(q) != ix.n {
-		panic(fmt.Sprintf("index: query length %d, want %d", len(q), ix.n))
+	if err := ix.checkQuery(q); err != nil {
+		return nil, QueryStats{}, err
 	}
 	if k <= 0 {
 		return nil, QueryStats{}, nil
@@ -283,6 +300,9 @@ func (ix *Index) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, 
 	env := dtw.NewEnvelope(q, band)
 	fe := ix.transform.ApplyEnvelope(env)
 	box := rtree.Rect{Lo: fe.Lower, Hi: fe.Upper}
+
+	v := getVerifier()
+	defer putVerifier(v)
 
 	var tstats rtree.Stats
 	var stats QueryStats
@@ -303,22 +323,39 @@ func (ix *Index) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, 
 			return false
 		}
 		stats.Candidates++
-		x := ix.series[nb.Item.ID]
-		if best.full() && dtw.DistToEnvelope(x, env) > best.worst() {
-			return true
-		}
-		stats.LBSurvivors++
-		if lim.CandidateHook != nil {
-			lim.CandidateHook()
-		}
-		stats.ExactDTW++
+		e := ix.series[nb.Item.ID]
 		if best.full() {
+			// Lower-bound cascade at the current kth-best cutoff; each
+			// stage is cheaper than the next and abandons early.
 			w := best.worst()
-			if d2, ok := dtw.SquaredBandedWithin(x, q, band, w*w); ok {
+			w2 := w * w
+			fwd, ok := dtw.SquaredDistToEnvelopeWithin(e.x, env, w2)
+			if !ok {
+				return true
+			}
+			// The reversed-role bound costs an O(n) envelope per candidate;
+			// see the gate rationale in verify.go (wide bands only, and
+			// only when the forward bound landed near the cutoff).
+			if band >= reversedLBMinBand && fwd > w2*reversedLBGate {
+				if _, ok := v.ws.SquaredReversedLBKeoghWithin(q, e.x, band, w2); !ok {
+					return true
+				}
+			}
+			stats.LBSurvivors++
+			if lim.CandidateHook != nil {
+				lim.CandidateHook()
+			}
+			stats.ExactDTW++
+			if d2, ok := v.ws.SquaredBandedWithin(e.x, q, band, w2); ok {
 				best.offer(Match{ID: nb.Item.ID, Dist: math.Sqrt(d2)})
 			}
 		} else {
-			best.offer(Match{ID: nb.Item.ID, Dist: dtw.Banded(x, q, band)})
+			stats.LBSurvivors++
+			if lim.CandidateHook != nil {
+				lim.CandidateHook()
+			}
+			stats.ExactDTW++
+			best.offer(Match{ID: nb.Item.ID, Dist: math.Sqrt(v.ws.SquaredBandedExact(e.x, q, band))})
 		}
 		return true
 	}, &tstats)
@@ -326,57 +363,78 @@ func (ix *Index) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, 
 	return best.sorted(), stats, err
 }
 
-// topK keeps the k smallest matches seen.
-type topK struct {
-	k       int
-	matches []Match
-}
-
-func newTopK(k int) *topK { return &topK{k: k} }
-
-func (t *topK) full() bool { return len(t.matches) >= t.k }
-
-func (t *topK) worst() float64 {
-	w := t.matches[0].Dist
-	for _, m := range t.matches[1:] {
-		if m.Dist > w {
-			w = m.Dist
-		}
-	}
-	return w
-}
-
-func (t *topK) offer(m Match) {
-	if len(t.matches) < t.k {
-		t.matches = append(t.matches, m)
-		return
-	}
-	wi := 0
-	for i, mm := range t.matches {
-		if mm.Dist > t.matches[wi].Dist {
-			wi = i
-		}
-	}
-	if m.Dist < t.matches[wi].Dist {
-		t.matches[wi] = m
-	}
-}
-
-func (t *topK) sorted() []Match {
-	out := make([]Match, len(t.matches))
-	copy(out, t.matches)
+// sortMatches orders matches by (distance, id), the deterministic result
+// order of every query method.
+func sortMatches(out []Match) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dist != out[j].Dist {
 			return out[i].Dist < out[j].Dist
 		}
 		return out[i].ID < out[j].ID
 	})
+}
+
+// topK keeps the k smallest matches seen in a max-heap keyed on distance:
+// worst() is O(1) and offer() O(log k). (The former linear scans made
+// Rank/RankPhrase — which ask for k = every phrase — O(n·k).)
+type topK struct {
+	k int
+	m []Match // max-heap by Dist; m[0] is the current worst kept match
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+func (t *topK) full() bool { return len(t.m) >= t.k }
+
+// worst returns the largest kept distance. Callers must ensure the heap is
+// non-empty (guarded by full() with k > 0).
+func (t *topK) worst() float64 { return t.m[0].Dist }
+
+func (t *topK) offer(m Match) {
+	if len(t.m) < t.k {
+		t.m = append(t.m, m)
+		i := len(t.m) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if t.m[p].Dist >= t.m[i].Dist {
+				break
+			}
+			t.m[p], t.m[i] = t.m[i], t.m[p]
+			i = p
+		}
+		return
+	}
+	if m.Dist >= t.m[0].Dist {
+		return
+	}
+	t.m[0] = m
+	i, n := 0, len(t.m)
+	for {
+		big := i
+		if l := 2*i + 1; l < n && t.m[l].Dist > t.m[big].Dist {
+			big = l
+		}
+		if r := 2*i + 2; r < n && t.m[r].Dist > t.m[big].Dist {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		t.m[i], t.m[big] = t.m[big], t.m[i]
+		i = big
+	}
+}
+
+func (t *topK) sorted() []Match {
+	out := make([]Match, len(t.m))
+	copy(out, t.m)
+	sortMatches(out)
 	return out
 }
 
 // Visit calls fn for every stored (id, series) pair, in unspecified order.
 func (ix *Index) Visit(fn func(id int64, x ts.Series)) {
-	for id, s := range ix.series {
-		fn(id, s)
+	for id, e := range ix.series {
+		fn(id, e.x)
 	}
 }

@@ -1,6 +1,8 @@
 package index
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -236,14 +238,27 @@ func TestCandidatesGrowWithWidth(t *testing.T) {
 	}
 }
 
-func TestQueryPanicsOnBadLength(t *testing.T) {
+// A malformed query must never kill a serving goroutine: the Ctx variants
+// report ErrQueryLength and the convenience wrappers return no matches.
+func TestQueryBadLengthErrors(t *testing.T) {
 	ix := New(core.NewPAA(testN, testDim), Config{})
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	ix.RangeQuery(make(ts.Series, 3), 1, 0.1)
+	ix.MustAdd(1, make(ts.Series, testN))
+	bad := make(ts.Series, 3)
+	if _, _, err := ix.RangeQueryCtx(context.Background(), bad, 1, 0.1, Limits{}); !errors.Is(err, ErrQueryLength) {
+		t.Errorf("RangeQueryCtx err = %v, want ErrQueryLength", err)
+	}
+	if _, _, err := ix.KNNCtx(context.Background(), bad, 1, 0.1, Limits{}); !errors.Is(err, ErrQueryLength) {
+		t.Errorf("KNNCtx err = %v, want ErrQueryLength", err)
+	}
+	if _, _, err := ix.RangeQueryEuclidean(bad, 1); !errors.Is(err, ErrQueryLength) {
+		t.Errorf("RangeQueryEuclidean err = %v, want ErrQueryLength", err)
+	}
+	if got, _ := ix.RangeQuery(bad, 1, 0.1); len(got) != 0 {
+		t.Errorf("RangeQuery on bad length returned %d matches", len(got))
+	}
+	if got, _ := ix.KNN(bad, 1, 0.1); len(got) != 0 {
+		t.Errorf("KNN on bad length returned %d matches", len(got))
+	}
 }
 
 // KNN consistency: the kth best distance from KNN equals the threshold at
@@ -300,7 +315,10 @@ func TestRangeQueryEuclidean(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		q := randomWalk(r, testN)
 		eps := float64(testN) * (0.03 + r.Float64()*0.06)
-		got, stats := ix.RangeQueryEuclidean(q, eps)
+		got, stats, err := ix.RangeQueryEuclidean(q, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
 		// Brute-force reference.
 		want := 0
 		for id, x := range data {
@@ -336,12 +354,9 @@ func TestRangeQueryEuclidean(t *testing.T) {
 	}
 }
 
-func TestRangeQueryEuclideanPanics(t *testing.T) {
+func TestRangeQueryEuclideanBadLength(t *testing.T) {
 	ix := New(core.NewPAA(testN, testDim), Config{})
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	ix.RangeQueryEuclidean(make(ts.Series, 2), 1)
+	if _, _, err := ix.RangeQueryEuclidean(make(ts.Series, 2), 1); !errors.Is(err, ErrQueryLength) {
+		t.Errorf("err = %v, want ErrQueryLength", err)
+	}
 }

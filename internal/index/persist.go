@@ -39,7 +39,7 @@ func (ix *Index) Save(w io.Writer) error {
 	sort.Slice(p.IDs, func(i, j int) bool { return p.IDs[i] < p.IDs[j] })
 	p.Series = make([]ts.Series, len(p.IDs))
 	for i, id := range p.IDs {
-		p.Series[i] = ix.series[id]
+		p.Series[i] = ix.series[id].x
 	}
 	return gob.NewEncoder(w).Encode(p)
 }

@@ -1,0 +1,213 @@
+// Candidate verification: the refinement step shared by the range-query
+// backends. Candidates surviving the feature-space filter run through a
+// cascade of ever-tighter lower bounds and finally exact banded DTW, all of
+// it allocation-free in steady state (pooled dtw.Workspaces) and — for
+// large candidate sets — fanned out across GOMAXPROCS workers.
+package index
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"warping/internal/core"
+	"warping/internal/dtw"
+	"warping/internal/rtree"
+	"warping/internal/ts"
+)
+
+// verifier bundles the scratch state one goroutine needs to verify
+// candidates. Obtained from a sync.Pool so concurrent queries (and the
+// workers of one parallel query) never contend on shared buffers.
+type verifier struct {
+	ws dtw.Workspace
+}
+
+var verifierPool = sync.Pool{New: func() interface{} { return new(verifier) }}
+
+func getVerifier() *verifier  { return verifierPool.Get().(*verifier) }
+func putVerifier(v *verifier) { verifierPool.Put(v) }
+
+// The reversed-role LB_Keogh pass costs an O(n) candidate envelope (three
+// deque sweeps) per call, while the exact DP it tries to save costs
+// O(n*(2k+1)) — but abandons early, so for narrow bands the DP dismisses a
+// non-match almost as cheaply as the reversed bound would. Benchmarks on
+// random-walk data (n=128) show the reversed pass is a net loss below
+// k≈8 and only pays off when the band is wide enough that each avoided DP
+// run covers many envelope computations. Both gates are purely performance
+// heuristics: skipping a lower bound can only send more candidates to
+// exact DTW, never dismiss a true match.
+//
+// reversedLBMinBand: engage the reversed pass only at band radii where the
+// DP is expensive enough to insure against. reversedLBGate: even then,
+// only when the forward bound landed within this fraction of the cutoff —
+// the two bounds are strongly correlated, so a candidate with lots of
+// forward slack is almost never pruned by the reversed pass.
+const (
+	reversedLBMinBand = 8
+	reversedLBGate    = 0.25
+)
+
+// passesLB runs the lower-bound cascade for a range query at threshold
+// eps2 (squared): the O(dim) feature-space box distance against the cached
+// feature vector, the full-dimensional LB_Keogh distance to the query
+// envelope, and — when the forward bound is tight enough to make it
+// worthwhile — the reversed-role LB_Keogh second pass (envelope of the
+// candidate, Lemire's two-pass bound). Every stage abandons at eps2; a
+// false return means the candidate provably cannot match (no false
+// dismissals, Theorem 1 / Lemma 2 symmetry).
+func (v *verifier) passesLB(e entry, q ts.Series, env dtw.Envelope, fe core.FeatureEnvelope, k int, eps2 float64) bool {
+	if core.SquaredDistToBox(e.feat, fe) > eps2 {
+		return false
+	}
+	fwd, ok := dtw.SquaredDistToEnvelopeWithin(e.x, env, eps2)
+	if !ok {
+		return false
+	}
+	if k >= reversedLBMinBand && fwd > eps2*reversedLBGate {
+		if _, ok := v.ws.SquaredReversedLBKeoghWithin(q, e.x, k, eps2); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelVerifyMin is the candidate-set size below which verification
+// stays sequential: spawning workers costs more than the cascade saves on
+// small sets.
+const parallelVerifyMin = 64
+
+// verifyCandidates refines the candidate set of a range query into exact
+// matches (unsorted). It updates stats.LBSurvivors, stats.ExactDTW and
+// stats.Degraded, honors the context and lim.MaxExactDTW, and picks the
+// sequential or parallel strategy by candidate-set size. The returned
+// error is ctx.Err() when the query was abandoned mid-verification.
+func (ix *Index) verifyCandidates(ctx context.Context, q ts.Series, env dtw.Envelope, fe core.FeatureEnvelope, items []rtree.Item, k int, epsilon float64, lim Limits, stats *QueryStats) ([]Match, error) {
+	if len(items) >= parallelVerifyMin && runtime.GOMAXPROCS(0) > 1 {
+		return ix.verifyParallel(ctx, q, env, fe, items, k, epsilon, lim, stats)
+	}
+
+	v := getVerifier()
+	defer putVerifier(v)
+	eps2 := epsilon * epsilon
+	var out []Match
+	var err error
+	for _, it := range items {
+		if e := ctx.Err(); e != nil {
+			err = e
+			break
+		}
+		if lim.MaxExactDTW > 0 && stats.ExactDTW >= lim.MaxExactDTW {
+			stats.Degraded = true
+			break
+		}
+		e := ix.series[it.ID]
+		if !v.passesLB(e, q, env, fe, k, eps2) {
+			continue
+		}
+		stats.LBSurvivors++
+		if lim.CandidateHook != nil {
+			lim.CandidateHook()
+		}
+		stats.ExactDTW++
+		// Early-abandoning DTW: most candidates blow past epsilon in the
+		// first few DP rows.
+		if d2, ok := v.ws.SquaredBandedWithin(e.x, q, k, eps2); ok {
+			out = append(out, Match{ID: it.ID, Dist: math.Sqrt(d2)})
+		}
+	}
+	return out, err
+}
+
+// verifyParallel fans candidate verification out across GOMAXPROCS
+// workers. Each worker pulls candidates from a shared atomic cursor (cheap
+// dynamic load balancing: early-abandoned candidates cost far less than
+// verified ones), verifies with its own pooled workspace, and appends to a
+// private match list; the caller's deterministic (dist, id) sort makes the
+// merged result independent of scheduling. Cancellation, the MaxExactDTW
+// budget (an atomic reservation counter) and CandidateHook serialization
+// are preserved, so results are bit-identical to the sequential path
+// whenever the query runs to completion.
+func (ix *Index) verifyParallel(ctx context.Context, q ts.Series, env dtw.Envelope, fe core.FeatureEnvelope, items []rtree.Item, k int, epsilon float64, lim Limits, stats *QueryStats) ([]Match, error) {
+	workers := runtime.GOMAXPROCS(0)
+	if max := len(items) / (parallelVerifyMin / 4); workers > max {
+		workers = max
+	}
+	eps2 := epsilon * epsilon
+	var (
+		cursor    int64 // next candidate index to claim
+		survivors int64 // candidates that passed the LB cascade
+		reserved  int64 // exact-DTW budget reservations
+		degraded  int32 // budget exhausted with work left
+		aborted   int32 // a worker observed ctx cancellation
+		hookMu    sync.Mutex
+		wg        sync.WaitGroup
+	)
+	perWorker := make([][]Match, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := getVerifier()
+			defer putVerifier(v)
+			var local []Match
+			for {
+				if atomic.LoadInt32(&degraded) != 0 {
+					break
+				}
+				if ctx.Err() != nil {
+					atomic.StoreInt32(&aborted, 1)
+					break
+				}
+				i := int(atomic.AddInt64(&cursor, 1)) - 1
+				if i >= len(items) {
+					break
+				}
+				e := ix.series[items[i].ID]
+				if !v.passesLB(e, q, env, fe, k, eps2) {
+					continue
+				}
+				n := atomic.AddInt64(&reserved, 1)
+				if lim.MaxExactDTW > 0 && n > int64(lim.MaxExactDTW) {
+					atomic.StoreInt32(&degraded, 1)
+					break
+				}
+				atomic.AddInt64(&survivors, 1)
+				if lim.CandidateHook != nil {
+					hookMu.Lock()
+					lim.CandidateHook()
+					hookMu.Unlock()
+				}
+				if d2, ok := v.ws.SquaredBandedWithin(e.x, q, k, eps2); ok {
+					local = append(local, Match{ID: items[i].ID, Dist: math.Sqrt(d2)})
+				}
+			}
+			perWorker[w] = local
+		}(w)
+	}
+	wg.Wait()
+
+	performed := reserved
+	if lim.MaxExactDTW > 0 && performed > int64(lim.MaxExactDTW) {
+		performed = int64(lim.MaxExactDTW)
+	}
+	stats.LBSurvivors += int(survivors)
+	stats.ExactDTW += int(performed)
+	stats.Degraded = stats.Degraded || degraded != 0
+
+	var total int
+	for _, l := range perWorker {
+		total += len(l)
+	}
+	out := make([]Match, 0, total)
+	for _, l := range perWorker {
+		out = append(out, l...)
+	}
+	var err error
+	if aborted != 0 {
+		err = ctx.Err()
+	}
+	return out, err
+}

@@ -1,0 +1,234 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"warping/internal/core"
+	"warping/internal/dtw"
+	"warping/internal/rtree"
+	"warping/internal/ts"
+)
+
+// bigCandidateQuery returns an index and a query whose candidate set is
+// comfortably above parallelVerifyMin, so RangeQueryCtx takes the parallel
+// verification path.
+func bigCandidateQuery(t testing.TB, seed int64) (*Index, ts.Series, float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	ix, _, _ := buildIndex(r, core.NewPAA(testN, testDim), 600)
+	q := randomWalk(r, testN)
+	epsilon := 40.0
+	_, stats := ix.RangeQuery(q, epsilon, 0.1)
+	if stats.Candidates < parallelVerifyMin {
+		t.Skipf("only %d candidates; seed needs adjusting", stats.Candidates)
+	}
+	return ix, q, epsilon
+}
+
+// The parallel path must return bit-identical results to the sequential
+// path (forced via GOMAXPROCS=1) for completed queries.
+func TestParallelVerificationMatchesSequential(t *testing.T) {
+	ix, q, epsilon := bigCandidateQuery(t, 120)
+	par, pstats, err := ix.RangeQueryCtx(context.Background(), q, epsilon, 0.1, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := runtime.GOMAXPROCS(1)
+	seq, sstats, err := ix.RangeQueryCtx(context.Background(), q, epsilon, 0.1, Limits{})
+	runtime.GOMAXPROCS(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(par) != len(seq) {
+		t.Fatalf("parallel %d matches, sequential %d", len(par), len(seq))
+	}
+	for i := range par {
+		if par[i] != seq[i] {
+			t.Fatalf("match %d differs: %+v vs %+v", i, par[i], seq[i])
+		}
+	}
+	if pstats != sstats {
+		t.Errorf("stats differ: parallel %+v, sequential %+v", pstats, sstats)
+	}
+}
+
+// Cancellation mid-verification must stop promptly and report ctx.Err()
+// even when the work is spread across workers.
+func TestParallelVerificationCancellation(t *testing.T) {
+	ix, q, epsilon := bigCandidateQuery(t, 121)
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	lim := Limits{CandidateHook: func() { once.Do(cancel) }}
+	defer cancel()
+	_, _, err := ix.RangeQueryCtx(ctx, q, epsilon, 0.1, lim)
+	if !errors.Is(err, context.Canceled) {
+		// The hook only fires for LB survivors; if none survived, the
+		// cancel never happened and a nil error is correct.
+		if ctx.Err() == nil {
+			t.Skip("no candidate survived the LB cascade")
+		}
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// The MaxExactDTW budget must hold exactly under parallel verification:
+// no more exact computations than the cap, and Degraded set.
+func TestParallelVerificationBudget(t *testing.T) {
+	ix, q, epsilon := bigCandidateQuery(t, 122)
+	_, full, err := ix.RangeQueryCtx(context.Background(), q, epsilon, 0.1, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.ExactDTW < 4 {
+		t.Skip("too little exact work to exercise the budget")
+	}
+	budget := full.ExactDTW / 2
+	var hookCalls int
+	var mu sync.Mutex
+	lim := Limits{
+		MaxExactDTW:   budget,
+		CandidateHook: func() { mu.Lock(); hookCalls++; mu.Unlock() },
+	}
+	_, stats, err := ix.RangeQueryCtx(context.Background(), q, epsilon, 0.1, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Degraded {
+		t.Error("budgeted query not marked degraded")
+	}
+	if stats.ExactDTW > budget {
+		t.Errorf("ExactDTW = %d exceeds budget %d", stats.ExactDTW, budget)
+	}
+	if hookCalls > budget {
+		t.Errorf("hook fired %d times, budget %d", hookCalls, budget)
+	}
+	if stats.LBSurvivors != stats.ExactDTW {
+		t.Errorf("LBSurvivors %d != ExactDTW %d", stats.LBSurvivors, stats.ExactDTW)
+	}
+}
+
+// Concurrent queries through the parallel verification path share the
+// verifier pool; run under -race in CI.
+func TestParallelVerificationConcurrentRace(t *testing.T) {
+	ix, q, epsilon := bigCandidateQuery(t, 123)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, _, err := ix.RangeQueryCtx(context.Background(), q, epsilon, 0.1, Limits{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Removing a series must not recompute the transform: the feature vector
+// cached at Add time is reused, so Remove works even for transforms whose
+// Apply is expensive, and stays consistent with what the tree stored.
+func TestRemoveUsesCachedFeature(t *testing.T) {
+	tr := &countingTransform{Transform: core.NewPAA(testN, testDim)}
+	ix := New(tr, Config{})
+	r := rand.New(rand.NewSource(124))
+	for i := 0; i < 50; i++ {
+		ix.MustAdd(int64(i), randomWalk(r, testN))
+	}
+	applies := tr.applies
+	for i := 0; i < 50; i++ {
+		if !ix.Remove(int64(i)) {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+	}
+	if tr.applies != applies {
+		t.Errorf("Remove recomputed Apply %d times, want 0", tr.applies-applies)
+	}
+	if ix.Len() != 0 {
+		t.Errorf("Len = %d after removing everything", ix.Len())
+	}
+}
+
+type countingTransform struct {
+	core.Transform
+	applies int
+}
+
+func (c *countingTransform) Apply(x ts.Series) []float64 {
+	c.applies++
+	return c.Transform.Apply(x)
+}
+
+// The cascade inside the index must never drop a true match relative to
+// DistToEnvelope-only filtering: exercised against the brute-force scan at
+// many epsilons (the parallel path included).
+func TestCascadeNoFalseDismissals(t *testing.T) {
+	r := rand.New(rand.NewSource(125))
+	ix, scan, _ := buildIndex(r, core.NewPAA(testN, testDim), 400)
+	for _, epsilon := range []float64{5, 15, 30, 45} {
+		q := randomWalk(r, testN)
+		got, _ := ix.RangeQuery(q, epsilon, 0.1)
+		want, _ := scan.RangeQuery(q, epsilon, 0.1)
+		if len(got) != len(want) {
+			t.Fatalf("eps=%v: got %d matches, scan %d", epsilon, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("eps=%v: match %d differs", epsilon, i)
+			}
+		}
+	}
+}
+
+// BenchmarkVerifyCandidates measures the verification cascade alone on a
+// warm workspace: steady state must be allocation-free (the acceptance
+// criterion of the zero-allocation pipeline).
+func BenchmarkVerifyCandidates(b *testing.B) {
+	r := rand.New(rand.NewSource(126))
+	ix, _, _ := buildIndex(r, core.NewPAA(testN, testDim), 2000)
+	q := randomWalk(r, testN)
+	k := dtw.BandRadius(testN, 0.1)
+	env := dtw.NewEnvelope(q, k)
+	fe := ix.transform.ApplyEnvelope(env)
+	box := rtree.Rect{Lo: fe.Lower, Hi: fe.Upper}
+	epsilon := 10.0 // plenty of LB work, no matches to accumulate
+	items := ix.tree.RangeSearchRect(box, epsilon)
+	if len(items) == 0 {
+		b.Skip("no candidates")
+	}
+	v := getVerifier()
+	defer putVerifier(v)
+	eps2 := epsilon * epsilon
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, it := range items {
+			e := ix.series[it.ID]
+			if !v.passesLB(e, q, env, fe, k, eps2) {
+				continue
+			}
+			v.ws.SquaredBandedWithin(e.x, q, k, eps2)
+		}
+	}
+	b.ReportMetric(float64(len(items)), "candidates")
+}
+
+func BenchmarkRangeQueryParallel(b *testing.B) {
+	r := rand.New(rand.NewSource(127))
+	ix, _, _ := buildIndex(r, core.NewPAA(testN, testDim), 2000)
+	q := randomWalk(r, testN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.RangeQuery(q, 40, 0.1)
+	}
+}

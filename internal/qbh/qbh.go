@@ -247,6 +247,11 @@ func (s *System) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta 
 		return nil, index.QueryStats{}, nil
 	}
 	q := s.Normalize(pitch)
+	// Cumulative work across all growth rounds. Each round's counters are
+	// summed (and Degraded OR-ed) so Candidates/ExactDTW/PageAccesses
+	// report what the whole query cost — overwriting with the last round's
+	// stats would understate the work the Figure 8-10 measures and the
+	// server's degradation budget rely on.
 	var stats index.QueryStats
 	// Grow k until we have topK distinct songs (phrases of one song can
 	// crowd the front of the list).
@@ -256,7 +261,7 @@ func (s *System) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta 
 	}
 	for {
 		matches, st, err := s.ix.KNNCtx(ctx, q, k, delta, lim)
-		stats = st
+		stats.Add(st)
 		songs := s.aggregate(matches)
 		if err != nil || stats.Degraded || len(songs) >= topK || k >= len(s.phrases) {
 			if len(songs) > topK {

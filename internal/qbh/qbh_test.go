@@ -1,10 +1,12 @@
 package qbh
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"warping/internal/hum"
+	"warping/internal/index"
 	"warping/internal/music"
 	"warping/internal/ts"
 )
@@ -306,5 +308,79 @@ func TestAddSongErrors(t *testing.T) {
 	}
 	if err := s.AddSong(music.Song{ID: 99, Melody: music.Melody{}}); err == nil {
 		t.Error("invalid melody accepted")
+	}
+}
+
+// TestQueryCtxStatsAccumulateAcrossRounds is the regression test for the
+// stats-accounting bug: the growth loop used to overwrite QueryStats with
+// each round's stats, so a query that grew k reported only the final
+// round's Candidates/ExactDTW/PageAccesses. The database is built so the
+// first round cannot find enough distinct songs (one song's near-identical
+// phrases crowd the whole front of the kNN list), forcing at least two
+// rounds; the hook-counted exact-DTW total across all rounds must equal
+// the reported stats.
+func TestQueryCtxStatsAccumulateAcrossRounds(t *testing.T) {
+	// Song 100: a 15-note motif repeated 32 times. Every phrase of it is
+	// cut from the same repeating material, so all its phrases sit at
+	// nearly zero distance from a motif query. The decoys have different
+	// contours and land far away.
+	motif := music.Melody{}
+	pattern := []int{60, 62, 64, 65, 67, 69, 67, 65, 64, 62, 60, 59, 57, 59, 60}
+	for rep := 0; rep < 32; rep++ {
+		for _, p := range pattern {
+			motif = append(motif, music.Note{Pitch: p, Duration: 2})
+		}
+	}
+	songs := testSongs(405, 4)
+	songs = append(songs, music.Song{ID: 100, Title: "Motif Song", Melody: motif})
+	s, err := Build(songs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pitch := motif[:len(pattern)].TimeSeries()
+	const topK = 3
+	const delta = 0.1
+
+	// Reference: the work of round one alone (QueryCtx starts at
+	// k = 4*topK). Queries are read-pure and deterministic, so this is
+	// exactly what the first round inside QueryCtx does.
+	q := s.Normalize(pitch)
+	_, round1, err := s.Index().KNNCtx(context.Background(), q, 4*topK, delta, index.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round1.ExactDTW < 1 {
+		t.Fatalf("round 1 did no exact DTW work (ExactDTW=%d); test setup broken", round1.ExactDTW)
+	}
+
+	var hookCalls int
+	lim := index.Limits{CandidateHook: func() { hookCalls++ }}
+	matches, stats, err := s.QueryCtx(context.Background(), pitch, topK, delta, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Degraded {
+		t.Fatal("unbudgeted query reported degraded")
+	}
+	if len(matches) < 2 {
+		t.Fatalf("got %d songs, want >= 2", len(matches))
+	}
+	// The hook fires once per exact-DTW verification in every round, so a
+	// cumulative count must match it exactly; the overwrite bug reported
+	// only the last round.
+	if stats.ExactDTW != hookCalls {
+		t.Errorf("stats.ExactDTW = %d, want cumulative %d (hook count)", stats.ExactDTW, hookCalls)
+	}
+	// Prove the growth loop actually ran more than one round: total work
+	// must exceed round one's.
+	if hookCalls <= round1.ExactDTW {
+		t.Fatalf("query did not grow: %d exact DTW total vs %d in round 1", hookCalls, round1.ExactDTW)
+	}
+	if stats.Candidates < round1.Candidates || stats.PageAccesses < round1.PageAccesses {
+		t.Errorf("cumulative stats %+v smaller than round 1's %+v", stats, round1)
+	}
+	if stats.LBSurvivors != stats.ExactDTW {
+		t.Errorf("LBSurvivors = %d, ExactDTW = %d; should match for unbudgeted queries", stats.LBSurvivors, stats.ExactDTW)
 	}
 }

@@ -162,6 +162,32 @@ func (r Rect) SquaredMinDist(p []float64) float64 {
 	return sum
 }
 
+// squaredMinDistLeq reports whether SquaredMinDist(p) <= r2, abandoning the
+// accumulation as soon as it exceeds r2. Range searches test every item of
+// every visited leaf against the query box, so in high dimensions most
+// points fail after the first coordinate or two; the early exit makes the
+// leaf scan proportional to how close a point is rather than to dim.
+func (r Rect) squaredMinDistLeq(p []float64, r2 float64) bool {
+	lo, hi := r.Lo[:len(p)], r.Hi[:len(p)] // bounds-check elimination
+	var sum float64
+	for i, v := range p {
+		switch {
+		case v < lo[i]:
+			d := lo[i] - v
+			sum += d * d
+		case v > hi[i]:
+			d := v - hi[i]
+			sum += d * d
+		default:
+			continue
+		}
+		if sum > r2 {
+			return false
+		}
+	}
+	return true
+}
+
 // SquaredMinDistRect returns the squared minimum distance between two
 // rectangles (0 if they intersect). With a degenerate query rectangle this
 // reduces to SquaredMinDist; with a feature-envelope box it is exactly the

@@ -1,9 +1,9 @@
 package rtree
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // RangeSearch returns the IDs of all items within Euclidean distance radius
@@ -37,7 +37,7 @@ func (t *Tree) RangeSearchRectStats(q Rect, radius float64, st *Stats) []Item {
 		st.NodeAccesses++
 		if n.leaf {
 			for i, it := range n.items {
-				if q.SquaredMinDist(n.rects[i].Lo) <= r2 {
+				if q.squaredMinDistLeq(n.rects[i].Lo, r2) {
 					out = append(out, it)
 					st.LeafHits++
 				}
@@ -98,23 +98,26 @@ func (t *Tree) IncrementalNNStats(q Rect, yield func(Neighbor) bool, st *Stats) 
 	if st == nil {
 		st = &Stats{}
 	}
-	pq := &nnHeap{}
-	heap.Init(pq)
-	heap.Push(pq, nnEntry{node: t.root, dist: math.Sqrt(t.root.mbrOrZero().SquaredMinDistRect(q))})
-	for pq.Len() > 0 {
-		e := heap.Pop(pq).(nnEntry)
+	pq := nnHeapPool.Get().(*nnHeap)
+	defer func() {
+		pq.reset() // drop Item.Point references before pooling
+		nnHeapPool.Put(pq)
+	}()
+	pq.push(nnEntry{node: t.root, dist: math.Sqrt(t.root.mbrOrZero().SquaredMinDistRect(q))})
+	for pq.len() > 0 {
+		e := pq.pop()
 		if e.node != nil {
 			n := e.node
 			st.NodeAccesses++
 			if n.leaf {
 				for i, it := range n.items {
 					d := math.Sqrt(q.SquaredMinDist(n.rects[i].Lo))
-					heap.Push(pq, nnEntry{item: it, hasItem: true, dist: d})
+					pq.push(nnEntry{item: it, hasItem: true, dist: d})
 				}
 			} else {
 				for i, child := range n.children {
 					d := math.Sqrt(n.rects[i].SquaredMinDistRect(q))
-					heap.Push(pq, nnEntry{node: child, dist: d})
+					pq.push(nnEntry{node: child, dist: d})
 				}
 			}
 			continue
@@ -141,24 +144,71 @@ type nnEntry struct {
 	dist    float64
 }
 
-type nnHeap []nnEntry
-
-func (h nnHeap) Len() int { return len(h) }
-func (h nnHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
-		return h[i].dist < h[j].dist
+// nnLess orders the best-first frontier: nearer first, and items before
+// nodes at equal distance so results surface as soon as they are final.
+func nnLess(a, b nnEntry) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
 	}
-	// Prefer items over nodes at equal distance so results surface first.
-	return h[i].hasItem && !h[j].hasItem
+	return a.hasItem && !b.hasItem
 }
-func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnEntry)) }
-func (h *nnHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// nnHeap is a typed binary min-heap. container/heap would box every entry
+// through interface{} — one allocation per push/pop — which dominated the
+// kNN query allocation profile; the typed form is allocation-free once the
+// backing slice is warm, and the pool reuses that slice across queries.
+type nnHeap struct{ es []nnEntry }
+
+var nnHeapPool = sync.Pool{New: func() interface{} { return new(nnHeap) }}
+
+func (h *nnHeap) len() int { return len(h.es) }
+
+// reset clears retained entries (Item.Point slices would otherwise pin their
+// backing arrays while pooled) and empties the heap.
+func (h *nnHeap) reset() {
+	for i := range h.es {
+		h.es[i] = nnEntry{}
+	}
+	h.es = h.es[:0]
+}
+
+func (h *nnHeap) push(e nnEntry) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !nnLess(h.es[i], h.es[p]) {
+			break
+		}
+		h.es[i], h.es[p] = h.es[p], h.es[i]
+		i = p
+	}
+}
+
+func (h *nnHeap) pop() nnEntry {
+	es := h.es
+	top := es[0]
+	n := len(es) - 1
+	es[0] = es[n]
+	es[n] = nnEntry{}
+	h.es = es[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && nnLess(es[r], es[l]) {
+			c = r
+		}
+		if !nnLess(es[c], es[i]) {
+			break
+		}
+		es[i], es[c] = es[c], es[i]
+		i = c
+	}
+	return top
 }
 
 // Visit walks every item in the tree (no stats impact), for tests and

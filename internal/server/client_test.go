@@ -117,4 +117,7 @@ func TestQueryResponseJSONShape(t *testing.T) {
 	if !bytes.Contains(data, []byte(want)) {
 		t.Errorf("JSON = %s", data)
 	}
+	if !bytes.Contains(data, []byte(`"lb_survivors":0`)) {
+		t.Errorf("JSON missing lb_survivors field: %s", data)
+	}
 }

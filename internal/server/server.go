@@ -206,6 +206,7 @@ type QueryResponse struct {
 	Matches      []MatchResponse `json:"matches"`
 	VoicedFrames int             `json:"voiced_frames"`
 	Candidates   int             `json:"candidates"`
+	LBSurvivors  int             `json:"lb_survivors"`
 	ExactDTW     int             `json:"exact_dtw"`
 	PageAccesses int             `json:"page_accesses"`
 	// Degraded reports that the query hit its exact-DTW budget and the
@@ -408,6 +409,7 @@ func (h *Handler) respondQuery(w http.ResponseWriter, r *http.Request, pitch ts.
 	resp := QueryResponse{
 		VoicedFrames: len(pitch),
 		Candidates:   stats.Candidates,
+		LBSurvivors:  stats.LBSurvivors,
 		ExactDTW:     stats.ExactDTW,
 		PageAccesses: stats.PageAccesses,
 		Degraded:     stats.Degraded,

@@ -98,6 +98,11 @@ func TestQueryWAV(t *testing.T) {
 	if qr.Matches[0].SongID != songs[1].ID {
 		t.Errorf("top match %+v, want song %d", qr.Matches[0], songs[1].ID)
 	}
+	// Every exact DTW verification is an LB survivor, and the server must
+	// surface the cumulative counts across growth rounds.
+	if qr.LBSurvivors != qr.ExactDTW {
+		t.Errorf("LBSurvivors = %d, ExactDTW = %d; want equal", qr.LBSurvivors, qr.ExactDTW)
+	}
 }
 
 func TestQueryPitch(t *testing.T) {

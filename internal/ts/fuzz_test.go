@@ -1,0 +1,66 @@
+package ts
+
+import (
+	"testing"
+)
+
+// bruteExtreme is the O(n*k) reference for the sliding-window extremes.
+func bruteExtreme(s Series, k int, min bool) Series {
+	out := make(Series, len(s))
+	for i := range s {
+		lo, hi := i-k, i+k
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(s)-1 {
+			hi = len(s) - 1
+		}
+		best := s[lo]
+		for j := lo + 1; j <= hi; j++ {
+			if (min && s[j] < best) || (!min && s[j] > best) {
+				best = s[j]
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// FuzzSlidingMinMax pins the monotonic-deque sliding extremes (and their
+// reusable Into variants) against the brute-force window scan.
+func FuzzSlidingMinMax(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, 1)
+	f.Add([]byte{255}, 0)
+	f.Add([]byte{5, 5, 5, 5, 5, 5}, 3)
+	f.Add([]byte{9, 1, 8, 2, 7, 3, 6, 4}, 2)
+	f.Add([]byte{1, 2}, 200)
+	f.Fuzz(func(t *testing.T, data []byte, k int) {
+		if len(data) == 0 || len(data) > 256 || k < 0 || k > 512 {
+			t.Skip()
+		}
+		s := make(Series, len(data))
+		for i, b := range data {
+			s[i] = float64(b)/8 - 16
+		}
+		wantMin := bruteExtreme(s, k, true)
+		wantMax := bruteExtreme(s, k, false)
+		if got := SlidingMin(s, k); !got.Equal(wantMin) {
+			t.Fatalf("SlidingMin(k=%d) = %v, want %v", k, got, wantMin)
+		}
+		if got := SlidingMax(s, k); !got.Equal(wantMax) {
+			t.Fatalf("SlidingMax(k=%d) = %v, want %v", k, got, wantMax)
+		}
+		// Reused scratch + destination must give identical answers (the
+		// zero-allocation path of the verification cascade).
+		var scratch WindowScratch
+		dst := make(Series, 0)
+		dst = SlidingMinInto(dst, s, k, &scratch)
+		if !dst.Equal(wantMin) {
+			t.Fatalf("SlidingMinInto(k=%d) = %v, want %v", k, dst, wantMin)
+		}
+		dst = SlidingMaxInto(dst, s, k, &scratch)
+		if !dst.Equal(wantMax) {
+			t.Fatalf("SlidingMaxInto(k=%d) = %v, want %v", k, dst, wantMax)
+		}
+	})
+}

@@ -4,32 +4,75 @@ package ts
 // [i-k, i+k] clipped to the series bounds. It runs in O(n) using a monotonic
 // deque. k must be >= 0; k = 0 returns a copy of s.
 func SlidingMin(s Series, k int) Series {
-	return slidingExtreme(s, k, func(a, b float64) bool { return a <= b })
+	return SlidingMinInto(nil, s, k, nil)
 }
 
 // SlidingMax returns, for each index i, the maximum of s over the window
 // [i-k, i+k] clipped to the series bounds. It runs in O(n).
 func SlidingMax(s Series, k int) Series {
-	return slidingExtreme(s, k, func(a, b float64) bool { return a >= b })
+	return SlidingMaxInto(nil, s, k, nil)
 }
 
-// slidingExtreme computes a centered sliding-window extreme with window
-// radius k. better(a, b) reports whether a should be kept in preference to b
-// (<= for min so that older equal values survive, >= for max).
-func slidingExtreme(s Series, k int, better func(a, b float64) bool) Series {
+// WindowScratch is reusable state for the Into variants of the sliding
+// extremes: the monotonic-deque index buffer. The zero value is ready to
+// use; after the first call the buffer is retained, so steady-state calls
+// allocate nothing. A WindowScratch must not be used concurrently.
+type WindowScratch struct {
+	idx []int
+}
+
+// SlidingMinInto is SlidingMin writing into dst (grown or allocated as
+// needed) using scratch's deque buffer. dst and scratch may be nil; passing
+// both from a reused scratch structure makes the call allocation-free in
+// steady state. dst must not alias s.
+func SlidingMinInto(dst, s Series, k int, scratch *WindowScratch) Series {
+	return slidingExtremeInto(dst, s, k, scratch, true)
+}
+
+// SlidingMaxInto is SlidingMax writing into dst; see SlidingMinInto.
+func SlidingMaxInto(dst, s Series, k int, scratch *WindowScratch) Series {
+	return slidingExtremeInto(dst, s, k, scratch, false)
+}
+
+// slidingExtremeInto computes a centered sliding-window extreme with window
+// radius k into dst. The deque of candidate indices lives in scratch and is
+// managed with a head cursor instead of front reslicing so the buffer stays
+// reusable across calls. The min and max loops are spelled out separately:
+// an indirect comparator call per element is measurable in the verification
+// cascade, where every reversed-LB candidate envelope runs through here.
+func slidingExtremeInto(dst, s Series, k int, scratch *WindowScratch, min bool) Series {
 	n := len(s)
-	out := make(Series, n)
+	if cap(dst) < n {
+		dst = make(Series, n)
+	}
+	dst = dst[:n]
 	if n == 0 {
-		return out
+		return dst
 	}
 	if k < 0 {
 		panic("ts: negative window radius")
 	}
-	// deque holds indices of candidate extremes, values monotonic.
-	deque := make([]int, 0, 2*k+2)
+	var local WindowScratch
+	if scratch == nil {
+		scratch = &local
+	}
+	if min {
+		scratch.idx = slidingMinLoop(dst, s, k, scratch.idx[:0])
+	} else {
+		scratch.idx = slidingMaxLoop(dst, s, k, scratch.idx[:0])
+	}
+	return dst
+}
+
+// slidingMinLoop fills dst with windowed minima; <= keeps older equal
+// values so the deque stays small on flat stretches. Returns the deque
+// buffer (reset to length 0) for reuse.
+func slidingMinLoop(dst, s Series, k int, deque []int) []int {
+	n := len(s)
+	head := 0 // deque[head:] are the live candidate indices, values monotonic
 	// Prime with the first window [0, min(k, n-1)].
 	for j := 0; j <= k && j < n; j++ {
-		for len(deque) > 0 && better(s[j], s[deque[len(deque)-1]]) {
+		for len(deque) > head && s[j] <= s[deque[len(deque)-1]] {
 			deque = deque[:len(deque)-1]
 		}
 		deque = append(deque, j)
@@ -38,19 +81,46 @@ func slidingExtreme(s Series, k int, better func(a, b float64) bool) Series {
 		if i > 0 {
 			// The window for i adds index i+k (if in range).
 			if j := i + k; j < n {
-				for len(deque) > 0 && better(s[j], s[deque[len(deque)-1]]) {
+				for len(deque) > head && s[j] <= s[deque[len(deque)-1]] {
 					deque = deque[:len(deque)-1]
 				}
 				deque = append(deque, j)
 			}
 		}
 		// Drop indices that fell out of [i-k, i+k].
-		for len(deque) > 0 && deque[0] < i-k {
-			deque = deque[1:]
+		for len(deque) > head && deque[head] < i-k {
+			head++
 		}
-		out[i] = s[deque[0]]
+		dst[i] = s[deque[head]]
 	}
-	return out
+	return deque[:0]
+}
+
+// slidingMaxLoop is slidingMinLoop with the comparison flipped.
+func slidingMaxLoop(dst, s Series, k int, deque []int) []int {
+	n := len(s)
+	head := 0
+	for j := 0; j <= k && j < n; j++ {
+		for len(deque) > head && s[j] >= s[deque[len(deque)-1]] {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, j)
+	}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if j := i + k; j < n {
+				for len(deque) > head && s[j] >= s[deque[len(deque)-1]] {
+					deque = deque[:len(deque)-1]
+				}
+				deque = append(deque, j)
+			}
+		}
+		for len(deque) > head && deque[head] < i-k {
+			head++
+		}
+		dst[i] = s[deque[head]]
+	}
+	return deque[:0]
 }
 
 // MovingAverage returns the centered moving average of s with window radius
