@@ -15,7 +15,7 @@ test:
 
 # Matches the CI race job: the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/qbh/... ./internal/server/... ./internal/index/... ./internal/rtree/...
+	$(GO) test -race ./internal/qbh/... ./internal/server/... ./internal/index/... ./internal/rtree/... ./internal/store/...
 
 race-all:
 	$(GO) test -race ./...
@@ -33,7 +33,7 @@ bench-json:
 # Run the fuzz seed corpora as regression tests (what CI does); use
 # `go test -fuzz=FuzzName ./internal/dtw/` for a real fuzzing session.
 fuzz-seeds:
-	$(GO) test -run='^Fuzz' ./internal/dtw/ ./internal/ts/
+	$(GO) test -run='^Fuzz' ./internal/dtw/ ./internal/ts/ ./internal/store/
 
 cover:
 	$(GO) test -cover ./...

@@ -3,6 +3,7 @@
 //	qbhd -addr :8080 -songs 500            # generated demo database
 //	qbhd -addr :8080 -loaddb db.bin        # saved database (see cmd/qbh -savedb)
 //	qbhd -addr :8080 -mididir ./corpus     # index a directory of .mid files
+//	qbhd -addr :8080 -data /var/lib/qbhd   # durable: snapshot + write-ahead log
 //
 // API (JSON responses):
 //
@@ -13,6 +14,14 @@
 //	POST /songs?title=Name           body: Standard MIDI File
 //	GET  /healthz                    liveness probe
 //	GET  /readyz                     readiness probe (503 while draining)
+//
+// With -data, the database lives in a data directory: a checksummed
+// snapshot plus a write-ahead log. POST /songs is acknowledged only after
+// the write is fsynced (group-committed within -group-commit), the WAL is
+// compacted into a fresh snapshot in the background and on graceful
+// shutdown, and startup recovers snapshot + WAL tail after a crash. The
+// other database flags then only seed the very first start; afterwards
+// the directory is the source of truth.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503,
 // in-flight requests drain for up to -drain-timeout, then the process
@@ -40,6 +49,7 @@ import (
 	"time"
 
 	"warping"
+	"warping/internal/qbh"
 	"warping/internal/server"
 )
 
@@ -48,6 +58,9 @@ func main() {
 	songCount := flag.Int("songs", 200, "number of generated songs for the demo database")
 	loadDB := flag.String("loaddb", "", "load a saved database instead of generating")
 	midiDir := flag.String("mididir", "", "index a directory of .mid files instead of generating")
+	dataDir := flag.String("data", "", "durable data directory (snapshot + write-ahead log); empty = memory only")
+	groupCommit := flag.Duration("group-commit", 2*time.Millisecond, "WAL fsync batching window for uploads (0 = fsync each write)")
+	snapInterval := flag.Duration("snapshot-interval", 5*time.Minute, "compact the WAL into a snapshot at least this often (0 = threshold-only)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission slots for expensive endpoints (0 = GOMAXPROCS)")
 	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "max wait for an admission slot before 429")
 	queryTimeout := flag.Duration("query-timeout", 15*time.Second, "per-query deadline (negative = none)")
@@ -55,19 +68,40 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
 	flag.Parse()
 
-	sys, err := buildSystem(*loadDB, *midiDir, *songCount)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	log.Printf("database ready: %d songs, %d phrases", sys.NumSongs(), sys.NumPhrases())
-
-	handler := server.NewWithConfig(sys, server.Config{
+	cfg := server.Config{
 		MaxConcurrent: *maxConcurrent,
 		QueueTimeout:  *queueTimeout,
 		QueryTimeout:  *queryTimeout,
 		MaxExactDTW:   *maxDTW,
-	})
+	}
+
+	var handler *server.Handler
+	var durable *qbh.Durable
+	if *dataDir != "" {
+		d, err := qbh.OpenDurable(*dataDir, qbh.DurableOptions{
+			GroupCommit:      *groupCommit,
+			SnapshotInterval: *snapInterval,
+			Build: func() (*qbh.System, error) {
+				return buildSystem(*loadDB, *midiDir, *songCount)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		durable = d
+		handler = server.NewBackend(d, cfg)
+		log.Printf("durable database ready in %s: %d songs, %d phrases", *dataDir, d.NumSongs(), d.NumPhrases())
+	} else {
+		sys, err := buildSystem(*loadDB, *midiDir, *songCount)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		handler = server.NewWithConfig(sys, cfg)
+		log.Printf("database ready: %d songs, %d phrases", sys.NumSongs(), sys.NumPhrases())
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(handler),
@@ -102,6 +136,15 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve error: %v", err)
 	}
+	if durable != nil {
+		// Final compaction: fold the WAL into the snapshot so the next
+		// start recovers instantly from a clean directory.
+		if err := durable.Close(); err != nil {
+			log.Printf("closing data dir: %v", err)
+		} else {
+			log.Printf("data dir compacted and closed")
+		}
+	}
 	log.Printf("shutdown complete")
 }
 
@@ -124,9 +167,12 @@ func buildSystem(loadDB, midiDir string, songCount int) (*warping.QBH, error) {
 			if e.IsDir() || filepath.Ext(e.Name()) != ".mid" {
 				continue
 			}
+			// One unreadable or unparseable file must not keep the whole
+			// daemon down: log and move on.
 			data, err := os.ReadFile(filepath.Join(midiDir, e.Name()))
 			if err != nil {
-				return nil, err
+				log.Printf("skipping %s: %v", e.Name(), err)
+				continue
 			}
 			m, err := warping.DecodeMIDI(data)
 			if err != nil {

@@ -1,17 +1,24 @@
 package index
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"sort"
 
 	"warping/internal/core"
+	"warping/internal/store"
 	"warping/internal/ts"
 )
 
-// persistFormat versions the on-disk encoding; bump on incompatible change.
+// persistFormat versions the gob payload; bump on incompatible change.
 const persistFormat = 1
+
+// SnapshotKind identifies an index snapshot container.
+const SnapshotKind = "qbh/index"
+
+const sectionIndex = "index"
 
 // persisted is the gob payload. The R*-tree is not serialized — it is
 // rebuilt deterministically from the series on load, which keeps the format
@@ -23,9 +30,9 @@ type persisted struct {
 	Series    []ts.Series
 }
 
-// Save writes the index to w in a self-contained binary format (gob). The
-// format captures the transform (including fitted SVD matrices) and all
-// stored series; the search tree is rebuilt on Load.
+// Save writes the index to w: the transform (including fitted SVD
+// matrices) and all stored series as a gob payload, wrapped in a
+// checksummed store container. The search tree is rebuilt on Load.
 func (ix *Index) Save(w io.Writer) error {
 	snap, err := core.SnapshotOf(ix.transform)
 	if err != nil {
@@ -41,14 +48,38 @@ func (ix *Index) Save(w io.Writer) error {
 	for i, id := range p.IDs {
 		p.Series[i] = ix.series[id].x
 	}
-	return gob.NewEncoder(w).Encode(p)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(p); err != nil {
+		return fmt.Errorf("index: encoding: %w", err)
+	}
+	return store.WriteContainer(w, SnapshotKind, []store.Section{
+		{Name: sectionIndex, Data: payload.Bytes()},
+	})
 }
 
 // Load reads an index previously written by Save. The tree configuration of
 // the reconstructed index comes from cfg (it is not part of the format).
+// Corrupt, truncated or foreign input is rejected with the store package's
+// typed errors before any gob decoding runs.
 func Load(r io.Reader, cfg Config) (*Index, error) {
+	kind, sections, err := store.ReadContainer(r)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading snapshot: %w", err)
+	}
+	if kind != SnapshotKind {
+		return nil, fmt.Errorf("index: %w: got %q, want %q", store.ErrKind, kind, SnapshotKind)
+	}
+	var payload []byte
+	for _, s := range sections {
+		if s.Name == sectionIndex {
+			payload = s.Data
+		}
+	}
+	if payload == nil {
+		return nil, fmt.Errorf("index: snapshot has no %q section", sectionIndex)
+	}
 	var p persisted
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
 		return nil, fmt.Errorf("index: decoding: %w", err)
 	}
 	if p.Format != persistFormat {

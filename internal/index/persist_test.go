@@ -2,11 +2,13 @@ package index
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"warping/internal/core"
+	"warping/internal/store"
 	"warping/internal/ts"
 )
 
@@ -88,6 +90,49 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 	if _, err := Load(bytes.NewReader(nil), Config{}); err == nil {
 		t.Error("empty payload accepted")
+	}
+}
+
+// Truncated, bit-flipped and foreign payloads must surface the store
+// package's typed errors instead of raw gob decode failures.
+func TestLoadTypedErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	ix, _, _ := buildIndex(r, core.NewPAA(testN, testDim), 40)
+	var snap bytes.Buffer
+	if err := ix.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	good := snap.Bytes()
+
+	flip := func(i int) []byte {
+		mut := bytes.Clone(good)
+		mut[i] ^= 0x08
+		return mut
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, store.ErrTruncated},
+		{"truncated magic", good[:3], store.ErrTruncated},
+		{"truncated header", good[:10], store.ErrTruncated},
+		{"truncated mid payload", good[:len(good)/3], store.ErrTruncated},
+		{"truncated last byte", good[:len(good)-1], store.ErrTruncated},
+		{"bit flip in magic", flip(0), store.ErrBadMagic},
+		{"bit flip in header", flip(8), store.ErrChecksum},
+		{"bit flip in payload", flip(len(good) / 2), store.ErrChecksum},
+		{"foreign bytes", []byte("RIFFxxxxWAVE definitely not an index snapshot"), store.ErrBadMagic},
+	}
+	for _, tc := range cases {
+		_, err := Load(bytes.NewReader(tc.data), Config{})
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
 	}
 }
 

@@ -1,0 +1,386 @@
+package qbh
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"warping/internal/music"
+	"warping/internal/store"
+)
+
+// ErrNotDurable marks a write that was applied in memory but could not be
+// made durable (WAL append or fsync failed). The song is queryable until
+// the process exits and may or may not survive a crash; callers should
+// report the failure rather than acknowledge the write.
+var ErrNotDurable = errors.New("qbh: write not acknowledged as durable")
+
+// Data directory layout: one snapshot plus one write-ahead log.
+const (
+	// SnapshotFileName is the checksummed full-database snapshot, replaced
+	// atomically (temp file → fsync → rename → directory fsync).
+	SnapshotFileName = "snapshot.qbh"
+	// WALFileName is the write-ahead log of mutations since the snapshot.
+	WALFileName = "wal.log"
+)
+
+// WAL record operations.
+const walOpAddSong = 1
+
+// walEntry is one WAL record: an operation code plus its payload. Records
+// are individually gob-encoded so each is self-describing and the log
+// survives partial replays.
+type walEntry struct {
+	Op   uint8
+	Song music.Song
+}
+
+func encodeWALEntry(e walEntry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeWALEntry(p []byte) (walEntry, error) {
+	var e walEntry
+	err := gob.NewDecoder(bytes.NewReader(p)).Decode(&e)
+	return e, err
+}
+
+// DurableOptions configures OpenDurable. The zero value of any field
+// selects the default.
+type DurableOptions struct {
+	// GroupCommit is the fsync batching window for AddSong: 0 fsyncs every
+	// write individually; a positive window lets concurrent writes share
+	// one fsync (each write still waits for its fsync before returning).
+	GroupCommit time.Duration
+	// SnapshotInterval compacts the WAL into a fresh snapshot at least
+	// this often while mutations are pending. <= 0 disables interval-based
+	// snapshots (thresholds below still apply).
+	SnapshotInterval time.Duration
+	// SnapshotWALRecords triggers compaction once the WAL holds this many
+	// records (default 4096; negative disables).
+	SnapshotWALRecords int64
+	// SnapshotWALBytes triggers compaction once the WAL reaches this size
+	// (default 64 MiB; negative disables).
+	SnapshotWALBytes int64
+	// Build constructs the initial system when the data directory has no
+	// snapshot (e.g. from a MIDI corpus or a generated demo database).
+	Build func() (*System, error)
+	// FS is the filesystem; nil selects the real one. Tests inject faults
+	// through this.
+	FS store.FS
+	// Logf receives recovery and background-snapshot diagnostics; nil
+	// selects log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+func (o *DurableOptions) fill() {
+	if o.SnapshotWALRecords == 0 {
+		o.SnapshotWALRecords = 4096
+	}
+	if o.SnapshotWALBytes == 0 {
+		o.SnapshotWALBytes = 64 << 20
+	}
+	if o.FS == nil {
+		o.FS = store.OS()
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+}
+
+// DurabilityStats reports the durability state for monitoring surfaces.
+type DurabilityStats struct {
+	Dir           string
+	SnapshotAge   time.Duration // time since the last successful snapshot
+	SnapshotBytes int64
+	Snapshots     int64 // snapshots written by this process
+	WALRecords    int64
+	WALBytes      int64
+	WALSyncs      int64
+	LastFsync     time.Duration // latency of the most recent WAL fsync
+}
+
+// Durable is a Concurrent system backed by a data directory: every AddSong
+// is appended to a checksummed write-ahead log and fsynced before it is
+// acknowledged, a background snapshotter compacts the log into an
+// atomically-replaced snapshot, and OpenDurable recovers snapshot + WAL
+// tail after a crash (truncating a torn final record rather than failing).
+//
+// The invariant, proven by fault-injection tests: every acknowledged
+// AddSong survives a crash; an unacknowledged one either survives whole or
+// vanishes; recovery never panics and never fabricates data.
+type Durable struct {
+	*Concurrent
+	fsys     store.FS
+	opts     DurableOptions
+	dir      string
+	snapPath string
+	wal      *store.WAL
+
+	lastSnapshot  atomic.Int64 // unix nanos of last successful snapshot
+	snapshotBytes atomic.Int64
+	snapshots     atomic.Int64
+
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// OpenDurable opens (or initializes) the data directory and returns a
+// recovered, serving-ready system. Recovery order: load the snapshot if
+// present (otherwise build the initial system via opts.Build), replay the
+// WAL tail on top, then — if anything was replayed or the snapshot was
+// missing — write a fresh snapshot and reset the WAL so the directory is
+// compact and self-contained before serving starts.
+func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
+	opts.fill()
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("qbh: creating data dir: %w", err)
+	}
+	snapPath := filepath.Join(dir, SnapshotFileName)
+
+	var sys *System
+	hadSnapshot := false
+	if _, err := fsys.Stat(snapPath); err == nil {
+		f, err := fsys.OpenFile(snapPath, os.O_RDONLY, 0)
+		if err != nil {
+			return nil, fmt.Errorf("qbh: opening snapshot: %w", err)
+		}
+		sys, err = Load(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("qbh: loading snapshot %s: %w", snapPath, err)
+		}
+		hadSnapshot = true
+	} else if opts.Build != nil {
+		var err error
+		sys, err = opts.Build()
+		if err != nil {
+			return nil, fmt.Errorf("qbh: building initial database: %w", err)
+		}
+	} else {
+		return nil, fmt.Errorf("qbh: no snapshot in %s and no initial builder", dir)
+	}
+
+	wal, rec, err := store.OpenWAL(fsys, filepath.Join(dir, WALFileName), opts.GroupCommit)
+	if err != nil {
+		return nil, fmt.Errorf("qbh: opening wal: %w", err)
+	}
+	if rec.DroppedBytes > 0 {
+		opts.Logf("qbh: wal recovery truncated %d bytes of torn tail", rec.DroppedBytes)
+	}
+	replayed := 0
+	for i, payload := range rec.Records {
+		e, err := decodeWALEntry(payload)
+		if err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("qbh: wal record %d: %w", i, err)
+		}
+		switch e.Op {
+		case walOpAddSong:
+			if _, dup := sys.songs[e.Song.ID]; dup {
+				// Already covered by the snapshot: a crash landed between
+				// the snapshot rename and the WAL reset. Replay is
+				// idempotent by song id.
+				continue
+			}
+			if err := sys.AddSong(e.Song); err != nil {
+				wal.Close()
+				return nil, fmt.Errorf("qbh: replaying wal record %d: %w", i, err)
+			}
+			replayed++
+		default:
+			wal.Close()
+			return nil, fmt.Errorf("qbh: wal record %d: unknown op %d", i, e.Op)
+		}
+	}
+	if replayed > 0 {
+		opts.Logf("qbh: replayed %d wal records", replayed)
+	}
+
+	d := &Durable{
+		Concurrent: NewConcurrent(sys),
+		fsys:       fsys,
+		opts:       opts,
+		dir:        dir,
+		snapPath:   snapPath,
+		wal:        wal,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if fi, err := fsys.Stat(snapPath); err == nil {
+		d.snapshotBytes.Store(fi.Size())
+		d.lastSnapshot.Store(fi.ModTime().UnixNano())
+	}
+	if !hadSnapshot || replayed > 0 {
+		if err := d.Snapshot(); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("qbh: initial snapshot: %w", err)
+		}
+	}
+	go d.snapshotLoop()
+	return d, nil
+}
+
+// AddSong indexes the song and blocks until the write is durable: the WAL
+// record is appended under the write lock and fsynced (sharing the
+// group-commit window with concurrent writers) before AddSong returns. An
+// error means the write was NOT acknowledged as durable — after a crash it
+// may or may not be present.
+func (d *Durable) AddSong(song music.Song) error {
+	d.mu.Lock()
+	if err := d.sys.AddSong(song); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	commit := d.appendLocked(song)
+	d.mu.Unlock()
+	return commit()
+}
+
+// AddSongTitled allocates the next song id, indexes the melody and blocks
+// until the write is durable, like AddSong.
+func (d *Durable) AddSongTitled(title string, melody music.Melody) (music.Song, error) {
+	d.mu.Lock()
+	song := music.Song{ID: d.sys.NextSongID(), Title: title, Melody: melody}
+	if err := d.sys.AddSong(song); err != nil {
+		d.mu.Unlock()
+		return music.Song{}, err
+	}
+	commit := d.appendLocked(song)
+	d.mu.Unlock()
+	if err := commit(); err != nil {
+		return music.Song{}, err
+	}
+	return song, nil
+}
+
+// appendLocked writes the WAL record while holding d.mu and returns the
+// commit func to wait on after releasing it, so the fsync wait never
+// blocks queries.
+func (d *Durable) appendLocked(song music.Song) func() error {
+	payload, err := encodeWALEntry(walEntry{Op: walOpAddSong, Song: song})
+	if err != nil {
+		err = fmt.Errorf("%w: encoding wal record: %v", ErrNotDurable, err)
+		return func() error { return err }
+	}
+	commit := d.wal.Begin(payload)
+	return func() error {
+		if err := commit(); err != nil {
+			return fmt.Errorf("%w: %v", ErrNotDurable, err)
+		}
+		return nil
+	}
+}
+
+// Snapshot serializes the whole system into an atomically-replaced
+// snapshot file and resets the WAL. It takes the write lock, so it runs
+// exclusively with mutations; pending group commits are released with
+// success because the snapshot covers their records.
+func (d *Durable) Snapshot() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var buf bytes.Buffer
+	if err := d.sys.Save(&buf); err != nil {
+		return fmt.Errorf("qbh: serializing snapshot: %w", err)
+	}
+	if err := store.WriteFileAtomic(d.fsys, d.snapPath, buf.Bytes()); err != nil {
+		return fmt.Errorf("qbh: writing snapshot: %w", err)
+	}
+	d.snapshotBytes.Store(int64(buf.Len()))
+	d.lastSnapshot.Store(time.Now().UnixNano())
+	d.snapshots.Add(1)
+	if err := d.wal.Reset(); err != nil {
+		return fmt.Errorf("qbh: resetting wal: %w", err)
+	}
+	return nil
+}
+
+// snapshotLoop compacts the WAL in the background whenever the size/count
+// thresholds or the interval are exceeded.
+func (d *Durable) snapshotLoop() {
+	defer close(d.done)
+	poll := time.Second
+	if iv := d.opts.SnapshotInterval; iv > 0 && iv/4 < poll {
+		poll = iv / 4
+		if poll < 10*time.Millisecond {
+			poll = 10 * time.Millisecond
+		}
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-tick.C:
+		}
+		st := d.wal.Stats()
+		if st.Records == 0 {
+			continue
+		}
+		due := d.opts.SnapshotWALRecords > 0 && st.Records >= d.opts.SnapshotWALRecords ||
+			d.opts.SnapshotWALBytes > 0 && st.Bytes >= d.opts.SnapshotWALBytes ||
+			d.opts.SnapshotInterval > 0 &&
+				time.Since(time.Unix(0, d.lastSnapshot.Load())) >= d.opts.SnapshotInterval
+		if !due {
+			continue
+		}
+		if err := d.Snapshot(); err != nil {
+			d.opts.Logf("qbh: background snapshot: %v", err)
+		}
+	}
+}
+
+// DurabilityStats reports snapshot age and WAL size for /stats-style
+// monitoring.
+func (d *Durable) DurabilityStats() DurabilityStats {
+	st := d.wal.Stats()
+	var age time.Duration
+	if ns := d.lastSnapshot.Load(); ns > 0 {
+		age = time.Since(time.Unix(0, ns))
+	}
+	return DurabilityStats{
+		Dir:           d.dir,
+		SnapshotAge:   age,
+		SnapshotBytes: d.snapshotBytes.Load(),
+		Snapshots:     d.snapshots.Load(),
+		WALRecords:    st.Records,
+		WALBytes:      st.Bytes,
+		WALSyncs:      st.Syncs,
+		LastFsync:     st.LastSync,
+	}
+}
+
+// Close stops the background snapshotter, writes a final snapshot if any
+// WAL records are pending (graceful-shutdown compaction) and closes the
+// log. The Durable must not be used afterwards.
+func (d *Durable) Close() error {
+	d.closeOnce.Do(func() {
+		close(d.stop)
+		<-d.done
+		var err error
+		if st := d.wal.Stats(); st.Records > 0 {
+			err = d.Snapshot()
+		}
+		if cerr := d.wal.Close(); err == nil {
+			err = cerr
+		}
+		d.closeErr = err
+	})
+	return d.closeErr
+}

@@ -1,0 +1,441 @@
+package qbh
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"warping/internal/music"
+	"warping/internal/store"
+)
+
+// Small system parameters keep the exhaustive fault sweeps fast.
+var durableOpts = Options{NormalLen: 32, Dim: 4, PhraseMin: 8, PhraseMax: 12}
+
+func smallSongs(seed int64, count int, idOffset int64) []music.Song {
+	songs := music.GenerateSongs(seed, count, 20, 30)
+	for i := range songs {
+		songs[i].ID += idOffset
+	}
+	return songs
+}
+
+func durableTestOptions(fsys store.FS, base []music.Song) DurableOptions {
+	return DurableOptions{
+		FS:                 fsys,
+		Logf:               func(string, ...interface{}) {},
+		SnapshotWALRecords: -1, // tests trigger snapshots explicitly
+		SnapshotWALBytes:   -1,
+		Build:              func() (*System, error) { return Build(base, durableOpts) },
+	}
+}
+
+// abandon simulates a crash: the background goroutine stops and the WAL
+// file handle is released, but nothing is flushed, compacted or snapshotted.
+func (d *Durable) abandon() {
+	close(d.stop)
+	<-d.done
+	_ = d.wal.Close()
+}
+
+func copyDataDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	for _, name := range []string{SnapshotFileName, WALFileName} {
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func sameMatches(a, b []SongMatch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].SongID != b[i].SongID || math.Abs(a[i].Dist-b[i].Dist) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDurableOpenInitializesAndReloads(t *testing.T) {
+	dir := t.TempDir()
+	base := smallSongs(80, 3, 0)
+	d, err := OpenDurable(dir, durableTestOptions(store.OS(), base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SnapshotFileName)); err != nil {
+		t.Fatalf("no snapshot after first open: %v", err)
+	}
+	added, err := d.AddSongTitled("Added Song", smallSongs(81, 1, 500)[0].Melody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen without a builder: the directory must be self-contained.
+	d2, err := OpenDurable(dir, DurableOptions{
+		FS:   store.OS(),
+		Logf: func(string, ...interface{}) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumSongs() != len(base)+1 {
+		t.Fatalf("NumSongs = %d, want %d", d2.NumSongs(), len(base)+1)
+	}
+	found := false
+	for _, s := range d2.Songs() {
+		if s.ID == added.ID && s.Title == "Added Song" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("added song missing after reopen")
+	}
+}
+
+// Acked writes must survive a crash with no Close and no snapshot: the WAL
+// alone carries them.
+func TestDurableAckedWritesSurviveCrash(t *testing.T) {
+	dir := t.TempDir()
+	base := smallSongs(82, 2, 0)
+	d, err := OpenDurable(dir, durableTestOptions(store.OS(), base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := smallSongs(83, 3, 100)
+	for _, s := range adds {
+		if err := d.AddSong(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapshotsBefore := d.snapshots.Load()
+	d.abandon() // crash: no graceful shutdown, no compaction
+
+	d2, err := OpenDurable(dir, durableTestOptions(store.OS(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if snapshotsBefore != 1 {
+		t.Fatalf("unexpected extra snapshots before crash: %d", snapshotsBefore)
+	}
+	if d2.NumSongs() != len(base)+len(adds) {
+		t.Fatalf("NumSongs = %d, want %d", d2.NumSongs(), len(base)+len(adds))
+	}
+}
+
+// The acceptance invariant, exhaustively: kill the filesystem at every
+// byte offset of the WAL write stream. After reopening on a healthy
+// filesystem, every acknowledged AddSong must be present, the recovered
+// set must be a clean prefix of the attempted writes, recovery must never
+// fail, and query results must match a never-crashed reference system
+// built from the same songs.
+func TestDurableKillAtEveryWALOffset(t *testing.T) {
+	base := smallSongs(84, 3, 0)
+	adds := smallSongs(85, 4, 1000)
+
+	// Prepare a data dir holding just the base snapshot.
+	prep := t.TempDir()
+	d, err := OpenDurable(prep, durableTestOptions(store.OS(), base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// Reference run on a healthy filesystem, counting WAL write bytes.
+	refDir := copyDataDir(t, prep)
+	ffs := store.NewFaultFS(store.OS())
+	dref, err := OpenDurable(refDir, durableTestOptions(ffs, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range adds {
+		if err := dref.AddSong(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	totalBytes := ffs.BytesWritten()
+	dref.abandon()
+	if totalBytes == 0 {
+		t.Fatal("reference run wrote no WAL bytes")
+	}
+
+	// Never-crashed references for every possible recovered prefix.
+	refs := make([]*System, len(adds)+1)
+	for m := range refs {
+		songs := append(append([]music.Song{}, base...), adds[:m]...)
+		refs[m], err = Build(songs, durableOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := adds[0].Melody.TimeSeries()
+
+	for offset := int64(0); offset <= totalBytes; offset++ {
+		dir := copyDataDir(t, prep)
+		ffs := store.NewFaultFS(store.OS())
+		ffs.KillAfterBytes(offset)
+		acked := 0
+		dk, err := OpenDurable(dir, durableTestOptions(ffs, nil))
+		if err != nil {
+			t.Fatalf("offset %d: open with zero write budget failed: %v", offset, err)
+		}
+		for _, s := range adds {
+			if err := dk.AddSong(s); err != nil {
+				break
+			}
+			acked++
+		}
+		dk.abandon()
+
+		// Restart on a healthy filesystem.
+		d2, err := OpenDurable(dir, durableTestOptions(store.OS(), nil))
+		if err != nil {
+			t.Fatalf("offset %d: recovery failed: %v", offset, err)
+		}
+		got := d2.NumSongs() - len(base)
+		if got < acked {
+			t.Fatalf("offset %d: %d writes acked but only %d recovered", offset, acked, got)
+		}
+		if got > len(adds) {
+			t.Fatalf("offset %d: recovered %d adds, more than attempted", offset, got)
+		}
+		// The recovered set must be a clean prefix with intact content.
+		songs := d2.Songs()
+		for i := 0; i < got; i++ {
+			want, g := adds[i], songs[len(base)+i]
+			if g.ID != want.ID || g.Title != want.Title || g.Melody.NumNotes() != want.Melody.NumNotes() {
+				t.Fatalf("offset %d: recovered song %d corrupted: %+v", offset, i, g)
+			}
+		}
+		// Sampled: results must match the never-crashed reference exactly.
+		if offset%17 == 0 || offset == totalBytes {
+			a, _ := d2.Query(query, 10, 0.1)
+			b, _ := refs[got].Query(query, 10, 0.1)
+			if !sameMatches(a, b) {
+				t.Fatalf("offset %d: query diverged from never-crashed reference\n%v\n%v", offset, a, b)
+			}
+		}
+		d2.abandon()
+	}
+}
+
+// Kill the filesystem at offsets throughout snapshot compaction: recovery
+// must always see either the old snapshot plus its WAL or the new
+// snapshot, never a broken mix.
+func TestDurableKillDuringSnapshotCompaction(t *testing.T) {
+	base := smallSongs(86, 2, 0)
+	adds := smallSongs(87, 3, 2000)
+
+	// A data dir with an old snapshot and a WAL tail of 3 adds.
+	prep := t.TempDir()
+	d, err := OpenDurable(prep, durableTestOptions(store.OS(), base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range adds {
+		if err := d.AddSong(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.abandon()
+
+	// Measure the write bytes of a clean reopen (replay + compaction).
+	mdir := copyDataDir(t, prep)
+	mfs := store.NewFaultFS(store.OS())
+	dm, err := OpenDurable(mdir, durableTestOptions(mfs, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalBytes := mfs.BytesWritten()
+	dm.abandon()
+	if totalBytes == 0 {
+		t.Fatal("clean reopen wrote nothing; compaction did not run")
+	}
+
+	for offset := int64(0); offset <= totalBytes; offset += 3 {
+		dir := copyDataDir(t, prep)
+		ffs := store.NewFaultFS(store.OS())
+		ffs.KillAfterBytes(offset)
+		if dk, err := OpenDurable(dir, durableTestOptions(ffs, nil)); err == nil {
+			dk.abandon() // compaction fit within the budget
+		}
+		d2, err := OpenDurable(dir, durableTestOptions(store.OS(), nil))
+		if err != nil {
+			t.Fatalf("offset %d: recovery failed: %v", offset, err)
+		}
+		if d2.NumSongs() != len(base)+len(adds) {
+			t.Fatalf("offset %d: %d songs, want %d", offset, d2.NumSongs(), len(base)+len(adds))
+		}
+		d2.abandon()
+	}
+}
+
+// A corrupted snapshot must be rejected with a typed error at open, not
+// silently rebuilt and not panic.
+func TestDurableCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, durableTestOptions(store.OS(), smallSongs(88, 2, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	path := filepath.Join(dir, SnapshotFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenDurable(dir, durableTestOptions(store.OS(), nil))
+	if !errors.Is(err, store.ErrChecksum) {
+		t.Fatalf("corrupt snapshot: got %v, want ErrChecksum", err)
+	}
+}
+
+// An fsync failure must fail the AddSong (the write is not acknowledged),
+// poison the WAL, and heal after a successful snapshot.
+func TestDurableFsyncFailureNotAcked(t *testing.T) {
+	ffs := store.NewFaultFS(store.OS())
+	d, err := OpenDurable(t.TempDir(), durableTestOptions(ffs, smallSongs(89, 2, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ffs.FailSyncs(errors.New("disk detached"))
+	if err := d.AddSong(smallSongs(90, 1, 100)[0]); err == nil {
+		t.Fatal("AddSong acked despite fsync failure")
+	}
+	ffs.FailSyncs(nil)
+	if err := d.AddSong(smallSongs(91, 1, 200)[0]); err == nil {
+		t.Fatal("poisoned WAL accepted a write")
+	}
+	// A snapshot persists the in-memory state and heals the log.
+	if err := d.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSong(smallSongs(92, 1, 300)[0]); err != nil {
+		t.Fatalf("WAL not healed after snapshot: %v", err)
+	}
+}
+
+// The background snapshotter compacts the WAL once the record threshold is
+// crossed.
+func TestDurableBackgroundCompaction(t *testing.T) {
+	dir := t.TempDir()
+	opts := durableTestOptions(store.OS(), smallSongs(93, 2, 0))
+	opts.SnapshotWALRecords = 3
+	d, err := OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, s := range smallSongs(94, 3, 100) {
+		if err := d.AddSong(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := d.DurabilityStats()
+		if st.WALRecords == 0 && st.Snapshots >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background compaction never ran: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Group-committed concurrent writers: all acked writes survive, and
+// queries run concurrently with them without races.
+func TestDurableConcurrentAddAndQuery(t *testing.T) {
+	dir := t.TempDir()
+	base := smallSongs(95, 3, 0)
+	opts := durableTestOptions(store.OS(), base)
+	opts.GroupCommit = time.Millisecond
+	d, err := OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 5
+	query := base[0].Melody.TimeSeries()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*perWriter)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g) + 96))
+			for i := 0; i < perWriter; i++ {
+				m := music.GenerateMelody(r, 25)
+				if _, err := d.AddSongTitled(fmt.Sprintf("w%d-%d", g, i), m); err != nil {
+					errs <- err
+				}
+				d.Query(query, 5, 0.1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := d.DurabilityStats()
+	if st.WALRecords != writers*perWriter {
+		t.Fatalf("WALRecords = %d, want %d", st.WALRecords, writers*perWriter)
+	}
+	d.abandon() // crash, then recover purely from snapshot + WAL
+
+	d2, err := OpenDurable(dir, durableTestOptions(store.OS(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumSongs() != len(base)+writers*perWriter {
+		t.Fatalf("NumSongs = %d, want %d", d2.NumSongs(), len(base)+writers*perWriter)
+	}
+}
+
+func TestDurableStatsSurface(t *testing.T) {
+	d, err := OpenDurable(t.TempDir(), durableTestOptions(store.OS(), smallSongs(97, 2, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.AddSong(smallSongs(98, 1, 100)[0]); err != nil {
+		t.Fatal(err)
+	}
+	st := d.DurabilityStats()
+	if st.WALRecords != 1 || st.WALSyncs == 0 || st.SnapshotBytes == 0 || st.Snapshots == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.LastFsync <= 0 {
+		t.Errorf("LastFsync = %v", st.LastFsync)
+	}
+}

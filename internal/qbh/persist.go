@@ -1,14 +1,21 @@
 package qbh
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 
 	"warping/internal/music"
+	"warping/internal/store"
 )
 
 const persistFormat = 1
+
+// SnapshotKind identifies a qbh system snapshot container.
+const SnapshotKind = "qbh/system"
+
+const sectionSystem = "system"
 
 // persisted stores the inputs of Build rather than the built structures:
 // construction is deterministic, so rebuilding on load reproduces the exact
@@ -19,8 +26,10 @@ type persisted struct {
 	Songs   []music.Song
 }
 
-// Save writes the system's song database and configuration to w. Load
-// rebuilds the phrase segmentation, transform and index from them.
+// Save writes the system's song database and configuration to w inside a
+// checksummed store container, so Load can tell corruption, truncation and
+// foreign files apart with typed errors. Output is deterministic: saving
+// the same system twice yields byte-identical snapshots.
 func (s *System) Save(w io.Writer) error {
 	p := persisted{Format: persistFormat, Options: s.opts}
 	p.Songs = make([]music.Song, 0, len(s.songs))
@@ -36,13 +45,38 @@ func (s *System) Save(w io.Writer) error {
 			p.Songs = append(p.Songs, song)
 		}
 	}
-	return gob.NewEncoder(w).Encode(p)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(p); err != nil {
+		return fmt.Errorf("qbh: encoding: %w", err)
+	}
+	return store.WriteContainer(w, SnapshotKind, []store.Section{
+		{Name: sectionSystem, Data: payload.Bytes()},
+	})
 }
 
-// Load reads a system previously written by Save and rebuilds it.
+// Load reads a system previously written by Save and rebuilds it. Corrupt,
+// truncated or foreign input is rejected with the store package's typed
+// errors (store.ErrBadMagic, store.ErrChecksum, store.ErrTruncated,
+// store.ErrKind) before any gob decoding runs.
 func Load(r io.Reader) (*System, error) {
+	kind, sections, err := store.ReadContainer(r)
+	if err != nil {
+		return nil, fmt.Errorf("qbh: reading snapshot: %w", err)
+	}
+	if kind != SnapshotKind {
+		return nil, fmt.Errorf("qbh: %w: got %q, want %q", store.ErrKind, kind, SnapshotKind)
+	}
+	var payload []byte
+	for _, s := range sections {
+		if s.Name == sectionSystem {
+			payload = s.Data
+		}
+	}
+	if payload == nil {
+		return nil, fmt.Errorf("qbh: snapshot has no %q section", sectionSystem)
+	}
 	var p persisted
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
 		return nil, fmt.Errorf("qbh: decoding: %w", err)
 	}
 	if p.Format != persistFormat {

@@ -2,11 +2,13 @@ package qbh
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"warping/internal/hum"
+	"warping/internal/store"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -72,5 +74,87 @@ func TestSaveLoadSVDSystem(t *testing.T) {
 func TestLoadGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("not gob"))); err == nil {
 		t.Error("garbage accepted")
+	}
+}
+
+// Serializing the same system twice must yield byte-identical output, and
+// a Save→Load→Save round trip must reproduce those bytes exactly — pinned
+// so snapshots are diffable and dedupable.
+func TestSaveDeterministic(t *testing.T) {
+	sys, err := Build(testSongs(74, 10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := sys.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two Saves of the same system differ")
+	}
+	back, err := Load(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := back.Save(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("Save after Load diverged from original bytes")
+	}
+}
+
+// Truncated, bit-flipped and foreign payloads must surface the store
+// package's typed errors, not raw gob decode failures.
+func TestLoadTypedErrors(t *testing.T) {
+	sys, err := Build(testSongs(75, 6), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := sys.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	good := snap.Bytes()
+
+	var indexSnap bytes.Buffer
+	if err := sys.Index().Save(&indexSnap); err != nil {
+		t.Fatal(err)
+	}
+
+	flip := func(i int) []byte {
+		mut := bytes.Clone(good)
+		mut[i] ^= 0x20
+		return mut
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, store.ErrTruncated},
+		{"truncated magic", good[:5], store.ErrTruncated},
+		{"truncated header", good[:12], store.ErrTruncated},
+		{"truncated mid payload", good[:len(good)/2], store.ErrTruncated},
+		{"truncated last byte", good[:len(good)-1], store.ErrTruncated},
+		{"bit flip in magic", flip(2), store.ErrBadMagic},
+		{"bit flip in header", flip(9), store.ErrChecksum},
+		{"bit flip in payload", flip(len(good) - 10), store.ErrChecksum},
+		{"foreign bytes", []byte("MThd but actually a midi file, not a snapshot"), store.ErrBadMagic},
+		{"foreign container kind", indexSnap.Bytes(), store.ErrKind},
+	}
+	for _, tc := range cases {
+		_, err := Load(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
 	}
 }

@@ -17,6 +17,11 @@
 // a deadline and an exact-DTW budget; a budget-capped response is marked
 // "degraded": true. Handler panics become 500s without killing the
 // process.
+//
+// With a durable backend (NewBackend over *qbh.Durable), POST /songs is
+// acknowledged only after the write is fsynced to the write-ahead log, a
+// failed fsync answers 503 instead of a false 201, and /stats carries a
+// "durability" section (snapshot age, WAL size, fsync latency).
 package server
 
 import (
@@ -38,9 +43,27 @@ import (
 	"warping/internal/hum"
 	"warping/internal/index"
 	"warping/internal/midi"
+	"warping/internal/music"
 	"warping/internal/qbh"
 	"warping/internal/ts"
 )
+
+// Backend is the system surface the handler serves: concurrent queries,
+// catalogue reads and durable-or-not song uploads. *qbh.Concurrent (memory
+// only) and *qbh.Durable (WAL + snapshots) both implement it.
+type Backend interface {
+	QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta float64, lim index.Limits) ([]qbh.SongMatch, index.QueryStats, error)
+	NumSongs() int
+	NumPhrases() int
+	Songs() []music.Song
+	AddSongTitled(title string, melody music.Melody) (music.Song, error)
+}
+
+// durabilityReporter is implemented by backends that persist writes
+// (*qbh.Durable); /stats surfaces their durability state when present.
+type durabilityReporter interface {
+	DurabilityStats() qbh.DurabilityStats
+}
 
 // Config tunes the serving path. The zero value of any field selects the
 // default.
@@ -93,9 +116,9 @@ func (c *Config) fill() {
 	}
 }
 
-// Handler serves the QBH API over a concurrent system wrapper.
+// Handler serves the QBH API over a Backend.
 type Handler struct {
-	sys   *qbh.Concurrent
+	sys   Backend
 	mux   *http.ServeMux
 	cfg   Config
 	sem   chan struct{}
@@ -110,11 +133,19 @@ func New(sys *qbh.System) *Handler {
 	return NewWithConfig(sys, Config{})
 }
 
-// NewWithConfig builds the HTTP handler with explicit serving limits.
+// NewWithConfig builds the HTTP handler with explicit serving limits. The
+// system is memory-only; use NewBackend with a *qbh.Durable for a serving
+// path whose uploads survive restarts.
 func NewWithConfig(sys *qbh.System, cfg Config) *Handler {
+	return NewBackend(qbh.NewConcurrent(sys), cfg)
+}
+
+// NewBackend builds the HTTP handler over an explicit backend, typically a
+// *qbh.Durable so POST /songs is crash-safe.
+func NewBackend(sys Backend, cfg Config) *Handler {
 	cfg.fill()
 	h := &Handler{
-		sys: qbh.NewConcurrent(sys),
+		sys: sys,
 		mux: http.NewServeMux(),
 		cfg: cfg,
 		sem: make(chan struct{}, cfg.MaxConcurrent),
@@ -181,10 +212,24 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) bool {
 	return false
 }
 
-// StatsResponse is the /stats payload.
+// StatsResponse is the /stats payload. Durability is present only when
+// the backend persists writes (a data directory is configured).
 type StatsResponse struct {
-	Songs   int `json:"songs"`
-	Phrases int `json:"phrases"`
+	Songs      int                 `json:"songs"`
+	Phrases    int                 `json:"phrases"`
+	Durability *DurabilityResponse `json:"durability,omitempty"`
+}
+
+// DurabilityResponse reports the storage-layer state in /stats.
+type DurabilityResponse struct {
+	Dir             string  `json:"dir"`
+	SnapshotAgeSec  float64 `json:"snapshot_age_sec"`
+	SnapshotBytes   int64   `json:"snapshot_bytes"`
+	Snapshots       int64   `json:"snapshots"`
+	WALRecords      int64   `json:"wal_records"`
+	WALBytes        int64   `json:"wal_bytes"`
+	WALSyncs        int64   `json:"wal_syncs"`
+	LastFsyncMicros int64   `json:"last_fsync_micros"`
 }
 
 // SongInfo is one /songs row.
@@ -219,7 +264,21 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, StatsResponse{Songs: h.sys.NumSongs(), Phrases: h.sys.NumPhrases()})
+	resp := StatsResponse{Songs: h.sys.NumSongs(), Phrases: h.sys.NumPhrases()}
+	if dr, ok := h.sys.(durabilityReporter); ok {
+		st := dr.DurabilityStats()
+		resp.Durability = &DurabilityResponse{
+			Dir:             st.Dir,
+			SnapshotAgeSec:  st.SnapshotAge.Seconds(),
+			SnapshotBytes:   st.SnapshotBytes,
+			Snapshots:       st.Snapshots,
+			WALRecords:      st.WALRecords,
+			WALBytes:        st.WALBytes,
+			WALSyncs:        st.WALSyncs,
+			LastFsyncMicros: st.LastFsync.Microseconds(),
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -288,6 +347,12 @@ func (h *Handler) handleAddSong(w http.ResponseWriter, r *http.Request) {
 	// lock, so concurrent uploads cannot race to the same id.
 	song, err := h.sys.AddSongTitled(title, melody)
 	if err != nil {
+		// A durability failure is a server-side storage problem, not a bad
+		// request: the write was NOT acknowledged and must be retried.
+		if errors.Is(err, qbh.ErrNotDurable) {
+			httpError(w, http.StatusServiceUnavailable, "storing: %v", err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "indexing: %v", err)
 		return
 	}
