@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-all bench bench-json fuzz-seeds cover experiments experiments-small clean
+.PHONY: all build test vet race race-all bench bench-json bench-json-pr4 fuzz-seeds cover experiments experiments-small clean
 
 all: vet test
 
@@ -11,7 +11,7 @@ vet: build
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Matches the CI race job: the packages with real concurrency.
 race:
@@ -29,6 +29,14 @@ bench:
 bench-json:
 	$(GO) test -run='^$$' -bench='BenchmarkRangeQuery$$|BenchmarkKNN$$|BenchmarkVerifyCandidates$$|BenchmarkRangeQueryParallel$$' -benchmem . ./internal/index/ \
 		| $(GO) run ./cmd/benchjson -label after -o BENCH_pr2.json
+
+# Sweep shard counts over the sharded index: range/kNN latency and Add
+# throughput under concurrent query load, each at 1/2/4/8 shards. The
+# tracked BENCH_pr4.json was produced this way; the shards=1 rows are the
+# unsharded baseline the speedup is measured against.
+bench-json-pr4:
+	$(GO) test -run='^$$' -bench='BenchmarkSharded' -benchmem ./internal/index/ \
+		| $(GO) run ./cmd/benchjson -label sharded -o BENCH_pr4.json
 
 # Run the fuzz seed corpora as regression tests (what CI does); use
 # `go test -fuzz=FuzzName ./internal/dtw/` for a real fuzzing session.

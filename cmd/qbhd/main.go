@@ -23,6 +23,13 @@
 // other database flags then only seed the very first start; afterwards
 // the directory is the source of truth.
 //
+// -shards N partitions the phrase index across N independently locked
+// shards: an upload write-locks only the shards receiving its phrases
+// while queries fan out across all shards in parallel. -backend selects
+// the per-shard index structure (rtree, grid, or scan); every backend
+// returns identical results. Both apply when a database is built
+// (generated or -mididir); a saved database keeps its saved layout.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503,
 // in-flight requests drain for up to -drain-timeout, then the process
 // exits. Overload and per-query limits are tunable with -max-concurrent,
@@ -49,6 +56,7 @@ import (
 	"time"
 
 	"warping"
+	"warping/internal/index"
 	"warping/internal/qbh"
 	"warping/internal/server"
 )
@@ -61,6 +69,8 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (snapshot + write-ahead log); empty = memory only")
 	groupCommit := flag.Duration("group-commit", 2*time.Millisecond, "WAL fsync batching window for uploads (0 = fsync each write)")
 	snapInterval := flag.Duration("snapshot-interval", 5*time.Minute, "compact the WAL into a snapshot at least this often (0 = threshold-only)")
+	shards := flag.Int("shards", 0, "index shard count for newly built databases: writes lock one shard, queries fan out in parallel (0 or 1 = unsharded; a database loaded with -loaddb or from a -data snapshot keeps its saved layout)")
+	backend := flag.String("backend", "", "index backend for newly built databases: rtree (default), grid, or scan")
 	maxConcurrent := flag.Int("max-concurrent", 0, "admission slots for expensive endpoints (0 = GOMAXPROCS)")
 	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "max wait for an admission slot before 429")
 	queryTimeout := flag.Duration("query-timeout", 15*time.Second, "per-query deadline (negative = none)")
@@ -82,7 +92,7 @@ func main() {
 			GroupCommit:      *groupCommit,
 			SnapshotInterval: *snapInterval,
 			Build: func() (*qbh.System, error) {
-				return buildSystem(*loadDB, *midiDir, *songCount)
+				return buildSystem(*loadDB, *midiDir, *songCount, *shards, *backend)
 			},
 		})
 		if err != nil {
@@ -91,15 +101,19 @@ func main() {
 		}
 		durable = d
 		handler = server.NewBackend(d, cfg)
-		log.Printf("durable database ready in %s: %d songs, %d phrases", *dataDir, d.NumSongs(), d.NumPhrases())
+		st := d.ShardStats()
+		log.Printf("durable database ready in %s: %d songs, %d phrases, %d shard(s) [%s]",
+			*dataDir, d.NumSongs(), d.NumPhrases(), st.Shards, st.Backend)
 	} else {
-		sys, err := buildSystem(*loadDB, *midiDir, *songCount)
+		sys, err := buildSystem(*loadDB, *midiDir, *songCount, *shards, *backend)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		handler = server.NewWithConfig(sys, cfg)
-		log.Printf("database ready: %d songs, %d phrases", sys.NumSongs(), sys.NumPhrases())
+		st := sys.ShardStats()
+		log.Printf("database ready: %d songs, %d phrases, %d shard(s) [%s]",
+			sys.NumSongs(), sys.NumPhrases(), st.Shards, st.Backend)
 	}
 
 	srv := &http.Server{
@@ -148,7 +162,7 @@ func main() {
 	log.Printf("shutdown complete")
 }
 
-func buildSystem(loadDB, midiDir string, songCount int) (*warping.QBH, error) {
+func buildSystem(loadDB, midiDir string, songCount, shards int, backend string) (*warping.QBH, error) {
 	if loadDB != "" {
 		f, err := os.Open(loadDB)
 		if err != nil {
@@ -195,7 +209,12 @@ func buildSystem(loadDB, midiDir string, songCount int) (*warping.QBH, error) {
 			songs = append(songs, s)
 		}
 	}
-	return warping.BuildQBH(songs, warping.QBHOptions{PhraseMin: 10, PhraseMax: 25})
+	return warping.BuildQBH(songs, warping.QBHOptions{
+		PhraseMin: 10,
+		PhraseMax: 25,
+		Shards:    shards,
+		Backend:   index.BackendKind(backend),
+	})
 }
 
 func logRequests(next http.Handler) http.Handler {

@@ -104,6 +104,32 @@ func (g *Grid) Insert(id int64, point []float64) {
 	g.size++
 }
 
+// Delete removes the item stored under id, reporting whether it was
+// present. The point must be the one the item was inserted with — it
+// addresses the bucket. The occupied-cell bounds are not shrunk (they stay
+// conservative), which only costs ring searches a few empty probes.
+func (g *Grid) Delete(id int64, point []float64) bool {
+	if len(point) != g.dim {
+		panic(fmt.Sprintf("gridfile: point dim %d, grid dim %d", len(point), g.dim))
+	}
+	k := cellKey(g.cellOf(point))
+	bucket := g.buckets[k]
+	for i, it := range bucket {
+		if it.ID == id {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			if len(bucket) == 0 {
+				delete(g.buckets, k)
+			} else {
+				g.buckets[k] = bucket
+			}
+			g.size--
+			return true
+		}
+	}
+	return false
+}
+
 // RangeSearch returns all items within Euclidean distance radius of the
 // query point.
 func (g *Grid) RangeSearch(point []float64, radius float64) []Item {
@@ -260,6 +286,98 @@ func (g *Grid) KNNStats(point []float64, k int, st *Stats) []Neighbor {
 		})
 	}
 	return best
+}
+
+// CellSize returns the cell edge length.
+func (g *Grid) CellSize() float64 { return g.cellSize }
+
+// CellRange returns the cell-coordinate range covered by the axis-aligned
+// box [lo, hi], for use with VisitBoxShell and MaxRing.
+func (g *Grid) CellRange(lo, hi []float64) (cLo, cHi []int) {
+	if len(lo) != g.dim || len(hi) != g.dim {
+		panic("gridfile: box dimension mismatch")
+	}
+	cLo = make([]int, g.dim)
+	cHi = make([]int, g.dim)
+	for i := 0; i < g.dim; i++ {
+		cLo[i] = int(math.Floor(lo[i] / g.cellSize))
+		cHi[i] = int(math.Floor(hi[i] / g.cellSize))
+	}
+	return cLo, cHi
+}
+
+// MaxRing returns the largest shell index around the cell range [cLo, cHi]
+// that can still contain an occupied cell (0 when the grid is empty): no
+// VisitBoxShell ring beyond it finds anything.
+func (g *Grid) MaxRing(cLo, cHi []int) int {
+	if g.size == 0 {
+		return 0
+	}
+	maxRing := 0
+	for d := 0; d < g.dim; d++ {
+		// The most distant occupied cell in dimension d sits at minCell[d]
+		// (below the range) or maxCell[d] (above it).
+		if v := cLo[d] - g.minCell[d]; v > maxRing {
+			maxRing = v
+		}
+		if v := g.maxCell[d] - cHi[d]; v > maxRing {
+			maxRing = v
+		}
+	}
+	return maxRing
+}
+
+// VisitBoxShell enumerates the cells at box-Chebyshev distance exactly
+// ring from the cell range [cLo, cHi] — ring 0 is the range itself; ring
+// r ≥ 1 is the cells whose largest per-dimension offset outside the range
+// is exactly r — invoking fn on each non-empty bucket. Every point stored
+// in a ring-r cell lies at Euclidean distance at least (r-1)·cellSize from
+// the box itself, which is the shell lower bound that makes an
+// expanding-ring kNN search around a query box exact.
+func (g *Grid) VisitBoxShell(cLo, cHi []int, ring int, st *Stats, fn func([]Item)) {
+	if st == nil {
+		st = &Stats{}
+	}
+	cur := make([]int, g.dim)
+	if ring == 0 {
+		copy(cur, cLo)
+		for {
+			st.CellProbes++
+			if bucket, ok := g.buckets[cellKey(cur)]; ok {
+				fn(bucket)
+			}
+			d := 0
+			for d < g.dim {
+				cur[d]++
+				if cur[d] <= cHi[d] {
+					break
+				}
+				cur[d] = cLo[d]
+				d++
+			}
+			if d == g.dim {
+				return
+			}
+		}
+	}
+	var walk func(d int, onBoundary bool)
+	walk = func(d int, onBoundary bool) {
+		if d == g.dim {
+			if !onBoundary {
+				return // within ring-1 of the box, visited by a smaller shell
+			}
+			st.CellProbes++
+			if bucket, ok := g.buckets[cellKey(cur)]; ok {
+				fn(bucket)
+			}
+			return
+		}
+		for off := cLo[d] - ring; off <= cHi[d]+ring; off++ {
+			cur[d] = off
+			walk(d+1, onBoundary || off == cLo[d]-ring || off == cHi[d]+ring)
+		}
+	}
+	walk(0, false)
 }
 
 // visitShell enumerates all cells at Chebyshev distance exactly ring from

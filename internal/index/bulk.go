@@ -73,9 +73,7 @@ func BulkLoad(t core.Transform, cfg Config, entries []Entry) (*Index, error) {
 	}
 
 	return &Index{
-		transform: t,
-		tree:      rtree.BulkLoad(t.OutputLen(), cfg.Tree, items),
-		series:    series,
-		n:         n,
+		st:   corpus{transform: t, series: series, n: n},
+		tree: rtree.BulkLoad(t.OutputLen(), cfg.Tree, items),
 	}, nil
 }

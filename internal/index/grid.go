@@ -1,9 +1,7 @@
 package index
 
 import (
-	"fmt"
-	"math"
-	"sort"
+	"context"
 
 	"warping/internal/core"
 	"warping/internal/dtw"
@@ -11,60 +9,87 @@ import (
 	"warping/internal/ts"
 )
 
-// GridIndex is a DTW range-query index backed by a grid file instead of an
+// GridIndex is a DTW similarity index backed by a grid file instead of an
 // R*-tree — the alternative multidimensional structure the paper cites
-// (used by StatStream [35]). It supports the same epsilon-range pipeline
-// with identical exactness guarantees; it does not support incremental kNN
-// (a grid has no best-first traversal), which is why the R*-tree is the
-// default backend.
+// (used by StatStream [35]). It implements Searcher with the same
+// exactness guarantees and the same shared refinement cascade as the
+// R*-tree backend; kNN uses an expanding-ring search around the query's
+// feature-space box (cells are visited shell by shell outward, stopping
+// when the next shell's distance bound exceeds the current kth-best).
+// PageAccesses counts grid buckets visited.
 type GridIndex struct {
-	transform core.Transform
-	grid      *gridfile.Grid
-	series    map[int64]entry
-	n         int
+	st   corpus
+	grid *gridfile.Grid
 }
 
 // NewGrid creates a grid-file DTW index. cellSize is the grid cell edge
 // length in feature-space units.
 func NewGrid(t core.Transform, cellSize float64) *GridIndex {
 	return &GridIndex{
-		transform: t,
-		grid:      gridfile.New(t.OutputLen(), cellSize),
-		series:    make(map[int64]entry),
-		n:         t.InputLen(),
+		st:   newCorpus(t, 0),
+		grid: gridfile.New(t.OutputLen(), cellSize),
 	}
 }
 
 // Len returns the number of indexed series.
 func (ix *GridIndex) Len() int { return ix.grid.Len() }
 
+// SeriesLen returns the required series length n.
+func (ix *GridIndex) SeriesLen() int { return ix.st.n }
+
+// Transform returns the envelope transform in use.
+func (ix *GridIndex) Transform() core.Transform { return ix.st.transform }
+
 // Add inserts a normal-form series under id. The feature vector is
 // computed once here and cached for the verification cascade.
 func (ix *GridIndex) Add(id int64, x ts.Series) error {
-	if len(x) != ix.n {
-		return fmt.Errorf("index: series length %d, want %d", len(x), ix.n)
+	e, err := ix.st.add(id, x)
+	if err != nil {
+		return err
 	}
-	if _, dup := ix.series[id]; dup {
-		return fmt.Errorf("index: duplicate id %d", id)
-	}
-	feat := ix.transform.Apply(x)
-	ix.series[id] = entry{x: x, feat: feat}
-	ix.grid.Insert(id, feat)
+	ix.grid.Insert(id, e.feat)
 	return nil
 }
 
-// RangeQuery returns all series within epsilon under banded DTW with
-// warping width delta, exactly as Index.RangeQuery; PageAccesses counts
-// grid buckets visited. Candidates run through the same lower-bound
-// cascade as the R*-tree backend (box check, LB_Keogh, reversed LB_Keogh)
-// before exact DTW.
-func (ix *GridIndex) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, QueryStats) {
-	if len(q) != ix.n {
-		panic(fmt.Sprintf("index: query length %d, want %d", len(q), ix.n))
+// Remove deletes the series stored under id. It returns false when the id
+// is unknown.
+func (ix *GridIndex) Remove(id int64) bool {
+	e, ok := ix.st.series[id]
+	if !ok {
+		return false
 	}
-	k := dtw.BandRadius(ix.n, delta)
+	if !ix.grid.Delete(id, e.feat) {
+		// The grid and the series map must stay in lockstep.
+		panic("index: series present in map but not in grid")
+	}
+	delete(ix.st.series, id)
+	return true
+}
+
+// Get returns the stored series for an id.
+func (ix *GridIndex) Get(id int64) (ts.Series, bool) { return ix.st.get(id) }
+
+// Visit calls fn for every stored (id, series) pair, in unspecified order.
+func (ix *GridIndex) Visit(fn func(id int64, x ts.Series)) { ix.st.visit(fn) }
+
+// RangeQuery returns all series within epsilon under banded DTW with
+// warping width delta, exactly as Index.RangeQuery.
+func (ix *GridIndex) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, QueryStats) {
+	out, stats, _ := ix.RangeQueryCtx(context.Background(), q, epsilon, delta, Limits{})
+	return out, stats
+}
+
+// RangeQueryCtx implements Searcher: the grid's box search feeds the same
+// refinement cascade (and the same cancellation, budget and stats
+// semantics) as the R*-tree backend. A query of the wrong length returns
+// ErrQueryLength.
+func (ix *GridIndex) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta float64, lim Limits) ([]Match, QueryStats, error) {
+	if err := ix.st.checkQuery(q); err != nil {
+		return nil, QueryStats{}, err
+	}
+	k := dtw.BandRadius(ix.st.n, delta)
 	env := dtw.NewEnvelope(q, k)
-	fe := ix.transform.ApplyEnvelope(env)
+	fe := ix.st.transform.ApplyEnvelope(env)
 
 	var gstats gridfile.Stats
 	items := ix.grid.RangeSearchBoxStats(fe.Lower, fe.Upper, epsilon, &gstats)
@@ -72,26 +97,75 @@ func (ix *GridIndex) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, Q
 	stats.Candidates = len(items)
 	stats.PageAccesses = gstats.BucketAccesses
 
+	rq := &rangeQuery{q: q, env: env, fe: &fe, band: k, eps2: epsilon * epsilon, useLB: true}
+	out, err := verifyRange(ctx, &ix.st, rq, items, gridItemID, lim, &stats)
+	sortMatches(out)
+	return out, stats, err
+}
+
+func gridItemID(it gridfile.Item) int64 { return it.ID }
+
+// KNN returns the k nearest series under banded DTW, closest first.
+func (ix *GridIndex) KNN(q ts.Series, k int, delta float64) ([]Match, QueryStats) {
+	out, stats, _ := ix.KNNCtx(context.Background(), q, k, delta, Limits{})
+	return out, stats
+}
+
+// KNNCtx implements Searcher using an expanding-ring search: grid cells
+// are visited shell by shell outward from the query's feature-space box.
+// Every point in a ring-r cell is at least (r-1)·cellSize from the box in
+// feature space, and the feature-space box distance lower-bounds the DTW
+// distance (Theorem 1), so stopping when that shell bound exceeds the
+// current kth-best exact distance dismisses no true neighbor — the same
+// optimal multi-step argument as the R*-tree's best-first traversal, at
+// shell granularity. Within a shell, candidates are pruned individually
+// against their exact feature-space box distance before entering the
+// shared cascade.
+func (ix *GridIndex) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, lim Limits) ([]Match, QueryStats, error) {
+	if err := ix.st.checkQuery(q); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if k <= 0 || ix.grid.Len() == 0 {
+		return nil, QueryStats{}, nil
+	}
+	band := dtw.BandRadius(ix.st.n, delta)
+	env := dtw.NewEnvelope(q, band)
+	fe := ix.st.transform.ApplyEnvelope(env)
+
 	v := getVerifier()
 	defer putVerifier(v)
-	eps2 := epsilon * epsilon
-	var out []Match
-	for _, it := range items {
-		e := ix.series[it.ID]
-		if !v.passesLB(e, q, env, fe, k, eps2) {
-			continue
+
+	var gstats gridfile.Stats
+	var stats QueryStats
+	s := &knnState{v: v, q: q, env: env, band: band, best: newTopK(k), lim: lim, stats: &stats, useLB: true}
+
+	cLo, cHi := ix.grid.CellRange(fe.Lower, fe.Upper)
+	maxRing := ix.grid.MaxRing(cLo, cHi)
+	stop := false
+	for ring := 0; ring <= maxRing && !stop; ring++ {
+		// Everything in shell `ring` is at least (ring-1)·cellSize from the
+		// query box in feature space.
+		if float64(ring-1)*ix.grid.CellSize() > s.cutoff() {
+			break
 		}
-		stats.LBSurvivors++
-		stats.ExactDTW++
-		if d2, ok := v.ws.SquaredBandedWithin(e.x, q, k, eps2); ok {
-			out = append(out, Match{ID: it.ID, Dist: math.Sqrt(d2)})
-		}
+		ix.grid.VisitBoxShell(cLo, cHi, ring, &gstats, func(bucket []gridfile.Item) {
+			if stop {
+				return
+			}
+			gstats.BucketAccesses++
+			for _, it := range bucket {
+				// Exact feature-space lower bound for this candidate; the
+				// shell bound above is only the coarse shell-level floor.
+				if core.SquaredDistToBox(it.Point, fe) > s.cutoff()*s.cutoff() {
+					continue
+				}
+				if !s.refine(ctx, it.ID, ix.st.series[it.ID]) {
+					stop = true
+					return
+				}
+			}
+		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out, stats
+	stats.PageAccesses = gstats.BucketAccesses
+	return s.best.sorted(), stats, s.err
 }

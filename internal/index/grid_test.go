@@ -1,6 +1,8 @@
 package index
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -58,10 +60,15 @@ func TestGridIndexValidation(t *testing.T) {
 	if err := gr.Add(1, make(ts.Series, testN)); err == nil {
 		t.Error("duplicate accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on bad query length")
-		}
-	}()
-	gr.RangeQuery(make(ts.Series, 2), 1, 0.1)
+	// A malformed query must return ErrQueryLength, never panic (the
+	// Searcher contract: a bad request cannot kill a serving goroutine).
+	if _, _, err := gr.RangeQueryCtx(context.Background(), make(ts.Series, 2), 1, 0.1, Limits{}); !errors.Is(err, ErrQueryLength) {
+		t.Errorf("RangeQueryCtx error = %v, want ErrQueryLength", err)
+	}
+	if _, _, err := gr.KNNCtx(context.Background(), make(ts.Series, 2), 3, 0.1, Limits{}); !errors.Is(err, ErrQueryLength) {
+		t.Errorf("KNNCtx error = %v, want ErrQueryLength", err)
+	}
+	if out, _ := gr.RangeQuery(make(ts.Series, 2), 1, 0.1); out != nil {
+		t.Errorf("RangeQuery on bad length = %v, want nil", out)
+	}
 }

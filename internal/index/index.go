@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"warping/internal/core"
 	"warping/internal/dtw"
@@ -89,7 +90,8 @@ type Limits struct {
 	// MaxExactDTW caps the number of exact DTW verifications per query.
 	// When the cap is reached the query stops refining, returns the
 	// matches found so far, and sets QueryStats.Degraded. Zero means no
-	// cap.
+	// cap. When the query fans out across shards the cap applies to the
+	// whole query, shared atomically by every shard.
 	MaxExactDTW int
 	// CandidateHook, when non-nil, is invoked before each exact-DTW
 	// verification. It exists for fault injection in tests (slow-query
@@ -97,6 +99,89 @@ type Limits struct {
 	// index. Parallel range verification serializes hook invocations, so
 	// the hook itself needs no internal locking.
 	CandidateHook func()
+
+	// shared, when non-nil, couples the per-shard sub-queries of one
+	// fanned-out logical query (set by Sharded, never by callers): a
+	// common exact-DTW budget and, for kNN, the global kth-best distance
+	// bound that lets every shard prune against the best results found
+	// anywhere.
+	shared *sharedQuery
+}
+
+// sharedQuery is the cross-shard state of one fanned-out query.
+type sharedQuery struct {
+	// maxDTW is the whole-query exact-DTW budget (0 = unlimited);
+	// reserved counts reservations across all shards.
+	maxDTW   int64
+	reserved atomic.Int64
+	// bound is the kNN pruning cutoff: the smallest kth-best exact
+	// distance any shard has established so far (Float64bits; +Inf until
+	// some shard holds k results). The global kth-best distance can only
+	// be smaller than any shard-local one, so pruning candidates whose
+	// lower bound exceeds it can never cause a false dismissal.
+	bound atomic.Uint64
+}
+
+func newSharedQuery(maxDTW int) *sharedQuery {
+	s := &sharedQuery{maxDTW: int64(maxDTW)}
+	s.bound.Store(math.Float64bits(math.Inf(1)))
+	return s
+}
+
+// shrinkBound lowers the shared kNN cutoff to d if d is smaller.
+func (s *sharedQuery) shrinkBound(d float64) {
+	for {
+		cur := s.bound.Load()
+		if math.Float64frombits(cur) <= d {
+			return
+		}
+		if s.bound.CompareAndSwap(cur, math.Float64bits(d)) {
+			return
+		}
+	}
+}
+
+func (s *sharedQuery) loadBound() float64 { return math.Float64frombits(s.bound.Load()) }
+
+// exhausted reports whether the query's exact-DTW budget is already spent.
+// done is the caller's locally performed count (used when the query is not
+// fanned out and so has no shared counter).
+func (l *Limits) exhausted(done int) bool {
+	if l.shared != nil {
+		return l.shared.maxDTW > 0 && l.shared.reserved.Load() >= l.shared.maxDTW
+	}
+	return l.MaxExactDTW > 0 && done >= l.MaxExactDTW
+}
+
+// reserveDTW claims one exact-DTW verification, returning false when the
+// budget is exhausted (the caller must stop and mark the query degraded).
+func (l *Limits) reserveDTW(done int) bool {
+	if l.shared != nil {
+		if l.shared.maxDTW <= 0 {
+			return true
+		}
+		return l.shared.reserved.Add(1) <= l.shared.maxDTW
+	}
+	return l.MaxExactDTW <= 0 || done < l.MaxExactDTW
+}
+
+// knnCutoff combines a shard-local kth-best distance (math.Inf(1) until k
+// results are held) with the shared cross-shard bound.
+func (l *Limits) knnCutoff(local float64) float64 {
+	if l.shared != nil {
+		if b := l.shared.loadBound(); b < local {
+			return b
+		}
+	}
+	return local
+}
+
+// publishKNNBound exports a shard-local kth-best distance to the other
+// shards of a fanned-out query.
+func (l *Limits) publishKNNBound(d float64) {
+	if l.shared != nil {
+		l.shared.shrinkBound(d)
+	}
 }
 
 // entry is one indexed series with its feature vector cached at Add time,
@@ -106,28 +191,28 @@ type entry struct {
 	feat []float64
 }
 
-// Index is a DTW similarity index over fixed-length normal-form series.
+// Index is a DTW similarity index over fixed-length normal-form series,
+// backed by an R*-tree. It implements Searcher.
 type Index struct {
-	transform core.Transform
-	tree      *rtree.Tree
-	series    map[int64]entry
-	n         int
+	st   corpus
+	tree *rtree.Tree
 }
 
-// Config controls index construction.
+// Config controls backend construction.
 type Config struct {
 	// Tree configures the underlying R*-tree (zero value = defaults).
 	Tree rtree.Config
+	// GridCell is the grid-file cell edge length in feature-space units
+	// (BackendGrid only; zero selects DefaultGridCell).
+	GridCell float64
 }
 
 // New creates an index using the given envelope transform. All series added
 // and queried must have length transform.InputLen().
 func New(t core.Transform, cfg Config) *Index {
 	return &Index{
-		transform: t,
-		tree:      rtree.New(t.OutputLen(), cfg.Tree),
-		series:    make(map[int64]entry),
-		n:         t.InputLen(),
+		st:   newCorpus(t, 0),
+		tree: rtree.New(t.OutputLen(), cfg.Tree),
 	}
 }
 
@@ -135,24 +220,20 @@ func New(t core.Transform, cfg Config) *Index {
 func (ix *Index) Len() int { return ix.tree.Len() }
 
 // SeriesLen returns the required series length n.
-func (ix *Index) SeriesLen() int { return ix.n }
+func (ix *Index) SeriesLen() int { return ix.st.n }
 
 // Transform returns the envelope transform in use.
-func (ix *Index) Transform() core.Transform { return ix.transform }
+func (ix *Index) Transform() core.Transform { return ix.st.transform }
 
 // Add inserts a series under the given id. The series must already be in
 // normal form (fixed length n, typically mean-subtracted); it is retained.
 // Adding an existing id replaces nothing and returns an error.
 func (ix *Index) Add(id int64, x ts.Series) error {
-	if len(x) != ix.n {
-		return fmt.Errorf("index: series length %d, want %d", len(x), ix.n)
+	e, err := ix.st.add(id, x)
+	if err != nil {
+		return err
 	}
-	if _, dup := ix.series[id]; dup {
-		return fmt.Errorf("index: duplicate id %d", id)
-	}
-	feat := ix.transform.Apply(x)
-	ix.series[id] = entry{x: x, feat: feat}
-	ix.tree.Insert(id, feat)
+	ix.tree.Insert(id, e.feat)
 	return nil
 }
 
@@ -166,7 +247,7 @@ func (ix *Index) MustAdd(id int64, x ts.Series) {
 // Remove deletes the series stored under id. It returns false when the id
 // is unknown.
 func (ix *Index) Remove(id int64) bool {
-	e, ok := ix.series[id]
+	e, ok := ix.st.series[id]
 	if !ok {
 		return false
 	}
@@ -174,23 +255,12 @@ func (ix *Index) Remove(id int64) bool {
 		// The tree and the series map must stay in lockstep.
 		panic(fmt.Sprintf("index: series %d present in map but not in tree", id))
 	}
-	delete(ix.series, id)
+	delete(ix.st.series, id)
 	return true
 }
 
 // Get returns the stored series for an id.
-func (ix *Index) Get(id int64) (ts.Series, bool) {
-	e, ok := ix.series[id]
-	return e.x, ok
-}
-
-// checkQuery validates a query series length.
-func (ix *Index) checkQuery(q ts.Series) error {
-	if len(q) != ix.n {
-		return fmt.Errorf("index: %w: got %d, want %d", ErrQueryLength, len(q), ix.n)
-	}
-	return nil
-}
+func (ix *Index) Get(id int64) (ts.Series, bool) { return ix.st.get(id) }
 
 // RangeQuery returns all series whose banded DTW distance to q is at most
 // epsilon, with the band radius derived from the warping width delta
@@ -209,12 +279,12 @@ func (ix *Index) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, Query
 // the wrong length returns ErrQueryLength. Queries never mutate the index,
 // so any number may run concurrently.
 func (ix *Index) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta float64, lim Limits) ([]Match, QueryStats, error) {
-	if err := ix.checkQuery(q); err != nil {
+	if err := ix.st.checkQuery(q); err != nil {
 		return nil, QueryStats{}, err
 	}
-	k := dtw.BandRadius(ix.n, delta)
+	k := dtw.BandRadius(ix.st.n, delta)
 	env := dtw.NewEnvelope(q, k)
-	fe := ix.transform.ApplyEnvelope(env)
+	fe := ix.st.transform.ApplyEnvelope(env)
 	box := rtree.Rect{Lo: fe.Lower, Hi: fe.Upper}
 
 	var tstats rtree.Stats
@@ -223,7 +293,8 @@ func (ix *Index) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta 
 	stats.Candidates = len(items)
 	stats.PageAccesses = tstats.NodeAccesses
 
-	out, err := ix.verifyCandidates(ctx, q, env, fe, items, k, epsilon, lim, &stats)
+	rq := &rangeQuery{q: q, env: env, fe: &fe, band: k, eps2: epsilon * epsilon, useLB: true}
+	out, err := verifyRange(ctx, &ix.st, rq, items, rtreeItemID, lim, &stats)
 	sortMatches(out)
 	return out, stats, err
 }
@@ -237,10 +308,10 @@ func (ix *Index) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta 
 // DTW index keeps serving classic Euclidean queries. A query of the wrong
 // length returns ErrQueryLength.
 func (ix *Index) RangeQueryEuclidean(q ts.Series, epsilon float64) ([]Match, QueryStats, error) {
-	if err := ix.checkQuery(q); err != nil {
+	if err := ix.st.checkQuery(q); err != nil {
 		return nil, QueryStats{}, err
 	}
-	fq := ix.transform.Apply(q)
+	fq := ix.st.transform.Apply(q)
 
 	var tstats rtree.Stats
 	items := ix.tree.RangeSearchRectStats(rtree.PointRect(fq), epsilon, &tstats)
@@ -251,7 +322,7 @@ func (ix *Index) RangeQueryEuclidean(q ts.Series, epsilon float64) ([]Match, Que
 	var out []Match
 	eps2 := epsilon * epsilon
 	for _, it := range items {
-		x := ix.series[it.ID].x
+		x := ix.st.series[it.ID].x
 		stats.LBSurvivors++
 		var sum float64
 		exceeded := false
@@ -290,15 +361,15 @@ func (ix *Index) KNN(q ts.Series, k int, delta float64) ([]Match, QueryStats) {
 // returns ErrQueryLength. Queries never mutate the index, so any number may
 // run concurrently.
 func (ix *Index) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, lim Limits) ([]Match, QueryStats, error) {
-	if err := ix.checkQuery(q); err != nil {
+	if err := ix.st.checkQuery(q); err != nil {
 		return nil, QueryStats{}, err
 	}
 	if k <= 0 {
 		return nil, QueryStats{}, nil
 	}
-	band := dtw.BandRadius(ix.n, delta)
+	band := dtw.BandRadius(ix.st.n, delta)
 	env := dtw.NewEnvelope(q, band)
-	fe := ix.transform.ApplyEnvelope(env)
+	fe := ix.st.transform.ApplyEnvelope(env)
 	box := rtree.Rect{Lo: fe.Lower, Hi: fe.Upper}
 
 	v := getVerifier()
@@ -306,61 +377,22 @@ func (ix *Index) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, 
 
 	var tstats rtree.Stats
 	var stats QueryStats
-	var err error
-	best := newTopK(k)
+	s := &knnState{v: v, q: q, env: env, band: band, best: newTopK(k), lim: lim, stats: &stats, useLB: true}
 	ix.tree.IncrementalNNStats(box, func(nb rtree.Neighbor) bool {
 		if e := ctx.Err(); e != nil {
-			err = e
+			s.err = e
 			return false
 		}
 		// Termination: the feature-space bound of the next candidate
-		// already exceeds the kth best exact distance.
-		if best.full() && nb.Dist > best.worst() {
+		// already exceeds the kth best exact distance (locally, or
+		// established by any other shard of a fanned-out query).
+		if nb.Dist > s.cutoff() {
 			return false
 		}
-		if lim.MaxExactDTW > 0 && stats.ExactDTW >= lim.MaxExactDTW {
-			stats.Degraded = true
-			return false
-		}
-		stats.Candidates++
-		e := ix.series[nb.Item.ID]
-		if best.full() {
-			// Lower-bound cascade at the current kth-best cutoff; each
-			// stage is cheaper than the next and abandons early.
-			w := best.worst()
-			w2 := w * w
-			fwd, ok := dtw.SquaredDistToEnvelopeWithin(e.x, env, w2)
-			if !ok {
-				return true
-			}
-			// The reversed-role bound costs an O(n) envelope per candidate;
-			// see the gate rationale in verify.go (wide bands only, and
-			// only when the forward bound landed near the cutoff).
-			if band >= reversedLBMinBand && fwd > w2*reversedLBGate {
-				if _, ok := v.ws.SquaredReversedLBKeoghWithin(q, e.x, band, w2); !ok {
-					return true
-				}
-			}
-			stats.LBSurvivors++
-			if lim.CandidateHook != nil {
-				lim.CandidateHook()
-			}
-			stats.ExactDTW++
-			if d2, ok := v.ws.SquaredBandedWithin(e.x, q, band, w2); ok {
-				best.offer(Match{ID: nb.Item.ID, Dist: math.Sqrt(d2)})
-			}
-		} else {
-			stats.LBSurvivors++
-			if lim.CandidateHook != nil {
-				lim.CandidateHook()
-			}
-			stats.ExactDTW++
-			best.offer(Match{ID: nb.Item.ID, Dist: math.Sqrt(v.ws.SquaredBandedExact(e.x, q, band))})
-		}
-		return true
+		return s.refine(ctx, nb.Item.ID, ix.st.series[nb.Item.ID])
 	}, &tstats)
 	stats.PageAccesses = tstats.NodeAccesses
-	return best.sorted(), stats, err
+	return s.best.sorted(), stats, s.err
 }
 
 // sortMatches orders matches by (distance, id), the deterministic result
@@ -433,8 +465,4 @@ func (t *topK) sorted() []Match {
 }
 
 // Visit calls fn for every stored (id, series) pair, in unspecified order.
-func (ix *Index) Visit(fn func(id int64, x ts.Series)) {
-	for id, e := range ix.series {
-		fn(id, e.x)
-	}
-}
+func (ix *Index) Visit(fn func(id int64, x ts.Series)) { ix.st.visit(fn) }

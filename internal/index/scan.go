@@ -1,91 +1,144 @@
 package index
 
 import (
-	"math"
-	"sort"
+	"context"
 
+	"warping/internal/core"
 	"warping/internal/dtw"
 	"warping/internal/ts"
 )
 
 // LinearScan is the brute-force baseline (the approach of the direct-audio
-// matchers the paper criticizes as "very slow"): every query computes DTW
-// against every database series, optionally short-circuited by the
-// full-dimensional LB_Keogh bound.
+// matchers the paper criticizes as "very slow"): every query verifies
+// against every database series, optionally short-circuited by the same
+// lower-bound cascade as the indexed backends. It implements Searcher, so
+// it gains context cancellation, Limits/Degraded budgets and QueryStats
+// accounting; PageAccesses is always zero (there is no index structure to
+// page through).
 type LinearScan struct {
-	ids    []int64
-	series []ts.Series
-	n      int
-	// UseLB enables the envelope lower-bound pre-check (global
+	st corpus
+	// ids preserves insertion order so candidate verification (and its
+	// stats) is deterministic, matching the pre-Searcher behavior.
+	ids []int64
+	// UseLB enables the lower-bound cascade pre-check (global
 	// lower-bounding pipeline of Yi et al.); disable for the pure
 	// brute-force baseline.
 	UseLB bool
 }
 
-// NewLinearScan creates an empty scan baseline for series of length n.
+// NewLinearScan creates an empty scan baseline for series of length n,
+// with no feature transform (the cascade skips the feature-box pre-check).
 func NewLinearScan(n int, useLB bool) *LinearScan {
-	return &LinearScan{n: n, UseLB: useLB}
+	return &LinearScan{st: newCorpus(nil, n), UseLB: useLB}
 }
 
-// Add appends a series.
-func (s *LinearScan) Add(id int64, x ts.Series) {
-	if len(x) != s.n {
-		panic("index: linear scan series length mismatch")
+// NewLinearScanTransform is NewLinearScan with a feature transform: the
+// cascade then also applies the O(dim) feature-box pre-check, making the
+// scan the strongest non-indexed baseline (and the BackendScan Searcher).
+func NewLinearScanTransform(t core.Transform, useLB bool) *LinearScan {
+	return &LinearScan{st: newCorpus(t, 0), UseLB: useLB}
+}
+
+// Add appends a series. The series must have length SeriesLen() and a new
+// id; violations return an error (previously this panicked — the Searcher
+// contract forbids that).
+func (s *LinearScan) Add(id int64, x ts.Series) error {
+	if _, err := s.st.add(id, x); err != nil {
+		return err
 	}
 	s.ids = append(s.ids, id)
-	s.series = append(s.series, x)
+	return nil
+}
+
+// Remove deletes the series stored under id. It returns false when the id
+// is unknown.
+func (s *LinearScan) Remove(id int64) bool {
+	if _, ok := s.st.remove(id); !ok {
+		return false
+	}
+	for i, v := range s.ids {
+		if v == id {
+			s.ids = append(s.ids[:i], s.ids[i+1:]...)
+			break
+		}
+	}
+	return true
 }
 
 // Len returns the database size.
 func (s *LinearScan) Len() int { return len(s.ids) }
 
+// SeriesLen returns the required series length n.
+func (s *LinearScan) SeriesLen() int { return s.st.n }
+
+// Get returns the stored series for an id.
+func (s *LinearScan) Get(id int64) (ts.Series, bool) { return s.st.get(id) }
+
+// Visit calls fn for every stored (id, series) pair, in unspecified order.
+func (s *LinearScan) Visit(fn func(id int64, x ts.Series)) { s.st.visit(fn) }
+
 // RangeQuery returns all matches within epsilon under banded DTW with
 // warping width delta. Stats report exact-DTW invocations; Candidates is
 // always the full database size (no index pruning).
 func (s *LinearScan) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, QueryStats) {
-	k := dtw.BandRadius(s.n, delta)
-	env := dtw.NewEnvelope(q, k)
-	stats := QueryStats{Candidates: len(s.ids)}
-	var out []Match
-	for i, x := range s.series {
-		if s.UseLB {
-			if dtw.DistToEnvelope(x, env) > epsilon {
-				continue
-			}
-		}
-		stats.LBSurvivors++
-		stats.ExactDTW++
-		if d2, ok := dtw.SquaredBandedWithin(x, q, k, epsilon*epsilon); ok {
-			out = append(out, Match{ID: s.ids[i], Dist: math.Sqrt(d2)})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
+	out, stats, _ := s.RangeQueryCtx(context.Background(), q, epsilon, delta, Limits{})
 	return out, stats
 }
 
+// RangeQueryCtx implements Searcher: every stored series is a candidate,
+// refined through the same shared cascade (feature-box pre-check when a
+// transform is present, LB_Keogh, reversed pass, budgeted DTW) as the
+// indexed backends. A query of the wrong length returns ErrQueryLength.
+func (s *LinearScan) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta float64, lim Limits) ([]Match, QueryStats, error) {
+	if err := s.st.checkQuery(q); err != nil {
+		return nil, QueryStats{}, err
+	}
+	k := dtw.BandRadius(s.st.n, delta)
+	env := dtw.NewEnvelope(q, k)
+	var stats QueryStats
+	stats.Candidates = len(s.ids)
+
+	rq := &rangeQuery{q: q, env: env, band: k, eps2: epsilon * epsilon, useLB: s.UseLB}
+	if s.st.transform != nil && s.UseLB {
+		fe := s.st.transform.ApplyEnvelope(env)
+		rq.fe = &fe
+	}
+	out, err := verifyRange(ctx, &s.st, rq, s.ids, int64ID, lim, &stats)
+	sortMatches(out)
+	return out, stats, err
+}
+
+func int64ID(id int64) int64 { return id }
+
 // KNN returns the k nearest series under banded DTW, closest first.
 func (s *LinearScan) KNN(q ts.Series, k int, delta float64) ([]Match, QueryStats) {
+	out, stats, _ := s.KNNCtx(context.Background(), q, k, delta, Limits{})
+	return out, stats
+}
+
+// KNNCtx implements Searcher: a single pass over the database through the
+// shared kNN refinement (cascade at the running kth-best cutoff when UseLB
+// is set; full DTW per series otherwise). A query of the wrong length
+// returns ErrQueryLength.
+func (s *LinearScan) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, lim Limits) ([]Match, QueryStats, error) {
+	if err := s.st.checkQuery(q); err != nil {
+		return nil, QueryStats{}, err
+	}
 	if k <= 0 {
-		return nil, QueryStats{}
+		return nil, QueryStats{}, nil
 	}
-	band := dtw.BandRadius(s.n, delta)
+	band := dtw.BandRadius(s.st.n, delta)
 	env := dtw.NewEnvelope(q, band)
-	stats := QueryStats{Candidates: len(s.ids)}
-	best := newTopK(k)
-	for i, x := range s.series {
-		if s.UseLB && best.full() {
-			if dtw.DistToEnvelope(x, env) > best.worst() {
-				continue
-			}
+
+	v := getVerifier()
+	defer putVerifier(v)
+
+	var stats QueryStats
+	st := &knnState{v: v, q: q, env: env, band: band, best: newTopK(k), lim: lim, stats: &stats, useLB: s.UseLB}
+	for _, id := range s.ids {
+		if !st.refine(ctx, id, s.st.series[id]) {
+			break
 		}
-		stats.LBSurvivors++
-		stats.ExactDTW++
-		best.offer(Match{ID: s.ids[i], Dist: dtw.Banded(x, q, band)})
 	}
-	return best.sorted(), stats
+	return st.best.sorted(), stats, st.err
 }

@@ -1,0 +1,155 @@
+// The Searcher interface: one backend-independent contract for every index
+// structure in this package. Theorem 1 holds for any container-invariant
+// feature-space filter, so the R*-tree index, the grid file and the linear
+// scan all expose the same query surface — context cancellation, per-query
+// Limits, QueryStats accounting, range and kNN search — and share one
+// refinement cascade (see verify.go). The Sharded wrapper composes N of
+// them behind per-shard locks for stall-free writes and parallel fan-out.
+package index
+
+import (
+	"context"
+	"fmt"
+
+	"warping/internal/core"
+	"warping/internal/ts"
+)
+
+// Searcher is the backend-independent surface of a DTW similarity index
+// over fixed-length normal-form series. *Index (R*-tree), *GridIndex (grid
+// file), *LinearScan (brute force) and *Sharded (hash-partitioned
+// composite) all implement it with identical exactness guarantees: every
+// query method returns the same match set and distances on the same data.
+//
+// Unless stated otherwise (Sharded), implementations are not internally
+// synchronized: queries are read-pure and may run concurrently with each
+// other, but Add/Remove require exclusive access.
+type Searcher interface {
+	// Add inserts a series under id. The series must have length
+	// SeriesLen() and the id must be new; violations return an error
+	// (never panic — enforced uniformly across backends).
+	Add(id int64, x ts.Series) error
+	// Remove deletes the series stored under id, reporting whether it was
+	// present.
+	Remove(id int64) bool
+	// Len returns the number of indexed series.
+	Len() int
+	// SeriesLen returns the required series length n.
+	SeriesLen() int
+	// Get returns the stored series for an id.
+	Get(id int64) (ts.Series, bool)
+	// Visit calls fn for every stored (id, series) pair, in unspecified
+	// order.
+	Visit(fn func(id int64, x ts.Series))
+	// RangeQueryCtx returns all series whose banded DTW distance to q is
+	// at most epsilon (warping width delta), sorted by (distance, id),
+	// with cancellation and per-query work limits. QueryStats reports
+	// candidates, LB survivors, exact DTW count and page accesses.
+	RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta float64, lim Limits) ([]Match, QueryStats, error)
+	// KNNCtx returns the k nearest series under banded DTW, closest
+	// first, with cancellation and per-query work limits.
+	KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, lim Limits) ([]Match, QueryStats, error)
+}
+
+// BackendKind names a Searcher implementation for configuration surfaces
+// (qbh.Options.Backend, the qbhd -backend flag).
+type BackendKind string
+
+// Supported backends.
+const (
+	// BackendRTree is the default: an R*-tree with incremental
+	// best-first kNN.
+	BackendRTree BackendKind = "rtree"
+	// BackendGrid is the grid file ([35], StatStream); kNN uses an
+	// expanding-ring search.
+	BackendGrid BackendKind = "grid"
+	// BackendScan is the LB-pruned linear scan baseline.
+	BackendScan BackendKind = "scan"
+)
+
+// DefaultGridCell is the grid-file cell edge used when Config.GridCell is
+// zero, sized near the typical query extent of the 8-dimensional New_PAA
+// feature spaces this library produces.
+const DefaultGridCell = 40.0
+
+// NewBackend constructs an empty single-shard Searcher of the given kind.
+func NewBackend(kind BackendKind, t core.Transform, cfg Config) (Searcher, error) {
+	switch kind {
+	case BackendRTree, "":
+		return New(t, cfg), nil
+	case BackendGrid:
+		cell := cfg.GridCell
+		if cell <= 0 {
+			cell = DefaultGridCell
+		}
+		return NewGrid(t, cell), nil
+	case BackendScan:
+		return NewLinearScanTransform(t, true), nil
+	default:
+		return nil, fmt.Errorf("index: unknown backend %q", kind)
+	}
+}
+
+// corpus is the backend-independent state every Searcher carries: the
+// retained series with their feature vectors cached at Add time (so
+// queries and removals never recompute transform.Apply), plus the
+// transform itself. The spatial structure (tree, grid, none) lives in the
+// concrete backend; corpus keeps the entry cache and validation uniform.
+type corpus struct {
+	transform core.Transform // nil for the transform-less linear scan
+	series    map[int64]entry
+	n         int
+}
+
+func newCorpus(t core.Transform, n int) corpus {
+	if t != nil {
+		n = t.InputLen()
+	}
+	return corpus{transform: t, series: make(map[int64]entry), n: n}
+}
+
+// add validates and caches one series, returning its entry. The returned
+// error mirrors Index.Add for every backend.
+func (st *corpus) add(id int64, x ts.Series) (entry, error) {
+	if len(x) != st.n {
+		return entry{}, fmt.Errorf("index: series length %d, want %d", len(x), st.n)
+	}
+	if _, dup := st.series[id]; dup {
+		return entry{}, fmt.Errorf("index: duplicate id %d", id)
+	}
+	e := entry{x: x}
+	if st.transform != nil {
+		e.feat = st.transform.Apply(x)
+	}
+	st.series[id] = e
+	return e, nil
+}
+
+// remove drops the entry for id, returning it for spatial-structure
+// cleanup.
+func (st *corpus) remove(id int64) (entry, bool) {
+	e, ok := st.series[id]
+	if ok {
+		delete(st.series, id)
+	}
+	return e, ok
+}
+
+func (st *corpus) get(id int64) (ts.Series, bool) {
+	e, ok := st.series[id]
+	return e.x, ok
+}
+
+func (st *corpus) visit(fn func(id int64, x ts.Series)) {
+	for id, e := range st.series {
+		fn(id, e.x)
+	}
+}
+
+// checkQuery validates a query series length uniformly across backends.
+func (st *corpus) checkQuery(q ts.Series) error {
+	if len(q) != st.n {
+		return fmt.Errorf("index: %w: got %d, want %d", ErrQueryLength, len(q), st.n)
+	}
+	return nil
+}

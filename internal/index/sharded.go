@@ -1,0 +1,320 @@
+// Sharded: a hash-partitioned composite Searcher for stall-free writes
+// and parallel query fan-out. Ids are hashed across N per-shard backends,
+// each guarded by its own RWMutex, so a write locks 1/N of the corpus
+// while queries proceed on every other shard, and a query's tree descent
+// and refinement run on N cores instead of one.
+//
+// Exactness is preserved shard by shard: range queries are simply the
+// concatenation of per-shard range results (every shard applies the full
+// no-false-negative cascade to its partition), and kNN merges per-shard
+// top-k sets under a shared atomic distance bound — the global kth-best
+// distance is never larger than any shard-local kth-best, so a candidate
+// pruned against the shared bound could not have entered the merged top-k.
+package index
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"warping/internal/core"
+	"warping/internal/ts"
+)
+
+// shard is one partition: a backend plus its lock. Queries take the read
+// lock, Add/Remove the write lock, so a blocked writer stalls only its own
+// partition.
+type shard struct {
+	mu sync.RWMutex
+	s  Searcher
+}
+
+// Sharded partitions a corpus across N single-shard backends by id hash.
+// It implements Searcher and, unlike the single-shard backends, is
+// internally synchronized: Add/Remove/queries may all be called
+// concurrently.
+type Sharded struct {
+	kind   BackendKind
+	shards []*shard
+
+	// AddHook, when non-nil, runs inside the shard's write lock during
+	// Add, after the insert. It exists for tests that must hold one
+	// shard's writer mid-flight (proving writes no longer stall unrelated
+	// reads); set it before any concurrent use.
+	AddHook func(shardIdx int)
+}
+
+// NewSharded creates n shards of the given backend kind. n < 1 is an
+// error; n == 1 still works (one shard, useful for differential testing)
+// but buys no parallelism.
+func NewSharded(kind BackendKind, t core.Transform, cfg Config, n int) (*Sharded, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("index: shard count %d < 1", n)
+	}
+	if kind == "" {
+		kind = BackendRTree
+	}
+	sh := &Sharded{kind: kind, shards: make([]*shard, n)}
+	for i := range sh.shards {
+		s, err := NewBackend(kind, t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sh.shards[i] = &shard{s: s}
+	}
+	return sh, nil
+}
+
+// shardOf hashes an id to its shard: a multiplicative (Fibonacci) hash so
+// sequential ids — the common case for phrase ids — spread evenly instead
+// of striding one shard.
+func (sh *Sharded) shardOf(id int64) int {
+	return int((uint64(id) * 0x9E3779B97F4A7C15 >> 32) % uint64(len(sh.shards)))
+}
+
+// NumShards returns the shard count.
+func (sh *Sharded) NumShards() int { return len(sh.shards) }
+
+// Kind returns the backend kind the shards were built with.
+func (sh *Sharded) Kind() BackendKind { return sh.kind }
+
+// ShardLens returns the number of series in each shard (for stats
+// surfaces and balance monitoring).
+func (sh *Sharded) ShardLens() []int {
+	out := make([]int, len(sh.shards))
+	for i, s := range sh.shards {
+		s.mu.RLock()
+		out[i] = s.s.Len()
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// Add inserts a series, locking only the owning shard: writers on other
+// shards and queries that can proceed without this shard are unaffected.
+func (sh *Sharded) Add(id int64, x ts.Series) error {
+	i := sh.shardOf(id)
+	s := sh.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.s.Add(id, x)
+	if err == nil && sh.AddHook != nil {
+		sh.AddHook(i)
+	}
+	return err
+}
+
+// Remove deletes the series stored under id, locking only the owning
+// shard.
+func (sh *Sharded) Remove(id int64) bool {
+	s := sh.shards[sh.shardOf(id)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Remove(id)
+}
+
+// Len returns the total number of indexed series.
+func (sh *Sharded) Len() int {
+	n := 0
+	for _, s := range sh.shards {
+		s.mu.RLock()
+		n += s.s.Len()
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// SeriesLen returns the required series length n.
+func (sh *Sharded) SeriesLen() int { return sh.shards[0].s.SeriesLen() }
+
+// Get returns the stored series for an id.
+func (sh *Sharded) Get(id int64) (ts.Series, bool) {
+	s := sh.shards[sh.shardOf(id)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.s.Get(id)
+}
+
+// Visit calls fn for every stored (id, series) pair, shard by shard. fn
+// runs under the shard's read lock and must not call back into sh.
+func (sh *Sharded) Visit(fn func(id int64, x ts.Series)) {
+	for _, s := range sh.shards {
+		s.mu.RLock()
+		s.s.Visit(fn)
+		s.mu.RUnlock()
+	}
+}
+
+// shardResult is one shard's contribution to a fanned-out query.
+type shardResult struct {
+	matches []Match
+	stats   QueryStats
+	err     error
+}
+
+// fanOut runs query against every shard in parallel (each under its
+// shard's read lock) and merges in completion order. On cancellation the
+// merge stops waiting — a shard stuck behind a blocked writer cannot stall
+// the whole query — and returns the matches collected from the shards
+// that did complete, together with ctx.Err() (the same partial-result
+// contract as the single-shard Ctx methods). Abandoned shard goroutines
+// drain into the buffered channel and exit once their lock frees.
+func (sh *Sharded) fanOut(ctx context.Context, query func(s Searcher) ([]Match, QueryStats, error)) ([]Match, QueryStats, error) {
+	ch := make(chan shardResult, len(sh.shards))
+	for _, s := range sh.shards {
+		go func(s *shard) {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			m, st, err := query(s.s)
+			ch <- shardResult{matches: m, stats: st, err: err}
+		}(s)
+	}
+	var out []Match
+	var stats QueryStats
+	var firstErr error
+	for done := 0; done < len(sh.shards); done++ {
+		select {
+		case r := <-ch:
+			out = append(out, r.matches...)
+			stats.add(r.stats)
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			}
+		case <-ctx.Done():
+			return out, stats, ctx.Err()
+		}
+	}
+	return out, stats, firstErr
+}
+
+// RangeQueryCtx implements Searcher: per-shard range queries fan out in
+// parallel and concatenate. Every shard applies the full refinement
+// cascade to its partition, so the union is exactly the unsharded result
+// set; the shared exact-DTW budget (lim.MaxExactDTW) applies to the whole
+// query, claimed atomically across shards.
+func (sh *Sharded) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta float64, lim Limits) ([]Match, QueryStats, error) {
+	if len(sh.shards) == 1 {
+		s := sh.shards[0]
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.s.RangeQueryCtx(ctx, q, epsilon, delta, lim)
+	}
+	lim.shared = newSharedQuery(lim.MaxExactDTW)
+	out, stats, err := sh.fanOut(ctx, func(s Searcher) ([]Match, QueryStats, error) {
+		return s.RangeQueryCtx(ctx, q, epsilon, delta, lim)
+	})
+	sortMatches(out)
+	return out, stats, err
+}
+
+// RangeQuery is RangeQueryCtx without cancellation or limits.
+func (sh *Sharded) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, QueryStats) {
+	out, stats, _ := sh.RangeQueryCtx(context.Background(), q, epsilon, delta, Limits{})
+	return out, stats
+}
+
+// KNNCtx implements Searcher: per-shard kNN under a shared atomic best-k
+// distance bound. Each shard publishes its kth-best exact distance as it
+// improves; every other shard prunes candidates (and terminates its
+// traversal) against the minimum published bound. No false negatives: the
+// global kth-best distance is at most any shard-local kth-best, so any
+// candidate whose lower bound exceeds the shared bound is outside the
+// merged top-k. The merged result is the k closest of the per-shard
+// results.
+func (sh *Sharded) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, lim Limits) ([]Match, QueryStats, error) {
+	if len(sh.shards) == 1 {
+		s := sh.shards[0]
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.s.KNNCtx(ctx, q, k, delta, lim)
+	}
+	lim.shared = newSharedQuery(lim.MaxExactDTW)
+	out, stats, err := sh.fanOut(ctx, func(s Searcher) ([]Match, QueryStats, error) {
+		return s.KNNCtx(ctx, q, k, delta, lim)
+	})
+	sortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, stats, err
+}
+
+// KNN is KNNCtx without cancellation or limits.
+func (sh *Sharded) KNN(q ts.Series, k int, delta float64) ([]Match, QueryStats) {
+	out, stats, _ := sh.KNNCtx(context.Background(), q, k, delta, Limits{})
+	return out, stats
+}
+
+// BuildSearcher constructs a backend of the given kind and bulk-indexes
+// entries into it. nShards > 1 builds an N-shard Sharded with every shard
+// indexed in parallel (the "parallel compaction" path used when a
+// snapshot or WAL replay rebuilds the whole corpus); nShards <= 1 builds
+// a single-shard backend, using STR bulk loading for the R*-tree.
+func BuildSearcher(kind BackendKind, t core.Transform, cfg Config, nShards int, entries []Entry) (Searcher, error) {
+	if nShards <= 1 {
+		if kind == BackendRTree || kind == "" {
+			return BulkLoad(t, cfg, entries)
+		}
+		s, err := NewBackend(kind, t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if err := s.Add(e.ID, e.Series); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	sh, err := NewSharded(kind, t, cfg, nShards)
+	if err != nil {
+		return nil, err
+	}
+	if err := sh.BulkAdd(entries); err != nil {
+		return nil, err
+	}
+	return sh, nil
+}
+
+// BulkAdd partitions entries by shard and indexes the shards in parallel,
+// bounded by GOMAXPROCS. Each shard is locked only while its own
+// partition loads, so queries on already-loaded shards proceed during a
+// bulk build.
+func (sh *Sharded) BulkAdd(entries []Entry) error {
+	parts := make([][]Entry, len(sh.shards))
+	for _, e := range entries {
+		i := sh.shardOf(e.ID)
+		parts[i] = append(parts[i], e)
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	errs := make([]error, len(sh.shards))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, part []Entry) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s := sh.shards[i]
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for _, e := range part {
+				if err := s.s.Add(e.ID, e.Series); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,481 @@
+package index
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"warping/internal/core"
+	"warping/internal/ts"
+)
+
+// The cross-backend differential test of the Searcher refactor: the same
+// corpus and the same queries through the R*-tree, the grid file, the
+// linear scan and every shard count in {1, 4, 7} must return identical
+// match sets and distances — Theorem 1 is backend-independent, and the
+// shared refinement cascade plus the kNN shared-bound merge must not
+// change a single result. Run under -race this also exercises the
+// parallel fan-out.
+func TestBackendsAndShardCountsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	tr := core.NewPAA(testN, testDim)
+	const count = 300
+
+	data := make([]ts.Series, count)
+	for i := range data {
+		data[i] = randomWalk(r, testN)
+	}
+
+	type backend struct {
+		name string
+		s    Searcher
+	}
+	var backends []backend
+	for _, kind := range []BackendKind{BackendRTree, BackendGrid, BackendScan} {
+		s, err := NewBackend(kind, tr, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends = append(backends, backend{name: string(kind), s: s})
+	}
+	for _, shards := range []int{1, 4, 7} {
+		for _, kind := range []BackendKind{BackendRTree, BackendGrid, BackendScan} {
+			sh, err := NewSharded(kind, tr, Config{}, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			backends = append(backends, backend{name: fmt.Sprintf("%s-sharded-%d", kind, shards), s: sh})
+		}
+	}
+	for _, b := range backends {
+		for i, x := range data {
+			if err := b.s.Add(int64(i), x); err != nil {
+				t.Fatalf("%s: Add(%d): %v", b.name, i, err)
+			}
+		}
+		if b.s.Len() != count {
+			t.Fatalf("%s: Len = %d, want %d", b.name, b.s.Len(), count)
+		}
+	}
+
+	reference := backends[len(backends)-1].s // any; diffed all-vs-first below
+	_ = reference
+	ctx := context.Background()
+	for trial := 0; trial < 6; trial++ {
+		q := randomWalk(r, testN)
+		epsilon := float64(testN) * (0.03 + r.Float64()*0.05)
+		delta := 0.02 + r.Float64()*0.15
+		k := 1 + r.Intn(12)
+
+		wantRange, _, err := backends[0].s.RangeQueryCtx(ctx, q, epsilon, delta, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKNN, _, err := backends[0].s.KNNCtx(ctx, q, k, delta, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range backends[1:] {
+			gotRange, _, err := b.s.RangeQueryCtx(ctx, q, epsilon, delta, Limits{})
+			if err != nil {
+				t.Fatalf("%s: range: %v", b.name, err)
+			}
+			diffMatches(t, b.name+"/range", gotRange, wantRange)
+			gotKNN, _, err := b.s.KNNCtx(ctx, q, k, delta, Limits{})
+			if err != nil {
+				t.Fatalf("%s: knn: %v", b.name, err)
+			}
+			diffMatches(t, b.name+"/knn", gotKNN, wantKNN)
+		}
+	}
+}
+
+func diffMatches(t *testing.T, name string, got, want []Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID || math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+			t.Fatalf("%s: match %d = {%d %v}, want {%d %v}",
+				name, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+		}
+	}
+}
+
+// Satellite fix: LinearScan.Add used to panic on a length mismatch. The
+// Searcher contract makes every backend return an error instead.
+func TestLinearScanAddValidation(t *testing.T) {
+	scan := NewLinearScan(testN, true)
+	if err := scan.Add(1, make(ts.Series, 5)); err == nil {
+		t.Error("wrong length accepted (previously panicked)")
+	}
+	if err := scan.Add(1, make(ts.Series, testN)); err != nil {
+		t.Errorf("valid add failed: %v", err)
+	}
+	if err := scan.Add(1, make(ts.Series, testN)); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if scan.Len() != 1 {
+		t.Errorf("Len = %d after rejected adds, want 1", scan.Len())
+	}
+}
+
+// Every backend rejects bad adds and bad queries identically — the
+// uniformity the Searcher interface promises.
+func TestBackendsUniformValidation(t *testing.T) {
+	tr := core.NewPAA(testN, testDim)
+	for _, kind := range []BackendKind{BackendRTree, BackendGrid, BackendScan} {
+		s, err := NewBackend(kind, tr, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(1, make(ts.Series, 3)); err == nil {
+			t.Errorf("%s: wrong length accepted", kind)
+		}
+		if err := s.Add(1, make(ts.Series, testN)); err != nil {
+			t.Errorf("%s: valid add failed: %v", kind, err)
+		}
+		if err := s.Add(1, make(ts.Series, testN)); err == nil {
+			t.Errorf("%s: duplicate id accepted", kind)
+		}
+		bad := make(ts.Series, 9)
+		if _, _, err := s.RangeQueryCtx(context.Background(), bad, 1, 0.1, Limits{}); !errors.Is(err, ErrQueryLength) {
+			t.Errorf("%s: range err = %v, want ErrQueryLength", kind, err)
+		}
+		if _, _, err := s.KNNCtx(context.Background(), bad, 1, 0.1, Limits{}); !errors.Is(err, ErrQueryLength) {
+			t.Errorf("%s: knn err = %v, want ErrQueryLength", kind, err)
+		}
+	}
+}
+
+func TestShardedBasics(t *testing.T) {
+	tr := core.NewPAA(testN, testDim)
+	if _, err := NewSharded(BackendRTree, tr, Config{}, 0); err == nil {
+		t.Error("0 shards accepted")
+	}
+	sh, err := NewSharded("", tr, Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Kind() != BackendRTree {
+		t.Errorf("Kind = %q, want default rtree", sh.Kind())
+	}
+	if sh.NumShards() != 4 {
+		t.Errorf("NumShards = %d", sh.NumShards())
+	}
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 64; i++ {
+		if err := sh.Add(int64(i), randomWalk(r, testN)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sh.Len() != 64 {
+		t.Errorf("Len = %d", sh.Len())
+	}
+	if err := sh.Add(10, randomWalk(r, testN)); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	lens := sh.ShardLens()
+	total := 0
+	for _, n := range lens {
+		total += n
+		if n == 0 {
+			t.Errorf("empty shard in %v: hash is not spreading sequential ids", lens)
+		}
+	}
+	if total != 64 {
+		t.Errorf("ShardLens sum = %d, want 64", total)
+	}
+	if _, ok := sh.Get(10); !ok {
+		t.Error("Get(10) missed")
+	}
+	if !sh.Remove(10) {
+		t.Error("Remove(10) failed")
+	}
+	if sh.Remove(10) {
+		t.Error("double Remove succeeded")
+	}
+	if sh.Len() != 63 {
+		t.Errorf("Len after remove = %d", sh.Len())
+	}
+	seen := 0
+	sh.Visit(func(id int64, x ts.Series) { seen++ })
+	if seen != 63 {
+		t.Errorf("Visit saw %d", seen)
+	}
+}
+
+// The acceptance-criteria race test: with one shard's writer blocked
+// mid-Add (holding that shard's write lock via AddHook), single-shard
+// operations on every other shard complete, and a deadline-bounded
+// fanned-out query returns promptly with the partial results collected
+// from the shards that could answer — a write no longer stalls unrelated
+// reads. Run with -race.
+func TestShardedWriteDoesNotStallOtherShards(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	tr := core.NewPAA(testN, testDim)
+	const shards = 4
+	sh, err := NewSharded(BackendRTree, tr, Config{}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := sh.Add(int64(i), randomWalk(r, testN)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pick fresh ids on distinct shards.
+	nextOn := func(shard int, from int64) int64 {
+		for id := from; ; id++ {
+			if _, ok := sh.Get(id); !ok && sh.shardOf(id) == shard {
+				return id
+			}
+		}
+	}
+	const blockedShard = 0
+	blockedID := nextOn(blockedShard, 1000)
+	otherShard := 1
+	otherID := nextOn(otherShard, 1000)
+
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	sh.AddHook = func(idx int) {
+		if idx == blockedShard {
+			close(entered)
+			<-block // hold shard 0's write lock until released
+		}
+	}
+
+	writerDone := make(chan error, 1)
+	go func() { writerDone <- sh.Add(blockedID, randomWalk(rand.New(rand.NewSource(1)), testN)) }()
+	<-entered // shard 0's write lock is now held
+
+	// 1. A write to another shard completes while shard 0 is blocked.
+	addDone := make(chan error, 1)
+	go func() { addDone <- sh.Add(otherID, randomWalk(rand.New(rand.NewSource(2)), testN)) }()
+	select {
+	case err := <-addDone:
+		if err != nil {
+			t.Fatalf("Add on unblocked shard: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Add on unblocked shard stalled behind shard 0's writer")
+	}
+
+	// 2. A point read on another shard completes.
+	readDone := make(chan bool, 1)
+	go func() { _, ok := sh.Get(otherID); readDone <- ok }()
+	select {
+	case ok := <-readDone:
+		if !ok {
+			t.Fatal("Get on unblocked shard missed")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Get on unblocked shard stalled")
+	}
+
+	// 3. A fanned-out query with a deadline returns promptly with the
+	// partial results from the three unblocked shards instead of waiting
+	// for shard 0's reader lock.
+	q := randomWalk(r, testN)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	matches, _, qerr := sh.KNNCtx(ctx, q, 5, 0.1, Limits{})
+	elapsed := time.Since(start)
+	if !errors.Is(qerr, context.DeadlineExceeded) {
+		t.Fatalf("query err = %v, want DeadlineExceeded (shard 0 is blocked)", qerr)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("query took %v despite its 300ms deadline", elapsed)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no partial results from the unblocked shards")
+	}
+
+	// Release the writer; the system returns to full service.
+	close(block)
+	if err := <-writerDone; err != nil {
+		t.Fatalf("blocked Add finished with: %v", err)
+	}
+	full, _, err := sh.KNNCtx(context.Background(), q, 5, 0.1, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 5 {
+		t.Fatalf("post-release query returned %d matches", len(full))
+	}
+}
+
+// Concurrent mixed load over a Sharded index; meaningful under -race.
+func TestShardedConcurrentStress(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	tr := core.NewPAA(testN, testDim)
+	sh, err := NewSharded(BackendRTree, tr, Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := sh.Add(int64(i), randomWalk(r, testN)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := make([]ts.Series, 8)
+	for i := range queries {
+		queries[i] = randomWalk(r, testN)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 25; i++ {
+				id := int64(1000 + w*100 + i)
+				if err := sh.Add(id, randomWalk(rr, testN)); err != nil {
+					t.Errorf("Add(%d): %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := queries[(g+i)%len(queries)]
+				if _, _, err := sh.KNNCtx(context.Background(), q, 3, 0.1, Limits{}); err != nil {
+					t.Errorf("KNNCtx: %v", err)
+					return
+				}
+				if _, _, err := sh.RangeQueryCtx(context.Background(), q, float64(testN)*0.04, 0.1, Limits{}); err != nil {
+					t.Errorf("RangeQueryCtx: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if sh.Len() != 200 {
+		t.Errorf("Len = %d, want 200", sh.Len())
+	}
+}
+
+// The shared exact-DTW budget spans all shards of one query: the summed
+// ExactDTW across shards never exceeds the budget, and a capped query is
+// flagged Degraded.
+func TestShardedSharedDTWBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	tr := core.NewPAA(testN, testDim)
+	sh, err := NewSharded(BackendRTree, tr, Config{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := sh.Add(int64(i), randomWalk(r, testN)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := randomWalk(r, testN)
+	// Unlimited baseline to know the query's true cost.
+	_, free, err := sh.KNNCtx(context.Background(), q, 10, 0.1, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.ExactDTW < 20 {
+		t.Skipf("query too cheap to cap (ExactDTW=%d)", free.ExactDTW)
+	}
+	budget := free.ExactDTW / 4
+	_, capped, err := sh.KNNCtx(context.Background(), q, 10, 0.1, Limits{MaxExactDTW: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.ExactDTW > budget {
+		t.Errorf("ExactDTW %d exceeds the shared budget %d", capped.ExactDTW, budget)
+	}
+	if !capped.Degraded {
+		t.Error("capped query not flagged Degraded")
+	}
+}
+
+// Sharded snapshots round-trip: per-shard sections reload into an
+// equivalent index for every backend kind, and re-saving produces
+// byte-identical output (deterministic sections).
+func TestShardedPersistRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, kind := range []BackendKind{BackendRTree, BackendGrid, BackendScan} {
+		tr := core.NewPAA(testN, testDim)
+		sh, err := NewSharded(kind, tr, Config{}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]ts.Series, 120)
+		for i := range data {
+			data[i] = randomWalk(r, testN)
+			if err := sh.Add(int64(i), data[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := sh.Save(&buf); err != nil {
+			t.Fatalf("%s: Save: %v", kind, err)
+		}
+		back, err := LoadSharded(bytes.NewReader(buf.Bytes()), Config{})
+		if err != nil {
+			t.Fatalf("%s: LoadSharded: %v", kind, err)
+		}
+		if back.Kind() != kind || back.NumShards() != 4 || back.Len() != len(data) {
+			t.Fatalf("%s: reloaded kind=%q shards=%d len=%d", kind, back.Kind(), back.NumShards(), back.Len())
+		}
+		q := randomWalk(r, testN)
+		want, _ := sh.KNN(q, 7, 0.1)
+		got, _ := back.KNN(q, 7, 0.1)
+		diffMatches(t, string(kind)+"/reloaded", got, want)
+
+		var again bytes.Buffer
+		if err := back.Save(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Errorf("%s: re-save diverged from original bytes", kind)
+		}
+	}
+}
+
+// BuildSearcher is the one-call construction path qbh uses; single shard
+// and multi shard must produce identical query results.
+func TestBuildSearcherAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	tr := core.NewPAA(testN, testDim)
+	entries := make([]Entry, 200)
+	for i := range entries {
+		entries[i] = Entry{ID: int64(i), Series: randomWalk(r, testN)}
+	}
+	single, err := BuildSearcher(BackendRTree, tr, Config{}, 1, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := BuildSearcher(BackendRTree, tr, Config{}, 5, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randomWalk(r, testN)
+	want, _, err := single.KNNCtx(context.Background(), q, 9, 0.1, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := multi.KNNCtx(context.Background(), q, 9, 0.1, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffMatches(t, "buildsearcher", got, want)
+}

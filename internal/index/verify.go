@@ -1,8 +1,12 @@
-// Candidate verification: the refinement step shared by the range-query
-// backends. Candidates surviving the feature-space filter run through a
-// cascade of ever-tighter lower bounds and finally exact banded DTW, all of
-// it allocation-free in steady state (pooled dtw.Workspaces) and — for
-// large candidate sets — fanned out across GOMAXPROCS workers.
+// Candidate verification: the refinement cascade shared by every backend.
+// Candidates surviving a backend's feature-space filter (R*-tree box
+// search, grid-file cell scan, or the trivial all-candidates filter of the
+// linear scan) run through a cascade of ever-tighter lower bounds and
+// finally exact banded DTW, all of it allocation-free in steady state
+// (pooled dtw.Workspaces) and — for large candidate sets — fanned out
+// across GOMAXPROCS workers. The cascade is generic over the backend's
+// candidate type, so no backend pays an allocation to adapt its candidate
+// list.
 package index
 
 import (
@@ -50,26 +54,142 @@ const (
 	reversedLBGate    = 0.25
 )
 
+// rangeQuery carries the per-query constants of one range verification:
+// the query, its envelope and (when the backend has a transform) the
+// feature-space box, the band radius and the squared threshold. useLB
+// false disables the whole lower-bound cascade — the brute-force scan
+// baseline used by the experiments package.
+type rangeQuery struct {
+	q     ts.Series
+	env   dtw.Envelope
+	fe    *core.FeatureEnvelope // nil: no transform, skip the box pre-check
+	band  int
+	eps2  float64
+	useLB bool
+}
+
 // passesLB runs the lower-bound cascade for a range query at threshold
-// eps2 (squared): the O(dim) feature-space box distance against the cached
+// rq.eps2: the O(dim) feature-space box distance against the cached
 // feature vector, the full-dimensional LB_Keogh distance to the query
 // envelope, and — when the forward bound is tight enough to make it
 // worthwhile — the reversed-role LB_Keogh second pass (envelope of the
 // candidate, Lemire's two-pass bound). Every stage abandons at eps2; a
 // false return means the candidate provably cannot match (no false
 // dismissals, Theorem 1 / Lemma 2 symmetry).
-func (v *verifier) passesLB(e entry, q ts.Series, env dtw.Envelope, fe core.FeatureEnvelope, k int, eps2 float64) bool {
-	if core.SquaredDistToBox(e.feat, fe) > eps2 {
+func (v *verifier) passesLB(e entry, rq *rangeQuery) bool {
+	if !rq.useLB {
+		return true
+	}
+	if rq.fe != nil && core.SquaredDistToBox(e.feat, *rq.fe) > rq.eps2 {
 		return false
 	}
-	fwd, ok := dtw.SquaredDistToEnvelopeWithin(e.x, env, eps2)
+	fwd, ok := dtw.SquaredDistToEnvelopeWithin(e.x, rq.env, rq.eps2)
 	if !ok {
 		return false
 	}
-	if k >= reversedLBMinBand && fwd > eps2*reversedLBGate {
-		if _, ok := v.ws.SquaredReversedLBKeoghWithin(q, e.x, k, eps2); !ok {
+	if rq.band >= reversedLBMinBand && fwd > rq.eps2*reversedLBGate {
+		if _, ok := v.ws.SquaredReversedLBKeoghWithin(rq.q, e.x, rq.band, rq.eps2); !ok {
 			return false
 		}
+	}
+	return true
+}
+
+// Candidate-id extractors: each backend names its candidate element type
+// once, and the generic cascade reads ids through the function — no
+// per-query conversion of the candidate list, no allocation.
+func rtreeItemID(it rtree.Item) int64 { return it.ID }
+
+// knnState is the refinement state of one kNN query, shared by every
+// backend's traversal (R*-tree best-first, grid-file expanding ring,
+// linear scan): the running top-k, the lower-bound cascade at the current
+// cutoff, budget/cancellation handling, and — for fanned-out queries —
+// the shared cross-shard bound.
+type knnState struct {
+	v     *verifier
+	q     ts.Series
+	env   dtw.Envelope
+	band  int
+	best  *topK
+	lim   Limits
+	stats *QueryStats
+	// useLB false disables the cascade (brute-force baseline): every
+	// candidate goes straight to exact DTW.
+	useLB bool
+	err   error
+}
+
+// cutoff is the current pruning threshold: the local kth-best exact
+// distance (infinite until k results are held) tightened by the shared
+// cross-shard bound of a fanned-out query.
+func (s *knnState) cutoff() float64 {
+	c := math.Inf(1)
+	if s.best.full() {
+		c = s.best.worst()
+	}
+	return s.lim.knnCutoff(c)
+}
+
+// refine processes one candidate: cancellation and budget checks, the
+// lower-bound cascade at the current cutoff, exact banded DTW, and the
+// top-k update (publishing the new kth-best to the other shards of a
+// fanned-out query). It returns false when the whole traversal must stop —
+// cancellation (s.err records it) or an exhausted exact-DTW budget
+// (s.stats.Degraded records it). A pruned candidate returns true: the
+// caller keeps traversing.
+func (s *knnState) refine(ctx context.Context, id int64, e entry) bool {
+	if err := ctx.Err(); err != nil {
+		s.err = err
+		return false
+	}
+	if s.lim.exhausted(s.stats.ExactDTW) {
+		s.stats.Degraded = true
+		return false
+	}
+	s.stats.Candidates++
+	cutoff := s.cutoff()
+	if s.useLB && !math.IsInf(cutoff, 1) {
+		// Lower-bound cascade at the current cutoff; each stage is cheaper
+		// than the next and abandons early.
+		w2 := cutoff * cutoff
+		fwd, ok := dtw.SquaredDistToEnvelopeWithin(e.x, s.env, w2)
+		if !ok {
+			return true
+		}
+		// The reversed-role bound costs an O(n) envelope per candidate;
+		// see the gate rationale above (wide bands only, and only when the
+		// forward bound landed near the cutoff).
+		if s.band >= reversedLBMinBand && fwd > w2*reversedLBGate {
+			if _, ok := s.v.ws.SquaredReversedLBKeoghWithin(s.q, e.x, s.band, w2); !ok {
+				return true
+			}
+		}
+		s.stats.LBSurvivors++
+		if !s.lim.reserveDTW(s.stats.ExactDTW) {
+			s.stats.Degraded = true
+			return false
+		}
+		if s.lim.CandidateHook != nil {
+			s.lim.CandidateHook()
+		}
+		s.stats.ExactDTW++
+		if d2, ok := s.v.ws.SquaredBandedWithin(e.x, s.q, s.band, w2); ok {
+			s.best.offer(Match{ID: id, Dist: math.Sqrt(d2)})
+		}
+	} else {
+		s.stats.LBSurvivors++
+		if !s.lim.reserveDTW(s.stats.ExactDTW) {
+			s.stats.Degraded = true
+			return false
+		}
+		if s.lim.CandidateHook != nil {
+			s.lim.CandidateHook()
+		}
+		s.stats.ExactDTW++
+		s.best.offer(Match{ID: id, Dist: math.Sqrt(s.v.ws.SquaredBandedExact(e.x, s.q, s.band))})
+	}
+	if s.best.full() {
+		s.lim.publishKNNBound(s.best.worst())
 	}
 	return true
 }
@@ -79,19 +199,20 @@ func (v *verifier) passesLB(e entry, q ts.Series, env dtw.Envelope, fe core.Feat
 // small sets.
 const parallelVerifyMin = 64
 
-// verifyCandidates refines the candidate set of a range query into exact
+// verifyRange refines the candidate set of a range query into exact
 // matches (unsorted). It updates stats.LBSurvivors, stats.ExactDTW and
-// stats.Degraded, honors the context and lim.MaxExactDTW, and picks the
-// sequential or parallel strategy by candidate-set size. The returned
-// error is ctx.Err() when the query was abandoned mid-verification.
-func (ix *Index) verifyCandidates(ctx context.Context, q ts.Series, env dtw.Envelope, fe core.FeatureEnvelope, items []rtree.Item, k int, epsilon float64, lim Limits, stats *QueryStats) ([]Match, error) {
+// stats.Degraded, honors the context and the exact-DTW budget (per-query,
+// or shared across shards when the query was fanned out by Sharded), and
+// picks the sequential or parallel strategy by candidate-set size. The
+// returned error is ctx.Err() when the query was abandoned
+// mid-verification.
+func verifyRange[T any](ctx context.Context, st *corpus, rq *rangeQuery, items []T, id func(T) int64, lim Limits, stats *QueryStats) ([]Match, error) {
 	if len(items) >= parallelVerifyMin && runtime.GOMAXPROCS(0) > 1 {
-		return ix.verifyParallel(ctx, q, env, fe, items, k, epsilon, lim, stats)
+		return verifyRangeParallel(ctx, st, rq, items, id, lim, stats)
 	}
 
 	v := getVerifier()
 	defer putVerifier(v)
-	eps2 := epsilon * epsilon
 	var out []Match
 	var err error
 	for _, it := range items {
@@ -99,13 +220,17 @@ func (ix *Index) verifyCandidates(ctx context.Context, q ts.Series, env dtw.Enve
 			err = e
 			break
 		}
-		if lim.MaxExactDTW > 0 && stats.ExactDTW >= lim.MaxExactDTW {
+		if lim.exhausted(stats.ExactDTW) {
 			stats.Degraded = true
 			break
 		}
-		e := ix.series[it.ID]
-		if !v.passesLB(e, q, env, fe, k, eps2) {
+		e := st.series[id(it)]
+		if !v.passesLB(e, rq) {
 			continue
+		}
+		if !lim.reserveDTW(stats.ExactDTW) {
+			stats.Degraded = true
+			break
 		}
 		stats.LBSurvivors++
 		if lim.CandidateHook != nil {
@@ -114,32 +239,33 @@ func (ix *Index) verifyCandidates(ctx context.Context, q ts.Series, env dtw.Enve
 		stats.ExactDTW++
 		// Early-abandoning DTW: most candidates blow past epsilon in the
 		// first few DP rows.
-		if d2, ok := v.ws.SquaredBandedWithin(e.x, q, k, eps2); ok {
-			out = append(out, Match{ID: it.ID, Dist: math.Sqrt(d2)})
+		if d2, ok := v.ws.SquaredBandedWithin(e.x, rq.q, rq.band, rq.eps2); ok {
+			out = append(out, Match{ID: id(it), Dist: math.Sqrt(d2)})
 		}
 	}
 	return out, err
 }
 
-// verifyParallel fans candidate verification out across GOMAXPROCS
+// verifyRangeParallel fans candidate verification out across GOMAXPROCS
 // workers. Each worker pulls candidates from a shared atomic cursor (cheap
 // dynamic load balancing: early-abandoned candidates cost far less than
 // verified ones), verifies with its own pooled workspace, and appends to a
 // private match list; the caller's deterministic (dist, id) sort makes the
-// merged result independent of scheduling. Cancellation, the MaxExactDTW
-// budget (an atomic reservation counter) and CandidateHook serialization
-// are preserved, so results are bit-identical to the sequential path
-// whenever the query runs to completion.
-func (ix *Index) verifyParallel(ctx context.Context, q ts.Series, env dtw.Envelope, fe core.FeatureEnvelope, items []rtree.Item, k int, epsilon float64, lim Limits, stats *QueryStats) ([]Match, error) {
+// merged result independent of scheduling. Cancellation, the exact-DTW
+// budget (an atomic reservation counter — the query's own, or the shared
+// cross-shard counter of a fanned-out query) and CandidateHook
+// serialization are preserved, so results are bit-identical to the
+// sequential path whenever the query runs to completion.
+func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery, items []T, id func(T) int64, lim Limits, stats *QueryStats) ([]Match, error) {
 	workers := runtime.GOMAXPROCS(0)
 	if max := len(items) / (parallelVerifyMin / 4); workers > max {
 		workers = max
 	}
-	eps2 := epsilon * epsilon
 	var (
 		cursor    int64 // next candidate index to claim
 		survivors int64 // candidates that passed the LB cascade
-		reserved  int64 // exact-DTW budget reservations
+		reserved  int64 // local exact-DTW budget reservations
+		performed int64 // exact DTW verifications actually run
 		degraded  int32 // budget exhausted with work left
 		aborted   int32 // a worker observed ctx cancellation
 		hookMu    sync.Mutex
@@ -165,23 +291,29 @@ func (ix *Index) verifyParallel(ctx context.Context, q ts.Series, env dtw.Envelo
 				if i >= len(items) {
 					break
 				}
-				e := ix.series[items[i].ID]
-				if !v.passesLB(e, q, env, fe, k, eps2) {
+				e := st.series[id(items[i])]
+				if !v.passesLB(e, rq) {
 					continue
 				}
-				n := atomic.AddInt64(&reserved, 1)
-				if lim.MaxExactDTW > 0 && n > int64(lim.MaxExactDTW) {
+				var ok bool
+				if lim.shared != nil {
+					ok = lim.shared.maxDTW <= 0 || lim.shared.reserved.Add(1) <= lim.shared.maxDTW
+				} else {
+					ok = lim.MaxExactDTW <= 0 || atomic.AddInt64(&reserved, 1) <= int64(lim.MaxExactDTW)
+				}
+				if !ok {
 					atomic.StoreInt32(&degraded, 1)
 					break
 				}
 				atomic.AddInt64(&survivors, 1)
+				atomic.AddInt64(&performed, 1)
 				if lim.CandidateHook != nil {
 					hookMu.Lock()
 					lim.CandidateHook()
 					hookMu.Unlock()
 				}
-				if d2, ok := v.ws.SquaredBandedWithin(e.x, q, k, eps2); ok {
-					local = append(local, Match{ID: items[i].ID, Dist: math.Sqrt(d2)})
+				if d2, ok := v.ws.SquaredBandedWithin(e.x, rq.q, rq.band, rq.eps2); ok {
+					local = append(local, Match{ID: id(items[i]), Dist: math.Sqrt(d2)})
 				}
 			}
 			perWorker[w] = local
@@ -189,10 +321,6 @@ func (ix *Index) verifyParallel(ctx context.Context, q ts.Series, env dtw.Envelo
 	}
 	wg.Wait()
 
-	performed := reserved
-	if lim.MaxExactDTW > 0 && performed > int64(lim.MaxExactDTW) {
-		performed = int64(lim.MaxExactDTW)
-	}
 	stats.LBSurvivors += int(survivors)
 	stats.ExactDTW += int(performed)
 	stats.Degraded = stats.Degraded || degraded != 0

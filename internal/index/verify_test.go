@@ -198,7 +198,7 @@ func BenchmarkVerifyCandidates(b *testing.B) {
 	q := randomWalk(r, testN)
 	k := dtw.BandRadius(testN, 0.1)
 	env := dtw.NewEnvelope(q, k)
-	fe := ix.transform.ApplyEnvelope(env)
+	fe := ix.st.transform.ApplyEnvelope(env)
 	box := rtree.Rect{Lo: fe.Lower, Hi: fe.Upper}
 	epsilon := 10.0 // plenty of LB work, no matches to accumulate
 	items := ix.tree.RangeSearchRect(box, epsilon)
@@ -208,12 +208,13 @@ func BenchmarkVerifyCandidates(b *testing.B) {
 	v := getVerifier()
 	defer putVerifier(v)
 	eps2 := epsilon * epsilon
+	rq := &rangeQuery{q: q, env: env, fe: &fe, band: k, eps2: eps2, useLB: true}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, it := range items {
-			e := ix.series[it.ID]
-			if !v.passesLB(e, q, env, fe, k, eps2) {
+			e := ix.st.series[it.ID]
+			if !v.passesLB(e, rq) {
 				continue
 			}
 			v.ws.SquaredBandedWithin(e.x, q, k, eps2)

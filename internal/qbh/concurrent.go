@@ -3,20 +3,20 @@ package qbh
 import (
 	"context"
 	"io"
-	"sync"
 
 	"warping/internal/index"
 	"warping/internal/music"
 	"warping/internal/ts"
 )
 
-// Concurrent wraps a System for concurrent use. Queries are read-pure
-// (query-time cost counters live in per-query QueryStats, not in shared
-// index state), so any number of queries run in parallel under a read
-// lock; AddSong and Save mutate or serialize the system and take the
-// write lock, draining in-flight queries first.
+// Concurrent wraps a System for concurrent use. The System is internally
+// synchronized — the phrase index is sharded with one lock per shard and
+// the song/phrase metadata sits behind its own short-held RWMutex — so
+// Concurrent is a thin delegation layer kept for API stability: queries
+// run in parallel with each other, with Save (which is read-pure) and
+// with AddSongs that touch other shards. Nothing here drains in-flight
+// queries.
 type Concurrent struct {
-	mu  sync.RWMutex
 	sys *System
 }
 
@@ -26,41 +26,27 @@ func NewConcurrent(sys *System) *Concurrent {
 	return &Concurrent{sys: sys}
 }
 
-// Query is System.Query under a read lock.
+// Query ranks songs for the hummed pitch series.
 func (c *Concurrent) Query(pitch ts.Series, topK int, delta float64) ([]SongMatch, index.QueryStats) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	return c.sys.Query(pitch, topK, delta)
 }
 
-// QueryCtx is System.QueryCtx under a read lock: cancellable, budgeted,
-// and concurrent with other queries.
+// QueryCtx is Query with cancellation and per-query work limits,
+// concurrent with every other operation.
 func (c *Concurrent) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta float64, lim index.Limits) ([]SongMatch, index.QueryStats, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	return c.sys.QueryCtx(ctx, pitch, topK, delta, lim)
 }
 
-// NumSongs is System.NumSongs under a read lock.
-func (c *Concurrent) NumSongs() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.sys.NumSongs()
-}
+// NumSongs reports the number of songs.
+func (c *Concurrent) NumSongs() int { return c.sys.NumSongs() }
 
-// NumPhrases is System.NumPhrases under a read lock.
-func (c *Concurrent) NumPhrases() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.sys.NumPhrases()
-}
+// NumPhrases reports the number of indexed phrases.
+func (c *Concurrent) NumPhrases() int { return c.sys.NumPhrases() }
 
-// AddSong is System.AddSong under the write lock. The caller chooses the
-// song id; for server-side uploads prefer AddSongTitled, which allocates
-// the id atomically with the insert.
+// AddSong indexes a song under a caller-chosen id, write-locking only the
+// shards that receive its phrases. For server-side uploads prefer
+// AddSongTitled, which allocates the id atomically with the insert.
 func (c *Concurrent) AddSong(song music.Song) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.sys.AddSong(song)
 }
 
@@ -68,25 +54,18 @@ func (c *Concurrent) AddSong(song music.Song) error {
 // under it, atomically with respect to all other operations: two
 // concurrent uploads can never observe the same "next" id.
 func (c *Concurrent) AddSongTitled(title string, melody music.Melody) (music.Song, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	song := music.Song{ID: c.sys.NextSongID(), Title: title, Melody: melody}
-	if err := c.sys.AddSong(song); err != nil {
-		return music.Song{}, err
-	}
-	return song, nil
+	return c.sys.AddSongTitled(title, melody)
 }
 
-// Save is System.Save under the write lock.
+// Save serializes the system. Save is read-pure, so it no longer takes an
+// exclusive lock: in-flight queries keep making progress while a snapshot
+// is being written (see TestSaveDoesNotBlockQueries).
 func (c *Concurrent) Save(w io.Writer) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.sys.Save(w)
 }
 
-// Songs is System.Songs under a read lock.
-func (c *Concurrent) Songs() []music.Song {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.sys.Songs()
-}
+// Songs returns the song database in id order.
+func (c *Concurrent) Songs() []music.Song { return c.sys.Songs() }
+
+// ShardStats reports the index partition layout.
+func (c *Concurrent) ShardStats() ShardStats { return c.sys.ShardStats() }

@@ -129,6 +129,15 @@ type Durable struct {
 	snapPath string
 	wal      *store.WAL
 
+	// ingestMu serializes {memory add + WAL append} against {snapshot +
+	// WAL reset} — the only two orderings that matter for the acked-write-
+	// survives-a-crash invariant. A record appended before a snapshot
+	// acquires ingestMu is already in the songs map, hence in the snapshot
+	// that covers its reset; one appended after survives in the fresh WAL.
+	// Queries never take ingestMu: they keep flowing during both ingest
+	// and compaction (the System is internally synchronized).
+	ingestMu sync.Mutex
+
 	lastSnapshot  atomic.Int64 // unix nanos of last successful snapshot
 	snapshotBytes atomic.Int64
 	snapshots     atomic.Int64
@@ -237,41 +246,42 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 }
 
 // AddSong indexes the song and blocks until the write is durable: the WAL
-// record is appended under the write lock and fsynced (sharing the
-// group-commit window with concurrent writers) before AddSong returns. An
-// error means the write was NOT acknowledged as durable — after a crash it
-// may or may not be present.
+// record is appended under ingestMu and fsynced (sharing the group-commit
+// window with concurrent writers) before AddSong returns. An error means
+// the write was NOT acknowledged as durable — after a crash it may or may
+// not be present. Queries are never blocked: ingestMu is not on any query
+// path.
 func (d *Durable) AddSong(song music.Song) error {
-	d.mu.Lock()
+	d.ingestMu.Lock()
 	if err := d.sys.AddSong(song); err != nil {
-		d.mu.Unlock()
+		d.ingestMu.Unlock()
 		return err
 	}
 	commit := d.appendLocked(song)
-	d.mu.Unlock()
+	d.ingestMu.Unlock()
 	return commit()
 }
 
 // AddSongTitled allocates the next song id, indexes the melody and blocks
 // until the write is durable, like AddSong.
 func (d *Durable) AddSongTitled(title string, melody music.Melody) (music.Song, error) {
-	d.mu.Lock()
-	song := music.Song{ID: d.sys.NextSongID(), Title: title, Melody: melody}
-	if err := d.sys.AddSong(song); err != nil {
-		d.mu.Unlock()
+	d.ingestMu.Lock()
+	song, err := d.sys.AddSongTitled(title, melody)
+	if err != nil {
+		d.ingestMu.Unlock()
 		return music.Song{}, err
 	}
 	commit := d.appendLocked(song)
-	d.mu.Unlock()
+	d.ingestMu.Unlock()
 	if err := commit(); err != nil {
 		return music.Song{}, err
 	}
 	return song, nil
 }
 
-// appendLocked writes the WAL record while holding d.mu and returns the
-// commit func to wait on after releasing it, so the fsync wait never
-// blocks queries.
+// appendLocked writes the WAL record while holding ingestMu and returns
+// the commit func to wait on after releasing it, so the fsync wait blocks
+// neither queries nor the next ingest's memory add.
 func (d *Durable) appendLocked(song music.Song) func() error {
 	payload, err := encodeWALEntry(walEntry{Op: walOpAddSong, Song: song})
 	if err != nil {
@@ -288,12 +298,14 @@ func (d *Durable) appendLocked(song music.Song) func() error {
 }
 
 // Snapshot serializes the whole system into an atomically-replaced
-// snapshot file and resets the WAL. It takes the write lock, so it runs
-// exclusively with mutations; pending group commits are released with
-// success because the snapshot covers their records.
+// snapshot file and resets the WAL. It holds ingestMu, so it runs
+// exclusively with mutations — but not with queries, which keep making
+// progress throughout (Save is read-pure). Pending group commits are
+// released with success because the snapshot covers their records; the
+// per-shard sections of a sharded index snapshot are encoded in parallel.
 func (d *Durable) Snapshot() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.ingestMu.Lock()
+	defer d.ingestMu.Unlock()
 	var buf bytes.Buffer
 	if err := d.sys.Save(&buf); err != nil {
 		return fmt.Errorf("qbh: serializing snapshot: %w", err)

@@ -29,9 +29,13 @@ type persisted struct {
 // Save writes the system's song database and configuration to w inside a
 // checksummed store container, so Load can tell corruption, truncation and
 // foreign files apart with typed errors. Output is deterministic: saving
-// the same system twice yields byte-identical snapshots.
+// the same system twice yields byte-identical snapshots. Save is read-pure
+// — it copies the song database under the metadata read lock and never
+// touches the index — so it runs concurrently with queries and with
+// AddSongs on other shards.
 func (s *System) Save(w io.Writer) error {
 	p := persisted{Format: persistFormat, Options: s.opts}
+	s.mu.RLock()
 	p.Songs = make([]music.Song, 0, len(s.songs))
 	// Persist songs in id order for deterministic output bytes.
 	maxID := int64(-1)
@@ -45,6 +49,7 @@ func (s *System) Save(w io.Writer) error {
 			p.Songs = append(p.Songs, song)
 		}
 	}
+	s.mu.RUnlock()
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(p); err != nil {
 		return fmt.Errorf("qbh: encoding: %w", err)

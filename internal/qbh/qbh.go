@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"warping/internal/core"
 	"warping/internal/index"
@@ -54,6 +55,16 @@ type Options struct {
 	ScaleInvariant bool
 	// Tree configures the R*-tree.
 	Tree rtree.Config
+	// Shards partitions the phrase index across this many independently
+	// locked shards: AddSong locks only the shard owning each new phrase
+	// (queries on the other shards never stall behind a writer) and
+	// queries fan out across shards in parallel. 0 or 1 = a single shard.
+	Shards int
+	// Backend selects the index backend: index.BackendRTree (default),
+	// index.BackendGrid or index.BackendScan. Every backend returns
+	// identical match sets and distances (Theorem 1 is
+	// backend-independent); they differ only in cost profile.
+	Backend index.BackendKind
 }
 
 func (o *Options) fill() {
@@ -82,10 +93,21 @@ type Phrase struct {
 	Melody  music.Melody
 }
 
-// System is a query-by-humming search system.
+// System is a query-by-humming search system. It is internally
+// synchronized: queries, AddSong and Save may all run concurrently. The
+// phrase index is sharded (Options.Shards) with one lock per shard, so an
+// in-flight AddSong stalls only queries that still need its shard; the
+// song/phrase metadata is guarded by a separate short-held RWMutex that
+// no index work runs under.
 type System struct {
-	opts    Options
-	ix      *index.Index
+	opts Options
+	ix   *index.Sharded
+
+	// mu guards songs and phrases only. Lock ordering: mu is never held
+	// while taking a shard lock on a write path that can block (index
+	// inserts happen after mu is released), so a stalled shard writer
+	// cannot stall metadata readers.
+	mu      sync.RWMutex
 	phrases []Phrase
 	songs   map[int64]music.Song
 }
@@ -121,12 +143,24 @@ func Build(songs []music.Song, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.ix = index.New(tr, index.Config{Tree: opts.Tree})
-	for i, nf := range normals {
-		if err := s.ix.Add(int64(i), nf); err != nil {
-			return nil, fmt.Errorf("qbh: indexing phrase %d: %w", i, err)
-		}
+	nShards := opts.Shards
+	if nShards < 1 {
+		nShards = 1
 	}
+	ix, err := index.NewSharded(opts.Backend, tr, index.Config{Tree: opts.Tree}, nShards)
+	if err != nil {
+		return nil, fmt.Errorf("qbh: %w", err)
+	}
+	entries := make([]index.Entry, len(normals))
+	for i, nf := range normals {
+		entries[i] = index.Entry{ID: int64(i), Series: nf}
+	}
+	// Shards are indexed in parallel — this is also the compaction path:
+	// snapshot load and WAL replay rebuild the whole corpus through here.
+	if err := ix.BulkAdd(entries); err != nil {
+		return nil, fmt.Errorf("qbh: indexing phrases: %w", err)
+	}
+	s.ix = ix
 	return s, nil
 }
 
@@ -151,29 +185,69 @@ func makeTransform(opts Options, training []ts.Series) (core.Transform, error) {
 // AddSong indexes an additional song into a built system. The transform is
 // the one chosen at Build time (for TransformSVD it stays fitted on the
 // original training phrases, which remains lower-bounding — only tightness
-// on very different material may degrade).
+// on very different material may degrade). AddSong may run concurrently
+// with queries and with other AddSongs: only the shard owning each new
+// phrase is write-locked.
 func (s *System) AddSong(song music.Song) error {
+	_, err := s.addSong(song, false)
+	return err
+}
+
+// AddSongTitled allocates the next free song id and indexes the melody
+// under it, atomically with respect to all other operations: two concurrent
+// uploads can never observe the same "next" id.
+func (s *System) AddSongTitled(title string, melody music.Melody) (music.Song, error) {
+	return s.addSong(music.Song{Title: title, Melody: melody}, true)
+}
+
+// addSong registers the song's metadata under mu, then indexes its phrases
+// through the sharded index after mu is released — a phrase insert blocked
+// on one shard's lock never stalls metadata readers or queries on other
+// shards. Metadata goes first so that by the time a phrase id can appear
+// in index results, aggregate can already resolve it.
+func (s *System) addSong(song music.Song, allocateID bool) (music.Song, error) {
 	if err := song.Melody.Validate(); err != nil {
-		return fmt.Errorf("qbh: song %d (%s): %w", song.ID, song.Title, err)
+		return music.Song{}, fmt.Errorf("qbh: song %d (%s): %w", song.ID, song.Title, err)
+	}
+	phs := music.SegmentPhrases(song.Melody, s.opts.PhraseMin, s.opts.PhraseMax)
+	type indexed struct {
+		id int64
+		nf ts.Series
+	}
+	adds := make([]indexed, 0, len(phs))
+	s.mu.Lock()
+	if allocateID {
+		song.ID = s.nextSongIDLocked()
 	}
 	if _, dup := s.songs[song.ID]; dup {
-		return fmt.Errorf("qbh: duplicate song id %d", song.ID)
+		s.mu.Unlock()
+		return music.Song{}, fmt.Errorf("qbh: duplicate song id %d", song.ID)
 	}
 	s.songs[song.ID] = song
-	for ord, ph := range music.SegmentPhrases(song.Melody, s.opts.PhraseMin, s.opts.PhraseMax) {
+	for ord, ph := range phs {
 		id := int64(len(s.phrases))
 		s.phrases = append(s.phrases, Phrase{SongID: song.ID, Ordinal: ord, Melody: ph})
-		if err := s.ix.Add(id, s.Normalize(ph.TimeSeries())); err != nil {
-			return fmt.Errorf("qbh: indexing phrase %d: %w", id, err)
+		adds = append(adds, indexed{id: id, nf: s.Normalize(ph.TimeSeries())})
+	}
+	s.mu.Unlock()
+	for _, a := range adds {
+		if err := s.ix.Add(a.id, a.nf); err != nil {
+			return music.Song{}, fmt.Errorf("qbh: indexing phrase %d: %w", a.id, err)
 		}
 	}
-	return nil
+	return song, nil
 }
 
 // NextSongID returns the smallest id strictly greater than every song id in
 // the database (0 when empty). Callers that need allocation to be atomic
-// with the insert should use Concurrent.AddSongTitled.
+// with the insert should use AddSongTitled.
 func (s *System) NextSongID() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nextSongIDLocked()
+}
+
+func (s *System) nextSongIDLocked() int64 {
 	var next int64
 	for id := range s.songs {
 		if id >= next {
@@ -184,13 +258,23 @@ func (s *System) NextSongID() int64 {
 }
 
 // NumPhrases returns the number of indexed phrases.
-func (s *System) NumPhrases() int { return len(s.phrases) }
+func (s *System) NumPhrases() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.phrases)
+}
 
 // NumSongs returns the number of songs.
-func (s *System) NumSongs() int { return len(s.songs) }
+func (s *System) NumSongs() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.songs)
+}
 
 // PhraseByID returns the phrase indexed under the given phrase id.
 func (s *System) PhraseByID(id int64) (Phrase, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if id < 0 || int(id) >= len(s.phrases) {
 		return Phrase{}, false
 	}
@@ -199,10 +283,12 @@ func (s *System) PhraseByID(id int64) (Phrase, bool) {
 
 // Songs returns the song database in id order.
 func (s *System) Songs() []music.Song {
+	s.mu.RLock()
 	out := make([]music.Song, 0, len(s.songs))
 	for _, song := range s.songs {
 		out = append(out, song)
 	}
+	s.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -260,10 +346,11 @@ func (s *System) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta 
 		k = 8
 	}
 	for {
+		nPhrases := s.NumPhrases()
 		matches, st, err := s.ix.KNNCtx(ctx, q, k, delta, lim)
 		stats.Add(st)
 		songs := s.aggregate(matches)
-		if err != nil || stats.Degraded || len(songs) >= topK || k >= len(s.phrases) {
+		if err != nil || stats.Degraded || len(songs) >= topK || k >= nPhrases {
 			if len(songs) > topK {
 				songs = songs[:topK]
 			}
@@ -279,16 +366,19 @@ func (s *System) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta 
 			}
 		}
 		k *= 2
-		if k > len(s.phrases) {
-			k = len(s.phrases)
+		if k > nPhrases {
+			k = nPhrases
 		}
 	}
 }
 
 // aggregate folds phrase matches into per-song best matches, sorted by
-// distance.
+// distance. It reads the phrase/song metadata under the read lock; index
+// matches always resolve because metadata is registered before the index
+// insert.
 func (s *System) aggregate(matches []index.Match) []SongMatch {
 	best := make(map[int64]SongMatch)
+	s.mu.RLock()
 	for _, m := range matches {
 		ph := s.phrases[m.ID]
 		cur, ok := best[ph.SongID]
@@ -301,6 +391,7 @@ func (s *System) aggregate(matches []index.Match) []SongMatch {
 			}
 		}
 	}
+	s.mu.RUnlock()
 	out := make([]SongMatch, 0, len(best))
 	for _, sm := range best {
 		out = append(out, sm)
@@ -318,10 +409,14 @@ func (s *System) aggregate(matches []index.Match) []SongMatch {
 // the query (the quality measure of Tables 2 and 3), or 0 if the song is
 // not in the database.
 func (s *System) Rank(pitch ts.Series, targetSong int64, delta float64) int {
-	if _, ok := s.songs[targetSong]; !ok {
+	s.mu.RLock()
+	_, ok := s.songs[targetSong]
+	nSongs := len(s.songs)
+	s.mu.RUnlock()
+	if !ok {
 		return 0
 	}
-	ranked, _ := s.Query(pitch, len(s.songs), delta)
+	ranked, _ := s.Query(pitch, nSongs, delta)
 	for i, sm := range ranked {
 		if sm.SongID == targetSong {
 			return i + 1
@@ -335,11 +430,12 @@ func (s *System) Rank(pitch ts.Series, targetSong int64, delta float64) int {
 // Tables 2 and 3, where each database entry is one segmented melody), or 0
 // if the phrase id is unknown.
 func (s *System) RankPhrase(pitch ts.Series, phraseID int64, delta float64) int {
-	if phraseID < 0 || int(phraseID) >= len(s.phrases) || len(pitch) == 0 {
+	nPhrases := s.NumPhrases()
+	if phraseID < 0 || int(phraseID) >= nPhrases || len(pitch) == 0 {
 		return 0
 	}
 	q := s.Normalize(pitch)
-	matches, _ := s.ix.KNN(q, len(s.phrases), delta)
+	matches, _ := s.ix.KNN(q, nPhrases, delta)
 	for i, m := range matches {
 		if m.ID == phraseID {
 			return i + 1
@@ -355,5 +451,25 @@ func (s *System) RangeQueryPhrases(pitch ts.Series, epsilon, delta float64) ([]i
 	return s.ix.RangeQuery(s.Normalize(pitch), epsilon, delta)
 }
 
-// Index exposes the underlying DTW index (read-only use).
-func (s *System) Index() *index.Index { return s.ix }
+// Index exposes the underlying sharded DTW index (read-only use).
+func (s *System) Index() *index.Sharded { return s.ix }
+
+// ShardStats reports the index partition layout for monitoring surfaces
+// (the server's /stats shard section).
+type ShardStats struct {
+	// Shards is the number of independently locked index partitions.
+	Shards int
+	// Backend names the index structure inside each shard.
+	Backend string
+	// Lens is the number of indexed phrases per shard.
+	Lens []int
+}
+
+// ShardStats reports the current shard layout and per-shard sizes.
+func (s *System) ShardStats() ShardStats {
+	return ShardStats{
+		Shards:  s.ix.NumShards(),
+		Backend: string(s.ix.Kind()),
+		Lens:    s.ix.ShardLens(),
+	}
+}

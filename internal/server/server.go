@@ -9,8 +9,11 @@
 //	GET  /healthz               liveness probe (always 200 while serving)
 //	GET  /readyz                readiness probe (503 while draining)
 //
-// Responses are JSON. Queries run concurrently under a read lock (index
-// searches are read-pure); uploads and saves take the write lock. The
+// Responses are JSON. Queries are read-pure and run concurrently with each
+// other, with snapshots, and with uploads: the phrase index is sharded
+// with one lock per shard, so an upload write-locks only the shards
+// receiving its phrases while queries fan out across all shards in
+// parallel (/stats carries a "shards" section with the layout). The
 // expensive endpoints sit behind an admission semaphore: when every slot
 // is busy past the queue timeout the server sheds load with 429 and a
 // Retry-After header instead of queueing unboundedly. Each query carries
@@ -63,6 +66,13 @@ type Backend interface {
 // (*qbh.Durable); /stats surfaces their durability state when present.
 type durabilityReporter interface {
 	DurabilityStats() qbh.DurabilityStats
+}
+
+// shardReporter is implemented by backends whose index is partitioned
+// (*qbh.Concurrent and *qbh.Durable); /stats surfaces the shard layout and
+// per-shard sizes when present.
+type shardReporter interface {
+	ShardStats() qbh.ShardStats
 }
 
 // Config tunes the serving path. The zero value of any field selects the
@@ -213,11 +223,24 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) bool {
 }
 
 // StatsResponse is the /stats payload. Durability is present only when
-// the backend persists writes (a data directory is configured).
+// the backend persists writes (a data directory is configured); Shards is
+// present when the backend exposes its index partition layout.
 type StatsResponse struct {
 	Songs      int                 `json:"songs"`
 	Phrases    int                 `json:"phrases"`
+	Shards     *ShardsResponse     `json:"shards,omitempty"`
 	Durability *DurabilityResponse `json:"durability,omitempty"`
+}
+
+// ShardsResponse reports the index partition layout in /stats: writes lock
+// one shard, queries fan out across all of them in parallel.
+type ShardsResponse struct {
+	Count   int    `json:"count"`
+	Backend string `json:"backend"`
+	// Lens is the number of indexed phrases in each shard (balance
+	// monitoring: the id hash should keep these within a few percent of
+	// one another).
+	Lens []int `json:"lens"`
 }
 
 // DurabilityResponse reports the storage-layer state in /stats.
@@ -265,6 +288,10 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := StatsResponse{Songs: h.sys.NumSongs(), Phrases: h.sys.NumPhrases()}
+	if sr, ok := h.sys.(shardReporter); ok {
+		st := sr.ShardStats()
+		resp.Shards = &ShardsResponse{Count: st.Shards, Backend: st.Backend, Lens: st.Lens}
+	}
 	if dr, ok := h.sys.(durabilityReporter); ok {
 		st := dr.DurabilityStats()
 		resp.Durability = &DurabilityResponse{
