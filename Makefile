@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-all bench bench-json bench-json-pr4 fuzz-seeds cover experiments experiments-small clean
+.PHONY: all build test vet race race-all bench bench-json bench-json-pr4 bench-json-pr5 bench-smoke fuzz-seeds cover experiments experiments-small clean
 
 all: vet test
 
@@ -37,6 +37,22 @@ bench-json:
 bench-json-pr4:
 	$(GO) test -run='^$$' -bench='BenchmarkSharded' -benchmem ./internal/index/ \
 		| $(GO) run ./cmd/benchjson -label sharded -o BENCH_pr4.json
+
+# PR5: cache-resident verification. Records the steady-state query
+# benchmarks and the sharded sweep into BENCH_pr5.json under the given
+# LABEL (before/after and sharded-before/sharded-after runs merge into one
+# artifact; the tracked file holds both sides of the arena+plan change).
+bench-json-pr5: LABEL ?= after
+bench-json-pr5:
+	$(GO) test -run='^$$' -bench='BenchmarkRangeQuery$$|BenchmarkKNN$$|BenchmarkVerifyCandidates$$|BenchmarkRangeQueryParallel$$' -benchmem . ./internal/index/ \
+		| $(GO) run ./cmd/benchjson -label $(LABEL) -o BENCH_pr5.json
+	$(GO) test -run='^$$' -bench='BenchmarkSharded' -benchmem ./internal/index/ \
+		| $(GO) run ./cmd/benchjson -label sharded-$(LABEL) -o BENCH_pr5.json
+
+# One iteration of every benchmark: catches bit-rot in benchmark code
+# without spending CI time on stable measurements (matches the CI step).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/index/ ./internal/dtw/
 
 # Run the fuzz seed corpora as regression tests (what CI does); use
 # `go test -fuzz=FuzzName ./internal/dtw/` for a real fuzzing session.

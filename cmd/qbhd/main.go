@@ -33,7 +33,9 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503,
 // in-flight requests drain for up to -drain-timeout, then the process
 // exits. Overload and per-query limits are tunable with -max-concurrent,
-// -queue-timeout, -query-timeout, and -max-dtw.
+// -queue-timeout, -query-timeout, and -max-dtw. -pprof addr serves the
+// net/http/pprof profiling endpoints on a separate private listener
+// (off by default; never exposed on the API address).
 //
 // Example:
 //
@@ -48,6 +50,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -76,7 +79,12 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 15*time.Second, "per-query deadline (negative = none)")
 	maxDTW := flag.Int("max-dtw", 100000, "per-query exact-DTW budget (negative = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this private address (e.g. localhost:6060); empty = disabled")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
 
 	cfg := server.Config{
 		MaxConcurrent: *maxConcurrent,
@@ -215,6 +223,26 @@ func buildSystem(loadDB, midiDir string, songCount, shards int, backend string) 
 		Shards:    shards,
 		Backend:   index.BackendKind(backend),
 	})
+}
+
+// servePprof exposes the runtime profiling endpoints on a dedicated
+// listener, never on the public API mux: the flag should point at a
+// loopback or otherwise private address. An explicit mux (rather than
+// importing pprof for its DefaultServeMux side effect) keeps the public
+// server free of profiling handlers even if it ever switches to the
+// default mux.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	log.Printf("pprof listening on %s (keep this address private)", addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("pprof server: %v", err)
+	}
 }
 
 func logRequests(next http.Handler) http.Handler {

@@ -74,18 +74,10 @@ func SquaredDistToEnvelope(x ts.Series, e Envelope) float64 {
 	if len(x) != e.Len() {
 		panic(fmt.Sprintf("dtw: series length %d vs envelope length %d", len(x), e.Len()))
 	}
-	var sum float64
-	for i, v := range x {
-		switch {
-		case v > e.Upper[i]:
-			d := v - e.Upper[i]
-			sum += d * d
-		case v < e.Lower[i]:
-			d := e.Lower[i] - v
-			sum += d * d
-		}
-	}
-	return sum
+	// Route through the blocked kernel with an infinite cutoff: the
+	// abandon branch never fires and the full sum comes back.
+	d, _ := SquaredDistToEnvelopeWithin(x, e, math.Inf(1))
+	return d
 }
 
 // DistToEnvelope returns the Euclidean distance between a series and an

@@ -1,0 +1,85 @@
+package dtw
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randBlock fills a block with a candidate that wanders in and out of a
+// random envelope: roughly a third of elements above, a third below, a
+// third inside, so every branch of the kernel is exercised.
+func randBlock(r *rand.Rand) (x, lo, up [lbBlockLen]float64) {
+	for i := range x {
+		a, b := r.NormFloat64(), r.NormFloat64()
+		if a > b {
+			a, b = b, a
+		}
+		lo[i], up[i] = a, b
+		switch r.Intn(3) {
+		case 0:
+			x[i] = b + r.Float64() // above the envelope
+		case 1:
+			x[i] = a - r.Float64() // below
+		default:
+			x[i] = a + (b-a)*r.Float64() // inside: contributes zero
+		}
+	}
+	return
+}
+
+// The active lbBlock16 (assembly on amd64, the Go kernel elsewhere) must
+// be bit-identical to the portable reference on finite inputs: the
+// cascade's abandon decisions, and through them every query result, hinge
+// on the two agreeing exactly.
+func TestLBBlock16AsmMatchesGo(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10000; trial++ {
+		x, lo, up := randBlock(r)
+		got := lbBlock16(&x, &lo, &up)
+		want := lbBlock16Go(&x, &lo, &up)
+		if got != want {
+			t.Fatalf("trial %d: lbBlock16 = %v, lbBlock16Go = %v", trial, got, want)
+		}
+	}
+}
+
+// Degenerate blocks: all-zero, exactly-on-envelope, and huge deviations.
+func TestLBBlock16Edges(t *testing.T) {
+	var x, lo, up [lbBlockLen]float64
+	if got := lbBlock16(&x, &lo, &up); got != 0 {
+		t.Fatalf("zero block: got %v", got)
+	}
+	for i := range x {
+		x[i] = float64(i)
+		lo[i] = float64(i) // x exactly on both bounds
+		up[i] = float64(i)
+	}
+	if got := lbBlock16(&x, &lo, &up); got != 0 {
+		t.Fatalf("on-envelope block: got %v", got)
+	}
+	for i := range x {
+		x[i] = 1e150
+		lo[i], up[i] = -1, 1
+	}
+	got, want := lbBlock16(&x, &lo, &up), lbBlock16Go(&x, &lo, &up)
+	if got != want {
+		t.Fatalf("huge block: asm %v, go %v", got, want)
+	}
+}
+
+func BenchmarkLBBlock16(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	x, lo, up := randBlock(r)
+	var sink float64
+	b.Run("active", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += lbBlock16(&x, &lo, &up)
+		}
+	})
+	b.Run("go", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += lbBlock16Go(&x, &lo, &up)
+		}
+	})
+	_ = sink
+}

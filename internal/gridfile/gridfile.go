@@ -16,9 +16,13 @@ import (
 	"sort"
 )
 
-// Item is a stored object.
+// Item is a stored object. Slot is an opaque caller tag carried through
+// searches untouched (the index package stores the item's corpus arena
+// slot there, so candidate resolution is a direct arena access instead of
+// an id→slot map lookup).
 type Item struct {
 	ID    int64
+	Slot  int32
 	Point []float64
 }
 
@@ -82,12 +86,19 @@ func cellKey(c []int) string {
 
 // Insert adds an item. The point slice is retained.
 func (g *Grid) Insert(id int64, point []float64) {
+	g.InsertItem(Item{ID: id, Point: point})
+}
+
+// InsertItem is Insert for a caller-built Item (carrying the Slot tag).
+// The point slice is retained.
+func (g *Grid) InsertItem(it Item) {
+	point := it.Point
 	if len(point) != g.dim {
 		panic(fmt.Sprintf("gridfile: point dim %d, grid dim %d", len(point), g.dim))
 	}
 	cell := g.cellOf(point)
 	k := cellKey(cell)
-	g.buckets[k] = append(g.buckets[k], Item{ID: id, Point: point})
+	g.buckets[k] = append(g.buckets[k], it)
 	if g.size == 0 {
 		g.minCell = append([]int(nil), cell...)
 		g.maxCell = append([]int(nil), cell...)
@@ -154,6 +165,13 @@ func (g *Grid) RangeSearchBox(lo, hi []float64, radius float64) []Item {
 // counts into st (which may be nil). Searches never mutate the grid, so any
 // number may run concurrently as long as each uses its own Stats.
 func (g *Grid) RangeSearchBoxStats(lo, hi []float64, radius float64, st *Stats) []Item {
+	return g.RangeSearchBoxInto(lo, hi, radius, nil, st)
+}
+
+// RangeSearchBoxInto is RangeSearchBoxStats appending results to dst
+// (which may be nil), so steady-state callers can reuse one candidate
+// buffer across queries instead of allocating per call.
+func (g *Grid) RangeSearchBoxInto(lo, hi []float64, radius float64, dst []Item, st *Stats) []Item {
 	if len(lo) != g.dim || len(hi) != g.dim {
 		panic("gridfile: query dimension mismatch")
 	}
@@ -167,7 +185,7 @@ func (g *Grid) RangeSearchBoxStats(lo, hi []float64, radius float64, st *Stats) 
 		cHi[i] = int(math.Floor((hi[i] + radius) / g.cellSize))
 	}
 	r2 := radius * radius
-	var out []Item
+	out := dst
 	cur := make([]int, g.dim)
 	copy(cur, cLo)
 	for {

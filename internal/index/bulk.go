@@ -16,25 +16,43 @@ type Entry struct {
 	Series ts.Series
 }
 
-// BulkLoad builds an index from a static collection in one pass: feature
-// vectors are computed in parallel across CPUs and the R*-tree is packed
-// with Sort-Tile-Recursive bulk loading, which both builds faster and
-// clusters better (fewer page accesses per query) than repeated Add calls.
-// IDs must be unique and every series must have length t.InputLen().
+// BulkLoad builds an index from a static collection in one pass: both
+// arena blocks of the columnar corpus are sized up front and filled
+// directly (one series allocation and one feature allocation for the whole
+// corpus, instead of per-entry slices), feature vectors are computed in
+// parallel across CPUs, and the R*-tree is packed with Sort-Tile-Recursive
+// bulk loading, which both builds faster and clusters better (fewer page
+// accesses per query) than repeated Add calls. IDs must be unique and
+// every series must have length t.InputLen().
 func BulkLoad(t core.Transform, cfg Config, entries []Entry) (*Index, error) {
 	n := t.InputLen()
-	series := make(map[int64]entry, len(entries))
+	dim := t.OutputLen()
+	st := corpus{
+		transform: t,
+		n:         n,
+		dim:       dim,
+		slots:     make(map[int64]int32, len(entries)),
+		ids:       make([]int64, len(entries)),
+		alive:     make([]bool, len(entries)),
+		xs:        make([]float64, len(entries)*n),
+		fs:        make([]float64, len(entries)*dim),
+	}
 	for i, e := range entries {
 		if len(e.Series) != n {
 			return nil, fmt.Errorf("index: entry %d has length %d, want %d", i, len(e.Series), n)
 		}
-		if _, dup := series[e.ID]; dup {
+		if _, dup := st.slots[e.ID]; dup {
 			return nil, fmt.Errorf("index: duplicate id %d", e.ID)
 		}
-		series[e.ID] = entry{x: e.Series}
+		st.slots[e.ID] = int32(i)
+		st.ids[i] = e.ID
+		st.alive[i] = true
+		copy(st.xs[i*n:(i+1)*n], e.Series)
 	}
 
-	// Parallel feature extraction.
+	// Parallel feature extraction straight into the feature arena; the
+	// tree items point into the arena, so queries touching a candidate's
+	// feature vector and its neighbors stream one contiguous block.
 	items := make([]rtree.Item, len(entries))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(entries) {
@@ -58,22 +76,17 @@ func BulkLoad(t core.Transform, cfg Config, entries []Entry) (*Index, error) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				items[i] = rtree.Item{ID: entries[i].ID, Point: t.Apply(entries[i].Series)}
+				feat := st.fs[i*dim : (i+1)*dim : (i+1)*dim]
+				copy(feat, t.Apply(entries[i].Series))
+				items[i] = rtree.Item{ID: entries[i].ID, Slot: int32(i), Point: feat}
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
 
-	// Cache the feature vectors computed above so queries and removals
-	// never recompute transform.Apply.
-	for i, it := range items {
-		e := series[entries[i].ID]
-		e.feat = it.Point
-		series[entries[i].ID] = e
-	}
-
 	return &Index{
-		st:   corpus{transform: t, series: series, n: n},
-		tree: rtree.BulkLoad(t.OutputLen(), cfg.Tree, items),
+		st:   st,
+		tree: rtree.BulkLoad(dim, cfg.Tree, items),
+		cfg:  cfg,
 	}, nil
 }

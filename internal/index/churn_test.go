@@ -1,0 +1,244 @@
+package index
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"warping/internal/core"
+	"warping/internal/dtw"
+	"warping/internal/ts"
+)
+
+// compactionsOf sums arena compaction counts across the (possibly
+// sharded) backend — white-box observability for the churn test.
+func compactionsOf(s Searcher) int {
+	switch b := s.(type) {
+	case *Index:
+		return b.st.compactions
+	case *GridIndex:
+		return b.st.compactions
+	case *LinearScan:
+		return b.st.compactions
+	case *Sharded:
+		total := 0
+		for _, sh := range b.shards {
+			total += compactionsOf(sh.s)
+		}
+		return total
+	}
+	return 0
+}
+
+// TestChurnCompactionBackendsAgree drives every backend × shard count
+// through the same heavy interleaved Add/Remove script — waves of inserts
+// followed by removal bursts sized to push tombstones past the arena's
+// compaction threshold — and checks after every wave that all backends
+// still return bit-identical range and kNN results, that removed ids are
+// gone and survivors read back with the right values, and (white-box)
+// that the churn really did force at least one compaction per backend.
+// Run under -race this also exercises compaction against the parallel
+// fan-out and verification paths.
+func TestChurnCompactionBackendsAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(411))
+	tr := core.NewPAA(testN, testDim)
+
+	type backend struct {
+		name string
+		s    Searcher
+	}
+	var backends []backend
+	for _, kind := range []BackendKind{BackendRTree, BackendGrid, BackendScan} {
+		s, err := NewBackend(kind, tr, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends = append(backends, backend{string(kind), s})
+		for _, shards := range []int{2, 5} {
+			sh, err := NewSharded(kind, tr, Config{}, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			backends = append(backends, backend{fmt.Sprintf("%s-sharded-%d", kind, shards), sh})
+		}
+	}
+
+	live := make(map[int64]ts.Series)
+	var liveIDs []int64
+	next := int64(0)
+	ctx := context.Background()
+
+	applyAll := func(op string, fn func(s Searcher) error) {
+		t.Helper()
+		for _, b := range backends {
+			if err := fn(b.s); err != nil {
+				t.Fatalf("%s: %s: %v", b.name, op, err)
+			}
+		}
+	}
+
+	const waves = 6
+	for wave := 0; wave < waves; wave++ {
+		// Insert a wave of fresh series into every backend.
+		for i := 0; i < 120; i++ {
+			id := next
+			next++
+			x := randomWalk(r, testN)
+			live[id] = x
+			liveIDs = append(liveIDs, id)
+			applyAll(fmt.Sprintf("Add(%d)", id), func(s Searcher) error { return s.Add(id, x) })
+		}
+		// Remove a burst of random survivors: enough dead slots per wave
+		// that tombstones overtake live entries and trigger compaction.
+		r.Shuffle(len(liveIDs), func(i, j int) { liveIDs[i], liveIDs[j] = liveIDs[j], liveIDs[i] })
+		burst := 80
+		if burst > len(liveIDs)-20 {
+			burst = len(liveIDs) - 20
+		}
+		for i := 0; i < burst; i++ {
+			id := liveIDs[len(liveIDs)-1]
+			liveIDs = liveIDs[:len(liveIDs)-1]
+			delete(live, id)
+			applyAll(fmt.Sprintf("Remove(%d)", id), func(s Searcher) error {
+				if !s.Remove(id) {
+					return fmt.Errorf("live id not found")
+				}
+				return nil
+			})
+		}
+
+		// Every backend agrees with the reference on size and content.
+		for _, b := range backends {
+			if b.s.Len() != len(live) {
+				t.Fatalf("wave %d: %s: Len = %d, want %d", wave, b.name, b.s.Len(), len(live))
+			}
+		}
+		// Spot-check values and misses on one sharded and one single backend.
+		for _, b := range []backend{backends[0], backends[len(backends)-1]} {
+			for _, id := range liveIDs[:10] {
+				got, ok := b.s.Get(id)
+				if !ok {
+					t.Fatalf("wave %d: %s: Get(%d) missed a live id", wave, b.name, id)
+				}
+				want := live[id]
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("wave %d: %s: Get(%d)[%d] = %v, want %v", wave, b.name, id, j, got[j], want[j])
+					}
+				}
+			}
+			if _, ok := b.s.Get(next + 1000); ok {
+				t.Fatalf("wave %d: %s: Get hit an id never added", wave, b.name)
+			}
+		}
+
+		// Differential queries: identical ids and distances everywhere.
+		q := randomWalk(r, testN)
+		epsilon := float64(testN) * (0.03 + r.Float64()*0.05)
+		delta := 0.05 + r.Float64()*0.1
+		k := 3 + r.Intn(10)
+		wantRange, _, err := backends[0].s.RangeQueryCtx(ctx, q, epsilon, delta, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKNN, _, err := backends[0].s.KNNCtx(ctx, q, k, delta, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range backends[1:] {
+			gotRange, _, err := b.s.RangeQueryCtx(ctx, q, epsilon, delta, Limits{})
+			if err != nil {
+				t.Fatalf("%s: range: %v", b.name, err)
+			}
+			diffMatches(t, fmt.Sprintf("wave %d/%s/range", wave, b.name), gotRange, wantRange)
+			gotKNN, _, err := b.s.KNNCtx(ctx, q, k, delta, Limits{})
+			if err != nil {
+				t.Fatalf("%s: knn: %v", b.name, err)
+			}
+			diffMatches(t, fmt.Sprintf("wave %d/%s/knn", wave, b.name), gotKNN, wantKNN)
+		}
+	}
+
+	// The script must actually have exercised compaction, or the test
+	// proves nothing about post-compaction correctness.
+	for _, b := range backends {
+		if compactionsOf(b.s) == 0 {
+			t.Errorf("%s: churn script never triggered a compaction", b.name)
+		}
+	}
+}
+
+// countingEnvTransform counts ApplyEnvelope calls atomically: without
+// plan sharing each fan-out shard (and each growth round) would call it
+// from its own goroutine.
+type countingEnvTransform struct {
+	core.Transform
+	envApplies atomic.Int64
+}
+
+func (c *countingEnvTransform) ApplyEnvelope(e dtw.Envelope) core.FeatureEnvelope {
+	c.envApplies.Add(1)
+	return c.Transform.ApplyEnvelope(e)
+}
+
+// TestApplyEnvelopeOncePerLogicalQuery is the plan-sharing acceptance
+// test: one logical query runs the envelope transform exactly once, no
+// matter the backend, the shard count, or how many times a precomputed
+// plan is reused.
+func TestApplyEnvelopeOncePerLogicalQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(412))
+	ctx := context.Background()
+	for _, shards := range []int{1, 4, 7} {
+		for _, kind := range []BackendKind{BackendRTree, BackendGrid, BackendScan} {
+			name := fmt.Sprintf("%s-%d", kind, shards)
+			tr := &countingEnvTransform{Transform: core.NewPAA(testN, testDim)}
+			sh, err := NewSharded(kind, tr, Config{}, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 150; i++ {
+				if err := sh.Add(int64(i), randomWalk(r, testN)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			q := randomWalk(r, testN)
+
+			tr.envApplies.Store(0)
+			if _, _, err := sh.RangeQueryCtx(ctx, q, float64(testN)*0.05, 0.1, Limits{}); err != nil {
+				t.Fatal(err)
+			}
+			if got := tr.envApplies.Load(); got != 1 {
+				t.Errorf("%s: RangeQueryCtx ran ApplyEnvelope %d times, want 1", name, got)
+			}
+
+			tr.envApplies.Store(0)
+			if _, _, err := sh.KNNCtx(ctx, q, 5, 0.1, Limits{}); err != nil {
+				t.Fatal(err)
+			}
+			if got := tr.envApplies.Load(); got != 1 {
+				t.Errorf("%s: KNNCtx ran ApplyEnvelope %d times, want 1", name, got)
+			}
+
+			// An explicitly shared plan amortizes across any number of
+			// queries — the qbh growth loop's reuse pattern.
+			tr.envApplies.Store(0)
+			p, err := sh.NewPlan(q, 0.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if _, _, err := sh.RangeQueryPlan(ctx, p, float64(testN)*0.05, Limits{}); err != nil {
+					t.Fatal(err)
+				}
+				if _, _, err := sh.KNNPlan(ctx, p, 4+i, Limits{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := tr.envApplies.Load(); got != 1 {
+				t.Errorf("%s: plan reused 6 times ran ApplyEnvelope %d times, want 1", name, got)
+			}
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"warping/internal/core"
-	"warping/internal/dtw"
 	"warping/internal/gridfile"
 	"warping/internal/ts"
 )
@@ -43,33 +42,49 @@ func (ix *GridIndex) Transform() core.Transform { return ix.st.transform }
 // Add inserts a normal-form series under id. The feature vector is
 // computed once here and cached for the verification cascade.
 func (ix *GridIndex) Add(id int64, x ts.Series) error {
-	e, err := ix.st.add(id, x)
+	e, slot, err := ix.st.add(id, x)
 	if err != nil {
 		return err
 	}
-	ix.grid.Insert(id, e.feat)
+	ix.grid.InsertItem(gridfile.Item{ID: id, Slot: slot, Point: e.feat})
 	return nil
 }
 
 // Remove deletes the series stored under id. It returns false when the id
-// is unknown.
+// is unknown. When tombstones come to dominate the arena it compacts and
+// rebuilds the grid over the fresh arena (unpinning the old generation's
+// feature slices).
 func (ix *GridIndex) Remove(id int64) bool {
-	e, ok := ix.st.series[id]
+	e, ok := ix.st.remove(id)
 	if !ok {
 		return false
 	}
 	if !ix.grid.Delete(id, e.feat) {
-		// The grid and the series map must stay in lockstep.
-		panic("index: series present in map but not in grid")
+		// The grid and the corpus must stay in lockstep.
+		panic("index: series present in corpus but not in grid")
 	}
-	delete(ix.st.series, id)
+	if ix.st.shouldCompact() {
+		ix.st.compact()
+		ix.rebuild()
+	}
 	return true
+}
+
+// rebuild reconstructs the grid over the current arena generation, with
+// item slots tagging the fresh slot assignment (slots only move at
+// compaction, and compaction is always followed by this rebuild).
+func (ix *GridIndex) rebuild() {
+	g := gridfile.New(ix.st.transform.OutputLen(), ix.grid.CellSize())
+	ix.st.visitEntries(func(slot int32, id int64, e entry) {
+		g.InsertItem(gridfile.Item{ID: id, Slot: slot, Point: e.feat})
+	})
+	ix.grid = g
 }
 
 // Get returns the stored series for an id.
 func (ix *GridIndex) Get(id int64) (ts.Series, bool) { return ix.st.get(id) }
 
-// Visit calls fn for every stored (id, series) pair, in unspecified order.
+// Visit calls fn for every stored (id, series) pair, in insertion order.
 func (ix *GridIndex) Visit(fn func(id int64, x ts.Series)) { ix.st.visit(fn) }
 
 // RangeQuery returns all series within epsilon under banded DTW with
@@ -87,23 +102,28 @@ func (ix *GridIndex) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, de
 	if err := ix.st.checkQuery(q); err != nil {
 		return nil, QueryStats{}, err
 	}
-	k := dtw.BandRadius(ix.st.n, delta)
-	env := dtw.NewEnvelope(q, k)
-	fe := ix.st.transform.ApplyEnvelope(env)
-
-	var gstats gridfile.Stats
-	items := ix.grid.RangeSearchBoxStats(fe.Lower, fe.Upper, epsilon, &gstats)
-	var stats QueryStats
-	stats.Candidates = len(items)
-	stats.PageAccesses = gstats.BucketAccesses
-
-	rq := &rangeQuery{q: q, env: env, fe: &fe, band: k, eps2: epsilon * epsilon, useLB: true}
-	out, err := verifyRange(ctx, &ix.st, rq, items, gridItemID, lim, &stats)
-	sortMatches(out)
-	return out, stats, err
+	p := makePlan(q, delta, ix.st.n, ix.st.transform)
+	sc := getScratch()
+	out, stats, err := ix.rangePlan(ctx, p, epsilon, lim, sc)
+	return finish(out, sc, true), stats, err
 }
 
-func gridItemID(it gridfile.Item) int64 { return it.ID }
+func (ix *GridIndex) rangePlan(ctx context.Context, p *Plan, epsilon float64, lim Limits, sc *scratch) ([]Match, QueryStats, error) {
+	fe := p.featureEnvelope()
+	var gstats gridfile.Stats
+	sc.gitems = ix.grid.RangeSearchBoxInto(fe.Lower, fe.Upper, epsilon, sc.gitems[:0], &gstats)
+	var stats QueryStats
+	stats.Candidates = len(sc.gitems)
+	stats.PageAccesses = gstats.BucketAccesses
+
+	// fe is nil in the cascade: the grid's box search already applied the
+	// exact point-to-box distance test at this epsilon, so re-running the
+	// box pre-check per candidate could never prune — only cost O(dim).
+	rq := &rangeQuery{q: p.q, env: p.env, band: p.band, eps2: epsilon * epsilon, useLB: true}
+	out, err := verifyRange(ctx, &ix.st, rq, sc.gitems, gridCand, lim, &stats, sc.out[:0])
+	sc.out = out
+	return out, stats, err
+}
 
 // KNN returns the k nearest series under banded DTW, closest first.
 func (ix *GridIndex) KNN(q ts.Series, k int, delta float64) ([]Match, QueryStats) {
@@ -125,19 +145,27 @@ func (ix *GridIndex) KNNCtx(ctx context.Context, q ts.Series, k int, delta float
 	if err := ix.st.checkQuery(q); err != nil {
 		return nil, QueryStats{}, err
 	}
+	if k <= 0 {
+		return nil, QueryStats{}, nil
+	}
+	p := makePlan(q, delta, ix.st.n, ix.st.transform)
+	sc := getScratch()
+	out, stats, err := ix.knnPlan(ctx, p, k, lim, sc)
+	return finish(out, sc, false), stats, err
+}
+
+func (ix *GridIndex) knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc *scratch) ([]Match, QueryStats, error) {
 	if k <= 0 || ix.grid.Len() == 0 {
 		return nil, QueryStats{}, nil
 	}
-	band := dtw.BandRadius(ix.st.n, delta)
-	env := dtw.NewEnvelope(q, band)
-	fe := ix.st.transform.ApplyEnvelope(env)
+	fe := p.fe
 
 	v := getVerifier()
 	defer putVerifier(v)
 
 	var gstats gridfile.Stats
 	var stats QueryStats
-	s := &knnState{v: v, q: q, env: env, band: band, best: newTopK(k), lim: lim, stats: &stats, useLB: true}
+	s := &knnState{v: v, q: p.q, env: p.env, band: p.band, best: sc.topK(k), lim: lim, stats: &stats, useLB: true}
 
 	cLo, cHi := ix.grid.CellRange(fe.Lower, fe.Upper)
 	maxRing := ix.grid.MaxRing(cLo, cHi)
@@ -159,7 +187,7 @@ func (ix *GridIndex) KNNCtx(ctx context.Context, q ts.Series, k int, delta float
 				if core.SquaredDistToBox(it.Point, fe) > s.cutoff()*s.cutoff() {
 					continue
 				}
-				if !s.refine(ctx, it.ID, ix.st.series[it.ID]) {
+				if !s.refine(ctx, it.ID, ix.st.at(int(it.Slot))) {
 					stop = true
 					return
 				}
@@ -167,5 +195,5 @@ func (ix *GridIndex) KNNCtx(ctx context.Context, q ts.Series, k int, delta float
 		})
 	}
 	stats.PageAccesses = gstats.BucketAccesses
-	return s.best.sorted(), stats, s.err
+	return s.best.sortedInto(sc), stats, s.err
 }

@@ -28,11 +28,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"warping/internal/core"
-	"warping/internal/dtw"
 	"warping/internal/rtree"
 	"warping/internal/ts"
 )
@@ -41,6 +40,12 @@ import (
 // series length. Returned (never panicked) by the query methods so a
 // malformed request cannot kill a serving goroutine.
 var ErrQueryLength = errors.New("query length mismatch")
+
+// queryLengthError wraps ErrQueryLength with the got/want lengths, the
+// uniform error of every query surface.
+func queryLengthError(got, want int) error {
+	return fmt.Errorf("index: %w: got %d, want %d", ErrQueryLength, got, want)
+}
 
 // Match is one query result.
 type Match struct {
@@ -114,6 +119,11 @@ type sharedQuery struct {
 	// reserved counts reservations across all shards.
 	maxDTW   int64
 	reserved atomic.Int64
+	// fan is the number of shards the query fanned out across. Per-shard
+	// verification divides its worker budget by it: the fan-out already
+	// occupies one core per shard, so nested parallel verification would
+	// oversubscribe the machine.
+	fan int
 	// bound is the kNN pruning cutoff: the smallest kth-best exact
 	// distance any shard has established so far (Float64bits; +Inf until
 	// some shard holds k results). The global kth-best distance can only
@@ -122,8 +132,8 @@ type sharedQuery struct {
 	bound atomic.Uint64
 }
 
-func newSharedQuery(maxDTW int) *sharedQuery {
-	s := &sharedQuery{maxDTW: int64(maxDTW)}
+func newSharedQuery(maxDTW, fan int) *sharedQuery {
+	s := &sharedQuery{maxDTW: int64(maxDTW), fan: fan}
 	s.bound.Store(math.Float64bits(math.Inf(1)))
 	return s
 }
@@ -184,8 +194,9 @@ func (l *Limits) publishKNNBound(d float64) {
 	}
 }
 
-// entry is one indexed series with its feature vector cached at Add time,
-// so queries and removals never recompute transform.Apply.
+// entry is a view of one indexed series and its feature vector (cached at
+// Add time, so queries and removals never recompute transform.Apply).
+// Both slices alias the corpus arena.
 type entry struct {
 	x    ts.Series
 	feat []float64
@@ -196,6 +207,7 @@ type entry struct {
 type Index struct {
 	st   corpus
 	tree *rtree.Tree
+	cfg  Config
 }
 
 // Config controls backend construction.
@@ -213,6 +225,7 @@ func New(t core.Transform, cfg Config) *Index {
 	return &Index{
 		st:   newCorpus(t, 0),
 		tree: rtree.New(t.OutputLen(), cfg.Tree),
+		cfg:  cfg,
 	}
 }
 
@@ -229,11 +242,11 @@ func (ix *Index) Transform() core.Transform { return ix.st.transform }
 // normal form (fixed length n, typically mean-subtracted); it is retained.
 // Adding an existing id replaces nothing and returns an error.
 func (ix *Index) Add(id int64, x ts.Series) error {
-	e, err := ix.st.add(id, x)
+	e, slot, err := ix.st.add(id, x)
 	if err != nil {
 		return err
 	}
-	ix.tree.Insert(id, e.feat)
+	ix.tree.InsertItem(rtree.Item{ID: id, Slot: slot, Point: e.feat})
 	return nil
 }
 
@@ -245,18 +258,36 @@ func (ix *Index) MustAdd(id int64, x ts.Series) {
 }
 
 // Remove deletes the series stored under id. It returns false when the id
-// is unknown.
+// is unknown. The arena slot is tombstoned; when tombstones dominate, the
+// corpus compacts and the tree is rebuilt over the fresh arena (bulk
+// loaded — better clustered than the incrementally grown tree it
+// replaces, and the old arena generation becomes garbage).
 func (ix *Index) Remove(id int64) bool {
-	e, ok := ix.st.series[id]
+	e, ok := ix.st.remove(id)
 	if !ok {
 		return false
 	}
 	if !ix.tree.Delete(id, e.feat) {
-		// The tree and the series map must stay in lockstep.
-		panic(fmt.Sprintf("index: series %d present in map but not in tree", id))
+		// The tree and the arena must stay in lockstep.
+		panic(fmt.Sprintf("index: series %d present in arena but not in tree", id))
 	}
-	delete(ix.st.series, id)
+	if ix.st.shouldCompact() {
+		ix.st.compact()
+		ix.rebuild()
+	}
 	return true
+}
+
+// rebuild repacks the R*-tree from the (just compacted) arena so its item
+// points reference the current arena generation and its slot tags the
+// fresh slot assignment. Slots only move at compaction, and compaction is
+// always followed by this rebuild, so item slots never go stale.
+func (ix *Index) rebuild() {
+	items := make([]rtree.Item, 0, ix.st.len())
+	ix.st.visitEntries(func(slot int32, id int64, e entry) {
+		items = append(items, rtree.Item{ID: id, Slot: slot, Point: e.feat})
+	})
+	ix.tree = rtree.BulkLoad(ix.st.transform.OutputLen(), ix.cfg.Tree, items)
 }
 
 // Get returns the stored series for an id.
@@ -282,20 +313,30 @@ func (ix *Index) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta 
 	if err := ix.st.checkQuery(q); err != nil {
 		return nil, QueryStats{}, err
 	}
-	k := dtw.BandRadius(ix.st.n, delta)
-	env := dtw.NewEnvelope(q, k)
-	fe := ix.st.transform.ApplyEnvelope(env)
-	box := rtree.Rect{Lo: fe.Lower, Hi: fe.Upper}
+	p := makePlan(q, delta, ix.st.n, ix.st.transform)
+	sc := getScratch()
+	out, stats, err := ix.rangePlan(ctx, p, epsilon, lim, sc)
+	return finish(out, sc, true), stats, err
+}
+
+// rangePlan implements Searcher: the box search and refinement cascade
+// against a precomputed plan, building candidates and matches in pooled
+// scratch. Returned matches alias sc.out (unsorted).
+func (ix *Index) rangePlan(ctx context.Context, p *Plan, epsilon float64, lim Limits, sc *scratch) ([]Match, QueryStats, error) {
+	box := rtree.Rect{Lo: p.fe.Lower, Hi: p.fe.Upper}
 
 	var tstats rtree.Stats
-	items := ix.tree.RangeSearchRectStats(box, epsilon, &tstats)
+	sc.ritems = ix.tree.RangeSearchRectInto(box, epsilon, sc.ritems[:0], &tstats)
 	var stats QueryStats
-	stats.Candidates = len(items)
+	stats.Candidates = len(sc.ritems)
 	stats.PageAccesses = tstats.NodeAccesses
 
-	rq := &rangeQuery{q: q, env: env, fe: &fe, band: k, eps2: epsilon * epsilon, useLB: true}
-	out, err := verifyRange(ctx, &ix.st, rq, items, rtreeItemID, lim, &stats)
-	sortMatches(out)
+	// fe is nil: the tree's leaf filter already applied the exact
+	// point-to-box distance test at this epsilon, so re-running the box
+	// pre-check per candidate could never prune — only cost O(dim) each.
+	rq := &rangeQuery{q: p.q, env: p.env, band: p.band, eps2: epsilon * epsilon, useLB: true}
+	out, err := verifyRange(ctx, &ix.st, rq, sc.ritems, rtreeCand, lim, &stats, sc.out[:0])
+	sc.out = out
 	return out, stats, err
 }
 
@@ -322,7 +363,7 @@ func (ix *Index) RangeQueryEuclidean(q ts.Series, epsilon float64) ([]Match, Que
 	var out []Match
 	eps2 := epsilon * epsilon
 	for _, it := range items {
-		x := ix.st.series[it.ID].x
+		x := ix.st.at(int(it.Slot)).x
 		stats.LBSurvivors++
 		var sum float64
 		exceeded := false
@@ -367,17 +408,25 @@ func (ix *Index) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, 
 	if k <= 0 {
 		return nil, QueryStats{}, nil
 	}
-	band := dtw.BandRadius(ix.st.n, delta)
-	env := dtw.NewEnvelope(q, band)
-	fe := ix.st.transform.ApplyEnvelope(env)
-	box := rtree.Rect{Lo: fe.Lower, Hi: fe.Upper}
+	p := makePlan(q, delta, ix.st.n, ix.st.transform)
+	sc := getScratch()
+	out, stats, err := ix.knnPlan(ctx, p, k, lim, sc)
+	return finish(out, sc, false), stats, err
+}
+
+// knnPlan implements Searcher: best-first traversal and refinement
+// against a precomputed plan, with the top-k heap and sorted result built
+// in pooled scratch. Returned matches alias sc.out (sorted).
+func (ix *Index) knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc *scratch) ([]Match, QueryStats, error) {
+	box := rtree.Rect{Lo: p.fe.Lower, Hi: p.fe.Upper}
 
 	v := getVerifier()
 	defer putVerifier(v)
 
 	var tstats rtree.Stats
 	var stats QueryStats
-	s := &knnState{v: v, q: q, env: env, band: band, best: newTopK(k), lim: lim, stats: &stats, useLB: true}
+	best := sc.topK(k)
+	s := &knnState{v: v, q: p.q, env: p.env, band: p.band, best: best, lim: lim, stats: &stats, useLB: true}
 	ix.tree.IncrementalNNStats(box, func(nb rtree.Neighbor) bool {
 		if e := ctx.Err(); e != nil {
 			s.err = e
@@ -389,32 +438,47 @@ func (ix *Index) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, 
 		if nb.Dist > s.cutoff() {
 			return false
 		}
-		return s.refine(ctx, nb.Item.ID, ix.st.series[nb.Item.ID])
+		return s.refine(ctx, nb.Item.ID, ix.st.at(int(nb.Item.Slot)))
 	}, &tstats)
 	stats.PageAccesses = tstats.NodeAccesses
-	return s.best.sorted(), stats, s.err
+	return best.sortedInto(sc), stats, s.err
 }
 
 // sortMatches orders matches by (distance, id), the deterministic result
-// order of every query method.
+// order of every query method. slices.SortFunc keeps the hot fan-out
+// merge free of the sort.Slice closure/interface allocations.
 func sortMatches(out []Match) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
+	slices.SortFunc(out, func(a, b Match) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
 		}
-		return out[i].ID < out[j].ID
+		return 0
 	})
 }
 
 // topK keeps the k smallest matches seen in a max-heap keyed on distance:
 // worst() is O(1) and offer() O(log k). (The former linear scans made
-// Rank/RankPhrase — which ask for k = every phrase — O(n·k).)
+// Rank/RankPhrase — which ask for k = every phrase — O(n·k).) Its storage
+// lives in the query's pooled scratch (scratch.topK), so steady-state kNN
+// queries allocate no heap memory for it.
 type topK struct {
 	k int
 	m []Match // max-heap by Dist; m[0] is the current worst kept match
 }
 
-func newTopK(k int) *topK { return &topK{k: k} }
+// topK readies the scratch-resident top-k heap for a query.
+func (sc *scratch) topK(k int) *topK {
+	sc.top.k = k
+	sc.top.m = sc.heap[:0]
+	return &sc.top
+}
 
 func (t *topK) full() bool { return len(t.m) >= t.k }
 
@@ -457,10 +521,14 @@ func (t *topK) offer(m Match) {
 	}
 }
 
-func (t *topK) sorted() []Match {
-	out := make([]Match, len(t.m))
-	copy(out, t.m)
+// sortedInto copies the kept matches into the scratch output buffer in
+// (distance, id) order, handing the heap's grown storage back to the
+// scratch for reuse. The returned slice aliases sc.out.
+func (t *topK) sortedInto(sc *scratch) []Match {
+	sc.heap = t.m[:0]
+	out := append(sc.out[:0], t.m...)
 	sortMatches(out)
+	sc.out = out
 	return out
 }
 

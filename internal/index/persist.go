@@ -14,7 +14,10 @@ import (
 )
 
 // persistFormat versions the gob payload; bump on incompatible change.
-const persistFormat = 1
+// Format 2 stores the series as one flat arena section (IDs + Flat + N)
+// mirroring the in-memory columnar corpus; format 1 (per-series slices)
+// is still read.
+const persistFormat = 2
 
 // SnapshotKind identifies an index snapshot container.
 const SnapshotKind = "qbh/index"
@@ -28,27 +31,68 @@ type persisted struct {
 	Format    int
 	Transform core.Snapshot
 	IDs       []int64
-	Series    []ts.Series
+	// Series carries the per-series payload of format-1 snapshots (read
+	// compatibility only; format 2 writes Flat instead).
+	Series []ts.Series
+	// Flat is the format-2 series arena: series i at Flat[i*N:(i+1)*N],
+	// in IDs order. One gob allocation for the whole corpus on both ends.
+	Flat []float64
+	N    int
+}
+
+// flatten gob-encodes ids plus the matching arena block: ids are sorted so
+// saving the same corpus always produces identical bytes, and the series
+// go out as one flat []float64 in id order.
+func flattenCorpus(st *corpus) ([]int64, []float64) {
+	ids := make([]int64, 0, st.len())
+	for id := range st.slots {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	flat := make([]float64, 0, len(ids)*st.n)
+	for _, id := range ids {
+		flat = append(flat, st.entryOf(id).x...)
+	}
+	return ids, flat
+}
+
+// entriesOf reconstructs bulk-load entries from a decoded payload,
+// accepting both the flat format-2 arena and format-1 per-series slices.
+func (p *persisted) entries() ([]Entry, error) {
+	if p.Format >= 2 {
+		if p.N <= 0 && len(p.IDs) > 0 {
+			return nil, fmt.Errorf("index: corrupt payload: series length %d", p.N)
+		}
+		if len(p.IDs)*p.N != len(p.Flat) {
+			return nil, fmt.Errorf("index: corrupt payload: %d ids x len %d, %d samples", len(p.IDs), p.N, len(p.Flat))
+		}
+		entries := make([]Entry, len(p.IDs))
+		for i, id := range p.IDs {
+			entries[i] = Entry{ID: id, Series: ts.Series(p.Flat[i*p.N : (i+1)*p.N])}
+		}
+		return entries, nil
+	}
+	if len(p.IDs) != len(p.Series) {
+		return nil, fmt.Errorf("index: corrupt payload: %d ids, %d series", len(p.IDs), len(p.Series))
+	}
+	entries := make([]Entry, len(p.IDs))
+	for i, id := range p.IDs {
+		entries[i] = Entry{ID: id, Series: p.Series[i]}
+	}
+	return entries, nil
 }
 
 // Save writes the index to w: the transform (including fitted SVD
-// matrices) and all stored series as a gob payload, wrapped in a
+// matrices) and all stored series as a gob payload — the series as one
+// flat arena section mirroring the in-memory layout — wrapped in a
 // checksummed store container. The search tree is rebuilt on Load.
 func (ix *Index) Save(w io.Writer) error {
 	snap, err := core.SnapshotOf(ix.st.transform)
 	if err != nil {
 		return fmt.Errorf("index: %w", err)
 	}
-	p := persisted{Format: persistFormat, Transform: snap}
-	p.IDs = make([]int64, 0, len(ix.st.series))
-	for id := range ix.st.series {
-		p.IDs = append(p.IDs, id)
-	}
-	sort.Slice(p.IDs, func(i, j int) bool { return p.IDs[i] < p.IDs[j] })
-	p.Series = make([]ts.Series, len(p.IDs))
-	for i, id := range p.IDs {
-		p.Series[i] = ix.st.series[id].x
-	}
+	p := persisted{Format: persistFormat, Transform: snap, N: ix.st.n}
+	p.IDs, p.Flat = flattenCorpus(&ix.st)
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(p); err != nil {
 		return fmt.Errorf("index: encoding: %w", err)
@@ -83,21 +127,20 @@ func Load(r io.Reader, cfg Config) (*Index, error) {
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
 		return nil, fmt.Errorf("index: decoding: %w", err)
 	}
-	if p.Format != persistFormat {
+	if p.Format < 1 || p.Format > persistFormat {
 		return nil, fmt.Errorf("index: unsupported format %d", p.Format)
 	}
-	if len(p.IDs) != len(p.Series) {
-		return nil, fmt.Errorf("index: corrupt payload: %d ids, %d series", len(p.IDs), len(p.Series))
+	entries, err := p.entries()
+	if err != nil {
+		return nil, err
 	}
 	tr, err := core.FromSnapshot(p.Transform)
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
 	}
-	ix := New(tr, cfg)
-	for i, id := range p.IDs {
-		if err := ix.Add(id, p.Series[i]); err != nil {
-			return nil, fmt.Errorf("index: rebuilding: %w", err)
-		}
+	ix, err := BulkLoad(tr, cfg, entries)
+	if err != nil {
+		return nil, fmt.Errorf("index: rebuilding: %w", err)
 	}
 	return ix, nil
 }
@@ -119,10 +162,14 @@ type shardedMeta struct {
 	HasTransform bool
 }
 
-// shardPayload is the gob payload of one per-shard section.
+// shardPayload is the gob payload of one per-shard section. Format 2
+// writes the shard's series as one flat arena (Flat, N); Series carries
+// format-1 payloads for read compatibility.
 type shardPayload struct {
 	IDs    []int64
 	Series []ts.Series
+	Flat   []float64
+	N      int
 }
 
 // Save writes the sharded index to w as one checksummed container with a
@@ -167,8 +214,17 @@ func (sh *Sharded) Save(w io.Writer) error {
 				p.Series = append(p.Series, x)
 			})
 			s.mu.RUnlock()
-			// Visit order is map order; sort for deterministic bytes.
+			// Sort by id for deterministic bytes, then flatten the series
+			// into one arena block (format 2); the per-series views held
+			// here stay value-correct after the unlock because arena
+			// generations are never mutated in place.
 			sort.Sort(&shardSorter{p: &p})
+			p.N = meta.SeriesLen
+			p.Flat = make([]float64, 0, len(p.IDs)*p.N)
+			for _, x := range p.Series {
+				p.Flat = append(p.Flat, x...)
+			}
+			p.Series = nil
 			var buf bytes.Buffer
 			if err := gob.NewEncoder(&buf).Encode(p); err != nil {
 				errs[i] = fmt.Errorf("index: encoding shard %d: %w", i, err)
@@ -196,20 +252,6 @@ func (s *shardSorter) Swap(i, j int) {
 	s.p.Series[i], s.p.Series[j] = s.p.Series[j], s.p.Series[i]
 }
 
-// transformOf extracts the transform of a single-shard backend (nil for
-// the transform-less linear scan).
-func transformOf(s Searcher) core.Transform {
-	switch b := s.(type) {
-	case *Index:
-		return b.Transform()
-	case *GridIndex:
-		return b.Transform()
-	case *LinearScan:
-		return b.st.transform
-	}
-	return nil
-}
-
 // LoadSharded reads a sharded index previously written by Sharded.Save,
 // rebuilding the shards in parallel. The backend configuration comes from
 // cfg (it is not part of the format beyond the backend kind).
@@ -233,7 +275,7 @@ func LoadSharded(r io.Reader, cfg Config) (*Sharded, error) {
 	if err := gob.NewDecoder(bytes.NewReader(metaData)).Decode(&meta); err != nil {
 		return nil, fmt.Errorf("index: decoding meta: %w", err)
 	}
-	if meta.Format != persistFormat {
+	if meta.Format < 1 || meta.Format > persistFormat {
 		return nil, fmt.Errorf("index: unsupported format %d", meta.Format)
 	}
 	if meta.Shards < 1 {
@@ -274,7 +316,20 @@ func LoadSharded(r io.Reader, cfg Config) (*Sharded, error) {
 				errs[i] = fmt.Errorf("index: decoding shard %d: %w", i, err)
 				return
 			}
-			if len(p.IDs) != len(p.Series) {
+			if meta.Format >= 2 {
+				if p.N <= 0 && len(p.IDs) > 0 {
+					errs[i] = fmt.Errorf("index: corrupt shard %d: series length %d", i, p.N)
+					return
+				}
+				if len(p.IDs)*p.N != len(p.Flat) {
+					errs[i] = fmt.Errorf("index: corrupt shard %d: %d ids x len %d, %d samples", i, len(p.IDs), p.N, len(p.Flat))
+					return
+				}
+				p.Series = make([]ts.Series, len(p.IDs))
+				for j := range p.IDs {
+					p.Series[j] = ts.Series(p.Flat[j*p.N : (j+1)*p.N])
+				}
+			} else if len(p.IDs) != len(p.Series) {
 				errs[i] = fmt.Errorf("index: corrupt shard %d: %d ids, %d series", i, len(p.IDs), len(p.Series))
 				return
 			}

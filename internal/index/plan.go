@@ -1,0 +1,142 @@
+// Query plans: the per-query constants of one logical query — the query
+// series, its k-envelope, the feature-space envelope box and the band
+// radius — computed exactly once and threaded through the Searcher
+// internals. Before plans, every backend call recomputed
+// dtw.NewEnvelope + Transform.ApplyEnvelope from scratch: an 8-shard
+// fan-out repeated that per shard, and each qbh growth round repeated it
+// again per shard per round. A Plan is immutable after construction and
+// safe to share across the goroutines of a fan-out and across growth
+// rounds.
+//
+// This file also owns the pooled per-shard query scratch: candidate
+// buffers, the kNN heap and the match output buffer a single backend query
+// builds its result in, so steady-state query allocations stop scaling
+// with shard count (BENCH_pr4 measured range-query allocs growing 45→337
+// from 1→8 shards; the pool plus plan sharing flattens that).
+package index
+
+import (
+	"context"
+	"sync"
+
+	"warping/internal/core"
+	"warping/internal/dtw"
+	"warping/internal/gridfile"
+	"warping/internal/rtree"
+	"warping/internal/ts"
+)
+
+// Plan is the precomputed state of one logical query. Obtain one from
+// Sharded.NewPlan (or internally via makePlan) and pass it to
+// RangeQueryPlan/KNNPlan any number of times: the envelope transform runs
+// exactly once per Plan regardless of shard count, backend or how many
+// times the plan is reused (the qbh growth loop issues several kNN rounds
+// against one plan).
+type Plan struct {
+	q     ts.Series
+	band  int
+	env   dtw.Envelope
+	fe    core.FeatureEnvelope
+	hasFE bool
+}
+
+// makePlan computes the plan for query q at warping width delta over
+// series of length n. tr may be nil (transform-less linear scan): the
+// plan then carries no feature box and the cascade skips the box
+// pre-check.
+func makePlan(q ts.Series, delta float64, n int, tr core.Transform) *Plan {
+	band := dtw.BandRadius(n, delta)
+	p := &Plan{q: q, band: band, env: dtw.NewEnvelope(q, band)}
+	if tr != nil {
+		p.fe = tr.ApplyEnvelope(p.env)
+		p.hasFE = true
+	}
+	return p
+}
+
+// featureEnvelope returns the plan's feature box, nil when the backend has
+// no transform (the rangeQuery cascade form).
+func (p *Plan) featureEnvelope() *core.FeatureEnvelope {
+	if !p.hasFE {
+		return nil
+	}
+	return &p.fe
+}
+
+// scratch is the reusable buffer set of one backend query: candidate
+// lists from the spatial structures, the kNN top-k heap and the match
+// output buffer. Pooled so that per-shard sub-queries of a fan-out (and
+// repeated single-shard queries) run allocation-free in steady state.
+// Results returned by rangePlan/knnPlan alias sc.out, so a scratch goes
+// back to the pool only after the caller has copied the matches out.
+type scratch struct {
+	ritems []rtree.Item
+	gitems []gridfile.Item
+	slots  []int32
+	heap   []Match
+	out    []Match
+	top    topK
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+func putScratch(sc *scratch) {
+	// Drop value references so pooled buffers don't pin match data; keep
+	// capacity.
+	sc.ritems = sc.ritems[:0]
+	sc.gitems = sc.gitems[:0]
+	sc.slots = sc.slots[:0]
+	sc.heap = sc.heap[:0]
+	sc.out = sc.out[:0]
+	sc.top = topK{}
+	scratchPool.Put(sc)
+}
+
+// finish copies the scratch-aliased matches into caller-owned memory,
+// sorts them if asked, and re-pools the scratch.
+func finish(out []Match, sc *scratch, sortThem bool) []Match {
+	var res []Match
+	if len(out) > 0 {
+		res = make([]Match, len(out))
+		copy(res, out)
+	}
+	putScratch(sc)
+	if sortThem {
+		sortMatches(res)
+	}
+	return res
+}
+
+// NewPlan validates q and computes the shared query plan: envelope,
+// feature envelope and band radius, exactly once. The plan may then be
+// passed to RangeQueryPlan and KNNPlan any number of times (the qbh
+// growth loop reuses one plan across all its rounds). A query of the
+// wrong length returns ErrQueryLength.
+func (sh *Sharded) NewPlan(q ts.Series, delta float64) (*Plan, error) {
+	n := sh.SeriesLen()
+	if len(q) != n {
+		return nil, queryLengthError(len(q), n)
+	}
+	return makePlan(q, delta, n, transformOf(sh.shards[0].s)), nil
+}
+
+// RangeQueryPlan is RangeQueryCtx against a precomputed plan: no envelope
+// or transform work happens here, so fan-out shards and repeated calls
+// share the plan's one computation. Matches are sorted by (distance, id).
+func (sh *Sharded) RangeQueryPlan(ctx context.Context, p *Plan, epsilon float64, lim Limits) ([]Match, QueryStats, error) {
+	sc := getScratch()
+	out, stats, err := sh.rangePlan(ctx, p, epsilon, lim, sc)
+	return finish(out, sc, true), stats, err
+}
+
+// KNNPlan is KNNCtx against a precomputed plan; see RangeQueryPlan.
+func (sh *Sharded) KNNPlan(ctx context.Context, p *Plan, k int, lim Limits) ([]Match, QueryStats, error) {
+	if k <= 0 {
+		return nil, QueryStats{}, nil
+	}
+	sc := getScratch()
+	out, stats, err := sh.knnPlan(ctx, p, k, lim, sc)
+	return finish(out, sc, false), stats, err
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"warping/internal/core"
-	"warping/internal/dtw"
 	"warping/internal/ts"
 )
 
@@ -14,12 +13,11 @@ import (
 // lower-bound cascade as the indexed backends. It implements Searcher, so
 // it gains context cancellation, Limits/Degraded budgets and QueryStats
 // accounting; PageAccesses is always zero (there is no index structure to
-// page through).
+// page through). Candidates stream straight out of the columnar arena in
+// slot (= insertion) order, so verification (and its stats) is
+// deterministic.
 type LinearScan struct {
 	st corpus
-	// ids preserves insertion order so candidate verification (and its
-	// stats) is deterministic, matching the pre-Searcher behavior.
-	ids []int64
 	// UseLB enables the lower-bound cascade pre-check (global
 	// lower-bounding pipeline of Yi et al.); disable for the pure
 	// brute-force baseline.
@@ -43,30 +41,25 @@ func NewLinearScanTransform(t core.Transform, useLB bool) *LinearScan {
 // id; violations return an error (previously this panicked — the Searcher
 // contract forbids that).
 func (s *LinearScan) Add(id int64, x ts.Series) error {
-	if _, err := s.st.add(id, x); err != nil {
-		return err
-	}
-	s.ids = append(s.ids, id)
-	return nil
+	_, _, err := s.st.add(id, x)
+	return err
 }
 
 // Remove deletes the series stored under id. It returns false when the id
-// is unknown.
+// is unknown. When tombstones come to dominate the arena it compacts; the
+// scan has no spatial structure to rebuild afterwards.
 func (s *LinearScan) Remove(id int64) bool {
 	if _, ok := s.st.remove(id); !ok {
 		return false
 	}
-	for i, v := range s.ids {
-		if v == id {
-			s.ids = append(s.ids[:i], s.ids[i+1:]...)
-			break
-		}
+	if s.st.shouldCompact() {
+		s.st.compact()
 	}
 	return true
 }
 
 // Len returns the database size.
-func (s *LinearScan) Len() int { return len(s.ids) }
+func (s *LinearScan) Len() int { return s.st.len() }
 
 // SeriesLen returns the required series length n.
 func (s *LinearScan) SeriesLen() int { return s.st.n }
@@ -74,7 +67,7 @@ func (s *LinearScan) SeriesLen() int { return s.st.n }
 // Get returns the stored series for an id.
 func (s *LinearScan) Get(id int64) (ts.Series, bool) { return s.st.get(id) }
 
-// Visit calls fn for every stored (id, series) pair, in unspecified order.
+// Visit calls fn for every stored (id, series) pair, in insertion order.
 func (s *LinearScan) Visit(fn func(id int64, x ts.Series)) { s.st.visit(fn) }
 
 // RangeQuery returns all matches within epsilon under banded DTW with
@@ -93,22 +86,25 @@ func (s *LinearScan) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, de
 	if err := s.st.checkQuery(q); err != nil {
 		return nil, QueryStats{}, err
 	}
-	k := dtw.BandRadius(s.st.n, delta)
-	env := dtw.NewEnvelope(q, k)
-	var stats QueryStats
-	stats.Candidates = len(s.ids)
-
-	rq := &rangeQuery{q: q, env: env, band: k, eps2: epsilon * epsilon, useLB: s.UseLB}
-	if s.st.transform != nil && s.UseLB {
-		fe := s.st.transform.ApplyEnvelope(env)
-		rq.fe = &fe
-	}
-	out, err := verifyRange(ctx, &s.st, rq, s.ids, int64ID, lim, &stats)
-	sortMatches(out)
-	return out, stats, err
+	p := makePlan(q, delta, s.st.n, s.st.transform)
+	sc := getScratch()
+	out, stats, err := s.rangePlan(ctx, p, epsilon, lim, sc)
+	return finish(out, sc, true), stats, err
 }
 
-func int64ID(id int64) int64 { return id }
+func (s *LinearScan) rangePlan(ctx context.Context, p *Plan, epsilon float64, lim Limits, sc *scratch) ([]Match, QueryStats, error) {
+	sc.slots = s.st.liveSlots(sc.slots[:0])
+	var stats QueryStats
+	stats.Candidates = len(sc.slots)
+
+	rq := &rangeQuery{q: p.q, env: p.env, band: p.band, eps2: epsilon * epsilon, useLB: s.UseLB}
+	if s.UseLB {
+		rq.fe = p.featureEnvelope()
+	}
+	out, err := verifyRange(ctx, &s.st, rq, sc.slots, slotCand, lim, &stats, sc.out[:0])
+	sc.out = out
+	return out, stats, err
+}
 
 // KNN returns the k nearest series under banded DTW, closest first.
 func (s *LinearScan) KNN(q ts.Series, k int, delta float64) ([]Match, QueryStats) {
@@ -127,18 +123,28 @@ func (s *LinearScan) KNNCtx(ctx context.Context, q ts.Series, k int, delta float
 	if k <= 0 {
 		return nil, QueryStats{}, nil
 	}
-	band := dtw.BandRadius(s.st.n, delta)
-	env := dtw.NewEnvelope(q, band)
+	p := makePlan(q, delta, s.st.n, s.st.transform)
+	sc := getScratch()
+	out, stats, err := s.knnPlan(ctx, p, k, lim, sc)
+	return finish(out, sc, false), stats, err
+}
 
+func (s *LinearScan) knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc *scratch) ([]Match, QueryStats, error) {
+	if k <= 0 {
+		return nil, QueryStats{}, nil
+	}
 	v := getVerifier()
 	defer putVerifier(v)
 
 	var stats QueryStats
-	st := &knnState{v: v, q: q, env: env, band: band, best: newTopK(k), lim: lim, stats: &stats, useLB: s.UseLB}
-	for _, id := range s.ids {
-		if !st.refine(ctx, id, s.st.series[id]) {
+	st := &knnState{v: v, q: p.q, env: p.env, band: p.band, best: sc.topK(k), lim: lim, stats: &stats, useLB: s.UseLB}
+	for slot, id := range s.st.ids {
+		if !s.st.alive[slot] {
+			continue
+		}
+		if !st.refine(ctx, id, s.st.at(slot)) {
 			break
 		}
 	}
-	return st.best.sorted(), stats, st.err
+	return st.best.sortedInto(sc), stats, st.err
 }

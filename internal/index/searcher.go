@@ -49,6 +49,17 @@ type Searcher interface {
 	// KNNCtx returns the k nearest series under banded DTW, closest
 	// first, with cancellation and per-query work limits.
 	KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, lim Limits) ([]Match, QueryStats, error)
+
+	// rangePlan and knnPlan are the plan-threaded internals of the two
+	// query methods: the envelope, feature box and band arrive
+	// precomputed in p (exactly once per logical query — Sharded fan-out
+	// and the qbh growth loop share one Plan), and results are built in
+	// the pooled scratch sc (returned matches alias sc.out; callers copy
+	// before re-pooling). Unexported, so the interface stays sealed to
+	// this package. rangePlan returns unsorted matches; knnPlan returns
+	// the top k sorted by (distance, id).
+	rangePlan(ctx context.Context, p *Plan, epsilon float64, lim Limits, sc *scratch) ([]Match, QueryStats, error)
+	knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc *scratch) ([]Match, QueryStats, error)
 }
 
 // BackendKind names a Searcher implementation for configuration surfaces
@@ -90,60 +101,195 @@ func NewBackend(kind BackendKind, t core.Transform, cfg Config) (Searcher, error
 	}
 }
 
+// transformOf returns the feature transform a backend indexes under (nil
+// for the transform-less linear scan). Plans built by the composite need
+// it to run ApplyEnvelope exactly once for all shards.
+func transformOf(s Searcher) core.Transform {
+	switch b := s.(type) {
+	case *Index:
+		return b.st.transform
+	case *GridIndex:
+		return b.st.transform
+	case *LinearScan:
+		return b.st.transform
+	case *Sharded:
+		return transformOf(b.shards[0].s)
+	}
+	return nil
+}
+
 // corpus is the backend-independent state every Searcher carries: the
-// retained series with their feature vectors cached at Add time (so
+// retained series and their feature vectors (cached at Add time, so
 // queries and removals never recompute transform.Apply), plus the
 // transform itself. The spatial structure (tree, grid, none) lives in the
-// concrete backend; corpus keeps the entry cache and validation uniform.
+// concrete backend; corpus keeps the storage and validation uniform.
+//
+// Storage is a columnar slot arena, not a map of per-entry slices: every
+// retained series lives in one contiguous []float64 block (slot s at
+// xs[s*n : (s+1)*n]) and every cached feature vector in another, with a
+// small id→slot map on the side. The box pre-check and LB_Keogh of the
+// verification cascade therefore stream sequential memory instead of
+// chasing one heap pointer per candidate. Remove tombstones its slot;
+// when tombstones outnumber live slots the arena compacts into fresh
+// blocks (never in place — outstanding entry views and spatial-structure
+// point slices keep reading the old, still-correct generation) and the
+// owning backend rebuilds its structure over the new arena.
 type corpus struct {
 	transform core.Transform // nil for the transform-less linear scan
-	series    map[int64]entry
-	n         int
+	n         int            // series length
+	dim       int            // feature dimensionality (0 without transform)
+
+	slots map[int64]int32 // id -> live slot
+	ids   []int64         // slot -> id (meaningful only while live)
+	alive []bool          // slot liveness; false = tombstone
+	xs    []float64       // series arena, len == len(ids)*n
+	fs    []float64       // feature arena, len == len(ids)*dim
+	dead  int             // tombstone count
+	// compactions counts arena compactions (test observability).
+	compactions int
 }
 
 func newCorpus(t core.Transform, n int) corpus {
+	dim := 0
 	if t != nil {
 		n = t.InputLen()
+		dim = t.OutputLen()
 	}
-	return corpus{transform: t, series: make(map[int64]entry), n: n}
+	return corpus{transform: t, n: n, dim: dim, slots: make(map[int64]int32)}
 }
 
-// add validates and caches one series, returning its entry. The returned
-// error mirrors Index.Add for every backend.
-func (st *corpus) add(id int64, x ts.Series) (entry, error) {
+// at returns the entry stored in a live slot as views into the arena.
+func (st *corpus) at(slot int) entry {
+	e := entry{x: ts.Series(st.xs[slot*st.n : (slot+1)*st.n : (slot+1)*st.n])}
+	if st.dim > 0 {
+		e.feat = st.fs[slot*st.dim : (slot+1)*st.dim : (slot+1)*st.dim]
+	}
+	return e
+}
+
+// entryOf resolves an id known to be present (an id obtained from the
+// backend's spatial structure, which stays in lockstep with the corpus).
+func (st *corpus) entryOf(id int64) entry { return st.at(int(st.slots[id])) }
+
+// add validates and stores one series in a fresh arena slot, returning its
+// entry and slot (for the backend to tag its spatial item with). The series
+// is copied into the arena; the returned error mirrors Index.Add for every
+// backend.
+func (st *corpus) add(id int64, x ts.Series) (entry, int32, error) {
 	if len(x) != st.n {
-		return entry{}, fmt.Errorf("index: series length %d, want %d", len(x), st.n)
+		return entry{}, 0, fmt.Errorf("index: series length %d, want %d", len(x), st.n)
 	}
-	if _, dup := st.series[id]; dup {
-		return entry{}, fmt.Errorf("index: duplicate id %d", id)
+	if _, dup := st.slots[id]; dup {
+		return entry{}, 0, fmt.Errorf("index: duplicate id %d", id)
 	}
-	e := entry{x: x}
+	slot := len(st.ids)
+	st.ids = append(st.ids, id)
+	st.alive = append(st.alive, true)
+	st.xs = append(st.xs, x...)
 	if st.transform != nil {
-		e.feat = st.transform.Apply(x)
+		st.fs = append(st.fs, st.transform.Apply(x)...)
 	}
-	st.series[id] = e
-	return e, nil
+	st.slots[id] = int32(slot)
+	return st.at(slot), int32(slot), nil
 }
 
-// remove drops the entry for id, returning it for spatial-structure
-// cleanup.
+// remove tombstones the slot for id, returning its (still readable) entry
+// for spatial-structure cleanup. The caller decides when to compact; the
+// returned entry is valid until then.
 func (st *corpus) remove(id int64) (entry, bool) {
-	e, ok := st.series[id]
-	if ok {
-		delete(st.series, id)
+	slot, ok := st.slots[id]
+	if !ok {
+		return entry{}, false
 	}
-	return e, ok
+	e := st.at(int(slot))
+	delete(st.slots, id)
+	st.alive[slot] = false
+	st.dead++
+	return e, true
 }
+
+// compactMinDead is the minimum tombstone count before compaction is
+// considered: below it the dead space cannot be worth a rebuild.
+const compactMinDead = 32
+
+// shouldCompact reports whether tombstones dominate the arena. Checked by
+// backends after each Remove; a true return is followed by compact() plus
+// a spatial-structure rebuild over the fresh arena.
+func (st *corpus) shouldCompact() bool {
+	return st.dead >= compactMinDead && st.dead*2 > len(st.ids)
+}
+
+// compact repacks the live slots into fresh contiguous arenas, preserving
+// slot order (and thus the deterministic insertion order the linear scan
+// iterates in). The old blocks are left untouched so concurrently held
+// entry views and spatial-structure point slices stay value-correct; they
+// are garbage once the owning backend rebuilds its structure.
+func (st *corpus) compact() {
+	liveCount := len(st.ids) - st.dead
+	ids := make([]int64, 0, liveCount)
+	alive := make([]bool, 0, liveCount)
+	xs := make([]float64, 0, liveCount*st.n)
+	var fs []float64
+	if st.dim > 0 {
+		fs = make([]float64, 0, liveCount*st.dim)
+	}
+	for slot, id := range st.ids {
+		if !st.alive[slot] {
+			continue
+		}
+		st.slots[id] = int32(len(ids))
+		ids = append(ids, id)
+		alive = append(alive, true)
+		xs = append(xs, st.xs[slot*st.n:(slot+1)*st.n]...)
+		if st.dim > 0 {
+			fs = append(fs, st.fs[slot*st.dim:(slot+1)*st.dim]...)
+		}
+	}
+	st.ids, st.alive, st.xs, st.fs = ids, alive, xs, fs
+	st.dead = 0
+	st.compactions++
+}
+
+func (st *corpus) len() int { return len(st.slots) }
 
 func (st *corpus) get(id int64) (ts.Series, bool) {
-	e, ok := st.series[id]
-	return e.x, ok
+	slot, ok := st.slots[id]
+	if !ok {
+		return nil, false
+	}
+	return st.at(int(slot)).x, true
 }
 
+// visit walks live slots in slot (= insertion) order — deterministic,
+// unlike the map iteration it replaced.
 func (st *corpus) visit(fn func(id int64, x ts.Series)) {
-	for id, e := range st.series {
-		fn(id, e.x)
+	for slot, id := range st.ids {
+		if st.alive[slot] {
+			fn(id, st.at(slot).x)
+		}
 	}
+}
+
+// visitEntries is visit with the slot and cached feature vector included
+// (used by backend rebuilds after compaction, which tag the fresh spatial
+// items with their arena slots).
+func (st *corpus) visitEntries(fn func(slot int32, id int64, e entry)) {
+	for slot, id := range st.ids {
+		if st.alive[slot] {
+			fn(int32(slot), id, st.at(slot))
+		}
+	}
+}
+
+// liveSlots appends every live slot index to dst in slot order (the linear
+// scan's candidate list, built into pooled scratch).
+func (st *corpus) liveSlots(dst []int32) []int32 {
+	for slot := range st.ids {
+		if st.alive[slot] {
+			dst = append(dst, int32(slot))
+		}
+	}
+	return dst
 }
 
 // checkQuery validates a query series length uniformly across backends.

@@ -146,37 +146,47 @@ func (sh *Sharded) Visit(fn func(id int64, x ts.Series)) {
 	}
 }
 
-// shardResult is one shard's contribution to a fanned-out query.
+// shardResult is one shard's contribution to a fanned-out query. It
+// carries the shard goroutine's pooled scratch alongside the matches
+// (which alias sc.out): the merger copies the matches out and only then
+// re-pools the scratch. Scratches of shards abandoned by a cancelled
+// merge are never re-pooled — they drain into the buffered channel and
+// fall to the garbage collector, which is the safe direction (a pooled
+// buffer must never be handed out while an abandoned goroutine could
+// still be writing to it).
 type shardResult struct {
 	matches []Match
 	stats   QueryStats
 	err     error
+	sc      *scratch
 }
 
-// fanOut runs query against every shard in parallel (each under its
-// shard's read lock) and merges in completion order. On cancellation the
-// merge stops waiting — a shard stuck behind a blocked writer cannot stall
-// the whole query — and returns the matches collected from the shards
-// that did complete, together with ctx.Err() (the same partial-result
-// contract as the single-shard Ctx methods). Abandoned shard goroutines
-// drain into the buffered channel and exit once their lock frees.
-func (sh *Sharded) fanOut(ctx context.Context, query func(s Searcher) ([]Match, QueryStats, error)) ([]Match, QueryStats, error) {
+// fanOut runs query against every shard in parallel (each with its own
+// pooled scratch, under its shard's read lock) and merges completed
+// results into dst in completion order. On cancellation the merge stops
+// waiting — a shard stuck behind a blocked writer cannot stall the whole
+// query — and returns the matches collected from the shards that did
+// complete, together with ctx.Err() (the same partial-result contract as
+// the single-shard Ctx methods).
+func (sh *Sharded) fanOut(ctx context.Context, dst []Match, query func(s Searcher, sc *scratch) ([]Match, QueryStats, error)) ([]Match, QueryStats, error) {
 	ch := make(chan shardResult, len(sh.shards))
 	for _, s := range sh.shards {
 		go func(s *shard) {
+			sc := getScratch()
 			s.mu.RLock()
-			defer s.mu.RUnlock()
-			m, st, err := query(s.s)
-			ch <- shardResult{matches: m, stats: st, err: err}
+			m, st, err := query(s.s, sc)
+			s.mu.RUnlock()
+			ch <- shardResult{matches: m, stats: st, err: err, sc: sc}
 		}(s)
 	}
-	var out []Match
+	out := dst
 	var stats QueryStats
 	var firstErr error
 	for done := 0; done < len(sh.shards); done++ {
 		select {
 		case r := <-ch:
 			out = append(out, r.matches...)
+			putScratch(r.sc)
 			stats.add(r.stats)
 			if r.err != nil && firstErr == nil {
 				firstErr = r.err
@@ -188,24 +198,63 @@ func (sh *Sharded) fanOut(ctx context.Context, query func(s Searcher) ([]Match, 
 	return out, stats, firstErr
 }
 
-// RangeQueryCtx implements Searcher: per-shard range queries fan out in
-// parallel and concatenate. Every shard applies the full refinement
-// cascade to its partition, so the union is exactly the unsharded result
-// set; the shared exact-DTW budget (lim.MaxExactDTW) applies to the whole
-// query, claimed atomically across shards.
-func (sh *Sharded) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta float64, lim Limits) ([]Match, QueryStats, error) {
+// rangePlan implements the sealed Searcher internals for the composite:
+// per-shard rangePlan calls fan out in parallel against the one shared
+// Plan and concatenate into sc.out. Every shard applies the full
+// refinement cascade to its partition, so the union is exactly the
+// unsharded result set; the shared exact-DTW budget (lim.MaxExactDTW)
+// applies to the whole query, claimed atomically across shards.
+func (sh *Sharded) rangePlan(ctx context.Context, p *Plan, epsilon float64, lim Limits, sc *scratch) ([]Match, QueryStats, error) {
 	if len(sh.shards) == 1 {
 		s := sh.shards[0]
 		s.mu.RLock()
 		defer s.mu.RUnlock()
-		return s.s.RangeQueryCtx(ctx, q, epsilon, delta, lim)
+		return s.s.rangePlan(ctx, p, epsilon, lim, sc)
 	}
-	lim.shared = newSharedQuery(lim.MaxExactDTW)
-	out, stats, err := sh.fanOut(ctx, func(s Searcher) ([]Match, QueryStats, error) {
-		return s.RangeQueryCtx(ctx, q, epsilon, delta, lim)
+	if lim.shared == nil {
+		lim.shared = newSharedQuery(lim.MaxExactDTW, len(sh.shards))
+	}
+	out, stats, err := sh.fanOut(ctx, sc.out[:0], func(s Searcher, ssc *scratch) ([]Match, QueryStats, error) {
+		return s.rangePlan(ctx, p, epsilon, lim, ssc)
+	})
+	sc.out = out
+	return out, stats, err
+}
+
+// knnPlan implements the sealed Searcher internals for the composite:
+// per-shard kNN against the one shared Plan under a shared atomic best-k
+// distance bound (see KNNCtx), merged, sorted and truncated to k in
+// sc.out.
+func (sh *Sharded) knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc *scratch) ([]Match, QueryStats, error) {
+	if len(sh.shards) == 1 {
+		s := sh.shards[0]
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.s.knnPlan(ctx, p, k, lim, sc)
+	}
+	if lim.shared == nil {
+		lim.shared = newSharedQuery(lim.MaxExactDTW, len(sh.shards))
+	}
+	out, stats, err := sh.fanOut(ctx, sc.out[:0], func(s Searcher, ssc *scratch) ([]Match, QueryStats, error) {
+		return s.knnPlan(ctx, p, k, lim, ssc)
 	})
 	sortMatches(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	sc.out = out
 	return out, stats, err
+}
+
+// RangeQueryCtx implements Searcher: the query plan (envelope, feature
+// box, band) is computed exactly once here and shared by every shard's
+// fanned-out sub-query; see rangePlan for the exactness argument.
+func (sh *Sharded) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta float64, lim Limits) ([]Match, QueryStats, error) {
+	p, err := sh.NewPlan(q, delta)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return sh.RangeQueryPlan(ctx, p, epsilon, lim)
 }
 
 // RangeQuery is RangeQueryCtx without cancellation or limits.
@@ -215,29 +264,22 @@ func (sh *Sharded) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, Que
 }
 
 // KNNCtx implements Searcher: per-shard kNN under a shared atomic best-k
-// distance bound. Each shard publishes its kth-best exact distance as it
-// improves; every other shard prunes candidates (and terminates its
-// traversal) against the minimum published bound. No false negatives: the
-// global kth-best distance is at most any shard-local kth-best, so any
-// candidate whose lower bound exceeds the shared bound is outside the
-// merged top-k. The merged result is the k closest of the per-shard
-// results.
+// distance bound, against one shared query plan. Each shard publishes its
+// kth-best exact distance as it improves; every other shard prunes
+// candidates (and terminates its traversal) against the minimum published
+// bound. No false negatives: the global kth-best distance is at most any
+// shard-local kth-best, so any candidate whose lower bound exceeds the
+// shared bound is outside the merged top-k. The merged result is the k
+// closest of the per-shard results.
 func (sh *Sharded) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, lim Limits) ([]Match, QueryStats, error) {
-	if len(sh.shards) == 1 {
-		s := sh.shards[0]
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		return s.s.KNNCtx(ctx, q, k, delta, lim)
+	if k <= 0 {
+		return nil, QueryStats{}, nil
 	}
-	lim.shared = newSharedQuery(lim.MaxExactDTW)
-	out, stats, err := sh.fanOut(ctx, func(s Searcher) ([]Match, QueryStats, error) {
-		return s.KNNCtx(ctx, q, k, delta, lim)
-	})
-	sortMatches(out)
-	if len(out) > k {
-		out = out[:k]
+	p, err := sh.NewPlan(q, delta)
+	if err != nil {
+		return nil, QueryStats{}, err
 	}
-	return out, stats, err
+	return sh.KNNPlan(ctx, p, k, lim)
 }
 
 // KNN is KNNCtx without cancellation or limits.

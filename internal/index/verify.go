@@ -18,6 +18,7 @@ import (
 
 	"warping/internal/core"
 	"warping/internal/dtw"
+	"warping/internal/gridfile"
 	"warping/internal/rtree"
 	"warping/internal/ts"
 )
@@ -95,10 +96,17 @@ func (v *verifier) passesLB(e entry, rq *rangeQuery) bool {
 	return true
 }
 
-// Candidate-id extractors: each backend names its candidate element type
-// once, and the generic cascade reads ids through the function — no
-// per-query conversion of the candidate list, no allocation.
-func rtreeItemID(it rtree.Item) int64 { return it.ID }
+// Candidate resolvers: each backend names its candidate element type
+// once, and the generic cascade resolves (id, entry) through a static
+// function — no per-query conversion of the candidate list, no closure
+// allocation. Every resolver is a direct arena access: spatial items carry
+// their corpus slot (tagged at insert/rebuild time), and the linear scan
+// hands over raw slots, so no candidate pays an id→slot map lookup.
+func rtreeCand(st *corpus, it rtree.Item) (int64, entry) { return it.ID, st.at(int(it.Slot)) }
+func gridCand(st *corpus, it gridfile.Item) (int64, entry) {
+	return it.ID, st.at(int(it.Slot))
+}
+func slotCand(st *corpus, s int32) (int64, entry) { return st.ids[s], st.at(int(s)) }
 
 // knnState is the refinement state of one kNN query, shared by every
 // backend's traversal (R*-tree best-first, grid-file expanding ring,
@@ -199,21 +207,34 @@ func (s *knnState) refine(ctx context.Context, id int64, e entry) bool {
 // small sets.
 const parallelVerifyMin = 64
 
+// verifyWorkers is the worker budget for one query's parallel
+// verification. A query fanned out across N shards already runs on N
+// cores, so each shard's share of the machine is GOMAXPROCS/N; going wider
+// would oversubscribe and pay goroutine overhead for negative return.
+func verifyWorkers(lim Limits) int {
+	w := runtime.GOMAXPROCS(0)
+	if lim.shared != nil && lim.shared.fan > 1 {
+		w /= lim.shared.fan
+	}
+	return w
+}
+
 // verifyRange refines the candidate set of a range query into exact
-// matches (unsorted). It updates stats.LBSurvivors, stats.ExactDTW and
-// stats.Degraded, honors the context and the exact-DTW budget (per-query,
-// or shared across shards when the query was fanned out by Sharded), and
-// picks the sequential or parallel strategy by candidate-set size. The
-// returned error is ctx.Err() when the query was abandoned
+// matches (unsorted), appending them to dst. It updates
+// stats.LBSurvivors, stats.ExactDTW and stats.Degraded, honors the
+// context and the exact-DTW budget (per-query, or shared across shards
+// when the query was fanned out by Sharded), and picks the sequential or
+// parallel strategy by candidate-set size and the query's share of the
+// machine. The returned error is ctx.Err() when the query was abandoned
 // mid-verification.
-func verifyRange[T any](ctx context.Context, st *corpus, rq *rangeQuery, items []T, id func(T) int64, lim Limits, stats *QueryStats) ([]Match, error) {
-	if len(items) >= parallelVerifyMin && runtime.GOMAXPROCS(0) > 1 {
-		return verifyRangeParallel(ctx, st, rq, items, id, lim, stats)
+func verifyRange[T any](ctx context.Context, st *corpus, rq *rangeQuery, items []T, cand func(*corpus, T) (int64, entry), lim Limits, stats *QueryStats, dst []Match) ([]Match, error) {
+	if workers := verifyWorkers(lim); len(items) >= parallelVerifyMin && workers > 1 {
+		return verifyRangeParallel(ctx, st, rq, items, cand, lim, stats, dst, workers)
 	}
 
 	v := getVerifier()
 	defer putVerifier(v)
-	var out []Match
+	out := dst
 	var err error
 	for _, it := range items {
 		if e := ctx.Err(); e != nil {
@@ -224,7 +245,7 @@ func verifyRange[T any](ctx context.Context, st *corpus, rq *rangeQuery, items [
 			stats.Degraded = true
 			break
 		}
-		e := st.series[id(it)]
+		id, e := cand(st, it)
 		if !v.passesLB(e, rq) {
 			continue
 		}
@@ -240,26 +261,30 @@ func verifyRange[T any](ctx context.Context, st *corpus, rq *rangeQuery, items [
 		// Early-abandoning DTW: most candidates blow past epsilon in the
 		// first few DP rows.
 		if d2, ok := v.ws.SquaredBandedWithin(e.x, rq.q, rq.band, rq.eps2); ok {
-			out = append(out, Match{ID: id(it), Dist: math.Sqrt(d2)})
+			out = append(out, Match{ID: id, Dist: math.Sqrt(d2)})
 		}
 	}
 	return out, err
 }
 
-// verifyRangeParallel fans candidate verification out across GOMAXPROCS
-// workers. Each worker pulls candidates from a shared atomic cursor (cheap
-// dynamic load balancing: early-abandoned candidates cost far less than
-// verified ones), verifies with its own pooled workspace, and appends to a
-// private match list; the caller's deterministic (dist, id) sort makes the
-// merged result independent of scheduling. Cancellation, the exact-DTW
-// budget (an atomic reservation counter — the query's own, or the shared
-// cross-shard counter of a fanned-out query) and CandidateHook
-// serialization are preserved, so results are bit-identical to the
-// sequential path whenever the query runs to completion.
-func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery, items []T, id func(T) int64, lim Limits, stats *QueryStats) ([]Match, error) {
-	workers := runtime.GOMAXPROCS(0)
+// verifyRangeParallel fans candidate verification out across workers
+// goroutines (the query's share of the machine; see verifyWorkers). Each
+// worker pulls candidates from a shared atomic cursor (cheap dynamic load
+// balancing: early-abandoned candidates cost far less than verified
+// ones), verifies with its own pooled workspace, and appends to a private
+// match list merged into dst at the end; the caller's deterministic
+// (dist, id) sort makes the result independent of scheduling.
+// Cancellation, the exact-DTW budget (an atomic reservation counter — the
+// query's own, or the shared cross-shard counter of a fanned-out query)
+// and CandidateHook serialization are preserved, so results are
+// bit-identical to the sequential path whenever the query runs to
+// completion.
+func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery, items []T, cand func(*corpus, T) (int64, entry), lim Limits, stats *QueryStats, dst []Match, workers int) ([]Match, error) {
 	if max := len(items) / (parallelVerifyMin / 4); workers > max {
 		workers = max
+	}
+	if workers < 2 {
+		workers = 2
 	}
 	var (
 		cursor    int64 // next candidate index to claim
@@ -291,7 +316,7 @@ func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery,
 				if i >= len(items) {
 					break
 				}
-				e := st.series[id(items[i])]
+				id, e := cand(st, items[i])
 				if !v.passesLB(e, rq) {
 					continue
 				}
@@ -313,7 +338,7 @@ func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery,
 					hookMu.Unlock()
 				}
 				if d2, ok := v.ws.SquaredBandedWithin(e.x, rq.q, rq.band, rq.eps2); ok {
-					local = append(local, Match{ID: id(items[i]), Dist: math.Sqrt(d2)})
+					local = append(local, Match{ID: id, Dist: math.Sqrt(d2)})
 				}
 			}
 			perWorker[w] = local
@@ -325,11 +350,7 @@ func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery,
 	stats.ExactDTW += int(performed)
 	stats.Degraded = stats.Degraded || degraded != 0
 
-	var total int
-	for _, l := range perWorker {
-		total += len(l)
-	}
-	out := make([]Match, 0, total)
+	out := dst
 	for _, l := range perWorker {
 		out = append(out, l...)
 	}

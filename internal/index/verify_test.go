@@ -208,12 +208,14 @@ func BenchmarkVerifyCandidates(b *testing.B) {
 	v := getVerifier()
 	defer putVerifier(v)
 	eps2 := epsilon * epsilon
-	rq := &rangeQuery{q: q, env: env, fe: &fe, band: k, eps2: eps2, useLB: true}
+	// fe is nil, as in the production range path: the tree's leaf filter
+	// already applied the box test to these candidates.
+	rq := &rangeQuery{q: q, env: env, band: k, eps2: eps2, useLB: true}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, it := range items {
-			e := ix.st.series[it.ID]
+			_, e := rtreeCand(&ix.st, it)
 			if !v.passesLB(e, rq) {
 				continue
 			}

@@ -1,0 +1,139 @@
+package qbh
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"warping/internal/core"
+	"warping/internal/dtw"
+	"warping/internal/index"
+	"warping/internal/music"
+	"warping/internal/ts"
+)
+
+// countingEnvTransform counts ApplyEnvelope calls. The counter is atomic
+// because sharded queries fan out across goroutines — without plan sharing
+// each shard would apply the envelope transform itself, concurrently.
+type countingEnvTransform struct {
+	core.Transform
+	envApplies atomic.Int64
+}
+
+func (c *countingEnvTransform) ApplyEnvelope(e dtw.Envelope) core.FeatureEnvelope {
+	c.envApplies.Add(1)
+	return c.Transform.ApplyEnvelope(e)
+}
+
+// buildCountingSystem mirrors Build but wraps the transform in a counter,
+// so tests can observe how often the query path runs ApplyEnvelope.
+func buildCountingSystem(t *testing.T, songs []music.Song, opts Options) (*System, *countingEnvTransform) {
+	t.Helper()
+	opts.fill()
+	s := &System{opts: opts, songs: make(map[int64]music.Song)}
+	var normals []ts.Series
+	for _, song := range songs {
+		s.songs[song.ID] = song
+		for ord, ph := range music.SegmentPhrases(song.Melody, opts.PhraseMin, opts.PhraseMax) {
+			s.phrases = append(s.phrases, Phrase{SongID: song.ID, Ordinal: ord, Melody: ph})
+			normals = append(normals, s.Normalize(ph.TimeSeries()))
+		}
+	}
+	base, err := makeTransform(opts, normals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &countingEnvTransform{Transform: base}
+	nShards := opts.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	ix, err := index.NewSharded(opts.Backend, tr, index.Config{Tree: opts.Tree}, nShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]index.Entry, len(normals))
+	for i, nf := range normals {
+		entries[i] = index.Entry{ID: int64(i), Series: nf}
+	}
+	if err := ix.BulkAdd(entries); err != nil {
+		t.Fatal(err)
+	}
+	s.ix = ix
+	return s, tr
+}
+
+// TestQueryCtxAppliesEnvelopeOnce: one hummed query = one envelope
+// transform, even when the growth loop runs multiple kNN rounds and each
+// round fans out across shards. The motif song floods the front of the
+// phrase ranking with one song's phrases, forcing k to grow at least once.
+func TestQueryCtxAppliesEnvelopeOnce(t *testing.T) {
+	pattern := []int{60, 62, 64, 65, 67, 69, 67, 65, 64, 62, 60, 59, 57, 59, 60}
+	var motif music.Melody
+	for i := 0; i < 32; i++ {
+		for _, p := range pattern {
+			motif = append(motif, music.Note{Pitch: p, Duration: 1})
+		}
+	}
+	songs := append(testSongs(405, 4), music.Song{ID: 100, Title: "Motif Song", Melody: motif})
+	pitch := motif[:len(pattern)].TimeSeries()
+	const topK, delta = 3, 0.1
+
+	for _, shards := range []int{1, 4} {
+		s, tr := buildCountingSystem(t, songs, Options{Shards: shards})
+
+		// Confirm the growth loop actually runs more than one round, or
+		// the "once per logical query" claim is untested: a single round
+		// at the initial k must not already surface topK distinct songs.
+		k0 := topK * 4
+		round1, _, err := s.Index().KNNCtx(context.Background(), s.Normalize(pitch), k0, delta, index.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.aggregate(round1); len(got) >= topK {
+			t.Fatalf("shards=%d: round 1 already found %d songs; motif not crowding the ranking", shards, len(got))
+		}
+
+		tr.envApplies.Store(0)
+		got, _, err := s.QueryCtx(context.Background(), pitch, topK, delta, index.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != topK {
+			t.Fatalf("shards=%d: got %d songs, want %d", shards, len(got), topK)
+		}
+		if got[0].SongID != 100 {
+			t.Errorf("shards=%d: best song = %d, want the motif song", shards, got[0].SongID)
+		}
+		if n := tr.envApplies.Load(); n != 1 {
+			t.Errorf("shards=%d: QueryCtx ran ApplyEnvelope %d times, want exactly 1", shards, n)
+		}
+	}
+}
+
+// TestQueryShardCountsAgree is belt and braces for the shared-plan fan-out:
+// the full song ranking must be identical across shard counts.
+func TestQueryShardCountsAgree(t *testing.T) {
+	songs := testSongs(406, 8)
+	pitch := songs[2].Melody[:12].TimeSeries()
+	var want []SongMatch
+	for i, shards := range []int{1, 2, 5} {
+		s, _ := buildCountingSystem(t, songs, Options{Shards: shards})
+		got, _, err := s.QueryCtx(context.Background(), pitch, 5, 0.1, index.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d songs, want %d", shards, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Errorf("shards=%d: rank %d = %+v, want %+v", shards, j, got[j], want[j])
+			}
+		}
+	}
+}

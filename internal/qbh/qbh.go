@@ -333,6 +333,14 @@ func (s *System) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta 
 		return nil, index.QueryStats{}, nil
 	}
 	q := s.Normalize(pitch)
+	// One query plan for the whole growth loop: the envelope and its
+	// feature-space transform are computed exactly once here, no matter
+	// how many growth rounds run or how many shards each round fans out
+	// across.
+	p, err := s.ix.NewPlan(q, delta)
+	if err != nil {
+		return nil, index.QueryStats{}, err
+	}
 	// Cumulative work across all growth rounds. Each round's counters are
 	// summed (and Degraded OR-ed) so Candidates/ExactDTW/PageAccesses
 	// report what the whole query cost — overwriting with the last round's
@@ -347,7 +355,7 @@ func (s *System) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta 
 	}
 	for {
 		nPhrases := s.NumPhrases()
-		matches, st, err := s.ix.KNNCtx(ctx, q, k, delta, lim)
+		matches, st, err := s.ix.KNNPlan(ctx, p, k, lim)
 		stats.Add(st)
 		songs := s.aggregate(matches)
 		if err != nil || stats.Degraded || len(songs) >= topK || k >= nPhrases {

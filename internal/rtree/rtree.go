@@ -40,8 +40,12 @@ type Stats struct {
 }
 
 // Item is a stored object: an identifier and its point in feature space.
+// Slot is an opaque caller tag carried through searches untouched (the
+// index package stores the item's corpus arena slot there, so candidate
+// resolution is a direct arena access instead of an id→slot map lookup).
 type Item struct {
 	ID    int64
+	Slot  int32
 	Point []float64
 }
 
@@ -119,11 +123,17 @@ func (t *Tree) ResetStats() { t.stats = Stats{} }
 // Insert adds an item. The point slice is retained; callers must not
 // mutate it afterwards.
 func (t *Tree) Insert(id int64, point []float64) {
-	if len(point) != t.dim {
-		panic(fmt.Sprintf("rtree: point dim %d, tree dim %d", len(point), t.dim))
+	t.InsertItem(Item{ID: id, Point: point})
+}
+
+// InsertItem is Insert for a caller-built Item (carrying the Slot tag).
+// The point slice is retained; callers must not mutate it afterwards.
+func (t *Tree) InsertItem(it Item) {
+	if len(it.Point) != t.dim {
+		panic(fmt.Sprintf("rtree: point dim %d, tree dim %d", len(it.Point), t.dim))
 	}
 	t.reinLvl = map[int]bool{}
-	t.insertItem(Item{ID: id, Point: point}, 0)
+	t.insertItem(it, 0)
 	t.size++
 }
 

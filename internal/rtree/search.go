@@ -24,6 +24,13 @@ func (t *Tree) RangeSearchRect(q Rect, radius float64) []Item {
 // nil). Searches never mutate the tree, so any number may run concurrently
 // as long as each query uses its own Stats.
 func (t *Tree) RangeSearchRectStats(q Rect, radius float64, st *Stats) []Item {
+	return t.RangeSearchRectInto(q, radius, nil, st)
+}
+
+// RangeSearchRectInto is RangeSearchRectStats appending results to dst
+// (which may be nil), so steady-state callers can reuse one candidate
+// buffer across queries instead of allocating per call.
+func (t *Tree) RangeSearchRectInto(q Rect, radius float64, dst []Item, st *Stats) []Item {
 	if q.Dim() != t.dim {
 		panic("rtree: query dimension mismatch")
 	}
@@ -31,7 +38,7 @@ func (t *Tree) RangeSearchRectStats(q Rect, radius float64, st *Stats) []Item {
 		st = &Stats{}
 	}
 	r2 := radius * radius
-	var out []Item
+	out := dst
 	var walk func(n *node)
 	walk = func(n *node) {
 		st.NodeAccesses++
