@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-all bench bench-json bench-json-pr4 bench-json-pr5 bench-smoke fuzz-seeds cover experiments experiments-small clean
+.PHONY: all build test vet race race-all chaos bench bench-json bench-json-pr4 bench-json-pr5 bench-smoke fuzz-seeds cover experiments experiments-small clean
 
 all: vet test
 
@@ -15,7 +15,12 @@ test:
 
 # Matches the CI race job: the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/qbh/... ./internal/server/... ./internal/index/... ./internal/rtree/... ./internal/store/...
+	$(GO) test -race ./internal/qbh/... ./internal/server/... ./internal/replica/... ./internal/index/... ./internal/rtree/... ./internal/store/...
+
+# The kill-a-replica chaos suite under the race detector: every replica
+# is a real OS process, death is SIGKILL (matches the CI chaos job).
+chaos:
+	$(GO) test -race -run 'TestChaos' -v ./internal/replica/
 
 race-all:
 	$(GO) test -race ./...

@@ -30,6 +30,21 @@
 // returns identical results. Both apply when a database is built
 // (generated or -mididir); a saved database keeps its saved layout.
 //
+// -role selects the node's place in a replicated deployment:
+//
+//	qbhd -role primary -data /var/lib/qbhd -group g1 -min-sync 1
+//	qbhd -role follower -data /var/lib/qbhd-f -group g1 -peers http://primary:8080
+//	qbhd -role coordinator -groups 'g1=http://a:8080,http://b:8080;g2=http://c:8080'
+//
+// A primary is a durable node that additionally serves its WAL and
+// snapshot to followers (and, with -min-sync N, withholds write acks
+// until N followers confirm). A follower bootstraps its data directory
+// from the primary's snapshot, tails the WAL, serves reads, and rejects
+// writes with 421; POST /replica/promote turns it into a primary. A
+// coordinator holds no data: it computes the query envelope once, fans
+// out to one replica per group with hedged retries, and merges — partial
+// results are marked "degraded" when a whole group is unreachable.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503,
 // in-flight requests drain for up to -drain-timeout, then the process
 // exits. Overload and per-query limits are tunable with -max-concurrent,
@@ -61,7 +76,9 @@ import (
 	"warping"
 	"warping/internal/index"
 	"warping/internal/qbh"
+	"warping/internal/replica"
 	"warping/internal/server"
+	"warping/internal/store"
 )
 
 func main() {
@@ -80,6 +97,11 @@ func main() {
 	maxDTW := flag.Int("max-dtw", 100000, "per-query exact-DTW budget (negative = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this private address (e.g. localhost:6060); empty = disabled")
+	role := flag.String("role", "standalone", "standalone, primary, follower, or coordinator")
+	group := flag.String("group", "default", "shard group name (primary and follower roles)")
+	peers := flag.String("peers", "", "follower: the primary's base URL, e.g. http://primary:8080")
+	groupsSpec := flag.String("groups", "", `coordinator topology: "name=url,url;name=url" — one entry per shard group, replica URLs comma-separated`)
+	minSync := flag.Int("min-sync", 0, "primary: acknowledge a write only after this many followers confirm it (0 = asynchronous)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -95,7 +117,52 @@ func main() {
 
 	var handler *server.Handler
 	var durable *qbh.Durable
-	if *dataDir != "" {
+	var node *replica.Node
+	switch *role {
+	case "standalone", "primary", "follower":
+	case "coordinator":
+		groups, err := parseGroups(*groupsSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		coord, err := server.NewCoordinator(server.CoordinatorConfig{
+			Groups: groups,
+			// Plan compilation must match how the replicas were built.
+			Opts: qbh.Options{PhraseMin: 10, PhraseMax: 25},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		handler = server.NewBackend(coord, cfg)
+		log.Printf("coordinator ready: %d shard group(s)", len(groups))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -role %q (standalone, primary, follower, or coordinator)\n", *role)
+		os.Exit(1)
+	}
+	if *role == "primary" || *role == "follower" {
+		if *dataDir == "" {
+			fmt.Fprintf(os.Stderr, "-role %s requires -data: replication ships the durable WAL and snapshot\n", *role)
+			os.Exit(1)
+		}
+		if *role == "follower" {
+			if *peers == "" {
+				fmt.Fprintln(os.Stderr, "-role follower requires -peers with the primary's base URL")
+				os.Exit(1)
+			}
+			// A fresh follower seeds its data directory from the primary's
+			// snapshot rather than building a local database; if the
+			// directory already holds a snapshot this is a no-op.
+			if err := replica.BootstrapFromPrimary(store.OS(), *dataDir, *peers, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "bootstrap from %s: %v\n", *peers, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if handler != nil {
+		// Coordinator: no local data to open.
+	} else if *dataDir != "" {
 		d, err := qbh.OpenDurable(*dataDir, qbh.DurableOptions{
 			GroupCommit:      *groupCommit,
 			SnapshotInterval: *snapInterval,
@@ -108,7 +175,27 @@ func main() {
 			os.Exit(1)
 		}
 		durable = d
-		handler = server.NewBackend(d, cfg)
+		if *role == "primary" || *role == "follower" {
+			n, err := replica.NewNode(d, replica.NodeConfig{
+				Group:            *group,
+				Role:             replica.Role(*role),
+				PrimaryURL:       *peers,
+				MinSyncFollowers: *minSync,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			node = n
+			handler = server.NewBackend(n, cfg)
+			// Planned queries and the replication endpoints are
+			// cluster-internal: only replicated roles expose them.
+			handler.EnablePlannedQueries()
+			n.Mount(handler)
+			log.Printf("replica ready: %s in group %q (min-sync %d)", *role, *group, *minSync)
+		} else {
+			handler = server.NewBackend(d, cfg)
+		}
 		st := d.ShardStats()
 		log.Printf("durable database ready in %s: %d songs, %d phrases, %d shard(s) [%s]",
 			*dataDir, d.NumSongs(), d.NumPhrases(), st.Shards, st.Backend)
@@ -158,6 +245,10 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve error: %v", err)
 	}
+	if node != nil {
+		// Stop tailing the primary before compacting the local store.
+		node.Stop()
+	}
 	if durable != nil {
 		// Final compaction: fold the WAL into the snapshot so the next
 		// start recovers instantly from a clean directory.
@@ -168,6 +259,36 @@ func main() {
 		}
 	}
 	log.Printf("shutdown complete")
+}
+
+// parseGroups decodes the -groups topology spec: semicolon-separated
+// groups, each "name=url,url" with replica URLs comma-separated.
+func parseGroups(spec string) ([]server.GroupSpec, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-role coordinator requires -groups (e.g. 'g1=http://a:8080,http://b:8080;g2=http://c:8080')")
+	}
+	var groups []server.GroupSpec
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, urls, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -groups entry %q: want name=url,url", entry)
+		}
+		g := server.GroupSpec{Name: strings.TrimSpace(name)}
+		for _, u := range strings.Split(urls, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				g.Replicas = append(g.Replicas, u)
+			}
+		}
+		if len(g.Replicas) == 0 {
+			return nil, fmt.Errorf("group %q has no replica URLs", g.Name)
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
 }
 
 func buildSystem(loadDB, midiDir string, songCount, shards int, backend string) (*warping.QBH, error) {

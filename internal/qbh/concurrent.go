@@ -37,6 +37,12 @@ func (c *Concurrent) QueryCtx(ctx context.Context, pitch ts.Series, topK int, de
 	return c.sys.QueryCtx(ctx, pitch, topK, delta, lim)
 }
 
+// QueryPlanCtx executes a precomputed (possibly shipped) query plan; see
+// System.QueryPlanCtx.
+func (c *Concurrent) QueryPlanCtx(ctx context.Context, p *index.Plan, topK int, lim index.Limits) ([]SongMatch, index.QueryStats, error) {
+	return c.sys.QueryPlanCtx(ctx, p, topK, lim)
+}
+
 // NumSongs reports the number of songs.
 func (c *Concurrent) NumSongs() int { return c.sys.NumSongs() }
 

@@ -136,7 +136,19 @@ type Durable struct {
 	// that covers its reset; one appended after survives in the fresh WAL.
 	// Queries never take ingestMu: they keep flowing during both ingest
 	// and compaction (the System is internally synchronized).
+	// Replication reads (WALRecordsFrom, OpenSnapshot) also hold it, so a
+	// shipped batch is always from one consistent (epoch, WAL) pair.
 	ingestMu sync.Mutex
+
+	// epoch is the WAL generation, guarded by ingestMu and persisted in
+	// the data directory: it advances on every snapshot compaction, which
+	// is what invalidates follower WAL offsets (see replication.go).
+	epoch int64
+
+	// notifyCh is closed and replaced whenever something becomes durable;
+	// replication long-polls wait on it (DurableNotify).
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
 
 	lastSnapshot  atomic.Int64 // unix nanos of last successful snapshot
 	snapshotBytes atomic.Int64
@@ -221,6 +233,11 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		opts.Logf("qbh: replayed %d wal records", replayed)
 	}
 
+	epoch, err := loadEpoch(fsys, dir)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
 	d := &Durable{
 		Concurrent: NewConcurrent(sys),
 		fsys:       fsys,
@@ -228,12 +245,24 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		dir:        dir,
 		snapPath:   snapPath,
 		wal:        wal,
+		epoch:      epoch,
+		notifyCh:   make(chan struct{}),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
 	if fi, err := fsys.Stat(snapPath); err == nil {
 		d.snapshotBytes.Store(fi.Size())
 		d.lastSnapshot.Store(fi.ModTime().UnixNano())
+	}
+	if hadSnapshot && d.epoch == 0 {
+		// A directory seeded with a foreign snapshot but no epoch file (a
+		// bootstrapped replica): epoch 0 must never be live, because the
+		// zero replication position relies on epoch-mismatching every real
+		// log to force a snapshot sync. In-memory only — recovery must not
+		// require a disk write — and deterministic across restarts of the
+		// same log; applied before any replay compaction so a WAL reset
+		// below always mints an epoch past the floored one.
+		d.epoch = 1
 	}
 	if !hadSnapshot || replayed > 0 {
 		if err := d.Snapshot(); err != nil {
@@ -259,7 +288,11 @@ func (d *Durable) AddSong(song music.Song) error {
 	}
 	commit := d.appendLocked(song)
 	d.ingestMu.Unlock()
-	return commit()
+	if err := commit(); err != nil {
+		return err
+	}
+	d.notifyDurable()
+	return nil
 }
 
 // AddSongTitled allocates the next song id, indexes the melody and blocks
@@ -276,6 +309,7 @@ func (d *Durable) AddSongTitled(title string, melody music.Melody) (music.Song, 
 	if err := commit(); err != nil {
 		return music.Song{}, err
 	}
+	d.notifyDurable()
 	return song, nil
 }
 
@@ -303,7 +337,19 @@ func (d *Durable) appendLocked(song music.Song) func() error {
 // progress throughout (Save is read-pure). Pending group commits are
 // released with success because the snapshot covers their records; the
 // per-shard sections of a sharded index snapshot are encoded in parallel.
-func (d *Durable) Snapshot() error {
+func (d *Durable) Snapshot() error { return d.snapshotTo(0) }
+
+// PromoteEpoch snapshots and starts a fresh WAL generation strictly
+// after both the local epoch and minEpoch. A follower being promoted to
+// primary passes the epoch of its old primary's log: offsets in the new
+// primary's WAL then can never alias positions the dead primary issued —
+// any replica presenting such a position epoch-mismatches and re-syncs
+// from the snapshot instead of misreading the new log.
+func (d *Durable) PromoteEpoch(minEpoch int64) error {
+	return d.snapshotTo(minEpoch)
+}
+
+func (d *Durable) snapshotTo(minEpoch int64) error {
 	d.ingestMu.Lock()
 	defer d.ingestMu.Unlock()
 	var buf bytes.Buffer
@@ -316,9 +362,21 @@ func (d *Durable) Snapshot() error {
 	d.snapshotBytes.Store(int64(buf.Len()))
 	d.lastSnapshot.Store(time.Now().UnixNano())
 	d.snapshots.Add(1)
+	// The epoch advances BEFORE the WAL reset and is itself durable first:
+	// followers can then never mistake an offset into the old log for one
+	// into the new. A crash between the two steps only over-invalidates
+	// (followers re-sync from the snapshot), never misreads.
+	d.epoch++
+	if d.epoch <= minEpoch {
+		d.epoch = minEpoch + 1
+	}
+	if err := d.persistEpochLocked(d.epoch); err != nil {
+		return fmt.Errorf("qbh: persisting epoch: %w", err)
+	}
 	if err := d.wal.Reset(); err != nil {
 		return fmt.Errorf("qbh: resetting wal: %w", err)
 	}
+	d.notifyDurable()
 	return nil
 }
 

@@ -1,0 +1,36 @@
+package qbh
+
+import (
+	"warping/internal/core"
+	"warping/internal/index"
+	"warping/internal/ts"
+)
+
+// NewQueryPlanner returns a standalone plan compiler for a cluster whose
+// systems were built with opts: it normalizes a raw pitch query and
+// computes the shippable query plan — normal form, k-envelope, feature
+// box — exactly once, with no index or song corpus in hand. This is the
+// coordinator's half of plan shipping; replicas execute the result via
+// QueryPlanCtx.
+//
+// Data-independent transforms (PAA, DFT, DWT) are reconstructed locally
+// from opts alone. TransformSVD is fitted on the corpus the coordinator
+// does not have, so its plans carry no feature box; replicas execute them
+// correctly — the box pre-check is a pruning optimization, never a
+// correctness requirement — just without that first filtering stage.
+func NewQueryPlanner(opts Options) func(pitch ts.Series, delta float64) *index.Plan {
+	opts.fill()
+	var tr core.Transform
+	if opts.Transform != TransformSVD {
+		// Training series are only consumed by SVD; everything else is
+		// closed-form.
+		tr, _ = makeTransform(opts, nil)
+	}
+	return func(pitch ts.Series, delta float64) *index.Plan {
+		nf := pitch.NormalForm(opts.NormalLen)
+		if opts.ScaleInvariant {
+			nf = nf.ZNormalize()
+		}
+		return index.NewQueryPlan(nf, delta, tr)
+	}
+}

@@ -341,6 +341,19 @@ func (s *System) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta 
 	if err != nil {
 		return nil, index.QueryStats{}, err
 	}
+	return s.QueryPlanCtx(ctx, p, topK, lim)
+}
+
+// QueryPlanCtx runs the ranked-retrieval growth loop against an
+// already-computed query plan. This is the replica-side entry point for
+// coordinator fan-out: the coordinator computes the envelope transform
+// once (index.NewQueryPlan), ships the plan over the wire, and each shard
+// group executes it here without recomputing anything. A plan for the
+// wrong normal-form length returns index.ErrQueryLength.
+func (s *System) QueryPlanCtx(ctx context.Context, p *index.Plan, topK int, lim index.Limits) ([]SongMatch, index.QueryStats, error) {
+	if err := s.ix.CheckPlan(p); err != nil {
+		return nil, index.QueryStats{}, fmt.Errorf("qbh: %w", err)
+	}
 	// Cumulative work across all growth rounds. Each round's counters are
 	// summed (and Degraded OR-ed) so Candidates/ExactDTW/PageAccesses
 	// report what the whole query cost — overwriting with the last round's

@@ -1,0 +1,122 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestDelayCapsAndGrows(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, NoJitter: true}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := b.Delay(i); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterWithinBounds(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	for i := 0; i < 200; i++ {
+		d := b.Delay(3)
+		if d <= 0 || d > 80*time.Millisecond {
+			t.Fatalf("jittered delay %v out of (0, 80ms]", d)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	h := http.Header{}
+	if _, ok := ParseRetryAfter(h); ok {
+		t.Error("absent header parsed")
+	}
+	h.Set("Retry-After", "2")
+	if d, ok := ParseRetryAfter(h); !ok || d != 2*time.Second {
+		t.Errorf("delta-seconds: got %v, %v", d, ok)
+	}
+	h.Set("Retry-After", time.Now().Add(3*time.Second).UTC().Format(http.TimeFormat))
+	if d, ok := ParseRetryAfter(h); !ok || d <= 0 || d > 3*time.Second {
+		t.Errorf("http-date: got %v, %v", d, ok)
+	}
+	h.Set("Retry-After", "soon")
+	if _, ok := ParseRetryAfter(h); ok {
+		t.Error("garbage header parsed")
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), 5, Backoff{Base: time.Millisecond, NoJitter: true},
+		func() (bool, time.Duration, error) {
+			calls++
+			if calls < 3 {
+				return true, 0, errors.New("transient")
+			}
+			return false, 0, nil
+		})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want nil, 3", err, calls)
+	}
+}
+
+func TestDoStopsOnNonRetryable(t *testing.T) {
+	calls := 0
+	sentinel := errors.New("fatal")
+	err := Do(context.Background(), 5, Backoff{Base: time.Millisecond},
+		func() (bool, time.Duration, error) {
+			calls++
+			return false, 0, sentinel
+		})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want sentinel after 1 call", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), 3, Backoff{Base: time.Millisecond, NoJitter: true},
+		func() (bool, time.Duration, error) {
+			calls++
+			return true, 0, errors.New("always")
+		})
+	if err == nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want error after 3 calls", err, calls)
+	}
+}
+
+func TestDoHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, 3, Backoff{Base: time.Hour, NoJitter: true},
+		func() (bool, time.Duration, error) {
+			calls++
+			return true, 0, errors.New("transient")
+		})
+	if err == nil {
+		t.Fatal("want error from cancelled context")
+	}
+	if calls > 1 {
+		t.Fatalf("fn ran %d times under a cancelled context", calls)
+	}
+}
+
+func TestDoUsesRetryAfterOverBackoff(t *testing.T) {
+	start := time.Now()
+	calls := 0
+	_ = Do(context.Background(), 2, Backoff{Base: time.Hour, NoJitter: true},
+		func() (bool, time.Duration, error) {
+			calls++
+			return true, 5 * time.Millisecond, errors.New("throttled")
+		})
+	if calls != 2 {
+		t.Fatalf("calls=%d, want 2", calls)
+	}
+	// The hour-long backoff must have been displaced by the 5ms hint.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("retry-after hint ignored: waited %v", elapsed)
+	}
+}

@@ -2,67 +2,135 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
+
+	"warping/internal/retry"
 )
 
 // Client is a typed client for the QBH HTTP API, for programs embedding a
-// remote humming-search service.
+// remote humming-search service. Every call has a context-aware variant;
+// the plain methods use context.Background() with the configured default
+// timeout. When the server sheds load (429), the client backs off —
+// honoring the Retry-After header, with capped exponential backoff and
+// jitter otherwise — and retries up to its attempt budget.
 type Client struct {
-	base string
-	http *http.Client
+	base     string
+	http     *http.Client
+	timeout  time.Duration
+	attempts int
+	backoff  retry.Backoff
+}
+
+// ClientConfig tunes the client; zero values select defaults.
+type ClientConfig struct {
+	// HTTPClient is the transport; nil selects http.DefaultClient.
+	HTTPClient *http.Client
+	// Timeout is the default per-request deadline applied when the
+	// caller's context has none. Default 30s; negative disables.
+	Timeout time.Duration
+	// RetryAttempts is the total attempt budget when the server answers
+	// 429. Default 3; 1 disables retry.
+	RetryAttempts int
+	// Backoff paces 429 retries when the server sends no Retry-After.
+	Backoff retry.Backoff
 }
 
 // NewClient creates a client for the server at baseURL (e.g.
 // "http://localhost:8080"). httpClient may be nil for http.DefaultClient.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
-	if httpClient == nil {
-		httpClient = http.DefaultClient
+	return NewClientConfig(baseURL, ClientConfig{HTTPClient: httpClient})
+}
+
+// NewClientConfig creates a client with explicit timeout and retry policy.
+func NewClientConfig(baseURL string, cfg ClientConfig) *Client {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
 	}
-	return &Client{base: baseURL, http: httpClient}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 3
+	}
+	return &Client{
+		base:     baseURL,
+		http:     cfg.HTTPClient,
+		timeout:  cfg.Timeout,
+		attempts: cfg.RetryAttempts,
+		backoff:  cfg.Backoff,
+	}
 }
 
 // Stats fetches database statistics.
 func (c *Client) Stats() (StatsResponse, error) {
+	return c.StatsCtx(context.Background())
+}
+
+// StatsCtx is Stats with caller-controlled cancellation.
+func (c *Client) StatsCtx(ctx context.Context) (StatsResponse, error) {
 	var out StatsResponse
-	err := c.getJSON("/stats", &out)
+	err := c.do(ctx, http.MethodGet, "/stats", "", nil, &out)
 	return out, err
 }
 
 // Songs fetches the song catalogue.
 func (c *Client) Songs() ([]SongInfo, error) {
+	return c.SongsCtx(context.Background())
+}
+
+// SongsCtx is Songs with caller-controlled cancellation.
+func (c *Client) SongsCtx(ctx context.Context) ([]SongInfo, error) {
 	var out []SongInfo
-	err := c.getJSON("/songs", &out)
+	err := c.do(ctx, http.MethodGet, "/songs", "", nil, &out)
 	return out, err
 }
 
 // QueryWAV submits a mono 16-bit PCM WAV hum and returns ranked matches.
 func (c *Client) QueryWAV(wavData []byte, topK int, delta float64) (QueryResponse, error) {
+	return c.QueryWAVCtx(context.Background(), wavData, topK, delta)
+}
+
+// QueryWAVCtx is QueryWAV with caller-controlled cancellation.
+func (c *Client) QueryWAVCtx(ctx context.Context, wavData []byte, topK int, delta float64) (QueryResponse, error) {
 	var out QueryResponse
-	err := c.postJSON("/query"+queryString(topK, delta), "audio/wav", wavData, &out)
+	err := c.do(ctx, http.MethodPost, "/query"+queryString(topK, delta), "audio/wav", wavData, &out)
 	return out, err
 }
 
 // QueryPitch submits a pitch series (MIDI pitches, one per 10 ms frame;
 // zeros mark silence) and returns ranked matches.
 func (c *Client) QueryPitch(pitch []float64, topK int, delta float64) (QueryResponse, error) {
+	return c.QueryPitchCtx(context.Background(), pitch, topK, delta)
+}
+
+// QueryPitchCtx is QueryPitch with caller-controlled cancellation.
+func (c *Client) QueryPitchCtx(ctx context.Context, pitch []float64, topK int, delta float64) (QueryResponse, error) {
 	body, err := json.Marshal(pitch)
 	if err != nil {
 		return QueryResponse{}, err
 	}
 	var out QueryResponse
-	err = c.postJSON("/query/pitch"+queryString(topK, delta), "application/json", body, &out)
+	err = c.do(ctx, http.MethodPost, "/query/pitch"+queryString(topK, delta), "application/json", body, &out)
 	return out, err
 }
 
 // AddSong uploads a Standard MIDI File and indexes its melody.
 func (c *Client) AddSong(title string, midiData []byte) (SongInfo, error) {
+	return c.AddSongCtx(context.Background(), title, midiData)
+}
+
+// AddSongCtx is AddSong with caller-controlled cancellation. A retried 429
+// is safe: the server never indexed the rejected upload.
+func (c *Client) AddSongCtx(ctx context.Context, title string, midiData []byte) (SongInfo, error) {
 	var out SongInfo
-	err := c.postJSON("/songs?title="+url.QueryEscape(title), "audio/midi", midiData, &out)
+	err := c.do(ctx, http.MethodPost, "/songs?title="+url.QueryEscape(title), "audio/midi", midiData, &out)
 	return out, err
 }
 
@@ -70,25 +138,49 @@ func queryString(topK int, delta float64) string {
 	return "?top=" + strconv.Itoa(topK) + "&delta=" + strconv.FormatFloat(delta, 'f', -1, 64)
 }
 
-func (c *Client) getJSON(path string, out interface{}) error {
-	resp, err := c.http.Get(c.base + path)
-	if err != nil {
-		return err
+// do runs one logical API call: default deadline, request build, 429
+// retry loop. Only 429 retries — a transport error on a POST may have
+// reached the server, and non-429 statuses are answers, not congestion.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out interface{}) error {
+	if c.timeout > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.timeout)
+			defer cancel()
+		}
 	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
+	return retry.Do(ctx, c.attempts, c.backoff, func() (bool, time.Duration, error) {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return false, 0, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return false, 0, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			ra, _ := retry.ParseRetryAfter(resp.Header)
+			return true, ra, decodeResponse(resp, nil)
+		}
+		return false, 0, decodeResponse(resp, out)
+	})
 }
 
-func (c *Client) postJSON(path, contentType string, body []byte, out interface{}) error {
-	resp, err := c.http.Post(c.base+path, contentType, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	return decodeResponse(resp, out)
-}
-
+// decodeResponse interprets one API response and always drains and closes
+// the body, error path included, so the underlying connection returns to
+// the keep-alive pool instead of being torn down.
 func decodeResponse(resp *http.Response, out interface{}) error {
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
 	if resp.StatusCode >= 400 {
 		var e errorResponse
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
@@ -96,6 +188,9 @@ func decodeResponse(resp *http.Response, out interface{}) error {
 			return fmt.Errorf("server: %s (status %d)", e.Error, resp.StatusCode)
 		}
 		return fmt.Errorf("server: status %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

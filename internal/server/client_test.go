@@ -2,13 +2,19 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"warping/internal/hum"
 	"warping/internal/midi"
 	"warping/internal/music"
+	"warping/internal/retry"
 	"warping/internal/wav"
 )
 
@@ -119,5 +125,101 @@ func TestQueryResponseJSONShape(t *testing.T) {
 	}
 	if !bytes.Contains(data, []byte(`"lb_survivors":0`)) {
 		t.Errorf("JSON missing lb_survivors field: %s", data)
+	}
+}
+
+func TestClientRetriesOn429WithRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0")
+			httpError(w, http.StatusTooManyRequests, "at capacity")
+			return
+		}
+		writeJSON(w, StatsResponse{Songs: 7})
+	}))
+	defer srv.Close()
+
+	c := NewClientConfig(srv.URL, ClientConfig{
+		RetryAttempts: 3,
+		Backoff:       retry.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond},
+	})
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats after retries: %v", err)
+	}
+	if st.Songs != 7 || calls.Load() != 3 {
+		t.Fatalf("songs=%d calls=%d, want 7 and 3", st.Songs, calls.Load())
+	}
+}
+
+func TestClientGivesUpAfterRetryBudget(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0")
+		httpError(w, http.StatusTooManyRequests, "at capacity")
+	}))
+	defer srv.Close()
+
+	c := NewClientConfig(srv.URL, ClientConfig{
+		RetryAttempts: 2,
+		Backoff:       retry.Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond},
+	})
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("persistent 429 did not surface an error")
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d attempts, budget was 2", calls.Load())
+	}
+}
+
+func TestClientCtxCancelAborts(t *testing.T) {
+	blocked := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-blocked:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(blocked)
+
+	c := NewClient(srv.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.StatsCtx(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled call returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled call did not return")
+	}
+}
+
+func TestClientDefaultTimeoutApplies(t *testing.T) {
+	blocked := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-blocked:
+		case <-r.Context().Done():
+		}
+	}))
+	defer srv.Close()
+	defer close(blocked)
+
+	c := NewClientConfig(srv.URL, ClientConfig{Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("stalled server did not time out")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, configured 50ms", elapsed)
 	}
 }

@@ -1,0 +1,444 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"warping/internal/index"
+	"warping/internal/midi"
+	"warping/internal/music"
+	"warping/internal/qbh"
+	"warping/internal/retry"
+	"warping/internal/ts"
+)
+
+// GroupSpec names one replicated shard group and its member base URLs.
+// Any member may be the primary; the coordinator discovers which by
+// probing and by reacting to 421 responses, so promotions do not require
+// a coordinator restart.
+type GroupSpec struct {
+	Name     string
+	Replicas []string
+}
+
+// CoordinatorConfig tunes the fan-out path. Zero values select defaults.
+type CoordinatorConfig struct {
+	// Groups is the cluster layout: one entry per shard group.
+	Groups []GroupSpec
+	// Opts must match the qbh.Options the replicas were built with; the
+	// coordinator compiles query plans from it (qbh.NewQueryPlanner).
+	Opts qbh.Options
+	// ReplicaTimeout bounds each replica query attempt. Default 5s.
+	ReplicaTimeout time.Duration
+	// HedgeAfter is how long to wait on a replica before hedging the same
+	// query to the group's next replica. The first response wins; the
+	// loser is cancelled. Default 500ms.
+	HedgeAfter time.Duration
+	// WriteAttempts bounds write retries per replica (429/5xx/transport
+	// errors back off and retry; 421 moves on to the next replica
+	// immediately). Default 3.
+	WriteAttempts int
+	// Backoff paces write retries; Retry-After headers take precedence.
+	Backoff retry.Backoff
+	// Client is the HTTP client for all fan-out; nil builds a default.
+	Client *http.Client
+	// Logf receives fan-out diagnostics; nil selects log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+func (c *CoordinatorConfig) fill() {
+	if c.ReplicaTimeout <= 0 {
+		c.ReplicaTimeout = 5 * time.Second
+	}
+	if c.HedgeAfter <= 0 {
+		c.HedgeAfter = 500 * time.Millisecond
+	}
+	if c.WriteAttempts <= 0 {
+		c.WriteAttempts = 3
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// Coordinator implements Backend over a cluster of replicated shard
+// groups, so NewBackend serves the ordinary public API in front of it.
+// Queries compile to a plan once, fan out to one replica per group with
+// per-replica timeouts and hedged retries, and merge top-K; when a whole
+// group is unreachable the response is partial and marked degraded.
+// Writes route to the owning group's primary with bounded retry.
+type Coordinator struct {
+	cfg  CoordinatorConfig
+	plan func(ts.Series, float64) *index.Plan
+
+	mu        sync.Mutex
+	primaries map[string]string // group name -> last known primary URL
+
+	rr atomic.Uint64 // rotates which replica each group's query starts at
+}
+
+// NewCoordinator builds the fan-out backend for a cluster layout.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	cfg.fill()
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("coordinator: no shard groups configured")
+	}
+	for _, g := range cfg.Groups {
+		if len(g.Replicas) == 0 {
+			return nil, fmt.Errorf("coordinator: group %q has no replicas", g.Name)
+		}
+	}
+	return &Coordinator{
+		cfg:       cfg,
+		plan:      qbh.NewQueryPlanner(cfg.Opts),
+		primaries: make(map[string]string),
+	}, nil
+}
+
+// groupResult is one group's contribution to a fanned-out query.
+type groupResult struct {
+	resp *QueryResponse
+	err  error
+}
+
+// QueryCtx implements the Backend query path: one plan, fanned to every
+// group, merged. A group that fails entirely contributes nothing and
+// flips stats.Degraded — the contract for partial results.
+func (c *Coordinator) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta float64, lim index.Limits) ([]qbh.SongMatch, index.QueryStats, error) {
+	if len(pitch) == 0 {
+		return nil, index.QueryStats{}, nil
+	}
+	p := c.plan(pitch, delta)
+	body, err := json.Marshal(PlannedRequest{Plan: p.Wire(), TopK: topK})
+	if err != nil {
+		return nil, index.QueryStats{}, err
+	}
+
+	results := make([]groupResult, len(c.cfg.Groups))
+	var wg sync.WaitGroup
+	for i, g := range c.cfg.Groups {
+		wg.Add(1)
+		go func(i int, g GroupSpec) {
+			defer wg.Done()
+			resp, err := c.queryGroup(ctx, g, body)
+			results[i] = groupResult{resp, err}
+		}(i, g)
+	}
+	wg.Wait()
+
+	var stats index.QueryStats
+	var matches []qbh.SongMatch
+	failed := 0
+	for i, r := range results {
+		if r.err != nil {
+			failed++
+			c.cfg.Logf("coordinator: group %q unreachable: %v", c.cfg.Groups[i].Name, r.err)
+			continue
+		}
+		stats.Add(index.QueryStats{
+			Candidates:   r.resp.Candidates,
+			LBSurvivors:  r.resp.LBSurvivors,
+			ExactDTW:     r.resp.ExactDTW,
+			PageAccesses: r.resp.PageAccesses,
+			Degraded:     r.resp.Degraded,
+		})
+		for _, m := range r.resp.Matches {
+			matches = append(matches, qbh.SongMatch{SongID: m.SongID, Title: m.Title, Dist: m.Dist})
+		}
+	}
+	if failed == len(results) {
+		// Nothing answered: that is an outage, not a degraded ranking.
+		return nil, stats, fmt.Errorf("coordinator: all %d shard groups unreachable", failed)
+	}
+	if failed > 0 {
+		stats.Degraded = true
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Dist < matches[j].Dist })
+	if len(matches) > topK {
+		matches = matches[:topK]
+	}
+	return matches, stats, nil
+}
+
+// queryGroup asks one replica of the group, hedging to siblings: a second
+// attempt launches when the first is slow (HedgeAfter) or fails, and the
+// first successful response wins. The rotation spreads read load across
+// replicas between queries.
+func (c *Coordinator) queryGroup(ctx context.Context, g GroupSpec, body []byte) (*QueryResponse, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels the hedge loser
+	start := int(c.rr.Add(1))
+	order := make([]string, len(g.Replicas))
+	for i := range g.Replicas {
+		order[i] = g.Replicas[(start+i)%len(g.Replicas)]
+	}
+
+	ch := make(chan groupResult, len(order))
+	launched := 0
+	launch := func() {
+		u := order[launched]
+		launched++
+		go func() {
+			resp, err := c.postPlanned(ctx, u, body)
+			ch <- groupResult{resp, err}
+		}()
+	}
+	launch()
+	hedge := time.NewTimer(c.cfg.HedgeAfter)
+	defer hedge.Stop()
+
+	pending := 1
+	var lastErr error
+	for pending > 0 {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				return r.resp, nil
+			}
+			lastErr = r.err
+			if launched < len(order) {
+				launch()
+				pending++
+			}
+		case <-hedge.C:
+			if launched < len(order) {
+				launch()
+				pending++
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Coordinator) postPlanned(ctx context.Context, baseURL string, body []byte) (*QueryResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.ReplicaTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/query/planned", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", baseURL, resp.Status)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%s: decoding response: %w", baseURL, err)
+	}
+	return &out, nil
+}
+
+// groupFor places a song by rendezvous (highest-random-weight) hashing of
+// its title: every coordinator instance computes the same owner with no
+// shared state, and adding a group only moves the songs that rehash to it.
+func (c *Coordinator) groupFor(title string) GroupSpec {
+	best, bestScore := 0, uint64(0)
+	for i, g := range c.cfg.Groups {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(g.Name))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(title))
+		if s := h.Sum64(); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return c.cfg.Groups[best]
+}
+
+// AddSongTitled routes the write to the owning group's primary. The last
+// known primary is tried first; a 421 (not the primary) moves on to the
+// next replica, 429/5xx back off — honoring Retry-After — and retry the
+// same one up to WriteAttempts times.
+func (c *Coordinator) AddSongTitled(title string, melody music.Melody) (music.Song, error) {
+	g := c.groupFor(title)
+	midiData, err := midi.EncodeMelody(melody, 500000)
+	if err != nil {
+		return music.Song{}, fmt.Errorf("coordinator: encoding melody: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(len(g.Replicas)*c.cfg.WriteAttempts)*c.cfg.ReplicaTimeout)
+	defer cancel()
+
+	var lastErr error
+	for _, u := range c.writeOrder(g) {
+		var info SongInfo
+		err := retry.Do(ctx, c.cfg.WriteAttempts, c.cfg.Backoff, func() (bool, time.Duration, error) {
+			st, ra, err := c.postSong(ctx, u, title, midiData, &info)
+			switch {
+			case err == nil:
+				return false, 0, nil
+			case st == http.StatusMisdirectedRequest:
+				return false, 0, err // wrong replica: stop retrying here, move on
+			case st == http.StatusTooManyRequests || st >= 500 || st == 0:
+				return true, ra, err
+			default:
+				return false, 0, err // 4xx: the request itself is bad
+			}
+		})
+		if err == nil {
+			c.setPrimary(g.Name, u)
+			return music.Song{ID: info.ID, Title: info.Title, Melody: melody}, nil
+		}
+		lastErr = err
+	}
+	return music.Song{}, fmt.Errorf("coordinator: write to group %q failed: %w", g.Name, lastErr)
+}
+
+// writeOrder lists the group's replicas with the cached primary first.
+func (c *Coordinator) writeOrder(g GroupSpec) []string {
+	c.mu.Lock()
+	primary := c.primaries[g.Name]
+	c.mu.Unlock()
+	order := make([]string, 0, len(g.Replicas))
+	if primary != "" {
+		order = append(order, primary)
+	}
+	for _, u := range g.Replicas {
+		if u != primary {
+			order = append(order, u)
+		}
+	}
+	return order
+}
+
+func (c *Coordinator) setPrimary(group, u string) {
+	c.mu.Lock()
+	c.primaries[group] = u
+	c.mu.Unlock()
+}
+
+// postSong performs one write attempt; it returns the HTTP status (0 for
+// transport errors) and any Retry-After hint.
+func (c *Coordinator) postSong(ctx context.Context, baseURL, title string, midiData []byte, out *SongInfo) (int, time.Duration, error) {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.ReplicaTimeout)
+	defer cancel()
+	u := baseURL + "/songs?title=" + url.QueryEscape(title)
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, u, bytes.NewReader(midiData))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "audio/midi")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusCreated {
+		ra, _ := retry.ParseRetryAfter(resp.Header)
+		return resp.StatusCode, ra, fmt.Errorf("%s: %s", baseURL, resp.Status)
+	}
+	return resp.StatusCode, 0, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// groupStats fetches /stats from any live replica of the group.
+func (c *Coordinator) groupStats(ctx context.Context, g GroupSpec) (StatsResponse, error) {
+	var lastErr error
+	for _, u := range g.Replicas {
+		var out StatsResponse
+		if err := c.getJSON(ctx, u+"/stats", &out); err != nil {
+			lastErr = err
+			continue
+		}
+		return out, nil
+	}
+	return StatsResponse{}, lastErr
+}
+
+func (c *Coordinator) getJSON(ctx context.Context, u string, out interface{}) error {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.ReplicaTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", u, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// NumSongs sums songs across groups; unreachable groups contribute zero
+// (the catalogue endpoints are monitoring surfaces, not consistency ones).
+func (c *Coordinator) NumSongs() int {
+	ctx := context.Background()
+	total := 0
+	for _, g := range c.cfg.Groups {
+		if st, err := c.groupStats(ctx, g); err == nil {
+			total += st.Songs
+		}
+	}
+	return total
+}
+
+// NumPhrases sums indexed phrases across groups.
+func (c *Coordinator) NumPhrases() int {
+	ctx := context.Background()
+	total := 0
+	for _, g := range c.cfg.Groups {
+		if st, err := c.groupStats(ctx, g); err == nil {
+			total += st.Phrases
+		}
+	}
+	return total
+}
+
+// Songs concatenates the group catalogues, sorted by id. Melodies are not
+// shipped — the coordinator serves the catalogue listing, which only needs
+// id, title and note count; NumNotes is approximated by a zero melody.
+func (c *Coordinator) Songs() []music.Song {
+	ctx := context.Background()
+	var out []music.Song
+	for _, g := range c.cfg.Groups {
+		var infos []SongInfo
+		var got bool
+		for _, u := range g.Replicas {
+			if err := c.getJSON(ctx, u+"/songs", &infos); err == nil {
+				got = true
+				break
+			}
+		}
+		if !got {
+			continue
+		}
+		for _, s := range infos {
+			out = append(out, music.Song{ID: s.ID, Title: s.Title})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"warping/internal/hum"
+	"warping/internal/index"
+	"warping/internal/music"
+	"warping/internal/qbh"
+	"warping/internal/replica"
+	"warping/internal/retry"
+	"warping/internal/store"
+	"warping/internal/ts"
+)
+
+var clusterOpts = qbh.Options{PhraseMin: 8, PhraseMax: 20}
+
+var testBackoff = retry.Backoff{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond}
+
+// clusterGroup is one replicated shard group running in-process.
+type clusterGroup struct {
+	spec    GroupSpec
+	nodes   []*replica.Node
+	servers []*httptest.Server
+}
+
+func (g *clusterGroup) close() {
+	for _, srv := range g.servers {
+		srv.Close()
+	}
+}
+
+// startGroup brings up a primary plus followers, all seeded with the same
+// base corpus, each serving the full API + replication endpoints.
+func startGroup(t *testing.T, name string, base []music.Song, followers int) *clusterGroup {
+	t.Helper()
+	g := &clusterGroup{spec: GroupSpec{Name: name}}
+	openNode := func(cfg replica.NodeConfig) *replica.Node {
+		dir := t.TempDir()
+		d, err := qbh.OpenDurable(dir, qbh.DurableOptions{
+			FS:                 store.OS(),
+			Logf:               func(string, ...interface{}) {},
+			SnapshotWALRecords: -1,
+			SnapshotWALBytes:   -1,
+			Build:              func() (*qbh.System, error) { return qbh.Build(base, clusterOpts) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.FollowerID = dir
+		cfg.Backoff = testBackoff
+		cfg.PollWait = 200 * time.Millisecond
+		cfg.Logf = func(string, ...interface{}) {}
+		n, err := replica.NewNode(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = n.Close() })
+		h := NewBackend(n, Config{})
+		h.EnablePlannedQueries()
+		n.Mount(h)
+		srv := httptest.NewServer(h)
+		t.Cleanup(srv.Close)
+		g.nodes = append(g.nodes, n)
+		g.servers = append(g.servers, srv)
+		g.spec.Replicas = append(g.spec.Replicas, srv.URL)
+		return n
+	}
+	openNode(replica.NodeConfig{Group: name, Role: replica.RolePrimary})
+	for i := 0; i < followers; i++ {
+		openNode(replica.NodeConfig{Group: name, Role: replica.RoleFollower, PrimaryURL: g.servers[0].URL})
+	}
+	return g
+}
+
+func testCoordinator(t *testing.T, groups ...*clusterGroup) *Coordinator {
+	t.Helper()
+	cfg := CoordinatorConfig{
+		Opts:       clusterOpts,
+		HedgeAfter: 100 * time.Millisecond,
+		Backoff:    testBackoff,
+		Logf:       func(string, ...interface{}) {},
+	}
+	for _, g := range groups {
+		cfg.Groups = append(cfg.Groups, g.spec)
+	}
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func hummedPitch(songs []music.Song, which int, seed int64) ts.Series {
+	r := rand.New(rand.NewSource(seed))
+	return hum.StripSilence(hum.GoodSinger().RenderPitch(songs[which%len(songs)].Melody, r))
+}
+
+// splitCorpus deals the catalogue into two disjoint halves.
+func splitCorpus() (all, a, b []music.Song) {
+	all = music.BuiltinSongs()
+	for _, s := range music.GenerateSongs(91, 10, 100, 200) {
+		s.ID += int64(len(music.BuiltinSongs()))
+		all = append(all, s)
+	}
+	for i, s := range all {
+		if i%2 == 0 {
+			a = append(a, s)
+		} else {
+			b = append(b, s)
+		}
+	}
+	return all, a, b
+}
+
+func TestCoordinatorMatchesSingleNode(t *testing.T) {
+	all, half1, half2 := splitCorpus()
+	single, err := qbh.Build(all, clusterOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga := startGroup(t, "a", half1, 1)
+	gb := startGroup(t, "b", half2, 1)
+	coord := testCoordinator(t, ga, gb)
+
+	for q := 0; q < 3; q++ {
+		pitch := hummedPitch(all, q*3, int64(100+q))
+		want, _, err := single.QueryCtx(context.Background(), pitch, 5, 0.1, index.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := coord.QueryCtx(context.Background(), pitch, 5, 0.1, index.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Degraded {
+			t.Fatalf("query %d degraded with all groups up", q)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d matches, single node had %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].SongID != want[i].SongID || math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+				t.Fatalf("query %d rank %d: got song %d dist %g, single node song %d dist %g",
+					q, i, got[i].SongID, got[i].Dist, want[i].SongID, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestCoordinatorGroupDownReturnsPartialDegraded(t *testing.T) {
+	_, half1, half2 := splitCorpus()
+	ga := startGroup(t, "a", half1, 0)
+	gb := startGroup(t, "b", half2, 0)
+	coord := testCoordinator(t, ga, gb)
+	coord.cfg.ReplicaTimeout = 2 * time.Second
+
+	gb.close() // the whole group goes dark
+
+	pitch := hummedPitch(half1, 0, 7)
+	got, stats, err := coord.QueryCtx(context.Background(), pitch, 5, 0.1, index.Limits{})
+	if err != nil {
+		t.Fatalf("partial query errored: %v", err)
+	}
+	if !stats.Degraded {
+		t.Fatal("whole group down but response not marked degraded")
+	}
+	if len(got) == 0 {
+		t.Fatal("no partial results from the surviving group")
+	}
+	// The served HTTP response carries the degraded marker too.
+	h := NewBackend(coord, Config{})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	body, _ := json.Marshal([]float64(hummedPitch(half1, 0, 7)))
+	resp, err := http.Post(srv.URL+"/query/pitch?top=5", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Degraded {
+		t.Fatal("HTTP response not marked degraded")
+	}
+
+	// All groups down: that is an error, not an empty success.
+	ga.close()
+	if _, _, err := coord.QueryCtx(context.Background(), pitch, 5, 0.1, index.Limits{}); err == nil {
+		t.Fatal("all groups down but query succeeded")
+	}
+}
+
+func TestCoordinatorWriteFindsPrimaryPast421(t *testing.T) {
+	_, half1, _ := splitCorpus()
+	g := startGroup(t, "a", half1, 1)
+	// List the follower first: the first write attempt gets 421 and the
+	// coordinator must move on to the primary.
+	g.spec.Replicas = []string{g.spec.Replicas[1], g.spec.Replicas[0]}
+	coord := testCoordinator(t, g)
+
+	before := g.nodes[0].NumSongs()
+	song, err := coord.AddSongTitled("routed write", half1[0].Melody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if song.Title != "routed write" {
+		t.Fatalf("echoed title %q", song.Title)
+	}
+	if got := g.nodes[0].NumSongs(); got != before+1 {
+		t.Fatalf("primary has %d songs, want %d", got, before+1)
+	}
+	// The discovered primary is cached for the next write.
+	coord.mu.Lock()
+	cached := coord.primaries["a"]
+	coord.mu.Unlock()
+	if cached != g.servers[0].URL {
+		t.Fatalf("cached primary %q, want %q", cached, g.servers[0].URL)
+	}
+}
+
+func TestCoordinatorWriteHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			httpError(w, http.StatusTooManyRequests, "busy")
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		_ = json.NewEncoder(w).Encode(SongInfo{ID: 1, Title: "ok", Notes: 3})
+	}))
+	defer fake.Close()
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Groups:  []GroupSpec{{Name: "g", Replicas: []string{fake.URL}}},
+		Opts:    clusterOpts,
+		Backoff: testBackoff,
+		Logf:    func(string, ...interface{}) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.AddSongTitled("retry me", music.BuiltinSongs()[0].Melody); err != nil {
+		t.Fatalf("write failed despite retry budget: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("%d attempts, want 2 (429 then success)", got)
+	}
+}
+
+func TestCoordinatorHedgesPastSlowReplica(t *testing.T) {
+	canned, _ := json.Marshal(QueryResponse{
+		Matches: []MatchResponse{{SongID: 7, Title: "fast", Dist: 1}},
+	})
+	slowReleased := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server can detect the hedge's cancel.
+		_, _ = io.Copy(io.Discard, r.Body)
+		select {
+		case <-slowReleased:
+		case <-r.Context().Done():
+		}
+	}))
+	// LIFO: release the parked handler before Close waits on it.
+	defer slow.Close()
+	defer close(slowReleased)
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(canned)
+	}))
+	defer fast.Close()
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Groups:     []GroupSpec{{Name: "g", Replicas: []string{slow.URL, fast.URL}}},
+		Opts:       clusterOpts,
+		HedgeAfter: 30 * time.Millisecond,
+		Backoff:    testBackoff,
+		Logf:       func(string, ...interface{}) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the rotation so the slow replica is tried first.
+	coord.rr.Store(uint64(len(coord.cfg.Groups[0].Replicas) - 1))
+
+	start := time.Now()
+	got, _, err := coord.QueryCtx(context.Background(), hummedPitch(music.BuiltinSongs(), 0, 3), 5, 0.1, index.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].SongID != 7 {
+		t.Fatalf("hedged query returned %v", got)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("hedge took %v; the slow replica was waited on", elapsed)
+	}
+}

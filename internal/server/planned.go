@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"warping/internal/index"
+	"warping/internal/qbh"
+)
+
+// plannedQuerier is implemented by backends that can execute a
+// precomputed query plan without redoing the envelope transform
+// (*qbh.Concurrent, *qbh.Durable, replica nodes). The coordinator ships
+// plans to replicas through POST /query/planned.
+type plannedQuerier interface {
+	QueryPlanCtx(ctx context.Context, p *index.Plan, topK int, lim index.Limits) ([]qbh.SongMatch, index.QueryStats, error)
+}
+
+// PlannedRequest is the POST /query/planned payload: a serialized query
+// plan — normal form, k-envelope, feature box, all computed once by the
+// coordinator — plus the result count.
+type PlannedRequest struct {
+	Plan index.PlanWire `json:"plan"`
+	TopK int            `json:"top"`
+}
+
+// Handle registers an additional route on the handler's mux — replication
+// endpoints (replica.Node.Mount) and anything else that should share the
+// server's panic containment.
+func (h *Handler) Handle(pattern string, handler http.Handler) {
+	h.mux.Handle(pattern, handler)
+}
+
+// EnablePlannedQueries registers POST /query/planned. It is separate from
+// NewBackend because only cluster members need it: the endpoint trusts the
+// shipped envelope (structural validation only), which is fine between a
+// coordinator and its replicas but not for the public edge.
+func (h *Handler) EnablePlannedQueries() {
+	h.mux.HandleFunc("/query/planned", h.handleQueryPlanned)
+}
+
+func (h *Handler) handleQueryPlanned(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST with a plan body")
+		return
+	}
+	pq, ok := h.sys.(plannedQuerier)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "backend cannot execute shipped plans")
+		return
+	}
+	if !h.admit(w, r) {
+		return
+	}
+	defer h.release()
+	var req PlannedRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, h.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "parsing plan: %v", err)
+		return
+	}
+	if req.TopK < 1 || req.TopK > 100 {
+		httpError(w, http.StatusBadRequest, "invalid top %d", req.TopK)
+		return
+	}
+	plan, err := index.PlanFromWire(req.Plan)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx := r.Context()
+	if h.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, h.cfg.QueryTimeout)
+		defer cancel()
+	}
+	lim := index.Limits{MaxExactDTW: h.cfg.MaxExactDTW, CandidateHook: h.candidateHook}
+	matches, stats, err := pq.QueryPlanCtx(ctx, plan, req.TopK, lim)
+	if err != nil {
+		// A plan/index mismatch is the caller's fault; anything else is a
+		// deadline or cancellation, as in respondQuery.
+		if ctx.Err() == nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		httpError(w, http.StatusServiceUnavailable, "query aborted: %v", err)
+		return
+	}
+	resp := QueryResponse{
+		VoicedFrames: plan.SeriesLen(),
+		Candidates:   stats.Candidates,
+		LBSurvivors:  stats.LBSurvivors,
+		ExactDTW:     stats.ExactDTW,
+		PageAccesses: stats.PageAccesses,
+		Degraded:     stats.Degraded,
+	}
+	for _, m := range matches {
+		resp.Matches = append(resp.Matches, MatchResponse{SongID: m.SongID, Title: m.Title, Dist: m.Dist})
+	}
+	writeJSON(w, resp)
+}

@@ -48,6 +48,7 @@ import (
 	"warping/internal/midi"
 	"warping/internal/music"
 	"warping/internal/qbh"
+	"warping/internal/replica"
 	"warping/internal/ts"
 )
 
@@ -374,13 +375,22 @@ func (h *Handler) handleAddSong(w http.ResponseWriter, r *http.Request) {
 	// lock, so concurrent uploads cannot race to the same id.
 	song, err := h.sys.AddSongTitled(title, melody)
 	if err != nil {
+		switch {
 		// A durability failure is a server-side storage problem, not a bad
 		// request: the write was NOT acknowledged and must be retried.
-		if errors.Is(err, qbh.ErrNotDurable) {
+		case errors.Is(err, qbh.ErrNotDurable):
 			httpError(w, http.StatusServiceUnavailable, "storing: %v", err)
-			return
+		// Misdirected write in a replica group: the client must resend to
+		// the primary. 421 is not retryable-here, unlike 503.
+		case errors.Is(err, replica.ErrNotPrimary):
+			httpError(w, http.StatusMisdirectedRequest, "%v", err)
+		// Durable locally but the follower quorum did not confirm: not
+		// acknowledged, safe to retry.
+		case errors.Is(err, replica.ErrNotReplicated):
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			httpError(w, http.StatusBadRequest, "indexing: %v", err)
 		}
-		httpError(w, http.StatusBadRequest, "indexing: %v", err)
 		return
 	}
 	w.WriteHeader(http.StatusCreated)
