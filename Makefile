@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-all chaos bench bench-json bench-json-pr4 bench-json-pr5 bench-smoke fuzz-seeds cover experiments experiments-small clean
+.PHONY: all build test vet race race-all chaos bench bench-json bench-json-pr4 bench-json-pr5 bench-json-pr7 bench-smoke fuzz-seeds cover experiments experiments-small clean
 
 all: vet test
 
@@ -15,7 +15,7 @@ test:
 
 # Matches the CI race job: the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/qbh/... ./internal/server/... ./internal/replica/... ./internal/index/... ./internal/rtree/... ./internal/store/...
+	$(GO) test -race ./internal/qbh/... ./internal/server/... ./internal/replica/... ./internal/index/... ./internal/rtree/... ./internal/store/... ./internal/dtw/...
 
 # The kill-a-replica chaos suite under the race detector: every replica
 # is a real OS process, death is SIGKILL (matches the CI chaos job).
@@ -54,6 +54,14 @@ bench-json-pr5:
 	$(GO) test -run='^$$' -bench='BenchmarkSharded' -benchmem ./internal/index/ \
 		| $(GO) run ./cmd/benchjson -label sharded-$(LABEL) -o BENCH_pr5.json
 
+# PR7: pruning power of the four-stage LB cascade. Records per-stage
+# survivor counts (candidates, coarse New_PAA box, LB_Keogh, LB_Improved,
+# exact DTW) plus the LB_Keogh-only counterfactual baseline into
+# BENCH_pr7.json.
+bench-json-pr7:
+	$(GO) test -run='^$$' -bench='BenchmarkPruningPower' -benchmem ./internal/experiments/ \
+		| $(GO) run ./cmd/benchjson -label pruning -o BENCH_pr7.json
+
 # One iteration of every benchmark: catches bit-rot in benchmark code
 # without spending CI time on stable measurements (matches the CI step).
 bench-smoke:
@@ -62,7 +70,7 @@ bench-smoke:
 # Run the fuzz seed corpora as regression tests (what CI does); use
 # `go test -fuzz=FuzzName ./internal/dtw/` for a real fuzzing session.
 fuzz-seeds:
-	$(GO) test -run='^Fuzz' ./internal/dtw/ ./internal/ts/ ./internal/store/
+	$(GO) test -run='^Fuzz' ./internal/dtw/ ./internal/ts/ ./internal/store/ ./internal/index/
 
 cover:
 	$(GO) test -cover ./...

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated list: fig1..fig5 (illustrations), table2,table3,fig6,fig7,fig8,fig9,fig10,structures or all")
+	run := flag.String("run", "all", "comma-separated list: fig1..fig5 (illustrations), table2,table3,fig6,fig7,fig8,fig9,fig10,structures,pruning or all")
 	scale := flag.String("scale", "paper", "paper or small")
 	plots := flag.Bool("plot", false, "also render ASCII charts of the figure curves")
 	flag.Parse()
@@ -42,7 +42,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *run == "all" {
-		for _, k := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "structures"} {
+		for _, k := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "structures", "pruning"} {
 			want[k] = true
 		}
 	} else {
@@ -69,6 +69,7 @@ func main() {
 		{"fig9", runFig9},
 		{"fig10", runFig10},
 		{"structures", runStructures},
+		{"pruning", runPruning},
 	} {
 		if !want[exp.key] {
 			continue
@@ -199,4 +200,16 @@ func runFig10(small bool) (string, error) {
 		out += "\n" + res.Plot()
 	}
 	return out, nil
+}
+
+func runPruning(small bool) (string, error) {
+	cfg := experiments.DefaultPruningConfig()
+	if small {
+		cfg.DBSize, cfg.Queries = 600, 8
+	}
+	res, err := experiments.RunPruningPower(cfg)
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
 }

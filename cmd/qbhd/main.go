@@ -102,6 +102,7 @@ func main() {
 	peers := flag.String("peers", "", "follower: the primary's base URL, e.g. http://primary:8080")
 	groupsSpec := flag.String("groups", "", `coordinator topology: "name=url,url;name=url" — one entry per shard group, replica URLs comma-separated`)
 	minSync := flag.Int("min-sync", 0, "primary: acknowledge a write only after this many followers confirm it (0 = asynchronous)")
+	adaptiveBand := flag.Bool("adaptive-band", false, "estimate the warping band per query from the query's own tempo variance (set identically on coordinator and replicas)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -129,7 +130,7 @@ func main() {
 		coord, err := server.NewCoordinator(server.CoordinatorConfig{
 			Groups: groups,
 			// Plan compilation must match how the replicas were built.
-			Opts: qbh.Options{PhraseMin: 10, PhraseMax: 25},
+			Opts: qbh.Options{PhraseMin: 10, PhraseMax: 25, AdaptiveBand: *adaptiveBand},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -167,7 +168,7 @@ func main() {
 			GroupCommit:      *groupCommit,
 			SnapshotInterval: *snapInterval,
 			Build: func() (*qbh.System, error) {
-				return buildSystem(*loadDB, *midiDir, *songCount, *shards, *backend)
+				return buildSystem(*loadDB, *midiDir, *songCount, *shards, *backend, *adaptiveBand)
 			},
 		})
 		if err != nil {
@@ -200,7 +201,7 @@ func main() {
 		log.Printf("durable database ready in %s: %d songs, %d phrases, %d shard(s) [%s]",
 			*dataDir, d.NumSongs(), d.NumPhrases(), st.Shards, st.Backend)
 	} else {
-		sys, err := buildSystem(*loadDB, *midiDir, *songCount, *shards, *backend)
+		sys, err := buildSystem(*loadDB, *midiDir, *songCount, *shards, *backend, *adaptiveBand)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -291,7 +292,7 @@ func parseGroups(spec string) ([]server.GroupSpec, error) {
 	return groups, nil
 }
 
-func buildSystem(loadDB, midiDir string, songCount, shards int, backend string) (*warping.QBH, error) {
+func buildSystem(loadDB, midiDir string, songCount, shards int, backend string, adaptiveBand bool) (*warping.QBH, error) {
 	if loadDB != "" {
 		f, err := os.Open(loadDB)
 		if err != nil {
@@ -339,10 +340,11 @@ func buildSystem(loadDB, midiDir string, songCount, shards int, backend string) 
 		}
 	}
 	return warping.BuildQBH(songs, warping.QBHOptions{
-		PhraseMin: 10,
-		PhraseMax: 25,
-		Shards:    shards,
-		Backend:   index.BackendKind(backend),
+		PhraseMin:    10,
+		PhraseMax:    25,
+		Shards:       shards,
+		Backend:      index.BackendKind(backend),
+		AdaptiveBand: adaptiveBand,
 	})
 }
 

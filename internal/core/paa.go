@@ -42,6 +42,22 @@ func NewPAA(n, N int) *LinearTransform {
 	return NewLinearTransform("New_PAA", paaMatrix(n, N))
 }
 
+// CoarsePAADim is the dimensionality of the coarse New_PAA pre-stage used
+// by the multi-resolution verification cascade: the paper's own transform
+// at a second, coarser resolution. Four dimensions keep the pre-stage box
+// distance at a quarter of the full-dimensional cost while still pruning a
+// useful fraction of candidates.
+const CoarsePAADim = 4
+
+// NewCoarsePAA returns the CoarsePAADim-dimensional New_PAA transform for
+// series of length n — the coarse half of the two-resolution cascade. It
+// is an independent instance of Theorem 1 (its box distance lower-bounds
+// banded DTW on its own), so it composes soundly with any fine transform,
+// PAA or not. n must be divisible by CoarsePAADim.
+func NewCoarsePAA(n int) *LinearTransform {
+	return NewLinearTransform("New_PAA_coarse", paaMatrix(n, CoarsePAADim))
+}
+
 // KeoghPAA is the prior state-of-the-art PAA envelope reduction (Keogh,
 // VLDB 2002): features are the same scaled PAA, but the envelope is reduced
 // by taking the frame *minimum* of the lower envelope and the frame

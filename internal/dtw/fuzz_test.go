@@ -134,6 +134,46 @@ func FuzzVerificationCascade(f *testing.F) {
 	})
 }
 
+// FuzzLBImprovedChain pins the two-pass bound on arbitrary series:
+// LB_Keogh <= LB_Improved <= banded DTW, and LB_Improved may never dismiss
+// a true match — the exactness guarantee the cascade rests on.
+func FuzzLBImprovedChain(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, q, k, _, ok := fuzzSeries(data)
+		if !ok {
+			t.Skip()
+		}
+		if k > len(x)-1 {
+			k = len(x) - 1
+		}
+		exact := SquaredBanded(x, q, k)
+		tol := 1e-9 * (1 + exact)
+
+		env := NewEnvelope(q, k)
+		forward, ok2 := SquaredDistToEnvelopeWithin(x, env, math.MaxFloat64)
+		if !ok2 {
+			t.Fatal("infinite cutoff abandoned")
+		}
+		var w Workspace
+		improved, ok3 := w.SquaredLBImprovedWithin(q, x, env, k, forward, math.MaxFloat64)
+		if !ok3 {
+			t.Fatal("infinite cutoff abandoned")
+		}
+		if improved < forward {
+			t.Fatalf("LB_Improved %v < LB_Keogh %v (n=%d k=%d)", improved, forward, len(x), k)
+		}
+		if improved > exact+tol {
+			t.Fatalf("LB_Improved %v > exact %v (n=%d k=%d)", improved, exact, len(x), k)
+		}
+		// Cutoff at the exact distance: the bound may not dismiss the match,
+		// even with dirty workspace buffers from the earlier call.
+		if _, ok := w.SquaredLBImprovedWithin(q, x, env, k, forward, exact+tol); !ok {
+			t.Fatal("LB_Improved dismissed a true match")
+		}
+	})
+}
+
 // FuzzWarpingWidthBandRadius checks the conversion guards: any (n, k,
 // delta) must produce finite, in-range values, and the round trip must
 // obey the documented clamp.

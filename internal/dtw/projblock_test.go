@@ -1,0 +1,106 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The active projBlock16 (assembly on amd64, the Go kernel elsewhere) must
+// be bit-identical to the portable reference on finite inputs: LB_Improved
+// distances, and through them every abandon decision, hinge on the two
+// agreeing exactly. (Signed-zero ties are the one documented exception;
+// random finite data never produces them.)
+func TestProjBlock16AsmMatchesGo(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10000; trial++ {
+		x, lo, up := randBlock(r)
+		var got, want [lbBlockLen]float64
+		projBlock16(&got, &x, &lo, &up)
+		projBlock16Go(&want, &x, &lo, &up)
+		for j := range got {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("trial %d elem %d: projBlock16 = %v, projBlock16Go = %v",
+					trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// Degenerate blocks: all-zero, exactly-on-envelope, and huge deviations.
+func TestProjBlock16Edges(t *testing.T) {
+	var x, lo, up, dst [lbBlockLen]float64
+	projBlock16(&dst, &x, &lo, &up)
+	for j, v := range dst {
+		if v != 0 {
+			t.Fatalf("zero block elem %d: got %v", j, v)
+		}
+	}
+	for i := range x {
+		x[i] = float64(i)
+		lo[i] = float64(i) // x exactly on both bounds
+		up[i] = float64(i)
+	}
+	projBlock16(&dst, &x, &lo, &up)
+	for j, v := range dst {
+		if v != x[j] {
+			t.Fatalf("on-envelope elem %d: got %v want %v", j, v, x[j])
+		}
+	}
+	for i := range x {
+		x[i] = 1e150
+		lo[i], up[i] = -1, 1
+	}
+	var want [lbBlockLen]float64
+	projBlock16(&dst, &x, &lo, &up)
+	projBlock16Go(&want, &x, &lo, &up)
+	if dst != want {
+		t.Fatalf("huge block: asm %v, go %v", dst, want)
+	}
+}
+
+// ProjectOntoEnvelopeInto must clamp every element into the envelope and
+// leave inside-envelope elements untouched, for any length (blocks + tail).
+func TestProjectOntoEnvelope(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 7, 16, 17, 33, 128, 131} {
+		x := randSeries(r, n)
+		q := randSeries(r, n)
+		env := NewEnvelope(q, 3)
+		got := ProjectOntoEnvelopeInto(nil, x, env)
+		for i := range got {
+			want := x[i]
+			if want > env.Upper[i] {
+				want = env.Upper[i]
+			} else if want < env.Lower[i] {
+				want = env.Lower[i]
+			}
+			if got[i] != want {
+				t.Fatalf("n=%d elem %d: got %v want %v", n, i, got[i], want)
+			}
+		}
+		// Reuse must not allocate or corrupt: a second call into the same
+		// buffer yields the same values.
+		again := ProjectOntoEnvelopeInto(got, x, env)
+		if &again[0] != &got[0] {
+			t.Fatalf("n=%d: reuse reallocated", n)
+		}
+	}
+}
+
+func BenchmarkProjBlock16(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	x, lo, up := randBlock(r)
+	var dst [lbBlockLen]float64
+	b.Run("active", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			projBlock16(&dst, &x, &lo, &up)
+		}
+	})
+	b.Run("go", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			projBlock16Go(&dst, &x, &lo, &up)
+		}
+	})
+	_ = dst
+}

@@ -19,6 +19,7 @@ import (
 type Workspace struct {
 	prev, curr []float64
 	lo, up     ts.Series
+	proj       ts.Series
 	win        ts.WindowScratch
 }
 
@@ -37,8 +38,8 @@ func (w *Workspace) rows(width int) ([]float64, []float64) {
 
 // EnvelopeInto computes the k-envelope of x into the workspace's envelope
 // buffers and returns it. The envelope aliases workspace memory: it is
-// valid until the next EnvelopeInto or SquaredReversedLBKeoghWithin call on
-// the same workspace.
+// valid until the next EnvelopeInto, SquaredReversedLBKeoghWithin or
+// SquaredLBImprovedWithin call on the same workspace.
 func (w *Workspace) EnvelopeInto(x ts.Series, k int) Envelope {
 	w.lo = ts.SlidingMinInto(w.lo, x, k, &w.win)
 	w.up = ts.SlidingMaxInto(w.up, x, k, &w.win)
@@ -153,6 +154,81 @@ func SquaredDistToEnvelopeWithin(x ts.Series, e Envelope, cutoff2 float64) (floa
 		}
 	}
 	return sum, true
+}
+
+// projBlock16Go clamps one 16-wide block of a candidate into an envelope in
+// pure Go: the portable implementation of projBlock16 and the reference the
+// assembly kernel is tested against. The fixed-size array pointers
+// eliminate every bounds check; the branchy clamp predicts well for the
+// same reason lbBlock16Go's compares do — envelope deviations are locally
+// correlated. (The amd64 assembly version is branchless via MINPD/MAXPD.)
+func projBlock16Go(dst, x, lo, up *[lbBlockLen]float64) {
+	for j := 0; j < lbBlockLen; j++ {
+		v := x[j]
+		if v > up[j] {
+			v = up[j]
+		} else if v < lo[j] {
+			v = lo[j]
+		}
+		dst[j] = v
+	}
+}
+
+// ProjectOntoEnvelopeInto writes the elementwise projection of x onto the
+// envelope e — each sample clamped into [e.Lower[i], e.Upper[i]] — into
+// dst, growing it as needed, and returns it. This is the h(x) of Lemire's
+// LB_Improved: the closest series to x that fits inside the envelope. Runs
+// in 16-wide blocks (see projBlock16; SSE2 assembly on amd64) plus a scalar
+// tail.
+func ProjectOntoEnvelopeInto(dst, x ts.Series, e Envelope) ts.Series {
+	if len(x) != e.Len() {
+		panic("dtw: series length vs envelope length mismatch")
+	}
+	n := len(x)
+	if cap(dst) < n {
+		dst = make(ts.Series, n)
+	}
+	dst = dst[:n]
+	lo, up := e.Lower[:n], e.Upper[:n] // bounds-check elimination
+	i := 0
+	for ; i+lbBlockLen <= n; i += lbBlockLen {
+		projBlock16(
+			(*[lbBlockLen]float64)(dst[i:]),
+			(*[lbBlockLen]float64)(x[i:]),
+			(*[lbBlockLen]float64)(lo[i:]),
+			(*[lbBlockLen]float64)(up[i:]),
+		)
+	}
+	for ; i < n; i++ {
+		v := x[i]
+		if v > up[i] {
+			v = up[i]
+		} else if v < lo[i] {
+			v = lo[i]
+		}
+		dst[i] = v
+	}
+	return dst
+}
+
+// SquaredLBImprovedWithin completes Lemire's LB_Improved bound given the
+// already-computed forward term: fwd must be the squared LB_Keogh distance
+// from candidate x to the query envelope env (with fwd <= cutoff2). The
+// second pass projects x onto env, builds the k-envelope of the projection
+// in the workspace buffers, and accumulates the squared distance from q to
+// that envelope with early abandoning against the remaining budget
+// cutoff2-fwd. Since every warping path from q to x is at least as long as
+// the forward deviation plus the deviation of q from the projected
+// candidate's envelope (Lemire, "Faster Retrieval with a Two-Pass
+// Dynamic-Time-Warping Lower Bound"), the sum lower-bounds the squared
+// banded DTW distance; it dominates LB_Keogh because the second term is
+// nonnegative. Returns (d, true) with the exact bound when d <= cutoff2,
+// and (v, false) with some v > cutoff2 on abandon. The projection and
+// envelope alias workspace memory.
+func (w *Workspace) SquaredLBImprovedWithin(q, x ts.Series, env Envelope, k int, fwd, cutoff2 float64) (float64, bool) {
+	w.proj = ProjectOntoEnvelopeInto(w.proj, x, env)
+	res, ok := SquaredDistToEnvelopeWithin(q, w.EnvelopeInto(w.proj, k), cutoff2-fwd)
+	return fwd + res, ok
 }
 
 // SquaredReversedLBKeoghWithin computes the reversed-role LB_Keogh bound

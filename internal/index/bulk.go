@@ -37,6 +37,10 @@ func BulkLoad(t core.Transform, cfg Config, entries []Entry) (*Index, error) {
 		xs:        make([]float64, len(entries)*n),
 		fs:        make([]float64, len(entries)*dim),
 	}
+	if st.coarse = coarseCompanion(n, t); st.coarse != nil {
+		st.cdim = st.coarse.OutputLen()
+		st.cfs = make([]float64, len(entries)*st.cdim)
+	}
 	for i, e := range entries {
 		if len(e.Series) != n {
 			return nil, fmt.Errorf("index: entry %d has length %d, want %d", i, len(e.Series), n)
@@ -78,6 +82,9 @@ func BulkLoad(t core.Transform, cfg Config, entries []Entry) (*Index, error) {
 			for i := lo; i < hi; i++ {
 				feat := st.fs[i*dim : (i+1)*dim : (i+1)*dim]
 				copy(feat, t.Apply(entries[i].Series))
+				if st.coarse != nil {
+					copy(st.cfs[i*st.cdim:(i+1)*st.cdim], st.coarse.Apply(entries[i].Series))
+				}
 				items[i] = rtree.Item{ID: entries[i].ID, Slot: int32(i), Point: feat}
 			}
 		}(lo, hi)

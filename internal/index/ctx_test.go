@@ -21,7 +21,11 @@ func TestKNNCtxCancellationPrompt(t *testing.T) {
 	ix, _, _ := buildIndex(r, core.NewPAA(testN, testDim), 300)
 	q := randomWalk(r, testN)
 
-	const deadline = 50 * time.Millisecond
+	// kNN with k=5 performs at least five exact verifications (the first
+	// five candidates fill the heap unconditionally), so the 5ms-per-hook
+	// sleep forces >= 25ms of verification time: the deadline below fires
+	// mid-query no matter how tightly the cascade prunes.
+	const deadline = 20 * time.Millisecond
 	const slack = 200 * time.Millisecond
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()

@@ -1,0 +1,103 @@
+package index
+
+import (
+	"math"
+	"testing"
+
+	"warping/internal/core"
+	"warping/internal/dtw"
+	"warping/internal/ts"
+)
+
+// cascadeSeries decodes a byte string into a query/candidate pair whose
+// length is a positive multiple of 8 (so both the 8-dim New_PAA and the
+// 4-dim coarse companion divide it) plus a band radius, mirroring the dtw
+// package's fuzz decoding.
+func cascadeSeries(data []byte) (x, q ts.Series, k int, ok bool) {
+	if len(data) < 17 {
+		return nil, nil, 0, false
+	}
+	kByte := data[0]
+	payload := data[1:]
+	n := (len(payload) / 2) &^ 7
+	if n < 8 || n > 96 {
+		return nil, nil, 0, false
+	}
+	x = make(ts.Series, n)
+	q = make(ts.Series, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(payload[i])/16 - 8
+		q[i] = float64(payload[n+i])/16 - 8
+	}
+	k = int(kByte) % n
+	return x, q, k, true
+}
+
+// FuzzCascadeSoundness pins the whole four-stage chain on arbitrary series:
+//
+//	coarse New_PAA box <= fine New_PAA box <= LB_Keogh <= LB_Improved <= banded DTW²
+//
+// and then runs the production cascade itself at a cutoff equal to the
+// exact distance, asserting no stage dismisses the true match — the
+// exactness guarantee every query result rests on.
+func FuzzCascadeSoundness(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 8, 7, 6, 5, 4, 3, 2, 1})
+	f.Add(append([]byte{0}, make([]byte, 64)...))
+	long := make([]byte, 129)
+	for i := range long {
+		long[i] = byte(i * 2)
+	}
+	f.Add(long)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, q, k, ok := cascadeSeries(data)
+		if !ok {
+			t.Skip()
+		}
+		n := len(x)
+		exact := dtw.SquaredBanded(x, q, k)
+		tol := 1e-9 * (1 + exact)
+
+		env := dtw.NewEnvelope(q, k)
+		fine := core.NewPAA(n, 8)
+		coarse := core.NewCoarsePAA(n)
+		fe := fine.ApplyEnvelope(env)
+		cfe := coarse.ApplyEnvelope(env)
+		e := entry{x: x, feat: fine.Apply(x), cfeat: coarse.Apply(x)}
+
+		cb := core.SquaredDistToBox(e.cfeat, cfe)
+		fb := core.SquaredDistToBox(e.feat, fe)
+		fwd, ok2 := dtw.SquaredDistToEnvelopeWithin(x, env, math.MaxFloat64)
+		if !ok2 {
+			t.Fatal("infinite cutoff abandoned")
+		}
+		v := getVerifier()
+		defer putVerifier(v)
+		improved := fwd
+		if k > 0 {
+			improved, ok2 = v.ws.SquaredLBImprovedWithin(q, x, env, k, fwd, math.MaxFloat64)
+			if !ok2 {
+				t.Fatal("infinite cutoff abandoned")
+			}
+		}
+		// New_PAA coarsens the fine PAA frames, so its box is nested inside
+		// the fine one; both are Theorem 1 bounds below LB_Keogh.
+		if cb > fb+tol {
+			t.Fatalf("coarse box %v > fine box %v (n=%d k=%d)", cb, fb, n, k)
+		}
+		if fb > fwd+tol {
+			t.Fatalf("fine box %v > LB_Keogh %v (n=%d k=%d)", fb, fwd, n, k)
+		}
+		if improved < fwd {
+			t.Fatalf("LB_Improved %v < LB_Keogh %v (n=%d k=%d)", improved, fwd, n, k)
+		}
+		if improved > exact+tol {
+			t.Fatalf("LB_Improved %v > exact %v (n=%d k=%d)", improved, exact, n, k)
+		}
+
+		// The production cascade at cutoff == the exact distance must pass
+		// the candidate through every stage.
+		if o := v.cascade(q, env, &cfe, &fe, k, e, exact+tol); o != lbPassed {
+			t.Fatalf("cascade pruned a true match at stage %d (n=%d k=%d)", o, n, k)
+		}
+	})
+}

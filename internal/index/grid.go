@@ -102,7 +102,7 @@ func (ix *GridIndex) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, de
 	if err := ix.st.checkQuery(q); err != nil {
 		return nil, QueryStats{}, err
 	}
-	p := makePlan(q, delta, ix.st.n, ix.st.transform)
+	p := makePlan(q, delta, ix.st.n, ix.st.transform, ix.st.coarse)
 	sc := getScratch()
 	out, stats, err := ix.rangePlan(ctx, p, epsilon, lim, sc)
 	return finish(out, sc, true), stats, err
@@ -119,7 +119,8 @@ func (ix *GridIndex) rangePlan(ctx context.Context, p *Plan, epsilon float64, li
 	// fe is nil in the cascade: the grid's box search already applied the
 	// exact point-to-box distance test at this epsilon, so re-running the
 	// box pre-check per candidate could never prune — only cost O(dim).
-	rq := &rangeQuery{q: p.q, env: p.env, band: p.band, eps2: epsilon * epsilon, useLB: true}
+	// The O(4) coarse pre-stage still runs (see the R*-tree rangePlan).
+	rq := &rangeQuery{q: p.q, env: p.env, cfe: p.coarseEnvelope(), band: p.band, eps2: epsilon * epsilon, useLB: true}
 	out, err := verifyRange(ctx, &ix.st, rq, sc.gitems, gridCand, lim, &stats, sc.out[:0])
 	sc.out = out
 	return out, stats, err
@@ -148,7 +149,7 @@ func (ix *GridIndex) KNNCtx(ctx context.Context, q ts.Series, k int, delta float
 	if k <= 0 {
 		return nil, QueryStats{}, nil
 	}
-	p := makePlan(q, delta, ix.st.n, ix.st.transform)
+	p := makePlan(q, delta, ix.st.n, ix.st.transform, ix.st.coarse)
 	sc := getScratch()
 	out, stats, err := ix.knnPlan(ctx, p, k, lim, sc)
 	return finish(out, sc, false), stats, err
@@ -165,7 +166,7 @@ func (ix *GridIndex) knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc
 
 	var gstats gridfile.Stats
 	var stats QueryStats
-	s := &knnState{v: v, q: p.q, env: p.env, band: p.band, best: sc.topK(k), lim: lim, stats: &stats, useLB: true}
+	s := &knnState{v: v, q: p.q, env: p.env, cfe: p.coarseEnvelope(), band: p.band, best: sc.topK(k), lim: lim, stats: &stats, useLB: true}
 
 	cLo, cHi := ix.grid.CellRange(fe.Lower, fe.Upper)
 	maxRing := ix.grid.MaxRing(cLo, cHi)

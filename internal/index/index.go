@@ -7,12 +7,14 @@
 //     transformed container-invariantly into a feature-space box, and an
 //     epsilon-range (or kNN) search on the tree returns candidates;
 //  3. candidates pass through a cascade of ever-tighter lower bounds — the
-//     feature-space box distance, the full-dimensional LB_Keogh filter, the
-//     reversed-role LB_Keogh second pass — and finally the exact banded DTW
-//     computation, every stage early-abandoning at the query threshold.
+//     coarse 4-dim New_PAA box distance, the feature-space box distance, the
+//     full-dimensional LB_Keogh filter, the two-pass LB_Improved bound — and
+//     finally the exact banded DTW computation, every stage early-abandoning
+//     at the query threshold.
 //
-// Theorem 1 (and for the reversed pass, the symmetry of Lemma 2) guarantees
-// no false negatives at every stage. The QueryStats returned with each
+// Theorem 1 (applied independently at both feature resolutions; for
+// LB_Improved, Lemire's two-pass argument) guarantees no false negatives at
+// every stage. The QueryStats returned with each
 // query expose the candidate counts and page accesses that Figures 8-10 of
 // the paper report.
 //
@@ -60,9 +62,15 @@ type QueryStats struct {
 	// Candidates is the number of series returned by the index structure
 	// (feature-space filter) before any refinement.
 	Candidates int
-	// LBSurvivors is the number of candidates remaining after the
-	// full-dimensional lower-bound cascade (LB_Keogh and its reversed-role
-	// second pass).
+	// CoarseSurvivors is the number of candidates remaining after the
+	// coarse 4-dim New_PAA box pre-stage (== Candidates when the corpus
+	// carries no coarse column).
+	CoarseSurvivors int
+	// KeoghSurvivors is the number of candidates remaining after the
+	// full-dimensional box check and LB_Keogh.
+	KeoghSurvivors int
+	// LBSurvivors is the number of candidates remaining after the whole
+	// lower-bound cascade (LB_Improved second pass included).
 	LBSurvivors int
 	// ExactDTW is the number of exact banded DTW computations performed.
 	ExactDTW int
@@ -78,6 +86,8 @@ type QueryStats struct {
 // sticky: one degraded round degrades the whole query.
 func (s *QueryStats) add(o QueryStats) {
 	s.Candidates += o.Candidates
+	s.CoarseSurvivors += o.CoarseSurvivors
+	s.KeoghSurvivors += o.KeoghSurvivors
 	s.LBSurvivors += o.LBSurvivors
 	s.ExactDTW += o.ExactDTW
 	s.PageAccesses += o.PageAccesses
@@ -194,12 +204,14 @@ func (l *Limits) publishKNNBound(d float64) {
 	}
 }
 
-// entry is a view of one indexed series and its feature vector (cached at
+// entry is a view of one indexed series and its feature vectors (cached at
 // Add time, so queries and removals never recompute transform.Apply).
-// Both slices alias the corpus arena.
+// All slices alias the corpus arenas; cfeat is nil when the corpus carries
+// no coarse column.
 type entry struct {
-	x    ts.Series
-	feat []float64
+	x     ts.Series
+	feat  []float64
+	cfeat []float64
 }
 
 // Index is a DTW similarity index over fixed-length normal-form series,
@@ -313,7 +325,7 @@ func (ix *Index) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta 
 	if err := ix.st.checkQuery(q); err != nil {
 		return nil, QueryStats{}, err
 	}
-	p := makePlan(q, delta, ix.st.n, ix.st.transform)
+	p := makePlan(q, delta, ix.st.n, ix.st.transform, ix.st.coarse)
 	sc := getScratch()
 	out, stats, err := ix.rangePlan(ctx, p, epsilon, lim, sc)
 	return finish(out, sc, true), stats, err
@@ -334,7 +346,10 @@ func (ix *Index) rangePlan(ctx context.Context, p *Plan, epsilon float64, lim Li
 	// fe is nil: the tree's leaf filter already applied the exact
 	// point-to-box distance test at this epsilon, so re-running the box
 	// pre-check per candidate could never prune — only cost O(dim) each.
-	rq := &rangeQuery{q: p.q, env: p.env, band: p.band, eps2: epsilon * epsilon, useLB: true}
+	// The coarse pre-stage still runs: an O(4) check ahead of the O(n)
+	// LB_Keogh, and for transforms whose coarse box is not nested inside
+	// the fine one (DFT/DWT/SVD) it prunes candidates the tree let through.
+	rq := &rangeQuery{q: p.q, env: p.env, cfe: p.coarseEnvelope(), band: p.band, eps2: epsilon * epsilon, useLB: true}
 	out, err := verifyRange(ctx, &ix.st, rq, sc.ritems, rtreeCand, lim, &stats, sc.out[:0])
 	sc.out = out
 	return out, stats, err
@@ -408,7 +423,7 @@ func (ix *Index) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, 
 	if k <= 0 {
 		return nil, QueryStats{}, nil
 	}
-	p := makePlan(q, delta, ix.st.n, ix.st.transform)
+	p := makePlan(q, delta, ix.st.n, ix.st.transform, ix.st.coarse)
 	sc := getScratch()
 	out, stats, err := ix.knnPlan(ctx, p, k, lim, sc)
 	return finish(out, sc, false), stats, err
@@ -426,7 +441,7 @@ func (ix *Index) knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc *sc
 	var tstats rtree.Stats
 	var stats QueryStats
 	best := sc.topK(k)
-	s := &knnState{v: v, q: p.q, env: p.env, band: p.band, best: best, lim: lim, stats: &stats, useLB: true}
+	s := &knnState{v: v, q: p.q, env: p.env, cfe: p.coarseEnvelope(), band: p.band, best: best, lim: lim, stats: &stats, useLB: true}
 	ix.tree.IncrementalNNStats(box, func(nb rtree.Neighbor) bool {
 		if e := ctx.Err(); e != nil {
 			s.err = e

@@ -33,23 +33,30 @@ import (
 // times the plan is reused (the qbh growth loop issues several kNN rounds
 // against one plan).
 type Plan struct {
-	q     ts.Series
-	band  int
-	env   dtw.Envelope
-	fe    core.FeatureEnvelope
-	hasFE bool
+	q      ts.Series
+	band   int
+	env    dtw.Envelope
+	fe     core.FeatureEnvelope
+	hasFE  bool
+	cfe    core.FeatureEnvelope
+	hasCFE bool
 }
 
 // makePlan computes the plan for query q at warping width delta over
 // series of length n. tr may be nil (transform-less linear scan): the
 // plan then carries no feature box and the cascade skips the box
-// pre-check.
-func makePlan(q ts.Series, delta float64, n int, tr core.Transform) *Plan {
+// pre-check. coarse, when non-nil, adds the 4-dim New_PAA box of the
+// cascade's coarse pre-stage (computed once here, like the fine box).
+func makePlan(q ts.Series, delta float64, n int, tr, coarse core.Transform) *Plan {
 	band := dtw.BandRadius(n, delta)
 	p := &Plan{q: q, band: band, env: dtw.NewEnvelope(q, band)}
 	if tr != nil {
 		p.fe = tr.ApplyEnvelope(p.env)
 		p.hasFE = true
+	}
+	if coarse != nil {
+		p.cfe = coarse.ApplyEnvelope(p.env)
+		p.hasCFE = true
 	}
 	return p
 }
@@ -61,6 +68,15 @@ func (p *Plan) featureEnvelope() *core.FeatureEnvelope {
 		return nil
 	}
 	return &p.fe
+}
+
+// coarseEnvelope returns the plan's coarse New_PAA box, nil when the
+// corpus carries no coarse column.
+func (p *Plan) coarseEnvelope() *core.FeatureEnvelope {
+	if !p.hasCFE {
+		return nil
+	}
+	return &p.cfe
 }
 
 // scratch is the reusable buffer set of one backend query: candidate
@@ -119,7 +135,8 @@ func (sh *Sharded) NewPlan(q ts.Series, delta float64) (*Plan, error) {
 	if len(q) != n {
 		return nil, queryLengthError(len(q), n)
 	}
-	return makePlan(q, delta, n, transformOf(sh.shards[0].s)), nil
+	st := corpusOf(sh)
+	return makePlan(q, delta, n, st.transform, st.coarse), nil
 }
 
 // RangeQueryPlan is RangeQueryCtx against a precomputed plan: no envelope

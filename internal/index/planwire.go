@@ -28,13 +28,21 @@ type PlanWire struct {
 	// carries no transform.
 	FeLo []float64 `json:"fe_lo,omitempty"`
 	FeHi []float64 `json:"fe_hi,omitempty"`
+	// CoarseLo/CoarseHi are the coarse New_PAA pre-stage box; empty when
+	// the series length forbids a coarse companion (see coarseCompanion).
+	CoarseLo []float64 `json:"coarse_lo,omitempty"`
+	CoarseHi []float64 `json:"coarse_hi,omitempty"`
 }
 
 // NewQueryPlan computes a standalone plan — the coordinator-side
 // constructor, for callers that hold a transform but no index. tr may be
-// nil (no feature box; only meaningful for transform-less backends).
+// nil (no feature box; only meaningful for transform-less backends). The
+// coarse pre-stage box is included exactly when a replica corpus of the
+// same shape would carry a coarse column (coarseCompanion is a pure
+// function of the series length and tr), so the planned-query path and the
+// single-node path run the identical cascade.
 func NewQueryPlan(q ts.Series, delta float64, tr core.Transform) *Plan {
-	return makePlan(q, delta, len(q), tr)
+	return makePlan(q, delta, len(q), tr, coarseCompanion(len(q), tr))
 }
 
 // SeriesLen returns the length of the plan's query series, which must
@@ -55,6 +63,10 @@ func (p *Plan) Wire() PlanWire {
 		w.FeLo = p.fe.Lower
 		w.FeHi = p.fe.Upper
 	}
+	if p.hasCFE {
+		w.CoarseLo = p.cfe.Lower
+		w.CoarseHi = p.cfe.Upper
+	}
 	return w
 }
 
@@ -68,8 +80,12 @@ func (sh *Sharded) CheckPlan(p *Plan) error {
 	if p.SeriesLen() != sh.SeriesLen() {
 		return queryLengthError(p.SeriesLen(), sh.SeriesLen())
 	}
-	if tr := transformOf(sh.shards[0].s); tr != nil && p.hasFE && p.fe.Len() != tr.OutputLen() {
-		return fmt.Errorf("index: plan feature box has dim %d, index transform has %d", p.fe.Len(), tr.OutputLen())
+	st := corpusOf(sh)
+	if st.transform != nil && p.hasFE && p.fe.Len() != st.transform.OutputLen() {
+		return fmt.Errorf("index: plan feature box has dim %d, index transform has %d", p.fe.Len(), st.transform.OutputLen())
+	}
+	if st.cdim > 0 && p.hasCFE && p.cfe.Len() != st.cdim {
+		return fmt.Errorf("index: plan coarse box has dim %d, index coarse column has %d", p.cfe.Len(), st.cdim)
 	}
 	return nil
 }
@@ -99,6 +115,14 @@ func PlanFromWire(w PlanWire) (*Plan, error) {
 		}
 		p.fe = fe
 		p.hasFE = true
+	}
+	if len(w.CoarseLo) > 0 || len(w.CoarseHi) > 0 {
+		cfe := core.FeatureEnvelope{Lower: w.CoarseLo, Upper: w.CoarseHi}
+		if !cfe.Valid() {
+			return nil, fmt.Errorf("index: shipped plan coarse box malformed")
+		}
+		p.cfe = cfe
+		p.hasCFE = true
 	}
 	return p, nil
 }

@@ -79,14 +79,14 @@ func (s *LinearScan) RangeQuery(q ts.Series, epsilon, delta float64) ([]Match, Q
 }
 
 // RangeQueryCtx implements Searcher: every stored series is a candidate,
-// refined through the same shared cascade (feature-box pre-check when a
-// transform is present, LB_Keogh, reversed pass, budgeted DTW) as the
+// refined through the same shared cascade (coarse New_PAA and feature-box
+// pre-checks when present, LB_Keogh, LB_Improved, budgeted DTW) as the
 // indexed backends. A query of the wrong length returns ErrQueryLength.
 func (s *LinearScan) RangeQueryCtx(ctx context.Context, q ts.Series, epsilon, delta float64, lim Limits) ([]Match, QueryStats, error) {
 	if err := s.st.checkQuery(q); err != nil {
 		return nil, QueryStats{}, err
 	}
-	p := makePlan(q, delta, s.st.n, s.st.transform)
+	p := makePlan(q, delta, s.st.n, s.st.transform, s.st.coarse)
 	sc := getScratch()
 	out, stats, err := s.rangePlan(ctx, p, epsilon, lim, sc)
 	return finish(out, sc, true), stats, err
@@ -100,6 +100,7 @@ func (s *LinearScan) rangePlan(ctx context.Context, p *Plan, epsilon float64, li
 	rq := &rangeQuery{q: p.q, env: p.env, band: p.band, eps2: epsilon * epsilon, useLB: s.UseLB}
 	if s.UseLB {
 		rq.fe = p.featureEnvelope()
+		rq.cfe = p.coarseEnvelope()
 	}
 	out, err := verifyRange(ctx, &s.st, rq, sc.slots, slotCand, lim, &stats, sc.out[:0])
 	sc.out = out
@@ -123,7 +124,7 @@ func (s *LinearScan) KNNCtx(ctx context.Context, q ts.Series, k int, delta float
 	if k <= 0 {
 		return nil, QueryStats{}, nil
 	}
-	p := makePlan(q, delta, s.st.n, s.st.transform)
+	p := makePlan(q, delta, s.st.n, s.st.transform, s.st.coarse)
 	sc := getScratch()
 	out, stats, err := s.knnPlan(ctx, p, k, lim, sc)
 	return finish(out, sc, false), stats, err
@@ -137,7 +138,7 @@ func (s *LinearScan) knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc
 	defer putVerifier(v)
 
 	var stats QueryStats
-	st := &knnState{v: v, q: p.q, env: p.env, band: p.band, best: sc.topK(k), lim: lim, stats: &stats, useLB: s.UseLB}
+	st := &knnState{v: v, q: p.q, env: p.env, cfe: p.coarseEnvelope(), band: p.band, best: sc.topK(k), lim: lim, stats: &stats, useLB: s.UseLB}
 	for slot, id := range s.st.ids {
 		if !s.st.alive[slot] {
 			continue

@@ -105,17 +105,46 @@ func NewBackend(kind BackendKind, t core.Transform, cfg Config) (Searcher, error
 // for the transform-less linear scan). Plans built by the composite need
 // it to run ApplyEnvelope exactly once for all shards.
 func transformOf(s Searcher) core.Transform {
-	switch b := s.(type) {
-	case *Index:
-		return b.st.transform
-	case *GridIndex:
-		return b.st.transform
-	case *LinearScan:
-		return b.st.transform
-	case *Sharded:
-		return transformOf(b.shards[0].s)
+	if st := corpusOf(s); st != nil {
+		return st.transform
 	}
 	return nil
+}
+
+// corpusOf returns the corpus of a backend (the first shard's for the
+// composite — all shards share one transform configuration). Plans built by
+// the composite read both the fine transform and the coarse companion from
+// it.
+func corpusOf(s Searcher) *corpus {
+	switch b := s.(type) {
+	case *Index:
+		return &b.st
+	case *GridIndex:
+		return &b.st
+	case *LinearScan:
+		return &b.st
+	case *Sharded:
+		return corpusOf(b.shards[0].s)
+	}
+	return nil
+}
+
+// coarseCompanion returns the coarse New_PAA pre-stage transform paired
+// with a fine transform tr over series of length n, or nil when the
+// pre-stage cannot pay for itself: series too short (or not divisible by
+// the coarse dimensionality), or a fine transform already at or below the
+// coarse dimensionality, whose own box check is at least as tight for the
+// same cost. The rule is a pure function of (n, tr's output length) so the
+// coordinator-side planner and every replica corpus agree on whether a
+// plan carries a coarse box.
+func coarseCompanion(n int, tr core.Transform) core.Transform {
+	if n < core.CoarsePAADim || n%core.CoarsePAADim != 0 {
+		return nil
+	}
+	if tr != nil && tr.OutputLen() <= core.CoarsePAADim {
+		return nil
+	}
+	return core.NewCoarsePAA(n)
 }
 
 // corpus is the backend-independent state every Searcher carries: the
@@ -136,14 +165,17 @@ func transformOf(s Searcher) core.Transform {
 // owning backend rebuilds its structure over the new arena.
 type corpus struct {
 	transform core.Transform // nil for the transform-less linear scan
+	coarse    core.Transform // coarse New_PAA pre-stage, nil when n forbids it
 	n         int            // series length
 	dim       int            // feature dimensionality (0 without transform)
+	cdim      int            // coarse feature dimensionality (0 without coarse)
 
 	slots map[int64]int32 // id -> live slot
 	ids   []int64         // slot -> id (meaningful only while live)
 	alive []bool          // slot liveness; false = tombstone
 	xs    []float64       // series arena, len == len(ids)*n
 	fs    []float64       // feature arena, len == len(ids)*dim
+	cfs   []float64       // coarse feature arena, len == len(ids)*cdim
 	dead  int             // tombstone count
 	// compactions counts arena compactions (test observability).
 	compactions int
@@ -155,7 +187,11 @@ func newCorpus(t core.Transform, n int) corpus {
 		n = t.InputLen()
 		dim = t.OutputLen()
 	}
-	return corpus{transform: t, n: n, dim: dim, slots: make(map[int64]int32)}
+	st := corpus{transform: t, n: n, dim: dim, slots: make(map[int64]int32)}
+	if st.coarse = coarseCompanion(n, t); st.coarse != nil {
+		st.cdim = st.coarse.OutputLen()
+	}
+	return st
 }
 
 // at returns the entry stored in a live slot as views into the arena.
@@ -163,6 +199,9 @@ func (st *corpus) at(slot int) entry {
 	e := entry{x: ts.Series(st.xs[slot*st.n : (slot+1)*st.n : (slot+1)*st.n])}
 	if st.dim > 0 {
 		e.feat = st.fs[slot*st.dim : (slot+1)*st.dim : (slot+1)*st.dim]
+	}
+	if st.cdim > 0 {
+		e.cfeat = st.cfs[slot*st.cdim : (slot+1)*st.cdim : (slot+1)*st.cdim]
 	}
 	return e
 }
@@ -188,6 +227,9 @@ func (st *corpus) add(id int64, x ts.Series) (entry, int32, error) {
 	st.xs = append(st.xs, x...)
 	if st.transform != nil {
 		st.fs = append(st.fs, st.transform.Apply(x)...)
+	}
+	if st.coarse != nil {
+		st.cfs = append(st.cfs, st.coarse.Apply(x)...)
 	}
 	st.slots[id] = int32(slot)
 	return st.at(slot), int32(slot), nil
@@ -229,9 +271,12 @@ func (st *corpus) compact() {
 	ids := make([]int64, 0, liveCount)
 	alive := make([]bool, 0, liveCount)
 	xs := make([]float64, 0, liveCount*st.n)
-	var fs []float64
+	var fs, cfs []float64
 	if st.dim > 0 {
 		fs = make([]float64, 0, liveCount*st.dim)
+	}
+	if st.cdim > 0 {
+		cfs = make([]float64, 0, liveCount*st.cdim)
 	}
 	for slot, id := range st.ids {
 		if !st.alive[slot] {
@@ -244,8 +289,11 @@ func (st *corpus) compact() {
 		if st.dim > 0 {
 			fs = append(fs, st.fs[slot*st.dim:(slot+1)*st.dim]...)
 		}
+		if st.cdim > 0 {
+			cfs = append(cfs, st.cfs[slot*st.cdim:(slot+1)*st.cdim]...)
+		}
 	}
-	st.ids, st.alive, st.xs, st.fs = ids, alive, xs, fs
+	st.ids, st.alive, st.xs, st.fs, st.cfs = ids, alive, xs, fs, cfs
 	st.dead = 0
 	st.compactions++
 }

@@ -35,65 +35,92 @@ var verifierPool = sync.Pool{New: func() interface{} { return new(verifier) }}
 func getVerifier() *verifier  { return verifierPool.Get().(*verifier) }
 func putVerifier(v *verifier) { verifierPool.Put(v) }
 
-// The reversed-role LB_Keogh pass costs an O(n) candidate envelope (three
-// deque sweeps) per call, while the exact DP it tries to save costs
-// O(n*(2k+1)) — but abandons early, so for narrow bands the DP dismisses a
-// non-match almost as cheaply as the reversed bound would. Benchmarks on
-// random-walk data (n=128) show the reversed pass is a net loss below
-// k≈8 and only pays off when the band is wide enough that each avoided DP
-// run covers many envelope computations. Both gates are purely performance
-// heuristics: skipping a lower bound can only send more candidates to
-// exact DTW, never dismiss a true match.
-//
-// reversedLBMinBand: engage the reversed pass only at band radii where the
-// DP is expensive enough to insure against. reversedLBGate: even then,
-// only when the forward bound landed within this fraction of the cutoff —
-// the two bounds are strongly correlated, so a candidate with lots of
-// forward slack is almost never pruned by the reversed pass.
+// lbOutcome reports how far a candidate got through the lower-bound
+// cascade: which stage pruned it, or lbPassed when it must go to exact
+// DTW. The ordering matters — stage survivor counters increment for every
+// outcome strictly beyond that stage.
+type lbOutcome uint8
+
 const (
-	reversedLBMinBand = 8
-	reversedLBGate    = 0.25
+	prunedCoarse lbOutcome = iota
+	prunedKeogh
+	prunedImproved
+	lbPassed
 )
 
 // rangeQuery carries the per-query constants of one range verification:
 // the query, its envelope and (when the backend has a transform) the
-// feature-space box, the band radius and the squared threshold. useLB
-// false disables the whole lower-bound cascade — the brute-force scan
-// baseline used by the experiments package.
+// feature-space box and the coarse New_PAA box, the band radius and the
+// squared threshold. useLB false disables the whole lower-bound cascade —
+// the brute-force scan baseline used by the experiments package.
 type rangeQuery struct {
 	q     ts.Series
 	env   dtw.Envelope
 	fe    *core.FeatureEnvelope // nil: no transform, skip the box pre-check
+	cfe   *core.FeatureEnvelope // nil: no coarse column, skip the pre-stage
 	band  int
 	eps2  float64
 	useLB bool
 }
 
-// passesLB runs the lower-bound cascade for a range query at threshold
-// rq.eps2: the O(dim) feature-space box distance against the cached
-// feature vector, the full-dimensional LB_Keogh distance to the query
-// envelope, and — when the forward bound is tight enough to make it
-// worthwhile — the reversed-role LB_Keogh second pass (envelope of the
-// candidate, Lemire's two-pass bound). Every stage abandons at eps2; a
-// false return means the candidate provably cannot match (no false
-// dismissals, Theorem 1 / Lemma 2 symmetry).
-func (v *verifier) passesLB(e entry, rq *rangeQuery) bool {
-	if !rq.useLB {
-		return true
+// cascade runs the four-stage lower-bound cascade against one candidate at
+// squared threshold w2:
+//
+//  1. the O(4) coarse New_PAA box distance (an independent instance of
+//     Theorem 1 — sound regardless of the fine transform);
+//  2. the O(dim) fine feature-space box distance (when the caller did not
+//     already apply it spatially);
+//  3. the full-dimensional LB_Keogh distance to the query envelope, early
+//     abandoning at w2;
+//  4. Lemire's LB_Improved second pass over LB_Keogh survivors: the
+//     candidate is projected onto the query envelope (SIMD clamp kernel)
+//     and the distance from the query to the projection's envelope is
+//     added to the forward bound, early abandoning at the remaining
+//     budget w2-fwd. At band 0 the projection's envelope degenerates to
+//     the query itself (the second term is identically zero), so the pass
+//     is skipped.
+//
+// Every stage is a lower bound of squared banded DTW, so a pruned outcome
+// means the candidate provably cannot match (no false dismissals); each
+// stage is tighter and costlier than the one before it.
+func (v *verifier) cascade(q ts.Series, env dtw.Envelope, cfe, fe *core.FeatureEnvelope, band int, e entry, w2 float64) lbOutcome {
+	if cfe != nil && len(e.cfeat) > 0 && core.SquaredDistToBox(e.cfeat, *cfe) > w2 {
+		return prunedCoarse
 	}
-	if rq.fe != nil && core.SquaredDistToBox(e.feat, *rq.fe) > rq.eps2 {
-		return false
+	if fe != nil && core.SquaredDistToBox(e.feat, *fe) > w2 {
+		return prunedKeogh
 	}
-	fwd, ok := dtw.SquaredDistToEnvelopeWithin(e.x, rq.env, rq.eps2)
+	fwd, ok := dtw.SquaredDistToEnvelopeWithin(e.x, env, w2)
 	if !ok {
-		return false
+		return prunedKeogh
 	}
-	if rq.band >= reversedLBMinBand && fwd > rq.eps2*reversedLBGate {
-		if _, ok := v.ws.SquaredReversedLBKeoghWithin(rq.q, e.x, rq.band, rq.eps2); !ok {
-			return false
+	if band > 0 {
+		if _, ok := v.ws.SquaredLBImprovedWithin(q, e.x, env, band, fwd, w2); !ok {
+			return prunedImproved
 		}
 	}
-	return true
+	return lbPassed
+}
+
+// rangeCascade is cascade at the range query's fixed threshold; useLB
+// false passes everything (brute-force baseline).
+func (v *verifier) rangeCascade(e entry, rq *rangeQuery) lbOutcome {
+	if !rq.useLB {
+		return lbPassed
+	}
+	return v.cascade(rq.q, rq.env, rq.cfe, rq.fe, rq.band, e, rq.eps2)
+}
+
+// countStage accumulates the per-stage survivor counters for one cascade
+// outcome (LBSurvivors is counted by the caller next to the DTW budget
+// reservation, preserving the established counting order).
+func countStage(stats *QueryStats, o lbOutcome) {
+	if o > prunedCoarse {
+		stats.CoarseSurvivors++
+	}
+	if o > prunedKeogh {
+		stats.KeoghSurvivors++
+	}
 }
 
 // Candidate resolvers: each backend names its candidate element type
@@ -117,6 +144,7 @@ type knnState struct {
 	v     *verifier
 	q     ts.Series
 	env   dtw.Envelope
+	cfe   *core.FeatureEnvelope // nil: no coarse column
 	band  int
 	best  *topK
 	lim   Limits
@@ -158,19 +186,13 @@ func (s *knnState) refine(ctx context.Context, id int64, e entry) bool {
 	cutoff := s.cutoff()
 	if s.useLB && !math.IsInf(cutoff, 1) {
 		// Lower-bound cascade at the current cutoff; each stage is cheaper
-		// than the next and abandons early.
+		// than the next and abandons early. The fine box stage is nil: the
+		// spatial traversals already order/filter by the fine box distance.
 		w2 := cutoff * cutoff
-		fwd, ok := dtw.SquaredDistToEnvelopeWithin(e.x, s.env, w2)
-		if !ok {
+		o := s.v.cascade(s.q, s.env, s.cfe, nil, s.band, e, w2)
+		countStage(s.stats, o)
+		if o != lbPassed {
 			return true
-		}
-		// The reversed-role bound costs an O(n) envelope per candidate;
-		// see the gate rationale above (wide bands only, and only when the
-		// forward bound landed near the cutoff).
-		if s.band >= reversedLBMinBand && fwd > w2*reversedLBGate {
-			if _, ok := s.v.ws.SquaredReversedLBKeoghWithin(s.q, e.x, s.band, w2); !ok {
-				return true
-			}
 		}
 		s.stats.LBSurvivors++
 		if !s.lim.reserveDTW(s.stats.ExactDTW) {
@@ -185,6 +207,8 @@ func (s *knnState) refine(ctx context.Context, id int64, e entry) bool {
 			s.best.offer(Match{ID: id, Dist: math.Sqrt(d2)})
 		}
 	} else {
+		s.stats.CoarseSurvivors++
+		s.stats.KeoghSurvivors++
 		s.stats.LBSurvivors++
 		if !s.lim.reserveDTW(s.stats.ExactDTW) {
 			s.stats.Degraded = true
@@ -220,8 +244,8 @@ func verifyWorkers(lim Limits) int {
 }
 
 // verifyRange refines the candidate set of a range query into exact
-// matches (unsorted), appending them to dst. It updates
-// stats.LBSurvivors, stats.ExactDTW and stats.Degraded, honors the
+// matches (unsorted), appending them to dst. It updates the per-stage
+// survivor counters, stats.ExactDTW and stats.Degraded, honors the
 // context and the exact-DTW budget (per-query, or shared across shards
 // when the query was fanned out by Sharded), and picks the sequential or
 // parallel strategy by candidate-set size and the query's share of the
@@ -246,7 +270,9 @@ func verifyRange[T any](ctx context.Context, st *corpus, rq *rangeQuery, items [
 			break
 		}
 		id, e := cand(st, it)
-		if !v.passesLB(e, rq) {
+		o := v.rangeCascade(e, rq)
+		countStage(stats, o)
+		if o != lbPassed {
 			continue
 		}
 		if !lim.reserveDTW(stats.ExactDTW) {
@@ -287,14 +313,16 @@ func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery,
 		workers = 2
 	}
 	var (
-		cursor    int64 // next candidate index to claim
-		survivors int64 // candidates that passed the LB cascade
-		reserved  int64 // local exact-DTW budget reservations
-		performed int64 // exact DTW verifications actually run
-		degraded  int32 // budget exhausted with work left
-		aborted   int32 // a worker observed ctx cancellation
-		hookMu    sync.Mutex
-		wg        sync.WaitGroup
+		cursor     int64 // next candidate index to claim
+		coarseSurv int64 // candidates past the coarse New_PAA pre-stage
+		keoghSurv  int64 // candidates past the fine box + LB_Keogh stage
+		survivors  int64 // candidates that passed the whole LB cascade
+		reserved   int64 // local exact-DTW budget reservations
+		performed  int64 // exact DTW verifications actually run
+		degraded   int32 // budget exhausted with work left
+		aborted    int32 // a worker observed ctx cancellation
+		hookMu     sync.Mutex
+		wg         sync.WaitGroup
 	)
 	perWorker := make([][]Match, workers)
 	for w := 0; w < workers; w++ {
@@ -317,7 +345,14 @@ func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery,
 					break
 				}
 				id, e := cand(st, items[i])
-				if !v.passesLB(e, rq) {
+				o := v.rangeCascade(e, rq)
+				if o > prunedCoarse {
+					atomic.AddInt64(&coarseSurv, 1)
+				}
+				if o > prunedKeogh {
+					atomic.AddInt64(&keoghSurv, 1)
+				}
+				if o != lbPassed {
 					continue
 				}
 				var ok bool
@@ -346,6 +381,8 @@ func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery,
 	}
 	wg.Wait()
 
+	stats.CoarseSurvivors += int(coarseSurv)
+	stats.KeoghSurvivors += int(keoghSurv)
 	stats.LBSurvivors += int(survivors)
 	stats.ExactDTW += int(performed)
 	stats.Degraded = stats.Degraded || degraded != 0

@@ -210,13 +210,18 @@ func BenchmarkVerifyCandidates(b *testing.B) {
 	eps2 := epsilon * epsilon
 	// fe is nil, as in the production range path: the tree's leaf filter
 	// already applied the box test to these candidates.
-	rq := &rangeQuery{q: q, env: env, band: k, eps2: eps2, useLB: true}
+	var cfe *core.FeatureEnvelope
+	if ix.st.coarse != nil {
+		c := ix.st.coarse.ApplyEnvelope(env)
+		cfe = &c
+	}
+	rq := &rangeQuery{q: q, env: env, cfe: cfe, band: k, eps2: eps2, useLB: true}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, it := range items {
 			_, e := rtreeCand(&ix.st, it)
-			if !v.passesLB(e, rq) {
+			if v.rangeCascade(e, rq) != lbPassed {
 				continue
 			}
 			v.ws.SquaredBandedWithin(e.x, q, k, eps2)

@@ -1,0 +1,73 @@
+package qbh
+
+import (
+	"math"
+
+	"warping/internal/ts"
+)
+
+// Adaptive band radius: instead of spending the full configured warping
+// width on every query, estimate how much warping a given hum can actually
+// need from its own tempo variance. A smooth, steady hum (long sustained
+// notes, small frame-to-frame movement relative to its overall range)
+// aligns well under a narrow band; a jittery hum with fast note changes
+// needs the full width to absorb tempo wobble. Narrowing the band tightens
+// every stage of the cascade — the envelope, both feature boxes, LB_Keogh,
+// LB_Improved and the DP itself all shrink with it — and can only change
+// which matches are *found* insofar as a narrower band is a stricter
+// matching criterion; it never breaks lower-bound soundness, because every
+// stage is recomputed for the chosen band.
+const (
+	// minBandScale is the fraction of the configured delta a maximally
+	// smooth query keeps.
+	minBandScale = 0.5
+	// refRoughness is the roughness at which the full configured delta is
+	// restored. Normalized melodies move a fraction of their amplitude per
+	// frame; 0.5 sits above typical hums (which land near 0.1-0.3), so
+	// only genuinely jagged queries use the whole band.
+	refRoughness = 0.5
+)
+
+// AdaptiveDelta scales the configured warping width delta by the
+// normal-form query's own tempo roughness: the RMS first difference over
+// the standard deviation, a shift- and scale-invariant measure of how fast
+// the melody moves relative to its range. The result is a deterministic
+// pure function of (nf, delta), so the coordinator-side planner and the
+// single-node query path always derive the identical band radius for the
+// same query.
+func AdaptiveDelta(nf ts.Series, delta float64) float64 {
+	if len(nf) < 2 {
+		return delta * minBandScale
+	}
+	var sum, sum2, diff2 float64
+	for _, v := range nf {
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(len(nf))
+	variance := sum2/float64(len(nf)) - mean*mean
+	if variance <= 0 {
+		// A flat hum (every frame equal) needs no warping at all.
+		return delta * minBandScale
+	}
+	for i := 1; i < len(nf); i++ {
+		d := nf[i] - nf[i-1]
+		diff2 += d * d
+	}
+	rough := math.Sqrt(diff2/float64(len(nf)-1)) / math.Sqrt(variance)
+	scale := minBandScale + (1-minBandScale)*rough/refRoughness
+	if scale > 1 {
+		scale = 1
+	}
+	return delta * scale
+}
+
+// effectiveDelta applies the adaptive band estimator to a normalized query
+// when the system was built with Options.AdaptiveBand; otherwise the
+// configured delta passes through unchanged.
+func (s *System) effectiveDelta(nf ts.Series, delta float64) float64 {
+	if !s.opts.AdaptiveBand {
+		return delta
+	}
+	return AdaptiveDelta(nf, delta)
+}

@@ -1,0 +1,102 @@
+package qbh
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"warping/internal/index"
+	"warping/internal/ts"
+)
+
+// AdaptiveDelta must stay inside [minBandScale*delta, delta], hit the
+// floor on degenerate queries, and be monotone in roughness up to the cap.
+func TestAdaptiveDeltaBounds(t *testing.T) {
+	const delta = 0.1
+	flat := make(ts.Series, 128)
+	if got := AdaptiveDelta(flat, delta); got != delta*minBandScale {
+		t.Errorf("flat query: got %v, want %v", got, delta*minBandScale)
+	}
+	if got := AdaptiveDelta(ts.Series{1}, delta); got != delta*minBandScale {
+		t.Errorf("single sample: got %v, want %v", got, delta*minBandScale)
+	}
+	// A sawtooth alternating every frame is maximally rough: the full
+	// configured delta must be restored (scale capped at 1).
+	saw := make(ts.Series, 128)
+	for i := range saw {
+		saw[i] = float64(i%2) * 4
+	}
+	if got := AdaptiveDelta(saw, delta); got != delta {
+		t.Errorf("sawtooth: got %v, want %v", got, delta)
+	}
+	// A slow ramp moves little per frame relative to its range: between
+	// the floor and the cap, closer to the floor.
+	ramp := make(ts.Series, 128)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	got := AdaptiveDelta(ramp, delta)
+	if got <= delta*minBandScale || got >= delta {
+		t.Errorf("ramp: got %v, want strictly inside (%v, %v)", got, delta*minBandScale, delta)
+	}
+	// Shift and scale invariance: the estimator sees the same roughness.
+	shifted := make(ts.Series, len(ramp))
+	for i, v := range ramp {
+		shifted[i] = 3*v - 100
+	}
+	if got2 := AdaptiveDelta(shifted, delta); math.Abs(got2-got) > 1e-12 {
+		t.Errorf("scaled+shifted ramp: got %v, want %v", got2, got)
+	}
+}
+
+// The coordinator-side planner and the local query path must derive the
+// identical adaptive band for the same hum: shipped-plan results have to
+// be bit-identical to single-node results, band included.
+func TestAdaptiveBandPlannerAgreesWithLocal(t *testing.T) {
+	songs := testSongs(417, 12)
+	opts := Options{PhraseMin: 10, PhraseMax: 25, AdaptiveBand: true}
+	s, err := Build(songs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner := NewQueryPlanner(opts)
+
+	const topK, delta = 5, 0.1
+	for i, song := range songs[:4] {
+		pitch := song.Melody.TimeSeries()[:40]
+
+		local, lstats, err := s.QueryCtx(context.Background(), pitch, topK, delta, index.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := planner(pitch, delta)
+		if err := s.Index().CheckPlan(p); err != nil {
+			t.Fatalf("song %d: shipped plan rejected: %v", i, err)
+		}
+		planned, pstats, err := s.QueryPlanCtx(context.Background(), p, topK, index.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(local) != len(planned) {
+			t.Fatalf("song %d: local %d matches, planned %d", i, len(local), len(planned))
+		}
+		for j := range local {
+			if local[j] != planned[j] {
+				t.Fatalf("song %d match %d: local %+v, planned %+v", i, j, local[j], planned[j])
+			}
+		}
+		if lstats != pstats {
+			t.Fatalf("song %d: local stats %+v, planned stats %+v", i, lstats, pstats)
+		}
+	}
+}
+
+// AdaptiveBand off must leave query results untouched relative to an
+// identically built system — the option is opt-in.
+func TestAdaptiveBandOffIsDefault(t *testing.T) {
+	var opts Options
+	opts.fill()
+	if opts.AdaptiveBand {
+		t.Fatal("AdaptiveBand defaulted on")
+	}
+}

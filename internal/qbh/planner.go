@@ -31,6 +31,11 @@ func NewQueryPlanner(opts Options) func(pitch ts.Series, delta float64) *index.P
 		if opts.ScaleInvariant {
 			nf = nf.ZNormalize()
 		}
+		if opts.AdaptiveBand {
+			// The same pure estimator the replicas apply locally, over the
+			// same normal form: shipped plans carry the identical band.
+			delta = AdaptiveDelta(nf, delta)
+		}
 		return index.NewQueryPlan(nf, delta, tr)
 	}
 }

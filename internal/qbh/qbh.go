@@ -65,6 +65,13 @@ type Options struct {
 	// identical match sets and distances (Theorem 1 is
 	// backend-independent); they differ only in cost profile.
 	Backend index.BackendKind
+	// AdaptiveBand estimates the warping band radius per query from the
+	// query's own tempo variance (see AdaptiveDelta) instead of always
+	// spending the full configured delta: smooth hums get a narrower band
+	// and a tighter cascade. Off by default — the paper's experiments use
+	// a global constant width. Coordinators must set it identically to
+	// their replicas so shipped plans carry the same band.
+	AdaptiveBand bool
 }
 
 func (o *Options) fill() {
@@ -337,7 +344,7 @@ func (s *System) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta 
 	// feature-space transform are computed exactly once here, no matter
 	// how many growth rounds run or how many shards each round fans out
 	// across.
-	p, err := s.ix.NewPlan(q, delta)
+	p, err := s.ix.NewPlan(q, s.effectiveDelta(q, delta))
 	if err != nil {
 		return nil, index.QueryStats{}, err
 	}
@@ -456,7 +463,7 @@ func (s *System) RankPhrase(pitch ts.Series, phraseID int64, delta float64) int 
 		return 0
 	}
 	q := s.Normalize(pitch)
-	matches, _ := s.ix.KNN(q, nPhrases, delta)
+	matches, _ := s.ix.KNN(q, nPhrases, s.effectiveDelta(q, delta))
 	for i, m := range matches {
 		if m.ID == phraseID {
 			return i + 1
@@ -469,7 +476,8 @@ func (s *System) RankPhrase(pitch ts.Series, phraseID int64, delta float64) int 
 // by the Figure 8 experiments): all phrases within epsilon of the
 // normalized query.
 func (s *System) RangeQueryPhrases(pitch ts.Series, epsilon, delta float64) ([]index.Match, index.QueryStats) {
-	return s.ix.RangeQuery(s.Normalize(pitch), epsilon, delta)
+	q := s.Normalize(pitch)
+	return s.ix.RangeQuery(q, epsilon, s.effectiveDelta(q, delta))
 }
 
 // Index exposes the underlying sharded DTW index (read-only use).

@@ -56,19 +56,38 @@ func (b Backoff) Delay(attempt int) time.Duration {
 	return time.Duration(1 + rand.Int63n(int64(d)))
 }
 
+// maxRetryAfter bounds what a parsed Retry-After header can ask for. A
+// delta-seconds value near MaxInt64 would overflow the Duration
+// multiplication into a negative delay (which Do would then silently
+// ignore, retrying immediately against an overloaded server); anything
+// past a day is equally meaningless for a retry hint, so both forms clamp
+// here. Do additionally caps the hint at the backoff policy's Max.
+const maxRetryAfter = 24 * time.Hour
+
 // ParseRetryAfter extracts a server-requested delay from a response's
 // Retry-After header, supporting both the delta-seconds and HTTP-date
-// forms. ok is false when the header is absent or unparseable.
+// forms. ok is false when the header is absent or unparseable. Delays are
+// clamped to [0, maxRetryAfter]: a negative delta-seconds or a date in the
+// past is still a well-formed directive — retry now — not a parse failure.
 func ParseRetryAfter(h http.Header) (d time.Duration, ok bool) {
 	v := h.Get("Retry-After")
 	if v == "" {
 		return 0, false
 	}
-	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0, true
+		}
+		if secs > int(maxRetryAfter/time.Second) {
+			return maxRetryAfter, true
+		}
 		return time.Duration(secs) * time.Second, true
 	}
 	if t, err := http.ParseTime(v); err == nil {
 		if d := time.Until(t); d > 0 {
+			if d > maxRetryAfter {
+				return maxRetryAfter, true
+			}
 			return d, true
 		}
 		return 0, true
@@ -119,7 +138,14 @@ func Do(ctx context.Context, attempts int, b Backoff, fn func() (retryable bool,
 		}
 		d := b.Delay(attempt)
 		if after > 0 {
+			// The server's request displaces the computed backoff, but
+			// never beyond the policy's cap: a buggy or hostile
+			// Retry-After must not park the caller for hours while its
+			// context (and the user) wait.
 			d = after
+			if max := b.fill().Max; d > max {
+				d = max
+			}
 		}
 		if err := Sleep(ctx, d); err != nil {
 			return lastErr

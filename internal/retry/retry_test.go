@@ -29,21 +29,69 @@ func TestDelayJitterWithinBounds(t *testing.T) {
 }
 
 func TestParseRetryAfter(t *testing.T) {
-	h := http.Header{}
-	if _, ok := ParseRetryAfter(h); ok {
-		t.Error("absent header parsed")
+	httpDate := func(d time.Duration) string {
+		return time.Now().Add(d).UTC().Format(http.TimeFormat)
 	}
-	h.Set("Retry-After", "2")
-	if d, ok := ParseRetryAfter(h); !ok || d != 2*time.Second {
-		t.Errorf("delta-seconds: got %v, %v", d, ok)
+	cases := []struct {
+		name   string
+		header string // "" means absent
+		wantOK bool
+		min    time.Duration // inclusive lower bound on the delay
+		max    time.Duration // inclusive upper bound on the delay
+	}{
+		{name: "absent", header: "", wantOK: false},
+		{name: "garbage", header: "soon", wantOK: false},
+		{name: "delta seconds", header: "2", wantOK: true, min: 2 * time.Second, max: 2 * time.Second},
+		{name: "zero delta", header: "0", wantOK: true, min: 0, max: 0},
+		// A negative delta is a malformed-but-unambiguous directive to
+		// retry now; treating it as unparseable would make the caller
+		// fall back to exponential backoff and wait longer than asked.
+		{name: "negative delta", header: "-7", wantOK: true, min: 0, max: 0},
+		// Near-MaxInt64 delta-seconds must clamp, not overflow into a
+		// negative Duration that Do would ignore.
+		{name: "huge delta", header: "9223372036854775807", wantOK: true, min: maxRetryAfter, max: maxRetryAfter},
+		{name: "day-plus delta", header: "1000000", wantOK: true, min: maxRetryAfter, max: maxRetryAfter},
+		{name: "http date future", header: httpDate(3 * time.Second), wantOK: true, min: time.Millisecond, max: 3 * time.Second},
+		// A date in the past clamps to zero delay, same as negative delta.
+		{name: "http date past", header: httpDate(-time.Hour), wantOK: true, min: 0, max: 0},
+		{name: "http date far future", header: httpDate(48 * time.Hour), wantOK: true, min: maxRetryAfter, max: maxRetryAfter},
 	}
-	h.Set("Retry-After", time.Now().Add(3*time.Second).UTC().Format(http.TimeFormat))
-	if d, ok := ParseRetryAfter(h); !ok || d <= 0 || d > 3*time.Second {
-		t.Errorf("http-date: got %v, %v", d, ok)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := http.Header{}
+			if tc.header != "" {
+				h.Set("Retry-After", tc.header)
+			}
+			d, ok := ParseRetryAfter(h)
+			if ok != tc.wantOK {
+				t.Fatalf("ok = %v, want %v (d = %v)", ok, tc.wantOK, d)
+			}
+			if !ok {
+				return
+			}
+			if d < tc.min || d > tc.max {
+				t.Errorf("delay %v outside [%v, %v]", d, tc.min, tc.max)
+			}
+		})
 	}
-	h.Set("Retry-After", "soon")
-	if _, ok := ParseRetryAfter(h); ok {
-		t.Error("garbage header parsed")
+}
+
+// A server-supplied Retry-After larger than the policy cap must be clamped
+// by Do: otherwise one hostile or buggy header parks the caller far past
+// any backoff the operator configured.
+func TestDoCapsRetryAfterAtMaxBackoff(t *testing.T) {
+	start := time.Now()
+	calls := 0
+	_ = Do(context.Background(), 2, Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond, NoJitter: true},
+		func() (bool, time.Duration, error) {
+			calls++
+			return true, time.Hour, errors.New("throttled")
+		})
+	if calls != 2 {
+		t.Fatalf("calls=%d, want 2", calls)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hour-long Retry-After not capped at Max: waited %v", elapsed)
 	}
 }
 

@@ -150,11 +150,13 @@ func (c *Coordinator) QueryCtx(ctx context.Context, pitch ts.Series, topK int, d
 			continue
 		}
 		stats.Add(index.QueryStats{
-			Candidates:   r.resp.Candidates,
-			LBSurvivors:  r.resp.LBSurvivors,
-			ExactDTW:     r.resp.ExactDTW,
-			PageAccesses: r.resp.PageAccesses,
-			Degraded:     r.resp.Degraded,
+			Candidates:      r.resp.Candidates,
+			CoarseSurvivors: r.resp.CoarseSurvivors,
+			KeoghSurvivors:  r.resp.KeoghSurvivors,
+			LBSurvivors:     r.resp.LBSurvivors,
+			ExactDTW:        r.resp.ExactDTW,
+			PageAccesses:    r.resp.PageAccesses,
+			Degraded:        r.resp.Degraded,
 		})
 		for _, m := range r.resp.Matches {
 			matches = append(matches, qbh.SongMatch{SongID: m.SongID, Title: m.Title, Dist: m.Dist})
@@ -167,7 +169,23 @@ func (c *Coordinator) QueryCtx(ctx context.Context, pitch ts.Series, topK int, d
 	if failed > 0 {
 		stats.Degraded = true
 	}
-	sort.Slice(matches, func(i, j int) bool { return matches[i].Dist < matches[j].Dist })
+	// Re-sort the union of per-group top-Ks with the same total order the
+	// replicas use ((Dist, SongID, Title)), then truncate to topK. Sorting
+	// on Dist alone with sort.Slice is unstable: equal-distance matches
+	// landing in different groups would be ordered by goroutine completion,
+	// so repeated queries — or the same query against different shardings —
+	// could return different rankings. With the full tie-break the merged
+	// result is bit-identical to a single-node query over the union corpus.
+	sort.Slice(matches, func(i, j int) bool {
+		a, b := matches[i], matches[j]
+		if a.Dist != b.Dist {
+			return a.Dist < b.Dist
+		}
+		if a.SongID != b.SongID {
+			return a.SongID < b.SongID
+		}
+		return a.Title < b.Title
+	})
 	if len(matches) > topK {
 		matches = matches[:topK]
 	}
@@ -178,6 +196,16 @@ func (c *Coordinator) QueryCtx(ctx context.Context, pitch ts.Series, topK int, d
 // attempt launches when the first is slow (HedgeAfter) or fails, and the
 // first successful response wins. The rotation spreads read load across
 // replicas between queries.
+//
+// Dedupe invariant: the replicas of a group hold the same corpus, so when
+// a hedge fires the group has two or more in-flight attempts that would
+// each return the full per-group result. Exactly ONE response may reach
+// the caller — the merge loop in QueryCtx sums QueryStats and concatenates
+// matches per group, so a second response from a hedge loser would double
+// both. The first `return r.resp, nil` below is that dedupe point: the
+// deferred cancel() aborts the losers and their late sends land in the
+// buffered channel (capacity len(order), so they never block) and are
+// dropped with it.
 func (c *Coordinator) queryGroup(ctx context.Context, g GroupSpec, body []byte) (*QueryResponse, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel() // cancels the hedge loser

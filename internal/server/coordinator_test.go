@@ -308,3 +308,119 @@ func TestCoordinatorHedgesPastSlowReplica(t *testing.T) {
 		t.Fatalf("hedge took %v; the slow replica was waited on", elapsed)
 	}
 }
+
+// A slow replica whose response arrives after the hedge has already won
+// must not contribute a second copy of the group's stats or matches: the
+// merge sees exactly one response per group. A regression here (merging
+// every response that lands in the channel) would double Candidates and
+// duplicate matches whenever a hedge loser eventually succeeds.
+func TestCoordinatorHedgeCountsStatsOnce(t *testing.T) {
+	slowResp, _ := json.Marshal(QueryResponse{
+		Matches:         []MatchResponse{{SongID: 1, Title: "slow", Dist: 1}},
+		Candidates:      999,
+		CoarseSurvivors: 999,
+		KeoghSurvivors:  999,
+		LBSurvivors:     999,
+		ExactDTW:        999,
+	})
+	fastResp, _ := json.Marshal(QueryResponse{
+		Matches:         []MatchResponse{{SongID: 7, Title: "fast", Dist: 2}},
+		Candidates:      42,
+		CoarseSurvivors: 30,
+		KeoghSurvivors:  20,
+		LBSurvivors:     10,
+		ExactDTW:        10,
+	})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		// Long past HedgeAfter: the fast sibling wins, then this response
+		// (success or cancelled, depending on timing) must be discarded.
+		time.Sleep(80 * time.Millisecond)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(slowResp)
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(fastResp)
+	}))
+	defer fast.Close()
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Groups:     []GroupSpec{{Name: "g", Replicas: []string{slow.URL, fast.URL}}},
+		Opts:       clusterOpts,
+		HedgeAfter: 10 * time.Millisecond,
+		Backoff:    testBackoff,
+		Logf:       func(string, ...interface{}) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin the rotation so the slow replica is tried first.
+	coord.rr.Store(uint64(len(coord.cfg.Groups[0].Replicas) - 1))
+
+	got, stats, err := coord.QueryCtx(context.Background(), hummedPitch(music.BuiltinSongs(), 0, 3), 5, 0.1, index.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].SongID != 7 {
+		t.Fatalf("hedged query returned %v, want just the fast replica's match", got)
+	}
+	want := index.QueryStats{Candidates: 42, CoarseSurvivors: 30, KeoghSurvivors: 20, LBSurvivors: 10, ExactDTW: 10}
+	if stats != want {
+		t.Fatalf("merged stats %+v, want the hedge winner's alone %+v", stats, want)
+	}
+}
+
+// Equal-distance matches from different groups must rank exactly as a
+// single node would — by (Dist, SongID) — no matter which group's response
+// is appended to the union first. The group holding the larger SongID is
+// listed first, so a Dist-only sort would leave it ahead; per-stage stats
+// must sum across groups at the same time.
+func TestCoordinatorMergeTieBreakDeterministic(t *testing.T) {
+	mk := func(id int64, title string) *httptest.Server {
+		resp, _ := json.Marshal(QueryResponse{
+			Matches:         []MatchResponse{{SongID: id, Title: title, Dist: 2.5}},
+			Candidates:      5,
+			CoarseSurvivors: 4,
+			KeoghSurvivors:  3,
+			LBSurvivors:     2,
+			ExactDTW:        2,
+		})
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(resp)
+		}))
+	}
+	hi := mk(9, "tied-hi")
+	defer hi.Close()
+	lo := mk(4, "tied-lo")
+	defer lo.Close()
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Groups: []GroupSpec{
+			{Name: "a", Replicas: []string{hi.URL}},
+			{Name: "b", Replicas: []string{lo.URL}},
+		},
+		Opts:    clusterOpts,
+		Backoff: testBackoff,
+		Logf:    func(string, ...interface{}) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pitch := hummedPitch(music.BuiltinSongs(), 0, 3)
+	for trial := 0; trial < 4; trial++ {
+		got, stats, err := coord.QueryCtx(context.Background(), pitch, 5, 0.1, index.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 || got[0].SongID != 4 || got[1].SongID != 9 {
+			t.Fatalf("trial %d: merged order %v, want SongID 4 before 9 on the distance tie", trial, got)
+		}
+		want := index.QueryStats{Candidates: 10, CoarseSurvivors: 8, KeoghSurvivors: 6, LBSurvivors: 4, ExactDTW: 4}
+		if stats != want {
+			t.Fatalf("trial %d: merged stats %+v, want per-stage sums %+v", trial, stats, want)
+		}
+	}
+}

@@ -94,12 +94,14 @@ func (h *Handler) handleQueryPlanned(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := QueryResponse{
-		VoicedFrames: plan.SeriesLen(),
-		Candidates:   stats.Candidates,
-		LBSurvivors:  stats.LBSurvivors,
-		ExactDTW:     stats.ExactDTW,
-		PageAccesses: stats.PageAccesses,
-		Degraded:     stats.Degraded,
+		VoicedFrames:    plan.SeriesLen(),
+		Candidates:      stats.Candidates,
+		CoarseSurvivors: stats.CoarseSurvivors,
+		KeoghSurvivors:  stats.KeoghSurvivors,
+		LBSurvivors:     stats.LBSurvivors,
+		ExactDTW:        stats.ExactDTW,
+		PageAccesses:    stats.PageAccesses,
+		Degraded:        stats.Degraded,
 	}
 	for _, m := range matches {
 		resp.Matches = append(resp.Matches, MatchResponse{SongID: m.SongID, Title: m.Title, Dist: m.Dist})

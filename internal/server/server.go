@@ -275,9 +275,14 @@ type QueryResponse struct {
 	Matches      []MatchResponse `json:"matches"`
 	VoicedFrames int             `json:"voiced_frames"`
 	Candidates   int             `json:"candidates"`
-	LBSurvivors  int             `json:"lb_survivors"`
-	ExactDTW     int             `json:"exact_dtw"`
-	PageAccesses int             `json:"page_accesses"`
+	// CoarseSurvivors and KeoghSurvivors expose the intermediate cascade
+	// stages (coarse New_PAA box, then LB_Keogh) so pruning power is
+	// observable per stage across the cluster, not just end to end.
+	CoarseSurvivors int `json:"coarse_survivors"`
+	KeoghSurvivors  int `json:"keogh_survivors"`
+	LBSurvivors     int `json:"lb_survivors"`
+	ExactDTW        int `json:"exact_dtw"`
+	PageAccesses    int `json:"page_accesses"`
 	// Degraded reports that the query hit its exact-DTW budget and the
 	// ranking is best-effort rather than exact.
 	Degraded bool `json:"degraded,omitempty"`
@@ -509,12 +514,14 @@ func (h *Handler) respondQuery(w http.ResponseWriter, r *http.Request, pitch ts.
 		return
 	}
 	resp := QueryResponse{
-		VoicedFrames: len(pitch),
-		Candidates:   stats.Candidates,
-		LBSurvivors:  stats.LBSurvivors,
-		ExactDTW:     stats.ExactDTW,
-		PageAccesses: stats.PageAccesses,
-		Degraded:     stats.Degraded,
+		VoicedFrames:    len(pitch),
+		Candidates:      stats.Candidates,
+		CoarseSurvivors: stats.CoarseSurvivors,
+		KeoghSurvivors:  stats.KeoghSurvivors,
+		LBSurvivors:     stats.LBSurvivors,
+		ExactDTW:        stats.ExactDTW,
+		PageAccesses:    stats.PageAccesses,
+		Degraded:        stats.Degraded,
 	}
 	for _, m := range matches {
 		resp.Matches = append(resp.Matches, MatchResponse{SongID: m.SongID, Title: m.Title, Dist: m.Dist})
