@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-all chaos bench bench-json bench-json-pr4 bench-json-pr5 bench-json-pr7 bench-smoke fuzz-seeds cover experiments experiments-small clean
+.PHONY: all build test vet race race-all chaos chaos-membership bench bench-json bench-json-pr4 bench-json-pr5 bench-json-pr7 bench-smoke fuzz-seeds cover experiments experiments-small clean
 
 all: vet test
 
@@ -15,12 +15,20 @@ test:
 
 # Matches the CI race job: the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/qbh/... ./internal/server/... ./internal/replica/... ./internal/index/... ./internal/rtree/... ./internal/store/... ./internal/dtw/...
+	$(GO) test -race ./internal/qbh/... ./internal/server/... ./internal/replica/... ./internal/membership/... ./internal/index/... ./internal/rtree/... ./internal/store/... ./internal/dtw/...
 
 # The kill-a-replica chaos suite under the race detector: every replica
 # is a real OS process, death is SIGKILL (matches the CI chaos job).
 chaos:
 	$(GO) test -race -run 'TestChaos' -v ./internal/replica/
+
+# Membership chaos: SIGKILL the primary under write load (automatic
+# failover, zero acked-write loss), kill and cold-restart the seed, and
+# rebalance onto a joining group while writes stream (dual-write window,
+# bit-identical queries afterwards). Real OS processes, -race (matches
+# the CI chaos-membership job).
+chaos-membership:
+	$(GO) test -race -run 'TestChaosMembership' -v ./internal/membership/
 
 race-all:
 	$(GO) test -race ./...
@@ -70,7 +78,7 @@ bench-smoke:
 # Run the fuzz seed corpora as regression tests (what CI does); use
 # `go test -fuzz=FuzzName ./internal/dtw/` for a real fuzzing session.
 fuzz-seeds:
-	$(GO) test -run='^Fuzz' ./internal/dtw/ ./internal/ts/ ./internal/store/ ./internal/index/
+	$(GO) test -run='^Fuzz' ./internal/dtw/ ./internal/ts/ ./internal/store/ ./internal/index/ ./internal/membership/
 
 cover:
 	$(GO) test -cover ./...

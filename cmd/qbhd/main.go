@@ -45,6 +45,23 @@
 // out to one replica per group with hedged retries, and merges — partial
 // results are marked "degraded" when a whole group is unreachable.
 //
+// Dynamic membership replaces the static wiring:
+//
+//	qbhd -role seed -addr :7000 -bootstrap-groups g1,g2
+//	qbhd -role primary -data /var/lib/qbhd -group g1 -min-sync 1 \
+//	     -seeds http://seed:7000 -advertise http://primary:8080
+//	qbhd -role coordinator -seeds http://seed:7000
+//
+// A seed runs the membership registry (replicas gossip their role, group
+// and WAL watermark through it), the automatic-failover director (a
+// primary missing heartbeats is replaced by its most-caught-up follower;
+// the deposed primary fences itself when it comes back), and the
+// rebalance migrator (POST /membership/groups {"op":"add","group":"g3"}
+// opens a dual-write window, snapshot-ships the moving songs, and cuts
+// reads over atomically on a ring-version bump). Coordinators given
+// -seeds discover groups and replicas from the view instead of -groups,
+// and place writes on a versioned consistent-hash ring.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: /readyz flips to 503,
 // in-flight requests drain for up to -drain-timeout, then the process
 // exits. Overload and per-query limits are tunable with -max-concurrent,
@@ -75,6 +92,7 @@ import (
 
 	"warping"
 	"warping/internal/index"
+	"warping/internal/membership"
 	"warping/internal/qbh"
 	"warping/internal/replica"
 	"warping/internal/server"
@@ -83,7 +101,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	songCount := flag.Int("songs", 200, "number of generated songs for the demo database")
+	songCount := flag.Int("songs", 200, "number of generated songs for the demo database (plus the builtins); -1 starts with no songs at all, how a shard group joining a cluster ring must come up")
 	loadDB := flag.String("loaddb", "", "load a saved database instead of generating")
 	midiDir := flag.String("mididir", "", "index a directory of .mid files instead of generating")
 	dataDir := flag.String("data", "", "durable data directory (snapshot + write-ahead log); empty = memory only")
@@ -97,11 +115,15 @@ func main() {
 	maxDTW := flag.Int("max-dtw", 100000, "per-query exact-DTW budget (negative = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain deadline")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this private address (e.g. localhost:6060); empty = disabled")
-	role := flag.String("role", "standalone", "standalone, primary, follower, or coordinator")
+	role := flag.String("role", "standalone", "standalone, primary, follower, coordinator, or seed")
 	group := flag.String("group", "default", "shard group name (primary and follower roles)")
 	peers := flag.String("peers", "", "follower: the primary's base URL, e.g. http://primary:8080")
-	groupsSpec := flag.String("groups", "", `coordinator topology: "name=url,url;name=url" — one entry per shard group, replica URLs comma-separated`)
+	groupsSpec := flag.String("groups", "", `coordinator topology: "name=url,url;name=url" — one entry per shard group, replica URLs comma-separated (static mode; -seeds discovers it instead)`)
 	minSync := flag.Int("min-sync", 0, "primary: acknowledge a write only after this many followers confirm it (0 = asynchronous)")
+	seeds := flag.String("seeds", "", "comma-separated membership seed URLs: replicas gossip their state, coordinators discover the topology (replaces -groups)")
+	advertise := flag.String("advertise", "", "this node's public base URL in the membership view (required with -seeds on primary/follower)")
+	nodeID := flag.String("node-id", "", "stable node identity in the membership view (default: the -advertise URL)")
+	bootstrapGroups := flag.String("bootstrap-groups", "", "seed: comma-separated group names the initial hash ring waits for (empty = every group seen during the quiet period)")
 	adaptiveBand := flag.Bool("adaptive-band", false, "estimate the warping band per query from the query's own tempo variance (set identically on coordinator and replicas)")
 	flag.Parse()
 
@@ -119,16 +141,24 @@ func main() {
 	var handler *server.Handler
 	var durable *qbh.Durable
 	var node *replica.Node
+	var agent *membership.Agent
+	var rootHandler http.Handler
+	var stopMembership func()
 	switch *role {
 	case "standalone", "primary", "follower":
 	case "coordinator":
-		groups, err := parseGroups(*groupsSpec)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		var groups []server.GroupSpec
+		if *seeds == "" {
+			g, err := parseGroups(*groupsSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			groups = g
 		}
 		coord, err := server.NewCoordinator(server.CoordinatorConfig{
 			Groups: groups,
+			Seeds:  splitList(*seeds),
 			// Plan compilation must match how the replicas were built.
 			Opts: qbh.Options{PhraseMin: 10, PhraseMax: 25, AdaptiveBand: *adaptiveBand},
 		})
@@ -137,9 +167,37 @@ func main() {
 			os.Exit(1)
 		}
 		handler = server.NewBackend(coord, cfg)
-		log.Printf("coordinator ready: %d shard group(s)", len(groups))
+		stopMembership = func() { _ = coord.Close() }
+		if *seeds != "" {
+			log.Printf("coordinator ready: topology from membership seeds %s", *seeds)
+		} else {
+			log.Printf("coordinator ready: %d shard group(s)", len(groups))
+		}
+	case "seed":
+		// A seed holds no songs: it runs the membership registry, the
+		// automatic-failover director, and the rebalance migrator.
+		reg := membership.NewRegistry(membership.RegistryConfig{
+			BootstrapGroups: splitList(*bootstrapGroups),
+		})
+		rb := membership.NewRebalancer(reg, membership.RebalancerConfig{})
+		reg.SetRebalanceHook(func(r membership.Rebalance) {
+			if err := rb.Run(context.Background(), r); err != nil {
+				log.Printf("%v", err)
+			}
+		})
+		dctx, dcancel := context.WithCancel(context.Background())
+		go membership.NewDirector(reg, membership.DirectorConfig{}).Run(dctx)
+		stopMembership = dcancel
+		mux := http.NewServeMux()
+		reg.Mount(mux)
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+		})
+		rootHandler = mux
+		log.Printf("membership seed ready (director and rebalancer attached)")
 	default:
-		fmt.Fprintf(os.Stderr, "unknown -role %q (standalone, primary, follower, or coordinator)\n", *role)
+		fmt.Fprintf(os.Stderr, "unknown -role %q (standalone, primary, follower, coordinator, or seed)\n", *role)
 		os.Exit(1)
 	}
 	if *role == "primary" || *role == "follower" {
@@ -161,8 +219,8 @@ func main() {
 			}
 		}
 	}
-	if handler != nil {
-		// Coordinator: no local data to open.
+	if handler != nil || rootHandler != nil {
+		// Coordinator or seed: no local data to open.
 	} else if *dataDir != "" {
 		d, err := qbh.OpenDurable(*dataDir, qbh.DurableOptions{
 			GroupCommit:      *groupCommit,
@@ -193,6 +251,30 @@ func main() {
 			// cluster-internal: only replicated roles expose them.
 			handler.EnablePlannedQueries()
 			n.Mount(handler)
+			if *seeds != "" {
+				if *advertise == "" {
+					fmt.Fprintln(os.Stderr, "-seeds requires -advertise with this node's public base URL")
+					os.Exit(1)
+				}
+				id := *nodeID
+				if id == "" {
+					id = *advertise
+				}
+				a, err := membership.StartAgent(membership.AgentConfig{
+					Seeds:  splitList(*seeds),
+					Self:   func() membership.NodeRecord { return n.MembershipRecord(id, *advertise) },
+					OnView: func(v membership.View) { n.ObserveView(id, v) },
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				agent = a
+				handler.SetMembershipView(func() (membership.View, bool) {
+					v := a.View()
+					return v, len(v.Nodes) > 0
+				})
+			}
 			log.Printf("replica ready: %s in group %q (min-sync %d)", *role, *group, *minSync)
 		} else {
 			handler = server.NewBackend(d, cfg)
@@ -212,9 +294,12 @@ func main() {
 			sys.NumSongs(), sys.NumPhrases(), st.Shards, st.Backend)
 	}
 
+	if rootHandler == nil {
+		rootHandler = handler
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(handler),
+		Handler:           logRequests(rootHandler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -236,7 +321,9 @@ func main() {
 	// Drain: stop advertising readiness, then let in-flight requests
 	// finish within the deadline.
 	log.Printf("shutting down, draining for up to %v", *drainTimeout)
-	handler.SetReady(false)
+	if handler != nil {
+		handler.SetReady(false)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -245,6 +332,14 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve error: %v", err)
+	}
+	if agent != nil {
+		// Stop gossiping first so the view doesn't advertise a node that
+		// is about to close its store.
+		agent.Stop()
+	}
+	if stopMembership != nil {
+		stopMembership()
 	}
 	if node != nil {
 		// Stop tailing the primary before compacting the local store.
@@ -260,6 +355,17 @@ func main() {
 		}
 	}
 	log.Printf("shutdown complete")
+}
+
+// splitList decodes a comma-separated flag into its non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // parseGroups decodes the -groups topology spec: semicolon-separated
@@ -332,13 +438,15 @@ func buildSystem(loadDB, midiDir string, songCount, shards int, backend string, 
 		if len(songs) == 0 {
 			return nil, fmt.Errorf("no parseable .mid files in %s", midiDir)
 		}
-	} else {
+	} else if songCount >= 0 {
 		songs = warping.BuiltinSongs()
 		for _, s := range warping.GenerateSongs(7, songCount, 200, 400) {
 			s.ID += int64(len(warping.BuiltinSongs()))
 			songs = append(songs, s)
 		}
 	}
+	// songCount < 0: start empty — a group joining a cluster ring is
+	// filled by migration and coordinator writes only.
 	return warping.BuildQBH(songs, warping.QBHOptions{
 		PhraseMin:    10,
 		PhraseMax:    25,

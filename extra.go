@@ -3,7 +3,7 @@ package warping
 import (
 	"io"
 
-	"warping/internal/cluster"
+	"warping/internal/kmedoids"
 	"warping/internal/dtw"
 	"warping/internal/index"
 	"warping/internal/qbh"
@@ -108,22 +108,22 @@ func DTWDistanceMatrix(series []Series, band int) [][]float64 {
 }
 
 // ClusterConfig controls DTW k-medoids clustering.
-type ClusterConfig = cluster.Config
+type ClusterConfig = kmedoids.Config
 
 // Clustering is a k-medoids result: medoid indexes, per-series assignment
 // and total cost.
-type Clustering = cluster.Result
+type Clustering = kmedoids.Result
 
 // KMedoids clusters equal-length series under banded DTW with PAM-style
 // k-medoids. Medoids are actual members, sidestepping DTW averaging.
 func KMedoids(series []Series, cfg ClusterConfig) (*Clustering, error) {
-	return cluster.KMedoids(series, cfg)
+	return kmedoids.KMedoids(series, cfg)
 }
 
 // Silhouette scores a clustering in [-1, 1] (higher is better), the
 // standard internal measure for choosing K.
 func Silhouette(series []Series, res *Clustering, band int) float64 {
-	return cluster.Silhouette(series, res, band)
+	return kmedoids.Silhouette(series, res, band)
 }
 
 // --- Streaming matching -------------------------------------------------------------

@@ -1,9 +1,10 @@
-// Package cluster groups time series under banded Dynamic Time Warping
-// with k-medoids (PAM-style) clustering — a common downstream use of a DTW
-// toolkit (grouping melodies by shape, sensor traces by behaviour). Using
-// medoids rather than means avoids the notorious "DTW averaging" problem:
-// every cluster is represented by one of its own members.
-package cluster
+// Package kmedoids groups time series under banded Dynamic Time Warping
+// with k-medoids (PAM-style) clustering — a downstream analysis tool
+// (grouping melodies by shape, sensor traces by behaviour), distinct from
+// the cluster-membership subsystem in internal/membership. Using medoids
+// rather than means avoids the notorious "DTW averaging" problem: every
+// cluster is represented by one of its own members.
+package kmedoids
 
 import (
 	"fmt"

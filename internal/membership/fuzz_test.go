@@ -1,0 +1,45 @@
+package membership
+
+import (
+	"testing"
+)
+
+// FuzzDecodeView hammers the gossip wire decoder with arbitrary bytes:
+// heartbeat bodies arrive from the network, so DecodeView must either
+// reject input or return a view that is safe to merge and re-encode —
+// never panic, and never produce a view whose re-encoding fails its own
+// validation (that would poison every future gossip round).
+func FuzzDecodeView(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"nodes":{"n1":{"id":"n1","url":"http://n1","group":"a","role":"primary","inc":1,"ctr":2,"wal_epoch":3,"wal_offset":4}}}`))
+	f.Add(EncodeView(View{
+		Nodes: map[string]NodeRecord{"n1": {ID: "n1", Group: "a", Role: RoleFollower, Incarnation: 1}},
+		Ring:  NewRing(2, []string{"a", "b"}),
+	}))
+	f.Add(EncodeView(View{
+		Ring: NewRing(1, []string{"a"}),
+		Rebalance: Rebalance{
+			From: NewRing(1, []string{"a"}),
+			To:   NewRing(2, []string{"a", "b"}),
+		},
+	}))
+	f.Add([]byte(`{"ring":{"version":1,"groups":["b","a"]}}`))
+	f.Add([]byte(`{"nodes":{"x":{"id":"y"}}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeView(data)
+		if err != nil {
+			return // rejected input is a fine outcome
+		}
+		// An accepted view must survive the full gossip cycle: merge
+		// (normalizing) and the wire round trip.
+		merged := Merge(v, v)
+		out, err := DecodeView(EncodeView(merged))
+		if err != nil {
+			t.Fatalf("accepted view failed its own round trip: %v\nin: %q", err, data)
+		}
+		if string(EncodeView(out)) != string(EncodeView(merged)) {
+			t.Fatalf("round trip not stable:\nfirst  %s\nsecond %s", EncodeView(merged), EncodeView(out))
+		}
+	})
+}

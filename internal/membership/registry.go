@@ -1,0 +1,290 @@
+package membership
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RegistryConfig tunes the seed server. Zero values select defaults.
+type RegistryConfig struct {
+	// BootstrapGroups, when set, is the initial ring: it commits (version
+	// 1) as soon as every named group has at least one live record. Empty
+	// selects quiet-period bootstrap: BootstrapDelay after the first
+	// heartbeat, the ring initializes with every group seen so far.
+	BootstrapGroups []string
+	// BootstrapDelay is the quiet period for automatic ring bootstrap
+	// (default 2s; only used when BootstrapGroups is empty).
+	BootstrapDelay time.Duration
+	// Logf receives membership diagnostics; nil selects log.Printf.
+	Logf func(format string, args ...interface{})
+	// now is a test hook for freshness clocks; nil selects time.Now.
+	now func() time.Time
+}
+
+func (c *RegistryConfig) fill() {
+	if c.BootstrapDelay <= 0 {
+		c.BootstrapDelay = 2 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+}
+
+// Registry is the seed server: the star center of the gossip exchange and
+// the only place that mutates the ring. It is intentionally soft-state —
+// everything it knows arrives in heartbeats, so killing and restarting it
+// loses nothing the next gossip round does not restore — and the cluster
+// keeps serving reads and writes while it is down (nodes and coordinators
+// work from their last merged view; only failover and rebalancing pause).
+type Registry struct {
+	cfg RegistryConfig
+
+	mu   sync.Mutex
+	view View
+	// seen tracks, per node id, when the registry last saw that node's
+	// record advance — local observation time, deliberately NOT part of
+	// the gossiped view (wall clocks don't merge; counters do). Freshness
+	// judgments (failover, election eligibility) come from here.
+	seen      map[string]observation
+	firstBeat time.Time
+	// rebalanceHook runs the migration for a freshly proposed rebalance
+	// (the Rebalancer installs itself here via SetRebalanceHook).
+	rebalanceHook func(Rebalance)
+}
+
+type observation struct {
+	inc     int64
+	counter uint64
+	at      time.Time
+}
+
+// NewRegistry builds a seed server.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	cfg.fill()
+	return &Registry{cfg: cfg, seen: make(map[string]observation)}
+}
+
+// Mount registers the membership endpoints.
+func (g *Registry) Mount(mux interface {
+	Handle(pattern string, handler http.Handler)
+}) {
+	mux.Handle(PathHeartbeat, http.HandlerFunc(g.handleHeartbeat))
+	mux.Handle(PathView, http.HandlerFunc(g.handleView))
+	mux.Handle(PathGroups, http.HandlerFunc(g.handleGroups))
+}
+
+// View returns the registry's current merged view.
+func (g *Registry) View() View {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.view.Clone()
+}
+
+// Absorb merges an incoming view (a heartbeat body, or a locally produced
+// update) and returns the merged whole. Observation times update for every
+// record that advanced.
+func (g *Registry) Absorb(v View) View {
+	now := g.cfg.now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.firstBeat.IsZero() && len(v.Nodes) > 0 {
+		g.firstBeat = now
+	}
+	g.view = Merge(g.view, v)
+	for id, rec := range g.view.Nodes {
+		if prev, ok := g.seen[id]; !ok || rec.Incarnation > prev.inc ||
+			(rec.Incarnation == prev.inc && rec.Counter > prev.counter) {
+			g.seen[id] = observation{inc: rec.Incarnation, counter: rec.Counter, at: now}
+		}
+	}
+	g.maybeBootstrapLocked(now)
+	return g.view.Clone()
+}
+
+// FreshSince reports whether the node's record has advanced within d.
+func (g *Registry) FreshSince(id string, d time.Duration) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	obs, ok := g.seen[id]
+	return ok && g.cfg.now().Sub(obs.at) <= d
+}
+
+// maybeBootstrapLocked commits the initial ring. With BootstrapGroups the
+// ring forms exactly when all named groups are represented; otherwise it
+// forms from whatever groups showed up within the quiet period. Until the
+// ring exists there is no write placement, so coordinators fall back to
+// refusing writes — bootstrap is a startup event, not steady state.
+func (g *Registry) maybeBootstrapLocked(now time.Time) {
+	if g.view.Ring.Version != 0 || len(g.view.Nodes) == 0 {
+		return
+	}
+	have := map[string]bool{}
+	for _, rec := range g.view.Nodes {
+		if rec.Group != "" {
+			have[rec.Group] = true
+		}
+	}
+	if len(g.cfg.BootstrapGroups) > 0 {
+		for _, want := range g.cfg.BootstrapGroups {
+			if !have[want] {
+				return
+			}
+		}
+		g.view.Ring = NewRing(1, g.cfg.BootstrapGroups)
+	} else {
+		if now.Sub(g.firstBeat) < g.cfg.BootstrapDelay {
+			return
+		}
+		groups := make([]string, 0, len(have))
+		for grp := range have {
+			groups = append(groups, grp)
+		}
+		sort.Strings(groups)
+		g.view.Ring = NewRing(1, groups)
+	}
+	g.cfg.Logf("membership: ring bootstrapped at v%d with groups %v", g.view.Ring.Version, g.view.Ring.Groups)
+}
+
+// ProposeRebalance announces a ring change: the current ring stays
+// committed (reads and single-owner writes keep routing by it) while the
+// pending target makes coordinators dual-route writes whose owner moves.
+// It fails if no ring exists yet or another rebalance is in flight — the
+// state machine is strictly one migration at a time.
+func (g *Registry) ProposeRebalance(op, group string) (Rebalance, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cur := g.view.Ring
+	if cur.Version == 0 {
+		return Rebalance{}, fmt.Errorf("membership: no committed ring yet")
+	}
+	if g.view.Rebalance.Active() {
+		return Rebalance{}, fmt.Errorf("membership: rebalance to ring v%d already in flight", g.view.Rebalance.To.Version)
+	}
+	var next Ring
+	switch op {
+	case "add":
+		if cur.Contains(group) {
+			return Rebalance{}, fmt.Errorf("membership: group %q already in the ring", group)
+		}
+		next = NewRing(cur.Version+1, append(append([]string(nil), cur.Groups...), group))
+	case "remove":
+		if !cur.Contains(group) {
+			return Rebalance{}, fmt.Errorf("membership: group %q not in the ring", group)
+		}
+		if len(cur.Groups) == 1 {
+			return Rebalance{}, fmt.Errorf("membership: cannot remove the last group")
+		}
+		var rest []string
+		for _, g := range cur.Groups {
+			if g != group {
+				rest = append(rest, g)
+			}
+		}
+		next = NewRing(cur.Version+1, rest)
+	default:
+		return Rebalance{}, fmt.Errorf("membership: unknown op %q (add or remove)", op)
+	}
+	g.view.Rebalance = Rebalance{From: cur.clone(), To: next}
+	g.cfg.Logf("membership: rebalance proposed: ring v%d %v -> v%d %v",
+		cur.Version, cur.Groups, next.Version, next.Groups)
+	return g.view.Rebalance, nil
+}
+
+// CommitRebalance bumps the committed ring to the pending target — the
+// atomic read cutover — and clears the rebalance (normalize does).
+func (g *Registry) CommitRebalance(to Ring) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if to.dominates(g.view.Ring) {
+		g.view.Ring = to.clone()
+	}
+	g.view.normalize()
+	g.cfg.Logf("membership: ring committed at v%d with groups %v", g.view.Ring.Version, g.view.Ring.Groups)
+}
+
+// AbortRebalance clears a pending rebalance without committing (migration
+// failed; dual-writes simply stop and placement stays on the old ring —
+// any songs already copied are idempotent duplicates the coordinator
+// dedupes on read).
+func (g *Registry) AbortRebalance() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.view.Rebalance = Rebalance{}
+}
+
+func (g *Registry) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, "reading body", http.StatusBadRequest)
+		return
+	}
+	v, err := DecodeView(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	merged := g.Absorb(v)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(EncodeView(merged))
+}
+
+func (g *Registry) handleView(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(EncodeView(g.View()))
+}
+
+// groupsRequest is the PathGroups operator payload.
+type groupsRequest struct {
+	Op    string `json:"op"`
+	Group string `json:"group"`
+}
+
+func (g *Registry) handleGroups(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req groupsRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request body", http.StatusBadRequest)
+		return
+	}
+	rb, err := g.ProposeRebalance(req.Op, req.Group)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	g.mu.Lock()
+	hook := g.rebalanceHook
+	g.mu.Unlock()
+	if hook != nil {
+		go hook(rb)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rb)
+}
+
+// SetRebalanceHook installs the migration runner invoked (in its own
+// goroutine) whenever PathGroups proposes a rebalance.
+func (g *Registry) SetRebalanceHook(fn func(Rebalance)) {
+	g.mu.Lock()
+	g.rebalanceHook = fn
+	g.mu.Unlock()
+}

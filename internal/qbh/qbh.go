@@ -142,8 +142,13 @@ func Build(songs []music.Song, opts Options) (*System, error) {
 			normals = append(normals, s.Normalize(ph.TimeSeries()))
 		}
 	}
-	if len(s.phrases) == 0 {
-		return nil, fmt.Errorf("qbh: no phrases to index")
+	// An empty corpus is a valid starting state — a node may come up with
+	// nothing and be filled by uploads or migration (a shard group joining
+	// a cluster ring starts exactly like this). Only SVD cannot cope: its
+	// transform is trained on the phrase normal forms, so it needs at
+	// least one phrase at Build time.
+	if len(s.phrases) == 0 && opts.Transform == TransformSVD {
+		return nil, fmt.Errorf("qbh: TransformSVD needs at least one song to train on")
 	}
 
 	tr, err := makeTransform(opts, normals)

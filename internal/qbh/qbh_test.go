@@ -35,10 +35,34 @@ func TestBuildBasics(t *testing.T) {
 	}
 }
 
-func TestBuildErrors(t *testing.T) {
-	if _, err := Build(nil, Options{}); err == nil {
-		t.Error("empty song list accepted")
+func TestBuildEmpty(t *testing.T) {
+	// An empty corpus is a valid starting state (a joining shard group
+	// boots with nothing and is filled by migration): queries answer with
+	// no matches, and the first AddSong starts ids at 0.
+	s, err := Build(nil, Options{})
+	if err != nil {
+		t.Fatalf("empty song list rejected: %v", err)
 	}
+	if got, _ := s.Query(music.OdeToJoy().TimeSeries(), 3, 0.1); len(got) != 0 {
+		t.Fatalf("empty system query: %d matches", len(got))
+	}
+	song, err := s.AddSongTitled("first", music.OdeToJoy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if song.ID != 0 {
+		t.Fatalf("first id %d, want 0", song.ID)
+	}
+	if got, _ := s.Query(music.OdeToJoy().TimeSeries(), 3, 0.1); len(got) == 0 {
+		t.Fatal("no matches after first upload")
+	}
+	// SVD has no training material without songs and must still refuse.
+	if _, err := Build(nil, Options{Transform: TransformSVD}); err == nil {
+		t.Error("empty song list accepted with TransformSVD")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
 	bad := []music.Song{{ID: 1, Melody: music.Melody{}}}
 	if _, err := Build(bad, Options{}); err == nil {
 		t.Error("invalid melody accepted")

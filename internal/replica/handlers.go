@@ -21,6 +21,9 @@ func (n *Node) Mount(mux interface {
 	mux.Handle(PathWAL, http.HandlerFunc(n.handleWAL))
 	mux.Handle(PathSnapshot, http.HandlerFunc(n.handleSnapshot))
 	mux.Handle(PathPromote, http.HandlerFunc(n.handlePromote))
+	mux.Handle(PathRepoint, http.HandlerFunc(n.handleRepoint))
+	mux.Handle(PathExport, http.HandlerFunc(n.handleExport))
+	mux.Handle(PathImport, http.HandlerFunc(n.handleImport))
 }
 
 func replyJSON(w http.ResponseWriter, v interface{}) {

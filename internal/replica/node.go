@@ -81,6 +81,12 @@ type Node struct {
 
 	mu   sync.Mutex
 	role Role
+	// primary is the follower's current pull target; PathRepoint changes
+	// it after a failover.
+	primary string
+	// fenced marks a deposed primary that observed its successor in the
+	// membership view: it refuses writes until restarted as a follower.
+	fenced bool
 	// acks maps follower id -> the position that follower has durably
 	// applied (primary side). ackCh is closed and replaced whenever acks
 	// advance; semi-sync writes wait on it.
@@ -103,6 +109,7 @@ func NewNode(d *qbh.Durable, cfg NodeConfig) (*Node, error) {
 		Durable: d,
 		cfg:     cfg,
 		role:    cfg.Role,
+		primary: cfg.PrimaryURL,
 		acks:    make(map[string]qbh.ReplicationState),
 		ackCh:   make(chan struct{}),
 		stop:    make(chan struct{}),
@@ -187,12 +194,27 @@ func (n *Node) Close() error {
 	return n.Durable.Close()
 }
 
+// writeGate refuses writes on followers and on fenced primaries, both as
+// ErrNotPrimary (the server maps it to 421 with a primary hint when the
+// node knows one).
+func (n *Node) writeGate() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role != RolePrimary {
+		return fmt.Errorf("%w: writes go to the group primary", ErrNotPrimary)
+	}
+	if n.fenced {
+		return fmt.Errorf("%w: primary fenced by a higher-epoch successor", ErrNotPrimary)
+	}
+	return nil
+}
+
 // AddSongTitled routes a client write: followers refuse (ErrNotPrimary),
 // the primary ingests durably and — in semi-sync mode — waits for the
 // follower quorum to confirm before acknowledging.
 func (n *Node) AddSongTitled(title string, melody music.Melody) (music.Song, error) {
-	if n.Role() != RolePrimary {
-		return music.Song{}, fmt.Errorf("%w: writes go to the group primary", ErrNotPrimary)
+	if err := n.writeGate(); err != nil {
+		return music.Song{}, err
 	}
 	song, err := n.Durable.AddSongTitled(title, melody)
 	if err != nil {
@@ -207,8 +229,8 @@ func (n *Node) AddSongTitled(title string, melody music.Melody) (music.Song, err
 // AddSong is the id-preserving ingest path with the same role gate and
 // quorum wait as AddSongTitled.
 func (n *Node) AddSong(song music.Song) error {
-	if n.Role() != RolePrimary {
-		return fmt.Errorf("%w: writes go to the group primary", ErrNotPrimary)
+	if err := n.writeGate(); err != nil {
+		return err
 	}
 	if err := n.Durable.AddSong(song); err != nil {
 		return err
@@ -282,12 +304,14 @@ func (n *Node) State() StateResponse {
 	st := n.Durable.ReplState()
 	n.mu.Lock()
 	role := n.role
+	fenced := n.fenced
 	followers := len(n.acks)
 	pos := n.pos
 	n.mu.Unlock()
 	resp := StateResponse{
 		Group:  n.cfg.Group,
 		Role:   role,
+		Fenced: fenced,
 		Epoch:  st.Epoch,
 		Offset: st.Offset,
 		Songs:  n.NumSongs(),

@@ -74,10 +74,13 @@ var ErrNotReplicated = errors.New("replica: write not confirmed by follower quor
 
 // StateResponse is the PathState payload.
 type StateResponse struct {
-	Group  string `json:"group"`
-	Role   Role   `json:"role"`
-	Epoch  int64  `json:"epoch"`
-	Offset int64  `json:"offset"`
+	Group string `json:"group"`
+	Role  Role   `json:"role"`
+	// Fenced marks a deposed primary refusing writes (see PathRepoint's
+	// sibling docs in membership.go).
+	Fenced bool  `json:"fenced,omitempty"`
+	Epoch  int64 `json:"epoch"`
+	Offset int64 `json:"offset"`
 	Songs  int    `json:"songs"`
 	// Digest fingerprints the song corpus (hex); equal digests mean
 	// identical replicas.

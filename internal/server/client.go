@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"warping/internal/membership"
 	"warping/internal/retry"
 )
 
@@ -26,6 +27,7 @@ type Client struct {
 	timeout  time.Duration
 	attempts int
 	backoff  retry.Backoff
+	seeds    []string
 }
 
 // ClientConfig tunes the client; zero values select defaults.
@@ -40,6 +42,12 @@ type ClientConfig struct {
 	RetryAttempts int
 	// Backoff paces 429 retries when the server sends no Retry-After.
 	Backoff retry.Backoff
+	// Seeds are membership seed-server URLs. A 421 answer (the write
+	// landed on a node that is not its group's primary) with no usable
+	// Location or Retry-After makes the client fetch a fresh view from
+	// the seeds and re-resolve the primary before retrying. Empty
+	// disables view-based re-resolution; Location hints still work.
+	Seeds []string
 }
 
 // NewClient creates a client for the server at baseURL (e.g.
@@ -65,6 +73,7 @@ func NewClientConfig(baseURL string, cfg ClientConfig) *Client {
 		timeout:  cfg.Timeout,
 		attempts: cfg.RetryAttempts,
 		backoff:  cfg.Backoff,
+		seeds:    cfg.Seeds,
 	}
 }
 
@@ -138,9 +147,10 @@ func queryString(topK int, delta float64) string {
 	return "?top=" + strconv.Itoa(topK) + "&delta=" + strconv.FormatFloat(delta, 'f', -1, 64)
 }
 
-// do runs one logical API call: default deadline, request build, 429
-// retry loop. Only 429 retries — a transport error on a POST may have
-// reached the server, and non-429 statuses are answers, not congestion.
+// do runs one logical API call: default deadline, request build, 429/421
+// retry loop. A transport error never retries — a POST may have reached
+// the server — and statuses other than 429 (congestion) and 421
+// (misdirected write, reroutable) are answers, not conditions to wait out.
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out interface{}) error {
 	if c.timeout > 0 {
 		if _, ok := ctx.Deadline(); !ok {
@@ -149,12 +159,13 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			defer cancel()
 		}
 	}
+	target := c.base
 	return retry.Do(ctx, c.attempts, c.backoff, func() (bool, time.Duration, error) {
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		req, err := http.NewRequestWithContext(ctx, method, target+path, rd)
 		if err != nil {
 			return false, 0, err
 		}
@@ -169,8 +180,71 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			ra, _ := retry.ParseRetryAfter(resp.Header)
 			return true, ra, decodeResponse(resp, nil)
 		}
+		if resp.StatusCode == http.StatusMisdirectedRequest {
+			if next, ra, ok := c.reroute(resp.Header, target); ok {
+				target = next
+				return true, ra, decodeResponse(resp, nil)
+			}
+		}
 		return false, 0, decodeResponse(resp, out)
 	})
+}
+
+// reroute picks the next target for a misdirected (421) write, in hint
+// order: the Location header (a follower names its primary directly), a
+// bare Retry-After (the target is mid-promotion and will be the primary
+// shortly — stay and wait), and finally a fresh membership view from the
+// seeds. Reports ok=false when no hint yields a target, which turns the
+// 421 into the call's final answer.
+func (c *Client) reroute(hdr http.Header, cur string) (next string, delay time.Duration, ok bool) {
+	if loc := hdr.Get("Location"); loc != "" {
+		if u, err := url.Parse(loc); err == nil && u.Scheme != "" && u.Host != "" {
+			return u.Scheme + "://" + u.Host, 0, true
+		}
+	}
+	if ra, ok := retry.ParseRetryAfter(hdr); ok {
+		return cur, ra, true
+	}
+	if next := c.resolvePrimary(cur); next != "" {
+		return next, 0, true
+	}
+	return "", 0, false
+}
+
+// resolvePrimary maps a stale write target to its group's current
+// unfenced primary via a fresh seed view. A target the view no longer
+// knows falls back to the view's sole group, if there is exactly one —
+// the common single-group deployment where the stale URL already left
+// the cluster. The current target is never returned: it just answered
+// 421, so re-sending unrerouted is a wasted attempt.
+func (c *Client) resolvePrimary(cur string) string {
+	if len(c.seeds) == 0 {
+		return ""
+	}
+	v, err := membership.FetchView(c.http, c.seeds)
+	if err != nil {
+		return ""
+	}
+	group := ""
+	for _, rec := range v.Nodes {
+		if rec.URL == cur {
+			group = rec.Group
+			break
+		}
+	}
+	if group == "" {
+		gs := v.Groups()
+		if len(gs) != 1 {
+			return ""
+		}
+		group = gs[0]
+	}
+	for _, rec := range v.GroupNodes(group) {
+		if rec.Role == membership.RolePrimary && !rec.Fenced && rec.URL != "" && rec.URL != cur {
+			return rec.URL
+		}
+	}
+	return ""
 }
 
 // decodeResponse interprets one API response and always drains and closes

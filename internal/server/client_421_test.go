@@ -1,0 +1,229 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"warping/internal/membership"
+)
+
+// fakeWriteNode is a stand-in for one replica HTTP server in the 421
+// tests: respond decides each POST /songs answer, hits counts them.
+type fakeWriteNode struct {
+	srv  *httptest.Server
+	hits atomic.Int32
+}
+
+func newFakeWriteNode(respond func(hit int32, w http.ResponseWriter, r *http.Request)) *fakeWriteNode {
+	n := &fakeWriteNode{}
+	n.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		respond(n.hits.Add(1), w, r)
+	}))
+	return n
+}
+
+func accept(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusCreated)
+	_, _ = w.Write([]byte(`{"id":7,"title":"t","notes":1}`))
+}
+
+func misdirect(w http.ResponseWriter, hdr map[string]string) {
+	for k, v := range hdr {
+		w.Header().Set(k, v)
+	}
+	httpError(w, http.StatusMisdirectedRequest, "not the primary")
+}
+
+// seedServer serves a membership view at the registry's view path — the
+// client's re-resolution source.
+func seedServer(t *testing.T, view func() membership.View) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != membership.PathView {
+			http.NotFound(w, r)
+			return
+		}
+		_, _ = w.Write(membership.EncodeView(view()))
+	}))
+}
+
+// TestClient421Reroute drives the misdirected-write handling through its
+// hint ladder: Location header, Retry-After, seed-view re-resolution —
+// and the bounded failure paths when no hint resolves.
+func TestClient421Reroute(t *testing.T) {
+	rec := func(id, url, group, role string, fenced bool) membership.NodeRecord {
+		return membership.NodeRecord{ID: id, URL: url, Group: group, Role: role, Fenced: fenced}
+	}
+	cases := []struct {
+		name string
+		// build returns the client config (seeds etc.) and the stale
+		// target's URL; primary is the node that must take the write.
+		run func(t *testing.T, primary *fakeWriteNode) (ClientConfig, string)
+		// wantErr, when non-empty, must appear in the final error.
+		wantErr string
+		// wantPrimaryHits is the expected write count on primary.
+		wantPrimaryHits int32
+	}{
+		{
+			// A follower that knows its primary answers 421 with a
+			// Location hint; no seeds needed.
+			name: "location hint",
+			run: func(t *testing.T, primary *fakeWriteNode) (ClientConfig, string) {
+				stale := newFakeWriteNode(func(_ int32, w http.ResponseWriter, r *http.Request) {
+					misdirect(w, map[string]string{"Location": primary.srv.URL + r.URL.RequestURI()})
+				})
+				t.Cleanup(stale.srv.Close)
+				return ClientConfig{}, stale.srv.URL
+			},
+			wantPrimaryHits: 1,
+		},
+		{
+			// A node mid-promotion sends Retry-After with no Location:
+			// the client stays on the same target and the second attempt
+			// lands after the promotion completes.
+			name: "mid-promotion retry-after",
+			run: func(t *testing.T, primary *fakeWriteNode) (ClientConfig, string) {
+				return ClientConfig{}, primary.srv.URL
+			},
+			wantPrimaryHits: 2,
+		},
+		{
+			// A stale ring pointed the write at a demoted node that has
+			// no hint to offer; the seed view maps the target to its
+			// group and the group to its current primary.
+			name: "stale ring via seed view",
+			run: func(t *testing.T, primary *fakeWriteNode) (ClientConfig, string) {
+				stale := newFakeWriteNode(func(_ int32, w http.ResponseWriter, _ *http.Request) {
+					misdirect(w, nil)
+				})
+				t.Cleanup(stale.srv.Close)
+				seed := seedServer(t, func() membership.View {
+					return membership.View{Nodes: map[string]membership.NodeRecord{
+						"old": rec("old", stale.srv.URL, "g", membership.RoleFollower, false),
+						"new": rec("new", primary.srv.URL, "g", membership.RolePrimary, false),
+					}}
+				})
+				t.Cleanup(seed.Close)
+				return ClientConfig{Seeds: []string{seed.URL}}, stale.srv.URL
+			},
+			wantPrimaryHits: 1,
+		},
+		{
+			// Mid-promotion with a fenced old primary: the view still
+			// carries the fenced record; re-resolution must skip it and
+			// pick the unfenced successor.
+			name: "fenced old primary via seed view",
+			run: func(t *testing.T, primary *fakeWriteNode) (ClientConfig, string) {
+				fenced := newFakeWriteNode(func(_ int32, w http.ResponseWriter, _ *http.Request) {
+					misdirect(w, nil)
+				})
+				t.Cleanup(fenced.srv.Close)
+				seed := seedServer(t, func() membership.View {
+					return membership.View{Nodes: map[string]membership.NodeRecord{
+						"old": rec("old", fenced.srv.URL, "g", membership.RolePrimary, true),
+						"new": rec("new", primary.srv.URL, "g", membership.RolePrimary, false),
+					}}
+				})
+				t.Cleanup(seed.Close)
+				return ClientConfig{Seeds: []string{seed.URL}}, fenced.srv.URL
+			},
+			wantPrimaryHits: 1,
+		},
+		{
+			// The target already left the cluster; with exactly one
+			// group in the view, its primary takes the write anyway.
+			name: "departed target, single-group fallback",
+			run: func(t *testing.T, primary *fakeWriteNode) (ClientConfig, string) {
+				gone := newFakeWriteNode(func(_ int32, w http.ResponseWriter, _ *http.Request) {
+					misdirect(w, nil)
+				})
+				t.Cleanup(gone.srv.Close)
+				seed := seedServer(t, func() membership.View {
+					return membership.View{Nodes: map[string]membership.NodeRecord{
+						"new": rec("new", primary.srv.URL, "g", membership.RolePrimary, false),
+					}}
+				})
+				t.Cleanup(seed.Close)
+				return ClientConfig{Seeds: []string{seed.URL}}, gone.srv.URL
+			},
+			wantPrimaryHits: 1,
+		},
+		{
+			// No Location, no Retry-After, no seeds: the 421 is final
+			// after a single attempt — nothing to reroute with.
+			name: "no hints, no seeds",
+			run: func(t *testing.T, _ *fakeWriteNode) (ClientConfig, string) {
+				stale := newFakeWriteNode(func(_ int32, w http.ResponseWriter, _ *http.Request) {
+					misdirect(w, nil)
+				})
+				t.Cleanup(stale.srv.Close)
+				return ClientConfig{}, stale.srv.URL
+			},
+			wantErr: "status 421",
+		},
+		{
+			// The view knows only the misdirected target itself; with no
+			// other unfenced primary the 421 is final, not an infinite
+			// self-retry.
+			name: "view has no successor",
+			run: func(t *testing.T, _ *fakeWriteNode) (ClientConfig, string) {
+				stale := newFakeWriteNode(func(_ int32, w http.ResponseWriter, _ *http.Request) {
+					misdirect(w, nil)
+				})
+				t.Cleanup(stale.srv.Close)
+				seed := seedServer(t, func() membership.View {
+					return membership.View{Nodes: map[string]membership.NodeRecord{
+						"old": rec("old", stale.srv.URL, "g", membership.RolePrimary, false),
+					}}
+				})
+				t.Cleanup(seed.Close)
+				return ClientConfig{Seeds: []string{seed.URL}}, stale.srv.URL
+			},
+			wantErr: "status 421",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			primary := newFakeWriteNode(func(hit int32, w http.ResponseWriter, r *http.Request) {
+				// For the retry-after case the first write arrives
+				// mid-promotion; every other case accepts immediately.
+				if tc.name == "mid-promotion retry-after" && hit == 1 {
+					misdirect(w, map[string]string{"Retry-After": "0"})
+					return
+				}
+				accept(w, r)
+			})
+			t.Cleanup(primary.srv.Close)
+
+			cfg, target := tc.run(t, primary)
+			cfg.Timeout = 5 * time.Second
+			cfg.RetryAttempts = 3
+			cfg.Backoff = testBackoff
+			client := NewClientConfig(target, cfg)
+
+			info, err := client.AddSong("t", []byte("MThd"))
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("AddSong error = %v, want %q", err, tc.wantErr)
+				}
+				if primary.hits.Load() != 0 {
+					t.Fatalf("primary took %d writes on a failing case", primary.hits.Load())
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("AddSong: %v", err)
+			}
+			if info.ID != 7 {
+				t.Fatalf("AddSong returned %+v from the wrong server", info)
+			}
+			if got := primary.hits.Load(); got != tc.wantPrimaryHits {
+				t.Fatalf("primary hits = %d, want %d", got, tc.wantPrimaryHits)
+			}
+		})
+	}
+}

@@ -4,21 +4,21 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"log"
 	"net/http"
-	"net/url"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"warping/internal/index"
-	"warping/internal/midi"
+	"warping/internal/membership"
 	"warping/internal/music"
 	"warping/internal/qbh"
+	"warping/internal/replica"
 	"warping/internal/retry"
 	"warping/internal/ts"
 )
@@ -34,8 +34,20 @@ type GroupSpec struct {
 
 // CoordinatorConfig tunes the fan-out path. Zero values select defaults.
 type CoordinatorConfig struct {
-	// Groups is the cluster layout: one entry per shard group.
+	// Groups is the static cluster layout: one entry per shard group.
+	// Ignored when Seeds is set.
 	Groups []GroupSpec
+	// Seeds switches the coordinator to dynamic topology: instead of a
+	// fixed -groups list, it gossips with the membership seed servers and
+	// derives the group set, each group's replicas and the write placement
+	// ring from the merged view — so failovers, group joins and removals
+	// need no coordinator restart.
+	Seeds []string
+	// DarkTTL is how long a group that failed an entire fan-out is skipped
+	// ("dark") before a background probe may bring it back. While dark the
+	// group contributes nothing and responses are degraded, but queries
+	// stop paying its timeout. Default 2s.
+	DarkTTL time.Duration
 	// Opts must match the qbh.Options the replicas were built with; the
 	// coordinator compiles query plans from it (qbh.NewQueryPlanner).
 	Opts qbh.Options
@@ -61,6 +73,9 @@ func (c *CoordinatorConfig) fill() {
 	if c.ReplicaTimeout <= 0 {
 		c.ReplicaTimeout = 5 * time.Second
 	}
+	if c.DarkTTL <= 0 {
+		c.DarkTTL = 2 * time.Second
+	}
 	if c.HedgeAfter <= 0 {
 		c.HedgeAfter = 500 * time.Millisecond
 	}
@@ -75,38 +90,178 @@ func (c *CoordinatorConfig) fill() {
 	}
 }
 
+// topology is one immutable snapshot of the cluster the coordinator
+// routes against: the fan-out group set with each group's replicas, and
+// the placement ring (plus any in-flight rebalance). In static mode it is
+// fixed at construction (ring version 0 over the configured groups); in
+// seed mode every merged membership view rebuilds it.
+type topology struct {
+	groups []GroupSpec
+	ring   membership.Ring
+	reb    membership.Rebalance
+}
+
+func (t topology) group(name string) (GroupSpec, bool) {
+	for _, g := range t.groups {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GroupSpec{}, false
+}
+
+// errGroupDark marks a group skipped because its dark-cache verdict has
+// not expired: the group recently failed an entire fan-out and a
+// background probe has not yet seen it answer.
+var errGroupDark = errors.New("coordinator: group is dark (recent total failure; background probe pending)")
+
 // Coordinator implements Backend over a cluster of replicated shard
 // groups, so NewBackend serves the ordinary public API in front of it.
 // Queries compile to a plan once, fan out to one replica per group with
 // per-replica timeouts and hedged retries, and merge top-K; when a whole
-// group is unreachable the response is partial and marked degraded.
-// Writes route to the owning group's primary with bounded retry.
+// group is unreachable the response is partial and marked degraded, and
+// the group goes dark for DarkTTL so later queries stop paying its
+// timeout. Writes route by the consistent-hash ring to the owning group's
+// primary with bounded retry, dual-routing to the future owner while a
+// rebalance is in flight.
 type Coordinator struct {
 	cfg  CoordinatorConfig
 	plan func(ts.Series, float64) *index.Plan
 
 	mu        sync.Mutex
-	primaries map[string]string // group name -> last known primary URL
+	top       topology
+	primaries map[string]string    // group name -> last known primary URL
+	dark      map[string]time.Time // group name -> dark verdict expiry
+	probing   map[string]bool      // group name -> background probe running
+
+	agent  *membership.Agent // seed mode only
+	closed chan struct{}
+
+	// Song id allocation. The coordinator is the cluster's id allocator:
+	// per-group max+1 allocation cannot survive a rebalance, because a
+	// migrated song raises the receiving group's frontier into the donor's
+	// id range and the next local allocation collides with an id that
+	// still exists elsewhere — aliasing two distinct songs on every read
+	// path that dedupes by id. nextID is seeded lazily from the global
+	// maximum across all groups and only ever moves forward.
+	idMu    sync.Mutex
+	idReady bool
+	nextID  int64
 
 	rr atomic.Uint64 // rotates which replica each group's query starts at
 }
 
-// NewCoordinator builds the fan-out backend for a cluster layout.
+// NewCoordinator builds the fan-out backend for a cluster layout — static
+// (cfg.Groups) or discovered from the membership seeds (cfg.Seeds).
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	cfg.fill()
+	c := &Coordinator{
+		cfg:       cfg,
+		plan:      qbh.NewQueryPlanner(cfg.Opts),
+		primaries: make(map[string]string),
+		dark:      make(map[string]time.Time),
+		probing:   make(map[string]bool),
+		closed:    make(chan struct{}),
+	}
+	if len(cfg.Seeds) > 0 {
+		agent, err := membership.StartAgent(membership.AgentConfig{
+			Seeds:  cfg.Seeds,
+			OnView: c.absorbView, // observer: no Self record
+			Client: cfg.Client,
+			Logf:   cfg.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.agent = agent
+		// StartAgent already ran one synchronous gossip round; on a healthy
+		// cluster the topology is populated before the first query.
+		c.absorbView(agent.View())
+		return c, nil
+	}
 	if len(cfg.Groups) == 0 {
 		return nil, fmt.Errorf("coordinator: no shard groups configured")
 	}
+	names := make([]string, 0, len(cfg.Groups))
 	for _, g := range cfg.Groups {
 		if len(g.Replicas) == 0 {
 			return nil, fmt.Errorf("coordinator: group %q has no replicas", g.Name)
 		}
+		names = append(names, g.Name)
 	}
-	return &Coordinator{
-		cfg:       cfg,
-		plan:      qbh.NewQueryPlanner(cfg.Opts),
-		primaries: make(map[string]string),
-	}, nil
+	c.top = topology{groups: cfg.Groups, ring: membership.NewRing(0, names)}
+	return c, nil
+}
+
+// Close stops the membership agent and background probes. The coordinator
+// itself is stateless beyond caches, so Close does not flush anything.
+func (c *Coordinator) Close() error {
+	select {
+	case <-c.closed:
+		return nil
+	default:
+	}
+	close(c.closed)
+	if c.agent != nil {
+		c.agent.Stop()
+	}
+	return nil
+}
+
+// topology returns the current routing snapshot.
+func (c *Coordinator) topology() topology {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.top
+}
+
+// MembershipView reports the coordinator's current merged membership view
+// (seed mode only; ok is false in static mode). The server's /stats
+// handler surfaces it.
+func (c *Coordinator) MembershipView() (membership.View, bool) {
+	if c.agent == nil {
+		return membership.View{}, false
+	}
+	return c.agent.View(), true
+}
+
+// absorbView rebuilds the routing topology from a merged membership view.
+// The fan-out set is the committed ring's groups plus, while a rebalance
+// is pending, the target ring's (a joining group holds dual-written songs
+// before it owns any arc — reads must see them). Replica order comes from
+// the view (primaries first, then by watermark), and the primary cache is
+// refreshed so writes stop paying a 421 round trip after failovers.
+func (c *Coordinator) absorbView(v membership.View) {
+	fanout := append([]string(nil), v.Ring.Groups...)
+	if v.Rebalance.Active() {
+		for _, g := range v.Rebalance.To.Groups {
+			if !v.Ring.Contains(g) {
+				fanout = append(fanout, g)
+			}
+		}
+	}
+	top := topology{ring: v.Ring, reb: v.Rebalance}
+	primaries := map[string]string{}
+	for _, name := range fanout {
+		recs := v.GroupNodes(name)
+		if len(recs) == 0 {
+			continue // no known members: nothing to route to
+		}
+		spec := GroupSpec{Name: name}
+		for _, rec := range recs {
+			spec.Replicas = append(spec.Replicas, rec.URL)
+			if rec.Role == membership.RolePrimary && !rec.Fenced && primaries[name] == "" {
+				primaries[name] = rec.URL
+			}
+		}
+		top.groups = append(top.groups, spec)
+	}
+	c.mu.Lock()
+	c.top = top
+	for name, u := range primaries {
+		c.primaries[name] = u
+	}
+	c.mu.Unlock()
 }
 
 // groupResult is one group's contribution to a fanned-out query.
@@ -122,20 +277,33 @@ func (c *Coordinator) QueryCtx(ctx context.Context, pitch ts.Series, topK int, d
 	if len(pitch) == 0 {
 		return nil, index.QueryStats{}, nil
 	}
+	top := c.topology()
+	if len(top.groups) == 0 {
+		return nil, index.QueryStats{}, fmt.Errorf("coordinator: no reachable topology (membership view empty)")
+	}
 	p := c.plan(pitch, delta)
 	body, err := json.Marshal(PlannedRequest{Plan: p.Wire(), TopK: topK})
 	if err != nil {
 		return nil, index.QueryStats{}, err
 	}
 
-	results := make([]groupResult, len(c.cfg.Groups))
+	results := make([]groupResult, len(top.groups))
 	var wg sync.WaitGroup
-	for i, g := range c.cfg.Groups {
+	for i, g := range top.groups {
+		if c.isDark(g.Name) {
+			// Recent total failure: skip the group without paying its
+			// timeout again; the background probe decides when it returns.
+			results[i] = groupResult{nil, errGroupDark}
+			continue
+		}
 		wg.Add(1)
 		go func(i int, g GroupSpec) {
 			defer wg.Done()
 			resp, err := c.queryGroup(ctx, g, body)
 			results[i] = groupResult{resp, err}
+			if err != nil && ctx.Err() == nil {
+				c.markDark(g.Name)
+			}
 		}(i, g)
 	}
 	wg.Wait()
@@ -146,7 +314,7 @@ func (c *Coordinator) QueryCtx(ctx context.Context, pitch ts.Series, topK int, d
 	for i, r := range results {
 		if r.err != nil {
 			failed++
-			c.cfg.Logf("coordinator: group %q unreachable: %v", c.cfg.Groups[i].Name, r.err)
+			c.cfg.Logf("coordinator: group %q unreachable: %v", top.groups[i].Name, r.err)
 			continue
 		}
 		stats.Add(index.QueryStats{
@@ -168,6 +336,27 @@ func (c *Coordinator) QueryCtx(ctx context.Context, pitch ts.Series, topK int, d
 	}
 	if failed > 0 {
 		stats.Degraded = true
+	}
+	// Dedupe by song id before ranking: a rebalance leaves the moving
+	// songs on their old owner (migration copies, never deletes) and
+	// dual-writes land on two groups, so the same song can come back from
+	// two groups with the same distance. One copy ranks; with the dedupe
+	// the merged result stays bit-identical to a single node over the
+	// logical corpus throughout a migration.
+	if len(matches) > 1 {
+		seen := make(map[int64]int, len(matches))
+		kept := matches[:0]
+		for _, m := range matches {
+			if j, ok := seen[m.SongID]; ok {
+				if m.Dist < kept[j].Dist {
+					kept[j] = m
+				}
+				continue
+			}
+			seen[m.SongID] = len(kept)
+			kept = append(kept, m)
+		}
+		matches = kept
 	}
 	// Re-sort the union of per-group top-Ks with the same total order the
 	// replicas use ((Dist, SongID, Title)), then truncate to topK. Sorting
@@ -281,43 +470,118 @@ func (c *Coordinator) postPlanned(ctx context.Context, baseURL string, body []by
 	return &out, nil
 }
 
-// groupFor places a song by rendezvous (highest-random-weight) hashing of
-// its title: every coordinator instance computes the same owner with no
-// shared state, and adding a group only moves the songs that rehash to it.
-func (c *Coordinator) groupFor(title string) GroupSpec {
-	best, bestScore := 0, uint64(0)
-	for i, g := range c.cfg.Groups {
-		h := fnv.New64a()
-		_, _ = h.Write([]byte(g.Name))
-		_, _ = h.Write([]byte{0})
-		_, _ = h.Write([]byte(title))
-		if s := h.Sum64(); i == 0 || s > bestScore {
-			best, bestScore = i, s
-		}
-	}
-	return c.cfg.Groups[best]
+// isDark reports whether the group's dark verdict is still in force.
+func (c *Coordinator) isDark(group string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Now().Before(c.dark[group])
 }
 
-// AddSongTitled routes the write to the owning group's primary. The last
-// known primary is tried first; a 421 (not the primary) moves on to the
+// markDark records a total fan-out failure for the group and launches the
+// background re-probe (one per group at a time). Until a probe sees the
+// group answer, queries skip it — degraded but fast — instead of paying
+// its full timeout on every request.
+func (c *Coordinator) markDark(group string) {
+	c.mu.Lock()
+	c.dark[group] = time.Now().Add(c.cfg.DarkTTL)
+	spawn := !c.probing[group]
+	if spawn {
+		c.probing[group] = true
+	}
+	c.mu.Unlock()
+	if spawn {
+		c.cfg.Logf("coordinator: group %q dark for %v; probing in background", group, c.cfg.DarkTTL)
+		go c.probeLoop(group)
+	}
+}
+
+// probeLoop probes one replica of a dark group every DarkTTL until the
+// group answers (the verdict clears and queries resume) or the
+// coordinator closes. The probe is GET /stats — cheap, and served by
+// primaries and followers alike.
+func (c *Coordinator) probeLoop(group string) {
+	t := time.NewTicker(c.cfg.DarkTTL)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+		}
+		g, ok := c.topology().group(group)
+		if !ok {
+			break // group left the topology; nothing to probe
+		}
+		alive := false
+		for _, u := range g.Replicas {
+			var out StatsResponse
+			if err := c.getJSON(context.Background(), u+"/stats", &out); err == nil {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			c.mu.Lock()
+			c.dark[group] = time.Now().Add(c.cfg.DarkTTL)
+			c.mu.Unlock()
+			continue
+		}
+		break
+	}
+	c.mu.Lock()
+	delete(c.dark, group)
+	c.probing[group] = false
+	c.mu.Unlock()
+	c.cfg.Logf("coordinator: group %q back from dark", group)
+}
+
+// AddSongTitled routes the write to the ring owner's primary. The
+// coordinator allocates the song id itself (allocateID) and ships the
+// song id-preservingly through the import endpoint, which carries the
+// same guarantees as a direct client write: only an unfenced primary
+// accepts it (421 otherwise) and the reply waits for the semi-sync
+// quorum. The last known primary is tried first; a 421 moves on to the
 // next replica, 429/5xx back off — honoring Retry-After — and retry the
-// same one up to WriteAttempts times.
+// same one up to WriteAttempts times. While a rebalance is pending and
+// the title's owner moves, the write is dual-routed: the current owner
+// acknowledges durability, then the same song ships under the same id
+// to the future owner, so the read cutover at commit cannot miss writes
+// that raced the migration's copy passes.
 func (c *Coordinator) AddSongTitled(title string, melody music.Melody) (music.Song, error) {
-	g := c.groupFor(title)
-	midiData, err := midi.EncodeMelody(melody, 500000)
-	if err != nil {
-		return music.Song{}, fmt.Errorf("coordinator: encoding melody: %w", err)
+	top := c.topology()
+	if top.ring.Empty() {
+		return music.Song{}, fmt.Errorf("coordinator: no placement ring yet (membership view empty)")
+	}
+	owner := top.ring.Owner(title)
+	g, ok := top.group(owner)
+	if !ok {
+		return music.Song{}, fmt.Errorf("coordinator: owner group %q has no known replicas", owner)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(len(g.Replicas)*c.cfg.WriteAttempts)*c.cfg.ReplicaTimeout)
 	defer cancel()
 
+	id, err := c.allocateID(ctx, top)
+	if err != nil {
+		return music.Song{}, err
+	}
+	song := music.Song{ID: id, Title: title, Melody: melody}
+	stream, err := replica.EncodeExport([]music.Song{song})
+	if err != nil {
+		return music.Song{}, fmt.Errorf("coordinator: encoding song: %w", err)
+	}
+
 	var lastErr error
 	for _, u := range c.writeOrder(g) {
-		var info SongInfo
 		err := retry.Do(ctx, c.cfg.WriteAttempts, c.cfg.Backoff, func() (bool, time.Duration, error) {
-			st, ra, err := c.postSong(ctx, u, title, midiData, &info)
+			applied, st, ra, err := c.postImport(ctx, u, stream)
 			switch {
 			case err == nil:
+				if applied == 0 {
+					// A retried import whose first response was lost: the
+					// song is already durable under this id. (The allocator
+					// never reuses ids, so it cannot be a foreign song.)
+					c.cfg.Logf("coordinator: write %d %q was already applied", id, title)
+				}
 				return false, 0, nil
 			case st == http.StatusMisdirectedRequest:
 				return false, 0, err // wrong replica: stop retrying here, move on
@@ -329,11 +593,138 @@ func (c *Coordinator) AddSongTitled(title string, melody music.Melody) (music.So
 		})
 		if err == nil {
 			c.setPrimary(g.Name, u)
-			return music.Song{ID: info.ID, Title: info.Title, Melody: melody}, nil
+			if err := c.dualWrite(ctx, top, song); err != nil {
+				// The write is durable on the current owner but NOT on the
+				// future one; acknowledging it could strand it if the old
+				// owner later leaves the ring. Refuse the ack — a client
+				// retry is idempotent in effect (worst case a duplicate
+				// title under a fresh id, which ranking tolerates).
+				return music.Song{}, err
+			}
+			return song, nil
 		}
 		lastErr = err
 	}
 	return music.Song{}, fmt.Errorf("coordinator: write to group %q failed: %w", g.Name, lastErr)
+}
+
+// allocateID hands out a cluster-unique song id. On first use it seeds
+// the counter one past the global maximum, taking the max over every
+// reachable replica of every group (a lagging follower may not have the
+// newest ids yet, so one reachable replica per group is required but all
+// are consulted). A group with no reachable replica blocks allocation —
+// guessing low would risk handing out an id that already names a
+// different song there. Groups that join later must join empty (they
+// receive songs only through migration and dual-writes, which preserve
+// ids this allocator issued), so the counter never needs to re-seed.
+func (c *Coordinator) allocateID(ctx context.Context, top topology) (int64, error) {
+	c.idMu.Lock()
+	defer c.idMu.Unlock()
+	if !c.idReady {
+		next := int64(0)
+		for _, g := range top.groups {
+			var reachable bool
+			var lastErr error
+			for _, u := range g.Replicas {
+				var infos []SongInfo
+				if err := c.getJSON(ctx, u+"/songs", &infos); err != nil {
+					lastErr = err
+					continue
+				}
+				reachable = true
+				for _, s := range infos {
+					if s.ID >= next {
+						next = s.ID + 1
+					}
+				}
+			}
+			if !reachable {
+				return 0, fmt.Errorf("coordinator: id allocation: group %q unreachable: %w", g.Name, lastErr)
+			}
+		}
+		c.nextID = next
+		c.idReady = true
+	}
+	id := c.nextID
+	c.nextID++
+	return id, nil
+}
+
+// dualWrite ships the just-acknowledged song to its owner under a pending
+// rebalance's target ring, when that differs from the current owner. The
+// import path is id-preserving and idempotent, so racing the migration's
+// copy passes is harmless — the song lands once whichever side wins.
+func (c *Coordinator) dualWrite(ctx context.Context, top topology, song music.Song) error {
+	if !top.reb.Active() {
+		return nil
+	}
+	next := top.reb.To.Owner(song.Title)
+	if next == "" || next == top.ring.Owner(song.Title) {
+		return nil
+	}
+	g, ok := top.group(next)
+	if !ok {
+		return fmt.Errorf("coordinator: dual-write: future owner %q has no known replicas", next)
+	}
+	stream, err := replica.EncodeExport([]music.Song{song})
+	if err != nil {
+		return fmt.Errorf("coordinator: dual-write: %w", err)
+	}
+	var lastErr error
+	for _, u := range c.writeOrder(g) {
+		err := retry.Do(ctx, c.cfg.WriteAttempts, c.cfg.Backoff, func() (bool, time.Duration, error) {
+			_, st, ra, err := c.postImport(ctx, u, stream)
+			switch {
+			case err == nil:
+				return false, 0, nil
+			case st == http.StatusMisdirectedRequest:
+				return false, 0, err
+			case st == http.StatusTooManyRequests || st >= 500 || st == 0:
+				return true, ra, err
+			default:
+				return false, 0, err
+			}
+		})
+		if err == nil {
+			c.setPrimary(g.Name, u)
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("coordinator: dual-write to group %q failed: %w", next, lastErr)
+}
+
+// postImport performs one id-preserving import attempt against a replica.
+// postImport ships an export container to one replica. It returns the
+// number of songs newly applied there (the import is idempotent by id),
+// the HTTP status (0 for transport errors) and any Retry-After hint.
+func (c *Coordinator) postImport(ctx context.Context, baseURL string, stream []byte) (applied, status int, ra time.Duration, err error) {
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.ReplicaTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, baseURL+membership.DefaultImportPath, bytes.NewReader(stream))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		ra, _ = retry.ParseRetryAfter(resp.Header)
+		return 0, resp.StatusCode, ra, fmt.Errorf("%s: %s", baseURL, resp.Status)
+	}
+	var out struct {
+		Applied int `json:"applied"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, resp.StatusCode, 0, fmt.Errorf("%s: decoding import reply: %w", baseURL, err)
+	}
+	return out.Applied, resp.StatusCode, 0, nil
 }
 
 // writeOrder lists the group's replicas with the cached primary first.
@@ -357,32 +748,6 @@ func (c *Coordinator) setPrimary(group, u string) {
 	c.mu.Lock()
 	c.primaries[group] = u
 	c.mu.Unlock()
-}
-
-// postSong performs one write attempt; it returns the HTTP status (0 for
-// transport errors) and any Retry-After hint.
-func (c *Coordinator) postSong(ctx context.Context, baseURL, title string, midiData []byte, out *SongInfo) (int, time.Duration, error) {
-	rctx, cancel := context.WithTimeout(ctx, c.cfg.ReplicaTimeout)
-	defer cancel()
-	u := baseURL + "/songs?title=" + url.QueryEscape(title)
-	req, err := http.NewRequestWithContext(rctx, http.MethodPost, u, bytes.NewReader(midiData))
-	if err != nil {
-		return 0, 0, err
-	}
-	req.Header.Set("Content-Type", "audio/midi")
-	resp, err := c.cfg.Client.Do(req)
-	if err != nil {
-		return 0, 0, err
-	}
-	defer func() {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		_ = resp.Body.Close()
-	}()
-	if resp.StatusCode != http.StatusCreated {
-		ra, _ := retry.ParseRetryAfter(resp.Header)
-		return resp.StatusCode, ra, fmt.Errorf("%s: %s", baseURL, resp.Status)
-	}
-	return resp.StatusCode, 0, json.NewDecoder(resp.Body).Decode(out)
 }
 
 // groupStats fetches /stats from any live replica of the group.
@@ -420,24 +785,18 @@ func (c *Coordinator) getJSON(ctx context.Context, u string, out interface{}) er
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// NumSongs sums songs across groups; unreachable groups contribute zero
-// (the catalogue endpoints are monitoring surfaces, not consistency ones).
+// NumSongs counts distinct songs across groups (migration copies dedupe
+// by id); unreachable groups contribute zero (the catalogue endpoints are
+// monitoring surfaces, not consistency ones).
 func (c *Coordinator) NumSongs() int {
-	ctx := context.Background()
-	total := 0
-	for _, g := range c.cfg.Groups {
-		if st, err := c.groupStats(ctx, g); err == nil {
-			total += st.Songs
-		}
-	}
-	return total
+	return len(c.Songs())
 }
 
 // NumPhrases sums indexed phrases across groups.
 func (c *Coordinator) NumPhrases() int {
 	ctx := context.Background()
 	total := 0
-	for _, g := range c.cfg.Groups {
+	for _, g := range c.topology().groups {
 		if st, err := c.groupStats(ctx, g); err == nil {
 			total += st.Phrases
 		}
@@ -445,13 +804,16 @@ func (c *Coordinator) NumPhrases() int {
 	return total
 }
 
-// Songs concatenates the group catalogues, sorted by id. Melodies are not
-// shipped — the coordinator serves the catalogue listing, which only needs
-// id, title and note count; NumNotes is approximated by a zero melody.
+// Songs merges the group catalogues, deduplicated by id (a rebalance
+// leaves copies of the moving songs on their old owner) and sorted by id.
+// Melodies are not shipped — the coordinator serves the catalogue
+// listing, which only needs id, title and note count; NumNotes is
+// approximated by a zero melody.
 func (c *Coordinator) Songs() []music.Song {
 	ctx := context.Background()
 	var out []music.Song
-	for _, g := range c.cfg.Groups {
+	seen := map[int64]bool{}
+	for _, g := range c.topology().groups {
 		var infos []SongInfo
 		var got bool
 		for _, u := range g.Replicas {
@@ -464,6 +826,10 @@ func (c *Coordinator) Songs() []music.Song {
 			continue
 		}
 		for _, s := range infos {
+			if seen[s.ID] {
+				continue
+			}
+			seen[s.ID] = true
 			out = append(out, music.Song{ID: s.ID, Title: s.Title})
 		}
 	}

@@ -234,13 +234,16 @@ func TestCoordinatorWriteFindsPrimaryPast421(t *testing.T) {
 func TestCoordinatorWriteHonorsRetryAfter(t *testing.T) {
 	var calls atomic.Int32
 	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && r.URL.Path == "/songs" {
+			_ = json.NewEncoder(w).Encode([]SongInfo{}) // id allocator seed scan
+			return
+		}
 		if calls.Add(1) == 1 {
 			w.Header().Set("Retry-After", "0")
 			httpError(w, http.StatusTooManyRequests, "busy")
 			return
 		}
-		w.WriteHeader(http.StatusCreated)
-		_ = json.NewEncoder(w).Encode(SongInfo{ID: 1, Title: "ok", Notes: 3})
+		_ = json.NewEncoder(w).Encode(map[string]int{"applied": 1, "received": 1})
 	}))
 	defer fake.Close()
 

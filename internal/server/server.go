@@ -45,6 +45,7 @@ import (
 	"warping/internal/audio"
 	"warping/internal/hum"
 	"warping/internal/index"
+	"warping/internal/membership"
 	"warping/internal/midi"
 	"warping/internal/music"
 	"warping/internal/qbh"
@@ -74,6 +75,30 @@ type durabilityReporter interface {
 // per-shard sizes when present.
 type shardReporter interface {
 	ShardStats() qbh.ShardStats
+}
+
+// primaryHinter is implemented by backends that know where their group's
+// primary lives (*replica.Node followers). A misdirected write's 421
+// then carries the primary URL as a Location header, so the client can
+// reroute without fetching a membership view.
+type primaryHinter interface {
+	PrimaryHint() string
+}
+
+// replicationReporter is implemented by backends in a replica group
+// (*replica.Node); /stats surfaces the role, fencing state and — on a
+// primary — the per-follower ack watermarks failover elects by.
+type replicationReporter interface {
+	State() replica.StateResponse
+	AckWatermarks() map[string]string
+}
+
+// membershipReporter is implemented by backends that hold a gossip
+// membership view (*Coordinator); /stats surfaces it when present.
+// Replica roles surface theirs through Handler.SetMembershipView, since
+// the gossip agent lives beside the node, not inside it.
+type membershipReporter interface {
+	MembershipView() (membership.View, bool)
 }
 
 // Config tunes the serving path. The zero value of any field selects the
@@ -137,6 +162,16 @@ type Handler struct {
 	// candidateHook, when non-nil, is passed to every query's
 	// index.Limits — fault injection for tests (slow queries, blocking).
 	candidateHook func()
+	// viewFn, when set, supplies the gossip membership view for /stats —
+	// the wiring for replica roles, whose agent lives outside the backend.
+	viewFn func() (membership.View, bool)
+}
+
+// SetMembershipView wires an external membership-view source (a gossip
+// agent) into /stats. Backends that hold their own view (the
+// coordinator) are picked up automatically and don't need this.
+func (h *Handler) SetMembershipView(fn func() (membership.View, bool)) {
+	h.viewFn = fn
 }
 
 // New builds the HTTP handler around a built system with default Config.
@@ -227,10 +262,12 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) bool {
 // the backend persists writes (a data directory is configured); Shards is
 // present when the backend exposes its index partition layout.
 type StatsResponse struct {
-	Songs      int                 `json:"songs"`
-	Phrases    int                 `json:"phrases"`
-	Shards     *ShardsResponse     `json:"shards,omitempty"`
-	Durability *DurabilityResponse `json:"durability,omitempty"`
+	Songs       int                  `json:"songs"`
+	Phrases     int                  `json:"phrases"`
+	Shards      *ShardsResponse      `json:"shards,omitempty"`
+	Durability  *DurabilityResponse  `json:"durability,omitempty"`
+	Replication *ReplicationResponse `json:"replication,omitempty"`
+	Membership  *MembershipResponse  `json:"membership,omitempty"`
 }
 
 // ShardsResponse reports the index partition layout in /stats: writes lock
@@ -254,6 +291,39 @@ type DurabilityResponse struct {
 	WALBytes        int64   `json:"wal_bytes"`
 	WALSyncs        int64   `json:"wal_syncs"`
 	LastFsyncMicros int64   `json:"last_fsync_micros"`
+}
+
+// ReplicationResponse reports the node's place in its replica group in
+// /stats: role, fencing state, replication frontier, and — on a primary
+// — the per-follower durably-applied watermarks failover elects by.
+type ReplicationResponse struct {
+	Group  string `json:"group"`
+	Role   string `json:"role"`
+	Fenced bool   `json:"fenced,omitempty"`
+	Epoch  int64  `json:"epoch"`
+	Offset int64  `json:"offset"`
+	// AckWatermarks maps follower id to its confirmed "epoch:offset"
+	// position in the primary's WAL stream.
+	AckWatermarks map[string]string `json:"ack_watermarks,omitempty"`
+}
+
+// MembershipResponse reports the merged gossip view in /stats.
+type MembershipResponse struct {
+	RingVersion uint64           `json:"ring_version"`
+	RingGroups  []string         `json:"ring_groups,omitempty"`
+	Rebalancing bool             `json:"rebalancing,omitempty"`
+	Nodes       []MemberResponse `json:"nodes,omitempty"`
+}
+
+// MemberResponse is one node row of the membership view.
+type MemberResponse struct {
+	ID        string `json:"id"`
+	URL       string `json:"url,omitempty"`
+	Group     string `json:"group"`
+	Role      string `json:"role"`
+	Fenced    bool   `json:"fenced,omitempty"`
+	WALEpoch  int64  `json:"wal_epoch"`
+	WALOffset int64  `json:"wal_offset"`
 }
 
 // SongInfo is one /songs row.
@@ -311,7 +381,51 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 			LastFsyncMicros: st.LastFsync.Microseconds(),
 		}
 	}
+	if rr, ok := h.sys.(replicationReporter); ok {
+		st := rr.State()
+		resp.Replication = &ReplicationResponse{
+			Group:         st.Group,
+			Role:          string(st.Role),
+			Fenced:        st.Fenced,
+			Epoch:         st.Epoch,
+			Offset:        st.Offset,
+			AckWatermarks: rr.AckWatermarks(),
+		}
+	}
+	if view, ok := h.membershipView(); ok {
+		m := &MembershipResponse{
+			RingVersion: view.Ring.Version,
+			RingGroups:  view.Ring.Groups,
+			Rebalancing: view.Rebalance.Active(),
+		}
+		for _, g := range view.Groups() {
+			for _, rec := range view.GroupNodes(g) {
+				m.Nodes = append(m.Nodes, MemberResponse{
+					ID:        rec.ID,
+					URL:       rec.URL,
+					Group:     rec.Group,
+					Role:      rec.Role,
+					Fenced:    rec.Fenced,
+					WALEpoch:  rec.WALEpoch,
+					WALOffset: rec.WALOffset,
+				})
+			}
+		}
+		resp.Membership = m
+	}
 	writeJSON(w, resp)
+}
+
+// membershipView finds the gossip view to surface: the explicitly wired
+// source first (replica roles), then the backend's own (coordinator).
+func (h *Handler) membershipView() (membership.View, bool) {
+	if h.viewFn != nil {
+		return h.viewFn()
+	}
+	if mr, ok := h.sys.(membershipReporter); ok {
+		return mr.MembershipView()
+	}
+	return membership.View{}, false
 }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -386,8 +500,15 @@ func (h *Handler) handleAddSong(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, qbh.ErrNotDurable):
 			httpError(w, http.StatusServiceUnavailable, "storing: %v", err)
 		// Misdirected write in a replica group: the client must resend to
-		// the primary. 421 is not retryable-here, unlike 503.
+		// the primary. 421 is not retryable-here, unlike 503; a follower
+		// that knows its primary names it in Location so the client can
+		// reroute without a membership-view fetch.
 		case errors.Is(err, replica.ErrNotPrimary):
+			if ph, ok := h.sys.(primaryHinter); ok {
+				if hint := ph.PrimaryHint(); hint != "" {
+					w.Header().Set("Location", hint+r.URL.RequestURI())
+				}
+			}
 			httpError(w, http.StatusMisdirectedRequest, "%v", err)
 		// Durable locally but the follower quorum did not confirm: not
 		// acknowledged, safe to retry.
