@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-all chaos chaos-membership bench bench-json bench-json-pr4 bench-json-pr5 bench-json-pr7 bench-smoke fuzz-seeds cover experiments experiments-small clean
+.PHONY: all build test vet race race-all chaos chaos-membership bench bench-json bench-json-pr4 bench-json-pr5 bench-json-pr7 bench-json-pr9 bench-smoke fuzz-seeds cover experiments experiments-small clean
 
 all: vet test
 
@@ -15,7 +15,7 @@ test:
 
 # Matches the CI race job: the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/qbh/... ./internal/server/... ./internal/replica/... ./internal/membership/... ./internal/index/... ./internal/rtree/... ./internal/store/... ./internal/dtw/...
+	$(GO) test -race ./internal/qbh/... ./internal/server/... ./internal/replica/... ./internal/membership/... ./internal/index/... ./internal/rtree/... ./internal/store/... ./internal/dtw/... ./internal/pager/...
 
 # The kill-a-replica chaos suite under the race detector: every replica
 # is a real OS process, death is SIGKILL (matches the CI chaos job).
@@ -62,6 +62,14 @@ bench-json-pr5:
 	$(GO) test -run='^$$' -bench='BenchmarkSharded' -benchmem ./internal/index/ \
 		| $(GO) run ./cmd/benchjson -label sharded-$(LABEL) -o BENCH_pr5.json
 
+# PR9: out-of-core paged storage. Sweeps buffer-pool sizes (plus the
+# all-in-RAM baseline) over warm and cold range/kNN queries, recording
+# latency, pool hit rate and misses/op into BENCH_pr9.json. Cold runs
+# reset the pool before every query; warm runs measure steady state.
+bench-json-pr9:
+	$(GO) test -run='^$$' -bench='BenchmarkPaged' -benchmem ./internal/index/ \
+		| $(GO) run ./cmd/benchjson -label paged -o BENCH_pr9.json
+
 # PR7: pruning power of the four-stage LB cascade. Records per-stage
 # survivor counts (candidates, coarse New_PAA box, LB_Keogh, LB_Improved,
 # exact DTW) plus the LB_Keogh-only counterfactual baseline into
@@ -78,7 +86,7 @@ bench-smoke:
 # Run the fuzz seed corpora as regression tests (what CI does); use
 # `go test -fuzz=FuzzName ./internal/dtw/` for a real fuzzing session.
 fuzz-seeds:
-	$(GO) test -run='^Fuzz' ./internal/dtw/ ./internal/ts/ ./internal/store/ ./internal/index/ ./internal/membership/
+	$(GO) test -run='^Fuzz' ./internal/dtw/ ./internal/ts/ ./internal/store/ ./internal/index/ ./internal/membership/ ./internal/pager/ ./internal/rtree/
 
 cover:
 	$(GO) test -cover ./...

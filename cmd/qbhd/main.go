@@ -23,6 +23,17 @@
 // other database flags then only seed the very first start; afterwards
 // the directory is the source of truth.
 //
+// -pool-pages N (with -data) moves the corpus columns and R*-tree nodes
+// out of core: they live in page files under <data>/pages and are served
+// through a fixed-size buffer pool of N pages (-page-size bytes each,
+// default 8192, widened if one normal-form series would not fit). Queries
+// then touch disk only on pool misses, and GET /stats grows a buffer_pool
+// block (hits, misses, evictions, hit rate) while each query response
+// reports real page faults in page_accesses next to the paper's logical
+// count in logical_pages. The page files are derived state — wiped and
+// rebuilt on startup — so enabling, disabling, or resizing the pool
+// across restarts is always safe.
+//
 // -shards N partitions the phrase index across N independently locked
 // shards: an upload write-locks only the shards receiving its phrases
 // while queries fan out across all shards in parallel. -backend selects
@@ -93,6 +104,7 @@ import (
 	"warping"
 	"warping/internal/index"
 	"warping/internal/membership"
+	"warping/internal/pager"
 	"warping/internal/qbh"
 	"warping/internal/replica"
 	"warping/internal/server"
@@ -125,6 +137,8 @@ func main() {
 	nodeID := flag.String("node-id", "", "stable node identity in the membership view (default: the -advertise URL)")
 	bootstrapGroups := flag.String("bootstrap-groups", "", "seed: comma-separated group names the initial hash ring waits for (empty = every group seen during the quiet period)")
 	adaptiveBand := flag.Bool("adaptive-band", false, "estimate the warping band per query from the query's own tempo variance (set identically on coordinator and replicas)")
+	poolPages := flag.Int("pool-pages", 0, "out-of-core paged storage: buffer-pool capacity in pages (0 = all-in-RAM; requires -data, spills to <data>/pages)")
+	pageSize := flag.Int("page-size", 0, "page size in bytes for -pool-pages (power of two, widened to fit one normal-form series; 0 = 8192)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -219,12 +233,21 @@ func main() {
 			}
 		}
 	}
+	var pagerCfg *pager.Config
+	if *poolPages > 0 {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "-pool-pages requires -data: paged storage spills under the data directory")
+			os.Exit(1)
+		}
+		pagerCfg = &pager.Config{PageSize: *pageSize, PoolPages: *poolPages}
+	}
 	if handler != nil || rootHandler != nil {
 		// Coordinator or seed: no local data to open.
 	} else if *dataDir != "" {
 		d, err := qbh.OpenDurable(*dataDir, qbh.DurableOptions{
 			GroupCommit:      *groupCommit,
 			SnapshotInterval: *snapInterval,
+			Pager:            pagerCfg,
 			Build: func() (*qbh.System, error) {
 				return buildSystem(*loadDB, *midiDir, *songCount, *shards, *backend, *adaptiveBand)
 			},

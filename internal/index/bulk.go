@@ -91,9 +91,64 @@ func BulkLoad(t core.Transform, cfg Config, entries []Entry) (*Index, error) {
 	}
 	wg.Wait()
 
+	if cfg.Pager == nil {
+		return &Index{
+			st:   st,
+			tree: rtree.BulkLoad(dim, cfg.Tree, items),
+			cfg:  cfg,
+		}, nil
+	}
+
+	// Out-of-core: the staged arenas stream into page-backed columns and
+	// become garbage, the tree is STR-packed at the page-capacity node size
+	// and serialized as the paged base, and the in-RAM delta starts empty.
+	// (The staging arenas briefly hold the whole corpus; bulk loads happen
+	// at recovery/rebuild time, before any query-serving working set
+	// exists.)
+	sp := cfg.Pager
+	paged := &pagedCols{sp: sp}
+	fail := func(err error) (*Index, error) {
+		_ = paged.close()
+		return nil, err
+	}
+	var err error
+	if paged.xs, err = sp.NewColumn(n); err != nil {
+		return fail(err)
+	}
+	if paged.fs, err = sp.NewColumn(dim); err != nil {
+		return fail(err)
+	}
+	if st.cdim > 0 {
+		if paged.cfs, err = sp.NewColumn(st.cdim); err != nil {
+			return fail(err)
+		}
+	}
+	for i := range entries {
+		if err = paged.xs.Append(st.xs[i*n : (i+1)*n]); err != nil {
+			return fail(err)
+		}
+		if err = paged.fs.Append(st.fs[i*dim : (i+1)*dim]); err != nil {
+			return fail(err)
+		}
+		if st.cdim > 0 {
+			if err = paged.cfs.Append(st.cfs[i*st.cdim : (i+1)*st.cdim]); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	// WritePaged copies point values into node pages, so the staging arenas
+	// (which items still reference) can be dropped right after.
+	ram := rtree.BulkLoad(dim, rtree.Config{MaxEntries: rtree.PageCapacity(dim, sp.PageSize())}, items)
+	pt, err := rtree.WritePaged(ram, sp)
+	if err != nil {
+		return fail(err)
+	}
+	st.xs, st.fs, st.cfs = nil, nil, nil
+	st.paged = paged
 	return &Index{
-		st:   st,
-		tree: rtree.BulkLoad(dim, cfg.Tree, items),
-		cfg:  cfg,
+		st:    st,
+		tree:  rtree.New(dim, cfg.Tree),
+		ptree: pt,
+		cfg:   cfg,
 	}, nil
 }

@@ -64,11 +64,22 @@ func (ix *GridIndex) Remove(id int64) bool {
 		panic("index: series present in corpus but not in grid")
 	}
 	if ix.st.shouldCompact() {
-		ix.st.compact()
+		if ix.st.paged != nil {
+			// All-or-nothing column compaction; on failure the tombstones
+			// stay and the next removal retries.
+			if ix.st.compactPagedCols() != nil {
+				return true
+			}
+		} else {
+			ix.st.compact()
+		}
 		ix.rebuild()
 	}
 	return true
 }
+
+// Close releases the grid backend's spill files (paged mode; no-op in RAM).
+func (ix *GridIndex) Close() error { return ix.st.close() }
 
 // rebuild reconstructs the grid over the current arena generation, with
 // item slots tagging the fresh slot assignment (slots only move at
@@ -114,7 +125,13 @@ func (ix *GridIndex) rangePlan(ctx context.Context, p *Plan, epsilon float64, li
 	sc.gitems = ix.grid.RangeSearchBoxInto(fe.Lower, fe.Upper, epsilon, sc.gitems[:0], &gstats)
 	var stats QueryStats
 	stats.Candidates = len(sc.gitems)
-	stats.PageAccesses = gstats.BucketAccesses
+	stats.LogicalPages = gstats.BucketAccesses
+	if ix.st.paged == nil {
+		// RAM mode: every bucket visit is as real as it gets. In paged mode
+		// the grid directory itself stays in RAM; the real page reads are
+		// the corpus-column misses verifyRange adds below.
+		stats.PageAccesses = stats.LogicalPages
+	}
 
 	// fe is nil in the cascade: the grid's box search already applied the
 	// exact point-to-box distance test at this epsilon, so re-running the
@@ -168,6 +185,8 @@ func (ix *GridIndex) knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc
 	var stats QueryStats
 	s := &knnState{v: v, q: p.q, env: p.env, cfe: p.coarseEnvelope(), band: p.band, best: sc.topK(k), lim: lim, stats: &stats, useLB: true}
 
+	r := ix.st.reader()
+	defer r.release()
 	cLo, cHi := ix.grid.CellRange(fe.Lower, fe.Upper)
 	maxRing := ix.grid.MaxRing(cLo, cHi)
 	stop := false
@@ -188,13 +207,24 @@ func (ix *GridIndex) knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc
 				if core.SquaredDistToBox(it.Point, fe) > s.cutoff()*s.cutoff() {
 					continue
 				}
-				if !s.refine(ctx, it.ID, ix.st.at(int(it.Slot))) {
+				e, err := r.at(int(it.Slot))
+				if err != nil {
+					s.err = err
+					stop = true
+					return
+				}
+				if !s.refine(ctx, it.ID, e) {
 					stop = true
 					return
 				}
 			}
 		})
 	}
-	stats.PageAccesses = gstats.BucketAccesses
+	stats.LogicalPages = gstats.BucketAccesses
+	if ix.st.paged != nil {
+		stats.PageAccesses = r.misses()
+	} else {
+		stats.PageAccesses = stats.LogicalPages
+	}
 	return s.best.sortedInto(sc), stats, s.err
 }

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"warping/internal/core"
+	"warping/internal/pager"
 	"warping/internal/rtree"
 	"warping/internal/ts"
 )
@@ -74,7 +75,15 @@ type QueryStats struct {
 	LBSurvivors int
 	// ExactDTW is the number of exact banded DTW computations performed.
 	ExactDTW int
-	// PageAccesses is the number of index nodes visited.
+	// LogicalPages is the number of index nodes (R*-tree nodes or grid
+	// buckets) visited — the implementation-bias-free simulated measure the
+	// paper's figures report, independent of cache state.
+	LogicalPages int
+	// PageAccesses is the number of real page reads the query caused: the
+	// buffer-pool misses of its node visits and corpus-column reads when
+	// the backend runs out-of-core (Config.Pager). When everything is in
+	// RAM there is no pool, and PageAccesses equals LogicalPages (every
+	// logical visit is as real as it gets).
 	PageAccesses int
 	// Degraded reports that the query hit its Limits.MaxExactDTW budget
 	// and returned without refining every candidate: the results are the
@@ -90,6 +99,7 @@ func (s *QueryStats) add(o QueryStats) {
 	s.KeoghSurvivors += o.KeoghSurvivors
 	s.LBSurvivors += o.LBSurvivors
 	s.ExactDTW += o.ExactDTW
+	s.LogicalPages += o.LogicalPages
 	s.PageAccesses += o.PageAccesses
 	s.Degraded = s.Degraded || o.Degraded
 }
@@ -216,33 +226,66 @@ type entry struct {
 
 // Index is a DTW similarity index over fixed-length normal-form series,
 // backed by an R*-tree. It implements Searcher.
+//
+// In RAM mode (Config.Pager nil) tree holds every item. In out-of-core
+// mode the index is a two-part structure: ptree is an immutable paged base
+// whose nodes live one-per-page in the buffer pool's spill files, and tree
+// is a small in-RAM delta absorbing inserts since the last merge. Removals
+// of base items are tombstones (corpus alive[] filters them out of base
+// candidates); when the delta outgrows deltaMergeMin or base/4, or when
+// tombstones dominate the corpus, base and delta merge into a fresh paged
+// base via STR bulk loading at the page-capacity node size.
 type Index struct {
-	st   corpus
-	tree *rtree.Tree
-	cfg  Config
+	st    corpus
+	tree  *rtree.Tree
+	ptree *rtree.PagedTree // paged base; nil in RAM mode or before first merge
+	cfg   Config
 }
 
 // Config controls backend construction.
 type Config struct {
-	// Tree configures the underlying R*-tree (zero value = defaults).
+	// Tree configures the underlying R*-tree (zero value = defaults). In
+	// paged mode this shapes only the in-RAM delta tree; the paged base's
+	// node capacity is derived from the pager's page size.
 	Tree rtree.Config
 	// GridCell is the grid-file cell edge length in feature-space units
 	// (BackendGrid only; zero selects DefaultGridCell).
 	GridCell float64
+	// Pager, when non-nil, switches backends built with this config into
+	// out-of-core mode: corpus arenas (and R*-tree base nodes) live in
+	// page files behind the space's shared buffer pool. The Space is owned
+	// by the caller and may be shared by many backends (all shards of a
+	// system).
+	Pager *pager.Space
 }
 
 // New creates an index using the given envelope transform. All series added
-// and queried must have length transform.InputLen().
+// and queried must have length transform.InputLen(). It panics if paged
+// spill files cannot be created (use NewBackend for the error form).
 func New(t core.Transform, cfg Config) *Index {
-	return &Index{
+	ix, err := newIndex(t, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+func newIndex(t core.Transform, cfg Config) (*Index, error) {
+	ix := &Index{
 		st:   newCorpus(t, 0),
 		tree: rtree.New(t.OutputLen(), cfg.Tree),
 		cfg:  cfg,
 	}
+	if cfg.Pager != nil {
+		if err := ix.st.pageTo(cfg.Pager); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
 }
 
 // Len returns the number of indexed series.
-func (ix *Index) Len() int { return ix.tree.Len() }
+func (ix *Index) Len() int { return ix.st.len() }
 
 // SeriesLen returns the required series length n.
 func (ix *Index) SeriesLen() int { return ix.st.n }
@@ -259,6 +302,12 @@ func (ix *Index) Add(id int64, x ts.Series) error {
 		return err
 	}
 	ix.tree.InsertItem(rtree.Item{ID: id, Slot: slot, Point: e.feat})
+	if ix.st.paged != nil && ix.tree.Len() >= ix.deltaThreshold() {
+		// Fold the delta into a fresh paged base. The add itself succeeded
+		// and a failed merge leaves both trees intact (the delta just stays
+		// large and the next add retries), so the error is not the caller's.
+		_ = ix.mergePaged()
+	}
 	return nil
 }
 
@@ -278,6 +327,18 @@ func (ix *Index) Remove(id int64) bool {
 	e, ok := ix.st.remove(id)
 	if !ok {
 		return false
+	}
+	if ix.st.paged != nil {
+		// A delta item comes straight out of the RAM tree; a base item is
+		// not in it (the paged base is immutable) and its tombstone alone
+		// hides it from queries, so a false return is expected here.
+		ix.tree.Delete(id, e.feat)
+		if ix.st.shouldCompact() {
+			// A failed compaction leaves the tombstones in place; the next
+			// removal retries.
+			_ = ix.compactPaged()
+		}
+		return true
 	}
 	if !ix.tree.Delete(id, e.feat) {
 		// The tree and the arena must stay in lockstep.
@@ -300,6 +361,108 @@ func (ix *Index) rebuild() {
 		items = append(items, rtree.Item{ID: id, Slot: slot, Point: e.feat})
 	})
 	ix.tree = rtree.BulkLoad(ix.st.transform.OutputLen(), ix.cfg.Tree, items)
+}
+
+// deltaMergeMin is the smallest delta-tree size that triggers a merge into
+// the paged base. Below it a rebuild cannot pay for itself; above it the
+// threshold scales with the base (base/4), so merge work stays amortized
+// O(log n) per insert.
+const deltaMergeMin = 1024
+
+// deltaThreshold is the delta-tree size at which the next Add folds base
+// and delta into a fresh paged base.
+func (ix *Index) deltaThreshold() int {
+	t := deltaMergeMin
+	if ix.ptree != nil {
+		if b := ix.ptree.Len() / 4; b > t {
+			t = b
+		}
+	}
+	return t
+}
+
+// buildPagedBase STR-bulk-loads every live series (base and delta alike,
+// tombstones excluded) into a RAM tree at the page-capacity node size and
+// serializes it into fresh pages, returning the new immutable base. When
+// renumber is set, items are tagged with the slots the arena compaction
+// about to follow will assign — rank in live-slot order, exactly the
+// deterministic assignment compactPagedCols makes — instead of their
+// current slots. On error nothing of the index has changed.
+func (ix *Index) buildPagedBase(renumber bool) (*rtree.PagedTree, error) {
+	sp := ix.st.paged.sp
+	dim := ix.st.dim
+	items := make([]rtree.Item, 0, ix.st.len())
+	r := ix.st.reader()
+	for slot, id := range ix.st.ids {
+		if !ix.st.alive[slot] {
+			continue
+		}
+		f, err := r.featAt(slot)
+		if err != nil {
+			r.release()
+			return nil, err
+		}
+		s := int32(slot)
+		if renumber {
+			s = int32(len(items))
+		}
+		items = append(items, rtree.Item{ID: id, Slot: s, Point: append([]float64(nil), f...)})
+	}
+	r.release()
+	ram := rtree.BulkLoad(dim, rtree.Config{MaxEntries: rtree.PageCapacity(dim, sp.PageSize())}, items)
+	return rtree.WritePaged(ram, sp)
+}
+
+// mergePaged replaces the paged base with a fresh one covering base plus
+// delta, and empties the delta. Slots do not move. All-or-nothing: on error
+// the old base and delta stand.
+func (ix *Index) mergePaged() error {
+	pt, err := ix.buildPagedBase(false)
+	if err != nil {
+		return err
+	}
+	if old := ix.ptree; old != nil {
+		_ = old.Close(ix.st.paged.sp)
+	}
+	ix.ptree = pt
+	ix.tree = rtree.New(ix.st.dim, ix.cfg.Tree)
+	return nil
+}
+
+// compactPaged is the out-of-core form of compact+rebuild: a fresh base is
+// built first under the predicted post-compaction slot assignment, then the
+// columns compact (their commit renumbers the live slots exactly as
+// predicted), then the base swaps in and the delta empties. A failure at
+// either stage leaves the old columns, slots, base and delta fully intact.
+func (ix *Index) compactPaged() error {
+	pt, err := ix.buildPagedBase(true)
+	if err != nil {
+		return err
+	}
+	sp := ix.st.paged.sp
+	if err := ix.st.compactPagedCols(); err != nil {
+		_ = pt.Close(sp)
+		return err
+	}
+	if old := ix.ptree; old != nil {
+		_ = old.Close(sp)
+	}
+	ix.ptree = pt
+	ix.tree = rtree.New(ix.st.dim, ix.cfg.Tree)
+	return nil
+}
+
+// Close releases the index's spill files (paged mode; RAM indexes no-op).
+func (ix *Index) Close() error {
+	var first error
+	if ix.ptree != nil {
+		first = ix.ptree.Close(ix.st.paged.sp)
+		ix.ptree = nil
+	}
+	if err := ix.st.close(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 // Get returns the stored series for an id.
@@ -340,8 +503,33 @@ func (ix *Index) rangePlan(ctx context.Context, p *Plan, epsilon float64, lim Li
 	var tstats rtree.Stats
 	sc.ritems = ix.tree.RangeSearchRectInto(box, epsilon, sc.ritems[:0], &tstats)
 	var stats QueryStats
+	if ix.ptree != nil {
+		// Append the paged base's candidates, then drop tombstoned base
+		// items in place (alive is indexed by slot; delta items are always
+		// live — remove takes them out of the delta tree directly).
+		nDelta := len(sc.ritems)
+		all, err := ix.ptree.RangeSearchInto(box, epsilon, sc.ritems, &tstats)
+		sc.ritems = all
+		if err != nil {
+			return nil, stats, err
+		}
+		live := all[:nDelta]
+		for _, it := range all[nDelta:] {
+			if ix.st.alive[it.Slot] {
+				live = append(live, it)
+			}
+		}
+		sc.ritems = live
+	}
 	stats.Candidates = len(sc.ritems)
-	stats.PageAccesses = tstats.NodeAccesses
+	stats.LogicalPages = tstats.NodeAccesses
+	if ix.st.paged != nil {
+		// Real I/O: node-pin misses here, column-read misses added by
+		// verifyRange below.
+		stats.PageAccesses = tstats.PageMisses
+	} else {
+		stats.PageAccesses = stats.LogicalPages
+	}
 
 	// fe is nil: the tree's leaf filter already applied the exact
 	// point-to-box distance test at this epsilon, so re-running the box
@@ -372,13 +560,35 @@ func (ix *Index) RangeQueryEuclidean(q ts.Series, epsilon float64) ([]Match, Que
 	var tstats rtree.Stats
 	items := ix.tree.RangeSearchRectStats(rtree.PointRect(fq), epsilon, &tstats)
 	var stats QueryStats
+	if ix.ptree != nil {
+		nDelta := len(items)
+		all, err := ix.ptree.RangeSearchInto(rtree.PointRect(fq), epsilon, items, &tstats)
+		if err != nil {
+			return nil, stats, err
+		}
+		live := all[:nDelta]
+		for _, it := range all[nDelta:] {
+			if ix.st.alive[it.Slot] {
+				live = append(live, it)
+			}
+		}
+		items = live
+	}
 	stats.Candidates = len(items)
-	stats.PageAccesses = tstats.NodeAccesses
+	stats.LogicalPages = tstats.NodeAccesses
 
+	r := ix.st.reader()
+	defer r.release()
 	var out []Match
 	eps2 := epsilon * epsilon
+	var rerr error
 	for _, it := range items {
-		x := ix.st.at(int(it.Slot)).x
+		e, err := r.at(int(it.Slot))
+		if err != nil {
+			rerr = err
+			break
+		}
+		x := e.x
 		stats.LBSurvivors++
 		var sum float64
 		exceeded := false
@@ -394,8 +604,13 @@ func (ix *Index) RangeQueryEuclidean(q ts.Series, epsilon float64) ([]Match, Que
 			out = append(out, Match{ID: it.ID, Dist: math.Sqrt(sum)})
 		}
 	}
+	if ix.st.paged != nil {
+		stats.PageAccesses = tstats.PageMisses + r.misses()
+	} else {
+		stats.PageAccesses = stats.LogicalPages
+	}
 	sortMatches(out)
-	return out, stats, nil
+	return out, stats, rerr
 }
 
 // KNN returns the k nearest series to q under banded DTW (warping width
@@ -431,7 +646,12 @@ func (ix *Index) KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, 
 
 // knnPlan implements Searcher: best-first traversal and refinement
 // against a precomputed plan, with the top-k heap and sorted result built
-// in pooled scratch. Returned matches alias sc.out (sorted).
+// in pooled scratch. Returned matches alias sc.out (sorted). In paged mode
+// two ascending-distance streams — the in-RAM delta tree's and the paged
+// base's — merge into one globally ordered candidate stream (both iterators
+// break distance ties items-before-nodes, so the merged order matches what
+// a single tree over the union would produce), with tombstoned base items
+// skipped as they surface.
 func (ix *Index) knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc *scratch) ([]Match, QueryStats, error) {
 	box := rtree.Rect{Lo: p.fe.Lower, Hi: p.fe.Upper}
 
@@ -442,21 +662,70 @@ func (ix *Index) knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc *sc
 	var stats QueryStats
 	best := sc.topK(k)
 	s := &knnState{v: v, q: p.q, env: p.env, cfe: p.coarseEnvelope(), band: p.band, best: best, lim: lim, stats: &stats, useLB: true}
-	ix.tree.IncrementalNNStats(box, func(nb rtree.Neighbor) bool {
+
+	r := ix.st.reader()
+	defer r.release()
+
+	ramIt := ix.tree.NNIter(box, &tstats)
+	defer ramIt.Close()
+	ramNb, ramOK := ramIt.Next()
+	var pagedIt *rtree.PagedNNIter
+	var pagedNb rtree.Neighbor
+	var pagedOK bool
+	if ix.ptree != nil {
+		pagedIt = ix.ptree.NNIter(box, &tstats)
+		pagedNb, pagedOK = ix.nextAlive(pagedIt)
+	}
+	for (ramOK || pagedOK) && s.err == nil {
+		fromRAM := ramOK && (!pagedOK || ramNb.Dist <= pagedNb.Dist)
+		nb := pagedNb
+		if fromRAM {
+			nb = ramNb
+		}
 		if e := ctx.Err(); e != nil {
 			s.err = e
-			return false
+			break
 		}
 		// Termination: the feature-space bound of the next candidate
 		// already exceeds the kth best exact distance (locally, or
 		// established by any other shard of a fanned-out query).
 		if nb.Dist > s.cutoff() {
-			return false
+			break
 		}
-		return s.refine(ctx, nb.Item.ID, ix.st.at(int(nb.Item.Slot)))
-	}, &tstats)
-	stats.PageAccesses = tstats.NodeAccesses
+		e, err := r.at(int(nb.Item.Slot))
+		if err != nil {
+			s.err = err
+			break
+		}
+		if !s.refine(ctx, nb.Item.ID, e) {
+			break
+		}
+		if fromRAM {
+			ramNb, ramOK = ramIt.Next()
+		} else {
+			pagedNb, pagedOK = ix.nextAlive(pagedIt)
+		}
+	}
+	if s.err == nil && pagedIt != nil {
+		s.err = pagedIt.Err()
+	}
+	stats.LogicalPages = tstats.NodeAccesses
+	if ix.st.paged != nil {
+		stats.PageAccesses = tstats.PageMisses + r.misses()
+	} else {
+		stats.PageAccesses = stats.LogicalPages
+	}
 	return best.sortedInto(sc), stats, s.err
+}
+
+// nextAlive pulls the paged base's NN stream past tombstoned items.
+func (ix *Index) nextAlive(it *rtree.PagedNNIter) (rtree.Neighbor, bool) {
+	for {
+		nb, ok := it.Next()
+		if !ok || ix.st.alive[nb.Item.Slot] {
+			return nb, ok
+		}
+	}
 }
 
 // sortMatches orders matches by (distance, id), the deterministic result

@@ -42,18 +42,26 @@ type persisted struct {
 
 // flatten gob-encodes ids plus the matching arena block: ids are sorted so
 // saving the same corpus always produces identical bytes, and the series
-// go out as one flat []float64 in id order.
-func flattenCorpus(st *corpus) ([]int64, []float64) {
+// go out as one flat []float64 in id order. In paged mode the series stream
+// out of the buffer pool; a spill read failure fails the snapshot loudly
+// (always nil in RAM mode).
+func flattenCorpus(st *corpus) ([]int64, []float64, error) {
 	ids := make([]int64, 0, st.len())
 	for id := range st.slots {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	flat := make([]float64, 0, len(ids)*st.n)
+	r := st.reader()
+	defer r.release()
 	for _, id := range ids {
-		flat = append(flat, st.entryOf(id).x...)
+		e, err := r.at(int(st.slots[id]))
+		if err != nil {
+			return nil, nil, err
+		}
+		flat = append(flat, e.x...)
 	}
-	return ids, flat
+	return ids, flat, nil
 }
 
 // entriesOf reconstructs bulk-load entries from a decoded payload,
@@ -92,7 +100,9 @@ func (ix *Index) Save(w io.Writer) error {
 		return fmt.Errorf("index: %w", err)
 	}
 	p := persisted{Format: persistFormat, Transform: snap, N: ix.st.n}
-	p.IDs, p.Flat = flattenCorpus(&ix.st)
+	if p.IDs, p.Flat, err = flattenCorpus(&ix.st); err != nil {
+		return fmt.Errorf("index: snapshotting corpus: %w", err)
+	}
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(p); err != nil {
 		return fmt.Errorf("index: encoding: %w", err)
@@ -209,15 +219,20 @@ func (sh *Sharded) Save(w io.Writer) error {
 			s := sh.shards[i]
 			var p shardPayload
 			s.mu.RLock()
-			s.s.Visit(func(id int64, x ts.Series) {
+			verr := corpusOf(s.s).visitErr(func(id int64, x ts.Series) {
 				p.IDs = append(p.IDs, id)
 				p.Series = append(p.Series, x)
 			})
 			s.mu.RUnlock()
+			if verr != nil {
+				errs[i] = fmt.Errorf("index: snapshotting shard %d: %w", i, verr)
+				return
+			}
 			// Sort by id for deterministic bytes, then flatten the series
 			// into one arena block (format 2); the per-series views held
 			// here stay value-correct after the unlock because arena
-			// generations are never mutated in place.
+			// generations are never mutated in place (and paged visits hand
+			// out copies).
 			sort.Sort(&shardSorter{p: &p})
 			p.N = meta.SeriesLen
 			p.Flat = make([]float64, 0, len(p.IDs)*p.N)

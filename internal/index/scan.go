@@ -12,9 +12,10 @@ import (
 // against every database series, optionally short-circuited by the same
 // lower-bound cascade as the indexed backends. It implements Searcher, so
 // it gains context cancellation, Limits/Degraded budgets and QueryStats
-// accounting; PageAccesses is always zero (there is no index structure to
-// page through). Candidates stream straight out of the columnar arena in
-// slot (= insertion) order, so verification (and its stats) is
+// accounting; LogicalPages is always zero (there is no index structure to
+// page through), and PageAccesses counts the corpus-column pool misses when
+// the scan runs out-of-core. Candidates stream straight out of the columnar
+// arena in slot (= insertion) order, so verification (and its stats) is
 // deterministic.
 type LinearScan struct {
 	st corpus
@@ -53,10 +54,19 @@ func (s *LinearScan) Remove(id int64) bool {
 		return false
 	}
 	if s.st.shouldCompact() {
-		s.st.compact()
+		if s.st.paged != nil {
+			// All-or-nothing; on failure the tombstones stay and the next
+			// removal retries.
+			_ = s.st.compactPagedCols()
+		} else {
+			s.st.compact()
+		}
 	}
 	return true
 }
+
+// Close releases the scan's spill files (paged mode; no-op in RAM).
+func (s *LinearScan) Close() error { return s.st.close() }
 
 // Len returns the database size.
 func (s *LinearScan) Len() int { return s.st.len() }
@@ -139,13 +149,21 @@ func (s *LinearScan) knnPlan(ctx context.Context, p *Plan, k int, lim Limits, sc
 
 	var stats QueryStats
 	st := &knnState{v: v, q: p.q, env: p.env, cfe: p.coarseEnvelope(), band: p.band, best: sc.topK(k), lim: lim, stats: &stats, useLB: s.UseLB}
+	r := s.st.reader()
+	defer r.release()
 	for slot, id := range s.st.ids {
 		if !s.st.alive[slot] {
 			continue
 		}
-		if !st.refine(ctx, id, s.st.at(slot)) {
+		e, err := r.at(slot)
+		if err != nil {
+			st.err = err
+			break
+		}
+		if !st.refine(ctx, id, e) {
 			break
 		}
 	}
+	stats.PageAccesses += r.misses()
 	return st.best.sortedInto(sc), stats, st.err
 }

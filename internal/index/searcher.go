@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"warping/internal/core"
+	"warping/internal/pager"
 	"warping/internal/ts"
 )
 
@@ -49,6 +50,11 @@ type Searcher interface {
 	// KNNCtx returns the k nearest series under banded DTW, closest
 	// first, with cancellation and per-query work limits.
 	KNNCtx(ctx context.Context, q ts.Series, k int, delta float64, lim Limits) ([]Match, QueryStats, error)
+	// Close releases backend resources: in paged mode it removes the
+	// backend's spill files from the shared pager space (the space itself
+	// belongs to the caller). RAM backends are no-ops. The backend is
+	// unusable afterwards.
+	Close() error
 
 	// rangePlan and knnPlan are the plan-threaded internals of the two
 	// query methods: the envelope, feature box and band arrive
@@ -84,18 +90,33 @@ const (
 const DefaultGridCell = 40.0
 
 // NewBackend constructs an empty single-shard Searcher of the given kind.
+// When cfg.Pager is set, the backend's corpus arenas (and, for the R*-tree
+// backend, the base tree nodes) live in page files behind the shared buffer
+// pool instead of RAM.
 func NewBackend(kind BackendKind, t core.Transform, cfg Config) (Searcher, error) {
 	switch kind {
 	case BackendRTree, "":
-		return New(t, cfg), nil
+		return newIndex(t, cfg)
 	case BackendGrid:
 		cell := cfg.GridCell
 		if cell <= 0 {
 			cell = DefaultGridCell
 		}
-		return NewGrid(t, cell), nil
+		g := NewGrid(t, cell)
+		if cfg.Pager != nil {
+			if err := g.st.pageTo(cfg.Pager); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
 	case BackendScan:
-		return NewLinearScanTransform(t, true), nil
+		s := NewLinearScanTransform(t, true)
+		if cfg.Pager != nil {
+			if err := s.st.pageTo(cfg.Pager); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
 	default:
 		return nil, fmt.Errorf("index: unknown backend %q", kind)
 	}
@@ -163,6 +184,14 @@ func coarseCompanion(n int, tr core.Transform) core.Transform {
 // blocks (never in place — outstanding entry views and spatial-structure
 // point slices keep reading the old, still-correct generation) and the
 // owning backend rebuilds its structure over the new arena.
+//
+// In out-of-core mode (paged != nil) the three arenas live in page-backed
+// columns instead: record slot s is page s/perPage of the column's spill
+// file, resident only while the buffer pool holds it. The id→slot map,
+// ids and alive stay in RAM (a few bytes per series — the pageable bulk is
+// the float data). All slot reads then go through a corpusReader, whose
+// per-column cursors pin pages and attribute real pool misses to the query
+// driving them.
 type corpus struct {
 	transform core.Transform // nil for the transform-less linear scan
 	coarse    core.Transform // coarse New_PAA pre-stage, nil when n forbids it
@@ -177,8 +206,144 @@ type corpus struct {
 	fs    []float64       // feature arena, len == len(ids)*dim
 	cfs   []float64       // coarse feature arena, len == len(ids)*cdim
 	dead  int             // tombstone count
+	// paged, when non-nil, replaces the xs/fs/cfs arenas with page-backed
+	// columns (out-of-core mode).
+	paged *pagedCols
 	// compactions counts arena compactions (test observability).
 	compactions int
+}
+
+// pagedCols is the out-of-core form of the corpus arenas: one page-backed
+// column per arena, all sharing the space's buffer pool. Appends are
+// serialized by the owning backend's write lock; concurrent queries read
+// through per-query corpusReaders.
+type pagedCols struct {
+	sp  *pager.Space
+	xs  *pager.Column // series records, width n
+	fs  *pager.Column // feature records, width dim (nil when dim == 0)
+	cfs *pager.Column // coarse feature records, width cdim (nil when cdim == 0)
+}
+
+func (p *pagedCols) close() error {
+	var first error
+	for _, c := range []*pager.Column{p.xs, p.fs, p.cfs} {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	p.xs, p.fs, p.cfs = nil, nil, nil
+	return first
+}
+
+// pageTo switches an empty corpus into out-of-core mode: the three arenas
+// become page-backed columns in sp. Must run before the first add.
+func (st *corpus) pageTo(sp *pager.Space) error {
+	if len(st.ids) != 0 {
+		return fmt.Errorf("index: cannot page a non-empty corpus")
+	}
+	p := &pagedCols{sp: sp}
+	var err error
+	if p.xs, err = sp.NewColumn(st.n); err != nil {
+		return err
+	}
+	if st.dim > 0 {
+		if p.fs, err = sp.NewColumn(st.dim); err != nil {
+			_ = p.close()
+			return err
+		}
+	}
+	if st.cdim > 0 {
+		if p.cfs, err = sp.NewColumn(st.cdim); err != nil {
+			_ = p.close()
+			return err
+		}
+	}
+	st.paged = p
+	return nil
+}
+
+// close releases the corpus's spill files (no-op in RAM mode).
+func (st *corpus) close() error {
+	if st.paged == nil {
+		return nil
+	}
+	err := st.paged.close()
+	st.paged = nil
+	return err
+}
+
+// corpusReader resolves slots to entries for one query or worker. In RAM
+// mode it is a free view over the arenas; in paged mode it owns one pinned
+// cursor per column, so clustered slot accesses hit without re-pinning and
+// every real pool miss is attributed to this reader. Readers must not be
+// shared across goroutines; release when done.
+type corpusReader struct {
+	st         *corpus
+	cx, cf, cc pager.Cursor
+}
+
+// reader returns a fresh reader over the corpus.
+func (st *corpus) reader() corpusReader {
+	r := corpusReader{st: st}
+	if p := st.paged; p != nil {
+		r.cx = p.xs.Reader()
+		if p.fs != nil {
+			r.cf = p.fs.Reader()
+		}
+		if p.cfs != nil {
+			r.cc = p.cfs.Reader()
+		}
+	}
+	return r
+}
+
+// at resolves one live slot. In RAM mode the entry's views alias the arenas
+// and stay valid indefinitely; in paged mode they alias pinned pool pages
+// and are valid only until this reader's next at or release.
+func (r *corpusReader) at(slot int) (entry, error) {
+	st := r.st
+	if st.paged == nil {
+		return st.at(slot), nil
+	}
+	x, err := r.cx.At(slot)
+	if err != nil {
+		return entry{}, err
+	}
+	e := entry{x: ts.Series(x)}
+	if st.dim > 0 {
+		if e.feat, err = r.cf.At(slot); err != nil {
+			return entry{}, err
+		}
+	}
+	if st.cdim > 0 {
+		if e.cfeat, err = r.cc.At(slot); err != nil {
+			return entry{}, err
+		}
+	}
+	return e, nil
+}
+
+// featAt resolves just the feature vector of a slot (paged removals need
+// only it, and skip pinning the series page).
+func (r *corpusReader) featAt(slot int) ([]float64, error) {
+	if r.st.paged == nil {
+		return r.st.at(slot).feat, nil
+	}
+	return r.cf.At(slot)
+}
+
+// misses returns the real pool misses this reader has caused so far.
+func (r *corpusReader) misses() int { return r.cx.Misses + r.cf.Misses + r.cc.Misses }
+
+// release unpins the reader's cursors. The reader stays usable: the next
+// at re-pins.
+func (r *corpusReader) release() {
+	r.cx.Release()
+	r.cf.Release()
+	r.cc.Release()
 }
 
 func newCorpus(t core.Transform, n int) corpus {
@@ -194,7 +359,8 @@ func newCorpus(t core.Transform, n int) corpus {
 	return st
 }
 
-// at returns the entry stored in a live slot as views into the arena.
+// at returns the entry stored in a live slot as views into the arena. RAM
+// mode only: paged corpora resolve slots through a corpusReader.
 func (st *corpus) at(slot int) entry {
 	e := entry{x: ts.Series(st.xs[slot*st.n : (slot+1)*st.n : (slot+1)*st.n])}
 	if st.dim > 0 {
@@ -222,6 +388,33 @@ func (st *corpus) add(id int64, x ts.Series) (entry, int32, error) {
 		return entry{}, 0, fmt.Errorf("index: duplicate id %d", id)
 	}
 	slot := len(st.ids)
+	if st.paged != nil {
+		// Out-of-core: records are copied into pool pages; the returned
+		// entry's vectors are freshly computed and owned by the caller
+		// (spatial structures may retain them). A failed append means the
+		// spill files are torn mid-slot — the caller must treat it as
+		// fatal for this corpus.
+		e := entry{x: x}
+		if err := st.paged.xs.Append(x); err != nil {
+			return entry{}, 0, err
+		}
+		if st.transform != nil {
+			e.feat = st.transform.Apply(x)
+			if err := st.paged.fs.Append(e.feat); err != nil {
+				return entry{}, 0, err
+			}
+		}
+		if st.coarse != nil {
+			e.cfeat = st.coarse.Apply(x)
+			if err := st.paged.cfs.Append(e.cfeat); err != nil {
+				return entry{}, 0, err
+			}
+		}
+		st.ids = append(st.ids, id)
+		st.alive = append(st.alive, true)
+		st.slots[id] = int32(slot)
+		return e, int32(slot), nil
+	}
 	st.ids = append(st.ids, id)
 	st.alive = append(st.alive, true)
 	st.xs = append(st.xs, x...)
@@ -237,13 +430,30 @@ func (st *corpus) add(id int64, x ts.Series) (entry, int32, error) {
 
 // remove tombstones the slot for id, returning its (still readable) entry
 // for spatial-structure cleanup. The caller decides when to compact; the
-// returned entry is valid until then.
+// returned entry is valid until then. In paged mode only the feature
+// vector is returned (copied out of the pool — it is all the spatial
+// structures need); a spill read failure panics, because the corpus and
+// its structures would otherwise fall out of lockstep.
 func (st *corpus) remove(id int64) (entry, bool) {
 	slot, ok := st.slots[id]
 	if !ok {
 		return entry{}, false
 	}
-	e := st.at(int(slot))
+	var e entry
+	if st.paged != nil {
+		if st.dim > 0 {
+			r := st.reader()
+			f, err := r.featAt(int(slot))
+			if err != nil {
+				r.release()
+				panic(fmt.Sprintf("index: reading features of slot %d: %v", slot, err))
+			}
+			e.feat = append([]float64(nil), f...)
+			r.release()
+		}
+	} else {
+		e = st.at(int(slot))
+	}
 	delete(st.slots, id)
 	st.alive[slot] = false
 	st.dead++
@@ -298,6 +508,71 @@ func (st *corpus) compact() {
 	st.compactions++
 }
 
+// compactPagedCols is compact for an out-of-core corpus: live records
+// stream from the old columns into fresh ones (slot order preserved), and
+// the swap — columns, ids, alive, slots — happens only after every copy
+// succeeded. On error the corpus is untouched (the fresh columns are
+// discarded), so the caller may simply retry at the next removal.
+func (st *corpus) compactPagedCols() error {
+	old := st.paged
+	fresh := &pagedCols{sp: old.sp}
+	var err error
+	if fresh.xs, err = old.sp.NewColumn(st.n); err != nil {
+		return err
+	}
+	if st.dim > 0 {
+		if fresh.fs, err = old.sp.NewColumn(st.dim); err != nil {
+			_ = fresh.close()
+			return err
+		}
+	}
+	if st.cdim > 0 {
+		if fresh.cfs, err = old.sp.NewColumn(st.cdim); err != nil {
+			_ = fresh.close()
+			return err
+		}
+	}
+	liveCount := len(st.ids) - st.dead
+	ids := make([]int64, 0, liveCount)
+	r := st.reader()
+	for slot, id := range st.ids {
+		if !st.alive[slot] {
+			continue
+		}
+		var e entry
+		if e, err = r.at(slot); err == nil {
+			// Append copies into the target page while the source page
+			// stays pinned by the cursor; the pool handles both pins.
+			if err = fresh.xs.Append(e.x); err == nil && st.dim > 0 {
+				err = fresh.fs.Append(e.feat)
+			}
+			if err == nil && st.cdim > 0 {
+				err = fresh.cfs.Append(e.cfeat)
+			}
+		}
+		if err != nil {
+			r.release()
+			_ = fresh.close()
+			return err
+		}
+		ids = append(ids, id)
+	}
+	r.release()
+	for i, id := range ids {
+		st.slots[id] = int32(i)
+	}
+	alive := make([]bool, len(ids))
+	for i := range alive {
+		alive[i] = true
+	}
+	st.ids, st.alive = ids, alive
+	st.dead = 0
+	st.compactions++
+	st.paged = fresh
+	_ = old.close()
+	return nil
+}
+
 func (st *corpus) len() int { return len(st.slots) }
 
 func (st *corpus) get(id int64) (ts.Series, bool) {
@@ -305,27 +580,88 @@ func (st *corpus) get(id int64) (ts.Series, bool) {
 	if !ok {
 		return nil, false
 	}
-	return st.at(int(slot)).x, true
+	if st.paged == nil {
+		return st.at(int(slot)).x, true
+	}
+	r := st.reader()
+	defer r.release()
+	e, err := r.at(int(slot))
+	if err != nil {
+		return nil, false
+	}
+	return append(ts.Series(nil), e.x...), true
 }
 
 // visit walks live slots in slot (= insertion) order — deterministic,
-// unlike the map iteration it replaced.
+// unlike the map iteration it replaced. In paged mode each series is
+// copied out of the pool (fn may retain it) and a spill read failure
+// panics; error-aware callers (snapshots) use visitErr instead.
 func (st *corpus) visit(fn func(id int64, x ts.Series)) {
-	for slot, id := range st.ids {
-		if st.alive[slot] {
-			fn(id, st.at(slot).x)
-		}
+	if err := st.visitErr(fn); err != nil {
+		panic(fmt.Sprintf("index: visiting paged corpus: %v", err))
 	}
+}
+
+// visitErr is visit propagating paged read failures (always nil in RAM
+// mode). Snapshot paths use it so a torn spill page fails the snapshot
+// loudly instead of silently dropping series.
+func (st *corpus) visitErr(fn func(id int64, x ts.Series)) error {
+	if st.paged == nil {
+		for slot, id := range st.ids {
+			if st.alive[slot] {
+				fn(id, st.at(slot).x)
+			}
+		}
+		return nil
+	}
+	r := st.reader()
+	defer r.release()
+	for slot, id := range st.ids {
+		if !st.alive[slot] {
+			continue
+		}
+		e, err := r.at(slot)
+		if err != nil {
+			return err
+		}
+		fn(id, append(ts.Series(nil), e.x...))
+	}
+	return nil
 }
 
 // visitEntries is visit with the slot and cached feature vector included
 // (used by backend rebuilds after compaction, which tag the fresh spatial
-// items with their arena slots).
+// items with their arena slots). In paged mode the entry's vectors are
+// copied out of the pool, so fn may retain them; a spill read failure
+// panics (rebuilds have no error channel, and a partial rebuild would
+// break the corpus/structure lockstep).
 func (st *corpus) visitEntries(fn func(slot int32, id int64, e entry)) {
-	for slot, id := range st.ids {
-		if st.alive[slot] {
-			fn(int32(slot), id, st.at(slot))
+	if st.paged == nil {
+		for slot, id := range st.ids {
+			if st.alive[slot] {
+				fn(int32(slot), id, st.at(slot))
+			}
 		}
+		return
+	}
+	r := st.reader()
+	defer r.release()
+	for slot, id := range st.ids {
+		if !st.alive[slot] {
+			continue
+		}
+		e, err := r.at(slot)
+		if err != nil {
+			panic(fmt.Sprintf("index: reading slot %d during rebuild: %v", slot, err))
+		}
+		cp := entry{x: append(ts.Series(nil), e.x...)}
+		if st.dim > 0 {
+			cp.feat = append([]float64(nil), e.feat...)
+		}
+		if st.cdim > 0 {
+			cp.cfeat = append([]float64(nil), e.cfeat...)
+		}
+		fn(int32(slot), id, cp)
 	}
 }
 

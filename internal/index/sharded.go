@@ -146,6 +146,20 @@ func (sh *Sharded) Visit(fn func(id int64, x ts.Series)) {
 	}
 }
 
+// Close closes every shard, releasing spill files in paged mode. First
+// error wins; every shard is closed regardless.
+func (sh *Sharded) Close() error {
+	var first error
+	for _, s := range sh.shards {
+		s.mu.Lock()
+		if err := s.s.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.mu.Unlock()
+	}
+	return first
+}
+
 // shardResult is one shard's contribution to a fanned-out query. It
 // carries the shard goroutine's pooled scratch alongside the matches
 // (which alias sc.out): the merger copies the matches out and only then

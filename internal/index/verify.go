@@ -126,14 +126,22 @@ func countStage(stats *QueryStats, o lbOutcome) {
 // Candidate resolvers: each backend names its candidate element type
 // once, and the generic cascade resolves (id, entry) through a static
 // function — no per-query conversion of the candidate list, no closure
-// allocation. Every resolver is a direct arena access: spatial items carry
-// their corpus slot (tagged at insert/rebuild time), and the linear scan
-// hands over raw slots, so no candidate pays an id→slot map lookup.
-func rtreeCand(st *corpus, it rtree.Item) (int64, entry) { return it.ID, st.at(int(it.Slot)) }
-func gridCand(st *corpus, it gridfile.Item) (int64, entry) {
-	return it.ID, st.at(int(it.Slot))
+// allocation. Every resolver goes through a corpusReader: in RAM mode that
+// is a direct arena access (spatial items carry their corpus slot, tagged
+// at insert/rebuild time, so no candidate pays an id→slot map lookup); in
+// paged mode the reader pins the slot's pages and counts real pool misses.
+func rtreeCand(r *corpusReader, it rtree.Item) (int64, entry, error) {
+	e, err := r.at(int(it.Slot))
+	return it.ID, e, err
 }
-func slotCand(st *corpus, s int32) (int64, entry) { return st.ids[s], st.at(int(s)) }
+func gridCand(r *corpusReader, it gridfile.Item) (int64, entry, error) {
+	e, err := r.at(int(it.Slot))
+	return it.ID, e, err
+}
+func slotCand(r *corpusReader, s int32) (int64, entry, error) {
+	e, err := r.at(int(s))
+	return r.st.ids[s], e, err
+}
 
 // knnState is the refinement state of one kNN query, shared by every
 // backend's traversal (R*-tree best-first, grid-file expanding ring,
@@ -234,11 +242,18 @@ const parallelVerifyMin = 64
 // verifyWorkers is the worker budget for one query's parallel
 // verification. A query fanned out across N shards already runs on N
 // cores, so each shard's share of the machine is GOMAXPROCS/N; going wider
-// would oversubscribe and pay goroutine overhead for negative return.
-func verifyWorkers(lim Limits) int {
+// would oversubscribe and pay goroutine overhead for negative return. A
+// paged corpus additionally bounds workers by its pool size: every worker
+// pins pages, and a small pool must not drown in overflow frames.
+func verifyWorkers(lim Limits, st *corpus) int {
 	w := runtime.GOMAXPROCS(0)
 	if lim.shared != nil && lim.shared.fan > 1 {
 		w /= lim.shared.fan
+	}
+	if st.paged != nil {
+		if b := st.paged.sp.WorkerBound(); b < w {
+			w = b
+		}
 	}
 	return w
 }
@@ -251,13 +266,18 @@ func verifyWorkers(lim Limits) int {
 // parallel strategy by candidate-set size and the query's share of the
 // machine. The returned error is ctx.Err() when the query was abandoned
 // mid-verification.
-func verifyRange[T any](ctx context.Context, st *corpus, rq *rangeQuery, items []T, cand func(*corpus, T) (int64, entry), lim Limits, stats *QueryStats, dst []Match) ([]Match, error) {
-	if workers := verifyWorkers(lim); len(items) >= parallelVerifyMin && workers > 1 {
+func verifyRange[T any](ctx context.Context, st *corpus, rq *rangeQuery, items []T, cand func(*corpusReader, T) (int64, entry, error), lim Limits, stats *QueryStats, dst []Match) ([]Match, error) {
+	if workers := verifyWorkers(lim, st); len(items) >= parallelVerifyMin && workers > 1 {
 		return verifyRangeParallel(ctx, st, rq, items, cand, lim, stats, dst, workers)
 	}
 
 	v := getVerifier()
 	defer putVerifier(v)
+	r := st.reader()
+	defer func() {
+		stats.PageAccesses += r.misses()
+		r.release()
+	}()
 	out := dst
 	var err error
 	for _, it := range items {
@@ -269,7 +289,11 @@ func verifyRange[T any](ctx context.Context, st *corpus, rq *rangeQuery, items [
 			stats.Degraded = true
 			break
 		}
-		id, e := cand(st, it)
+		id, e, cerr := cand(&r, it)
+		if cerr != nil {
+			err = cerr
+			break
+		}
 		o := v.rangeCascade(e, rq)
 		countStage(stats, o)
 		if o != lbPassed {
@@ -305,7 +329,7 @@ func verifyRange[T any](ctx context.Context, st *corpus, rq *rangeQuery, items [
 // and CandidateHook serialization are preserved, so results are
 // bit-identical to the sequential path whenever the query runs to
 // completion.
-func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery, items []T, cand func(*corpus, T) (int64, entry), lim Limits, stats *QueryStats, dst []Match, workers int) ([]Match, error) {
+func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery, items []T, cand func(*corpusReader, T) (int64, entry, error), lim Limits, stats *QueryStats, dst []Match, workers int) ([]Match, error) {
 	if max := len(items) / (parallelVerifyMin / 4); workers > max {
 		workers = max
 	}
@@ -319,8 +343,12 @@ func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery,
 		survivors  int64 // candidates that passed the whole LB cascade
 		reserved   int64 // local exact-DTW budget reservations
 		performed  int64 // exact DTW verifications actually run
+		pageMisses int64 // real pool misses across all workers (paged mode)
 		degraded   int32 // budget exhausted with work left
 		aborted    int32 // a worker observed ctx cancellation
+		failed     int32 // a worker hit a paged read error
+		errMu      sync.Mutex
+		readErr    error
 		hookMu     sync.Mutex
 		wg         sync.WaitGroup
 	)
@@ -331,9 +359,14 @@ func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery,
 			defer wg.Done()
 			v := getVerifier()
 			defer putVerifier(v)
+			r := st.reader()
+			defer func() {
+				atomic.AddInt64(&pageMisses, int64(r.misses()))
+				r.release()
+			}()
 			var local []Match
 			for {
-				if atomic.LoadInt32(&degraded) != 0 {
+				if atomic.LoadInt32(&degraded) != 0 || atomic.LoadInt32(&failed) != 0 {
 					break
 				}
 				if ctx.Err() != nil {
@@ -344,7 +377,16 @@ func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery,
 				if i >= len(items) {
 					break
 				}
-				id, e := cand(st, items[i])
+				id, e, cerr := cand(&r, items[i])
+				if cerr != nil {
+					errMu.Lock()
+					if readErr == nil {
+						readErr = cerr
+					}
+					errMu.Unlock()
+					atomic.StoreInt32(&failed, 1)
+					break
+				}
 				o := v.rangeCascade(e, rq)
 				if o > prunedCoarse {
 					atomic.AddInt64(&coarseSurv, 1)
@@ -385,6 +427,7 @@ func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery,
 	stats.KeoghSurvivors += int(keoghSurv)
 	stats.LBSurvivors += int(survivors)
 	stats.ExactDTW += int(performed)
+	stats.PageAccesses += int(pageMisses)
 	stats.Degraded = stats.Degraded || degraded != 0
 
 	out := dst
@@ -394,6 +437,8 @@ func verifyRangeParallel[T any](ctx context.Context, st *corpus, rq *rangeQuery,
 	var err error
 	if aborted != 0 {
 		err = ctx.Err()
+	} else if failed != 0 {
+		err = readErr
 	}
 	return out, err
 }

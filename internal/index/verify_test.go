@@ -216,11 +216,13 @@ func BenchmarkVerifyCandidates(b *testing.B) {
 		cfe = &c
 	}
 	rq := &rangeQuery{q: q, env: env, cfe: cfe, band: k, eps2: eps2, useLB: true}
+	rd := ix.st.reader()
+	defer rd.release()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, it := range items {
-			_, e := rtreeCand(&ix.st, it)
+			_, e, _ := rtreeCand(&rd, it)
 			if v.rangeCascade(e, rq) != lbPassed {
 				continue
 			}

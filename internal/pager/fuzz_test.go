@@ -1,0 +1,91 @@
+package pager
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"warping/internal/store"
+)
+
+// FuzzPageCodec throws arbitrary bytes at a page slot on disk: ReadPage
+// must never panic and must reject anything whose checksum does not verify
+// with a typed error. Accepted pages must be byte-stable: re-stamping the
+// payload through WritePage reproduces the identical on-disk bytes.
+func FuzzPageCodec(f *testing.F) {
+	const pageSize = 512
+	dir, err := os.MkdirTemp("", "pagefuzz")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { os.RemoveAll(dir) })
+	path := filepath.Join(dir, "fuzz.pages")
+	pf, err := store.CreatePageFile(store.OS(), path, pageSize, KindColumn)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { pf.Close() })
+	pid := pf.Allocate()
+	valid := make([]byte, pageSize)
+	for i := range valid[store.PageHeaderSize:] {
+		valid[store.PageHeaderSize+i] = byte(i * 3)
+	}
+	if err := pf.WritePage(pid, valid); err != nil {
+		f.Fatal(err)
+	}
+	// Seed with the genuine on-disk page plus mutations of it.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	onDisk := raw[64 : 64+pageSize] // page 0 starts after the 64-byte file header
+	f.Add(append([]byte(nil), onDisk...))
+	flipped := append([]byte(nil), onDisk...)
+	flipped[100] ^= 0x40
+	f.Add(flipped)
+	wrongKind := append([]byte(nil), onDisk...)
+	wrongKind[4] = KindRTree
+	f.Add(wrongKind)
+	f.Add([]byte{})
+
+	var mu sync.Mutex // fuzz workers share the one file
+	buf := make([]byte, pageSize)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		page := make([]byte, pageSize)
+		copy(page, data)
+		fh, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fh.WriteAt(page, 64); err != nil {
+			t.Fatal(err)
+		}
+		fh.Close()
+		err = pf.ReadPage(pid, buf)
+		if err != nil {
+			if !errors.Is(err, store.ErrChecksum) && !errors.Is(err, store.ErrKind) &&
+				!errors.Is(err, store.ErrTruncated) {
+				t.Fatalf("untyped rejection: %v", err)
+			}
+			return
+		}
+		// Accepted: re-stamping the same payload must be byte-identical.
+		if err := pf.WritePage(pid, buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := raw[64 : 64+pageSize]
+		for i := range got {
+			if got[i] != page[i] {
+				t.Fatalf("byte %d diverged after round trip: %02x != %02x", i, got[i], page[i])
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 
 	"warping/internal/index"
 	"warping/internal/music"
+	"warping/internal/pager"
 	"warping/internal/ts"
 )
 
@@ -72,6 +73,14 @@ func (c *Concurrent) Save(w io.Writer) error {
 
 // Songs returns the song database in id order.
 func (c *Concurrent) Songs() []music.Song { return c.sys.Songs() }
+
+// Close releases the wrapped system (index and, in paged mode, the buffer
+// pool and spill files).
+func (c *Concurrent) Close() error { return c.sys.Close() }
+
+// PoolStats reports the buffer-pool counters when the system runs
+// out-of-core; ok is false for an all-in-RAM system.
+func (c *Concurrent) PoolStats() (pager.Stats, bool) { return c.sys.PoolStats() }
 
 // ShardStats reports the index partition layout.
 func (c *Concurrent) ShardStats() ShardStats { return c.sys.ShardStats() }

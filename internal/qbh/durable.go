@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"warping/internal/music"
+	"warping/internal/pager"
 	"warping/internal/store"
 )
 
@@ -77,6 +78,14 @@ type DurableOptions struct {
 	// Build constructs the initial system when the data directory has no
 	// snapshot (e.g. from a MIDI corpus or a generated demo database).
 	Build func() (*System, error)
+	// Pager, when non-nil, runs the recovered system out-of-core: the
+	// phrase corpus and R*-tree base page through a buffer pool of
+	// Pager.PoolPages pages instead of living in RAM arenas. Pager.Dir
+	// defaults to "<dir>/pages" and Pager.FS to FS. Page files are derived
+	// state — recovery wipes and rebuilds them from the snapshot + WAL, so
+	// enabling, disabling or resizing the pool across restarts is always
+	// safe.
+	Pager *pager.Config
 	// FS is the filesystem; nil selects the real one. Tests inject faults
 	// through this.
 	FS store.FS
@@ -110,6 +119,9 @@ type DurabilityStats struct {
 	WALBytes      int64
 	WALSyncs      int64
 	LastFsync     time.Duration // latency of the most recent WAL fsync
+	// ReapedSongs counts songs removed by compaction reaping (migrated to
+	// another shard group by a committed ring change).
+	ReapedSongs int64
 }
 
 // Durable is a Concurrent system backed by a data directory: every AddSong
@@ -145,6 +157,13 @@ type Durable struct {
 	// is what invalidates follower WAL offsets (see replication.go).
 	epoch int64
 
+	// compactKeep, when non-nil, filters the corpus at snapshot
+	// compaction: songs it rejects are reaped — removed from memory right
+	// before the snapshot that makes the removal durable. Guarded by
+	// ingestMu (set by SetCompactKeep, read by snapshotTo).
+	compactKeep func(music.Song) bool
+	reaped      atomic.Int64
+
 	// notifyCh is closed and replaced whenever something becomes durable;
 	// replication long-polls wait on it (DurableNotify).
 	notifyMu sync.Mutex
@@ -173,6 +192,17 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		return nil, fmt.Errorf("qbh: creating data dir: %w", err)
 	}
 	snapPath := filepath.Join(dir, SnapshotFileName)
+	pcfg := opts.Pager
+	if pcfg != nil {
+		c := *pcfg
+		if c.Dir == "" {
+			c.Dir = filepath.Join(dir, "pages")
+		}
+		if c.FS == nil {
+			c.FS = fsys
+		}
+		pcfg = &c
+	}
 
 	var sys *System
 	hadSnapshot := false
@@ -181,7 +211,7 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		if err != nil {
 			return nil, fmt.Errorf("qbh: opening snapshot: %w", err)
 		}
-		sys, err = Load(bufio.NewReader(f))
+		sys, err = loadWith(bufio.NewReader(f), pcfg)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("qbh: loading snapshot %s: %w", snapPath, err)
@@ -193,12 +223,26 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		if err != nil {
 			return nil, fmt.Errorf("qbh: building initial database: %w", err)
 		}
+		if pcfg != nil && sys.space == nil {
+			// The builder produced a RAM system but this node runs paged:
+			// rebuild it out-of-core. Construction is deterministic, so this
+			// is a pure mode change; initial builds happen before serving
+			// starts, where the rebuild cost is invisible.
+			songs := sys.Songs()
+			sopts := sys.opts
+			sopts.Pager = *pcfg
+			_ = sys.Close()
+			if sys, err = Build(songs, sopts); err != nil {
+				return nil, fmt.Errorf("qbh: rebuilding initial database out-of-core: %w", err)
+			}
+		}
 	} else {
 		return nil, fmt.Errorf("qbh: no snapshot in %s and no initial builder", dir)
 	}
 
 	wal, rec, err := store.OpenWAL(fsys, filepath.Join(dir, WALFileName), opts.GroupCommit)
 	if err != nil {
+		_ = sys.Close()
 		return nil, fmt.Errorf("qbh: opening wal: %w", err)
 	}
 	if rec.DroppedBytes > 0 {
@@ -209,6 +253,7 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		e, err := decodeWALEntry(payload)
 		if err != nil {
 			wal.Close()
+			_ = sys.Close()
 			return nil, fmt.Errorf("qbh: wal record %d: %w", i, err)
 		}
 		switch e.Op {
@@ -221,11 +266,13 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 			}
 			if err := sys.AddSong(e.Song); err != nil {
 				wal.Close()
+				_ = sys.Close()
 				return nil, fmt.Errorf("qbh: replaying wal record %d: %w", i, err)
 			}
 			replayed++
 		default:
 			wal.Close()
+			_ = sys.Close()
 			return nil, fmt.Errorf("qbh: wal record %d: unknown op %d", i, e.Op)
 		}
 	}
@@ -236,6 +283,7 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 	epoch, err := loadEpoch(fsys, dir)
 	if err != nil {
 		wal.Close()
+		_ = sys.Close()
 		return nil, err
 	}
 	d := &Durable{
@@ -267,6 +315,7 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 	if !hadSnapshot || replayed > 0 {
 		if err := d.Snapshot(); err != nil {
 			wal.Close()
+			_ = sys.Close()
 			return nil, fmt.Errorf("qbh: initial snapshot: %w", err)
 		}
 	}
@@ -349,9 +398,51 @@ func (d *Durable) PromoteEpoch(minEpoch int64) error {
 	return d.snapshotTo(minEpoch)
 }
 
+// SetCompactKeep installs (or, with nil, clears) the compaction reap
+// filter: at every snapshot compaction, songs for which keep returns false
+// are removed from the system immediately before the snapshot is written,
+// so the snapshot — the durability root — never contains them and the WAL
+// reset needs no tombstone records. This is how a shard group sheds songs
+// that a committed ring change migrated to another group: the filter is
+// derived state (re-installed from every observed view), reaping is
+// idempotent, and a crash between the removal and the snapshot rename
+// merely resurrects the songs until the next compaction reaps them again.
+func (d *Durable) SetCompactKeep(keep func(music.Song) bool) {
+	d.ingestMu.Lock()
+	d.compactKeep = keep
+	d.ingestMu.Unlock()
+}
+
+// ReapedSongs reports how many songs compaction reaping has removed over
+// this process's lifetime.
+func (d *Durable) ReapedSongs() int64 { return d.reaped.Load() }
+
+// reapLocked applies the compact-keep filter under ingestMu; it runs as
+// the first step of snapshotTo so the snapshot that follows is the one
+// that persists the removals.
+func (d *Durable) reapLocked() {
+	if d.compactKeep == nil {
+		return
+	}
+	reaped := 0
+	for _, song := range d.sys.Songs() {
+		if d.compactKeep(song) {
+			continue
+		}
+		if d.sys.RemoveSong(song.ID) {
+			reaped++
+		}
+	}
+	if reaped > 0 {
+		d.reaped.Add(int64(reaped))
+		d.opts.Logf("qbh: compaction reaped %d migrated-away song(s)", reaped)
+	}
+}
+
 func (d *Durable) snapshotTo(minEpoch int64) error {
 	d.ingestMu.Lock()
 	defer d.ingestMu.Unlock()
+	d.reapLocked()
 	var buf bytes.Buffer
 	if err := d.sys.Save(&buf); err != nil {
 		return fmt.Errorf("qbh: serializing snapshot: %w", err)
@@ -433,12 +524,14 @@ func (d *Durable) DurabilityStats() DurabilityStats {
 		WALBytes:      st.Bytes,
 		WALSyncs:      st.Syncs,
 		LastFsync:     st.LastSync,
+		ReapedSongs:   d.reaped.Load(),
 	}
 }
 
 // Close stops the background snapshotter, writes a final snapshot if any
-// WAL records are pending (graceful-shutdown compaction) and closes the
-// log. The Durable must not be used afterwards.
+// WAL records are pending (graceful-shutdown compaction), closes the log,
+// and releases the system (in paged mode: the buffer pool and spill
+// files). The Durable must not be used afterwards.
 func (d *Durable) Close() error {
 	d.closeOnce.Do(func() {
 		close(d.stop)
@@ -448,6 +541,9 @@ func (d *Durable) Close() error {
 			err = d.Snapshot()
 		}
 		if cerr := d.wal.Close(); err == nil {
+			err = cerr
+		}
+		if cerr := d.sys.Close(); err == nil {
 			err = cerr
 		}
 		d.closeErr = err

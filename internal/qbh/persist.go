@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"warping/internal/music"
+	"warping/internal/pager"
 	"warping/internal/store"
 )
 
@@ -35,6 +36,12 @@ type persisted struct {
 // AddSongs on other shards.
 func (s *System) Save(w io.Writer) error {
 	p := persisted{Format: persistFormat, Options: s.opts}
+	// The pager configuration is machine-local derived state (a spill
+	// directory path, a pool size): a snapshot must stay loadable on any
+	// machine and must not force — or forbid — out-of-core mode at load
+	// time. Stripping it here also keeps snapshot bytes identical whether
+	// or not the writer runs paged.
+	p.Options.Pager = pager.Config{}
 	s.mu.RLock()
 	p.Songs = make([]music.Song, 0, len(s.songs))
 	// Persist songs in id order for deterministic output bytes.
@@ -59,11 +66,17 @@ func (s *System) Save(w io.Writer) error {
 	})
 }
 
-// Load reads a system previously written by Save and rebuilds it. Corrupt,
-// truncated or foreign input is rejected with the store package's typed
-// errors (store.ErrBadMagic, store.ErrChecksum, store.ErrTruncated,
-// store.ErrKind) before any gob decoding runs.
-func Load(r io.Reader) (*System, error) {
+// Load reads a system previously written by Save and rebuilds it, all in
+// RAM. Corrupt, truncated or foreign input is rejected with the store
+// package's typed errors (store.ErrBadMagic, store.ErrChecksum,
+// store.ErrTruncated, store.ErrKind) before any gob decoding runs.
+func Load(r io.Reader) (*System, error) { return loadWith(r, nil) }
+
+// loadWith is Load with a pager configuration injected into the rebuild:
+// snapshots never carry one (Save strips it), so out-of-core mode at
+// recovery is always decided by the loading process — this is how
+// OpenDurable threads DurableOptions.Pager into the snapshot path.
+func loadWith(r io.Reader, pcfg *pager.Config) (*System, error) {
 	kind, sections, err := store.ReadContainer(r)
 	if err != nil {
 		return nil, fmt.Errorf("qbh: reading snapshot: %w", err)
@@ -86,6 +99,9 @@ func Load(r io.Reader) (*System, error) {
 	}
 	if p.Format != persistFormat {
 		return nil, fmt.Errorf("qbh: unsupported format %d", p.Format)
+	}
+	if pcfg != nil {
+		p.Options.Pager = *pcfg
 	}
 	return Build(p.Songs, p.Options)
 }

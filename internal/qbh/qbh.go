@@ -19,6 +19,7 @@ import (
 	"warping/internal/core"
 	"warping/internal/index"
 	"warping/internal/music"
+	"warping/internal/pager"
 	"warping/internal/rtree"
 	"warping/internal/ts"
 )
@@ -72,6 +73,16 @@ type Options struct {
 	// a global constant width. Coordinators must set it identically to
 	// their replicas so shipped plans carry the same band.
 	AdaptiveBand bool
+	// Pager enables out-of-core paged storage when Pager.Dir is set: the
+	// phrase corpus and the R*-tree base live in fixed-size page files
+	// behind a shared buffer pool instead of RAM arenas, and the working
+	// set is bounded by Pager.PoolPages. The page size is widened
+	// automatically so one normal-form series fits a page. Never persisted
+	// in snapshots (Save strips it): page files are derived state, rebuilt
+	// at load time from whatever configuration the loading process runs
+	// with — a snapshot shipped to another machine must not carry this
+	// machine's spill directory.
+	Pager pager.Config
 }
 
 func (o *Options) fill() {
@@ -109,6 +120,9 @@ type Phrase struct {
 type System struct {
 	opts Options
 	ix   *index.Sharded
+	// space is the out-of-core page space when Options.Pager is enabled,
+	// owned by this System and released by Close; nil in all-in-RAM mode.
+	space *pager.Space
 
 	// mu guards songs and phrases only. Lock ordering: mu is never held
 	// while taking a shard lock on a write path that can block (index
@@ -159,8 +173,22 @@ func Build(songs []music.Song, opts Options) (*System, error) {
 	if nShards < 1 {
 		nShards = 1
 	}
-	ix, err := index.NewSharded(opts.Backend, tr, index.Config{Tree: opts.Tree}, nShards)
+	icfg := index.Config{Tree: opts.Tree}
+	if opts.Pager.Enabled() {
+		// One page space shared by every shard: the pool bounds the whole
+		// system's working set, not one shard's. The page size is widened
+		// so a normal-form series — the widest record any column stores —
+		// fits one page.
+		pcfg := opts.Pager
+		pcfg.PageSize = pcfg.FitPageSize(opts.NormalLen)
+		if s.space, err = pager.Open(pcfg); err != nil {
+			return nil, fmt.Errorf("qbh: opening page space: %w", err)
+		}
+		icfg.Pager = s.space
+	}
+	ix, err := index.NewSharded(opts.Backend, tr, icfg, nShards)
 	if err != nil {
+		s.closeSpace()
 		return nil, fmt.Errorf("qbh: %w", err)
 	}
 	entries := make([]index.Entry, len(normals))
@@ -170,10 +198,46 @@ func Build(songs []music.Song, opts Options) (*System, error) {
 	// Shards are indexed in parallel — this is also the compaction path:
 	// snapshot load and WAL replay rebuild the whole corpus through here.
 	if err := ix.BulkAdd(entries); err != nil {
+		_ = ix.Close()
+		s.closeSpace()
 		return nil, fmt.Errorf("qbh: indexing phrases: %w", err)
 	}
 	s.ix = ix
 	return s, nil
+}
+
+func (s *System) closeSpace() {
+	if s.space != nil {
+		_ = s.space.Close()
+		s.space = nil
+	}
+}
+
+// Close releases the index and, in paged mode, the page space (spill files
+// stay on disk as garbage for the next Open to wipe; durability never
+// depends on them). A RAM-only system's Close is a cheap no-op, so callers
+// may close unconditionally.
+func (s *System) Close() error {
+	var err error
+	if s.ix != nil {
+		err = s.ix.Close()
+	}
+	if s.space != nil {
+		if cerr := s.space.Close(); err == nil {
+			err = cerr
+		}
+		s.space = nil
+	}
+	return err
+}
+
+// PoolStats reports the buffer-pool counters when the system runs
+// out-of-core; ok is false for an all-in-RAM system.
+func (s *System) PoolStats() (st pager.Stats, ok bool) {
+	if s.space == nil {
+		return pager.Stats{}, false
+	}
+	return s.space.Stats(), true
 }
 
 func makeTransform(opts Options, training []ts.Series) (core.Transform, error) {
@@ -248,6 +312,39 @@ func (s *System) addSong(song music.Song, allocateID bool) (music.Song, error) {
 		}
 	}
 	return song, nil
+}
+
+// RemoveSong deletes a song and unindexes its phrases. It returns false
+// when the id is unknown. Phrase ids are never reused: removed phrases
+// leave a tombstone (zero Melody) in the metadata table so every other
+// phrase keeps its id, and the index entries are deleted so no query can
+// return them. This is the local half of ring-migration reaping — the
+// durable layer calls it at snapshot compaction for songs whose committed
+// ring owner is another shard group (see Durable.SetCompactKeep), so the
+// removal becomes durable through the snapshot itself, never the WAL.
+func (s *System) RemoveSong(id int64) bool {
+	var phraseIDs []int64
+	s.mu.Lock()
+	if _, ok := s.songs[id]; !ok {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.songs, id)
+	for pid := range s.phrases {
+		if s.phrases[pid].SongID == id && s.phrases[pid].Melody != nil {
+			phraseIDs = append(phraseIDs, int64(pid))
+			s.phrases[pid].Melody = nil
+		}
+	}
+	s.mu.Unlock()
+	// Unindex after mu is released, mirroring addSong's lock ordering. The
+	// window where a tombstoned phrase is still indexed is harmless:
+	// aggregate resolves its SongID from the tombstone and drops matches of
+	// songs no longer in the map.
+	for _, pid := range phraseIDs {
+		s.ix.Remove(pid)
+	}
+	return true
 }
 
 // NextSongID returns the smallest id strictly greater than every song id in
@@ -414,11 +511,17 @@ func (s *System) aggregate(matches []index.Match) []SongMatch {
 	s.mu.RLock()
 	for _, m := range matches {
 		ph := s.phrases[m.ID]
+		song, present := s.songs[ph.SongID]
+		if !present {
+			// The phrase matched in the window between RemoveSong dropping
+			// the song metadata and the index deletes landing.
+			continue
+		}
 		cur, ok := best[ph.SongID]
 		if !ok || m.Dist < cur.Dist {
 			best[ph.SongID] = SongMatch{
 				SongID:        ph.SongID,
-				Title:         s.songs[ph.SongID].Title,
+				Title:         song.Title,
 				Dist:          m.Dist,
 				PhraseOrdinal: ph.Ordinal,
 			}

@@ -89,6 +89,7 @@ func (n *Node) MembershipRecord(id, url string) membership.NodeRecord {
 // hygiene; the zero-acked-write-loss guarantee comes from semi-sync
 // quorums, not from this check.
 func (n *Node) ObserveView(selfID string, v membership.View) {
+	n.observeRing(v)
 	n.mu.Lock()
 	role, fenced := n.role, n.fenced
 	n.mu.Unlock()
@@ -109,6 +110,28 @@ func (n *Node) ObserveView(selfID string, v membership.View) {
 			return
 		}
 	}
+}
+
+// observeRing keeps the durable layer's compaction reap filter in sync
+// with the committed placement: once a ring change has been committed (no
+// rebalance pending) and this node's group is a ring member, any local
+// song whose title the ring places on another group was migrated away —
+// the rebalancer shipped it before the cutover — and is reaped at the
+// next snapshot compaction. While a rebalance is in flight, or when the
+// view carries no ring (or one this group is not part of — a partial or
+// bootstrap view), the filter is cleared: reaping on an uncommitted or
+// incomplete picture could destroy the only copy of a song. Every node of
+// the group installs the same filter, so primaries and followers converge
+// independently through their own compactions without any WAL traffic.
+func (n *Node) observeRing(v membership.View) {
+	if v.Ring.Empty() || v.Rebalance.Active() || !v.Ring.Contains(n.cfg.Group) {
+		n.Durable.SetCompactKeep(nil)
+		return
+	}
+	ring, group := v.Ring, n.cfg.Group
+	n.Durable.SetCompactKeep(func(song music.Song) bool {
+		return ring.Owner(song.Title) == group
+	})
 }
 
 // Fenced reports whether this primary has fenced itself.

@@ -243,3 +243,71 @@ func TestDefaultPromotePathWorks(t *testing.T) {
 		t.Fatalf("follower role after promote = %q", follower.Role())
 	}
 }
+
+// TestObserveRingInstallsCompactionReaper checks the membership-driven
+// reaping pipeline: a committed ring containing this node's group installs a
+// compaction keep-filter that drops migrated-away songs at the next
+// snapshot, while a pending rebalance, a ring missing the group, or an
+// empty ring all clear the filter (reaping on an uncommitted or partial
+// view could destroy the only copy of a song mid-migration).
+func TestObserveRingInstallsCompactionReaper(t *testing.T) {
+	base := testSongs(6, 24, 0)
+	n, _ := startPrimary(t, base, NodeConfig{Group: "a", Logf: t.Logf})
+
+	ring := membership.NewRing(3, []string{"a", "b"})
+	wantKeep := 0
+	for _, song := range n.Songs() {
+		if ring.Owner(song.Title) == "a" {
+			wantKeep++
+		}
+	}
+	if wantKeep == 0 || wantKeep == len(base) {
+		t.Fatalf("test corpus does not split across the ring (%d/%d kept)", wantKeep, len(base))
+	}
+
+	snapshot := func() {
+		if err := n.Durable.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A pending rebalance must suppress reaping even with a committed ring.
+	n.ObserveView("self", membership.View{
+		Ring:      ring,
+		Rebalance: membership.Rebalance{From: ring, To: membership.NewRing(4, []string{"a", "b", "c"})},
+	})
+	snapshot()
+	if n.NumSongs() != len(base) {
+		t.Fatalf("reaped during pending rebalance: %d songs left", n.NumSongs())
+	}
+
+	// A ring that does not place this group must not reap (the node may be
+	// draining; its songs are exported, not destroyed locally by surprise).
+	n.ObserveView("self", membership.View{Ring: membership.NewRing(3, []string{"b", "c"})})
+	snapshot()
+	if n.NumSongs() != len(base) {
+		t.Fatalf("reaped under a ring missing our group: %d songs left", n.NumSongs())
+	}
+
+	// The committed ring installs the filter; compaction reaps foreign songs.
+	n.ObserveView("self", membership.View{Ring: ring})
+	snapshot()
+	if got := n.NumSongs(); got != wantKeep {
+		t.Fatalf("after committed-ring compaction: %d songs, want %d", got, wantKeep)
+	}
+	if got := n.Durable.ReapedSongs(); got != int64(len(base)-wantKeep) {
+		t.Fatalf("ReapedSongs = %d, want %d", got, len(base)-wantKeep)
+	}
+	for _, song := range n.Songs() {
+		if ring.Owner(song.Title) != "a" {
+			t.Fatalf("song %q survived compaction but is owned by %q", song.Title, ring.Owner(song.Title))
+		}
+	}
+
+	// An empty ring clears the filter again.
+	n.ObserveView("self", membership.View{})
+	snapshot()
+	if got := n.NumSongs(); got != wantKeep {
+		t.Fatalf("empty ring still reaped: %d songs, want %d", got, wantKeep)
+	}
+}

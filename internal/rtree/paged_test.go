@@ -1,0 +1,251 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"warping/internal/pager"
+)
+
+func testSpace(t *testing.T, pageSize, poolPages int) *pager.Space {
+	t.Helper()
+	sp, err := pager.Open(pager.Config{PageSize: pageSize, PoolPages: poolPages, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sp.Close() })
+	return sp
+}
+
+func randItems(rng *rand.Rand, n, dim int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64() * 10
+		}
+		items[i] = Item{ID: int64(i + 1), Slot: int32(i), Point: p}
+	}
+	return items
+}
+
+func idSet(items []Item) map[int64]int32 {
+	m := make(map[int64]int32, len(items))
+	for _, it := range items {
+		m[it.ID] = it.Slot
+	}
+	return m
+}
+
+// buildPaged bulk-loads items at page capacity and serializes to sp.
+func buildPaged(t *testing.T, sp *pager.Space, dim int, items []Item) (*Tree, *PagedTree) {
+	t.Helper()
+	capacity := PageCapacity(dim, sp.PageSize())
+	ram := BulkLoad(dim, Config{MaxEntries: capacity}, items)
+	pt, err := WritePaged(ram, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ram, pt
+}
+
+// TestPagedRangeMatchesRAM compares paged range search against the in-RAM
+// tree under a pool far smaller than the tree.
+func TestPagedRangeMatchesRAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const dim, n = 6, 3000
+	sp := testSpace(t, 512, 8)
+	items := randItems(rng, n, dim)
+	ram, pt := buildPaged(t, sp, dim, items)
+
+	for qi := 0; qi < 50; qi++ {
+		q := PointRect(randItems(rng, 1, dim)[0].Point)
+		radius := 2 + rng.Float64()*15
+		var ramSt, pagedSt Stats
+		wantItems := ram.RangeSearchRectStats(q, radius, &ramSt)
+		gotItems, err := pt.RangeSearchInto(q, radius, nil, &pagedSt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, got := idSet(wantItems), idSet(gotItems)
+		if len(want) != len(got) {
+			t.Fatalf("query %d: %d results RAM, %d paged", qi, len(want), len(got))
+		}
+		for id, slot := range want {
+			if gs, ok := got[id]; !ok || gs != slot {
+				t.Fatalf("query %d: id %d slot %d missing or wrong (got %d)", qi, id, slot, gs)
+			}
+		}
+	}
+	if st := sp.Stats(); st.Misses == 0 {
+		t.Fatalf("expected pool misses with 8-frame pool over %d items: %+v", n, st)
+	}
+}
+
+// TestPagedNNMatchesRAM compares the paged NN iterator stream against the
+// RAM iterator: same distances in the same order (ties may reorder equal
+// distances; compare sorted (dist,id) prefixes).
+func TestPagedNNMatchesRAM(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const dim, n, k = 5, 2000, 64
+	sp := testSpace(t, 512, 8)
+	items := randItems(rng, n, dim)
+	ram, pt := buildPaged(t, sp, dim, items)
+
+	for qi := 0; qi < 20; qi++ {
+		q := PointRect(randItems(rng, 1, dim)[0].Point)
+		ramIt := ram.NNIter(q, nil)
+		pagedIt := pt.NNIter(q, nil)
+		type nb struct {
+			d  float64
+			id int64
+		}
+		var ramN, pagedN []nb
+		for len(ramN) < k {
+			x, ok := ramIt.Next()
+			if !ok {
+				break
+			}
+			ramN = append(ramN, nb{x.Dist, x.Item.ID})
+		}
+		ramIt.Close()
+		for len(pagedN) < k {
+			x, ok := pagedIt.Next()
+			if !ok {
+				break
+			}
+			pagedN = append(pagedN, nb{x.Dist, x.Item.ID})
+		}
+		if err := pagedIt.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if len(ramN) != len(pagedN) {
+			t.Fatalf("query %d: %d RAM vs %d paged", qi, len(ramN), len(pagedN))
+		}
+		less := func(s []nb) func(i, j int) bool {
+			return func(i, j int) bool {
+				if s[i].d != s[j].d {
+					return s[i].d < s[j].d
+				}
+				return s[i].id < s[j].id
+			}
+		}
+		sort.Slice(ramN, less(ramN))
+		sort.Slice(pagedN, less(pagedN))
+		for i := range ramN {
+			if ramN[i] != pagedN[i] {
+				t.Fatalf("query %d pos %d: RAM %+v paged %+v", qi, i, ramN[i], pagedN[i])
+			}
+		}
+	}
+}
+
+// TestPagedVisitLeaves proves serialization kept every item exactly once.
+func TestPagedVisitLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const dim, n = 4, 1500
+	sp := testSpace(t, 512, 8)
+	items := randItems(rng, n, dim)
+	_, pt := buildPaged(t, sp, dim, items)
+	seen := make(map[int64]int32)
+	if err := pt.VisitLeaves(func(it Item) { seen[it.ID] = it.Slot }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("visited %d items, want %d", len(seen), n)
+	}
+	for _, it := range items {
+		if s, ok := seen[it.ID]; !ok || s != it.Slot {
+			t.Fatalf("item %d slot %d: got %d ok=%v", it.ID, it.Slot, s, ok)
+		}
+	}
+}
+
+// TestPagedEmptyAndTiny covers the degenerate shapes: empty tree and a
+// single root leaf.
+func TestPagedEmptyAndTiny(t *testing.T) {
+	sp := testSpace(t, 512, 8)
+	const dim = 3
+	_, pt := buildPaged(t, sp, dim, nil)
+	out, err := pt.RangeSearchInto(PointRect([]float64{0, 0, 0}), 100, nil, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty tree range: %v %v", out, err)
+	}
+	it := pt.NNIter(PointRect([]float64{0, 0, 0}), nil)
+	if _, ok := it.Next(); ok {
+		t.Fatal("empty tree yielded a neighbor")
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	items := randItems(rng, 3, dim)
+	_, tiny := buildPaged(t, sp, dim, items)
+	if tiny.Height() != 1 {
+		t.Fatalf("3-item tree height %d", tiny.Height())
+	}
+	out, err = tiny.RangeSearchInto(PointRect(items[0].Point), 0.001, nil, nil)
+	if err != nil || len(out) != 1 || out[0].ID != items[0].ID {
+		t.Fatalf("tiny range: %v %v", out, err)
+	}
+	nb, ok := tiny.NNIter(PointRect(items[1].Point), nil).Next()
+	if !ok || nb.Item.ID != items[1].ID || nb.Dist != 0 {
+		t.Fatalf("tiny NN: %+v %v", nb, ok)
+	}
+}
+
+// TestPagedAccounting checks logical vs real accounting: a warm pool large
+// enough for the whole tree serves repeats with zero misses while logical
+// node accesses keep counting.
+func TestPagedAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const dim, n = 4, 800
+	sp := testSpace(t, 512, 256) // whole tree fits the pool
+	items := randItems(rng, n, dim)
+	_, pt := buildPaged(t, sp, dim, items)
+	q := PointRect(items[0].Point)
+
+	var cold Stats
+	if _, err := pt.RangeSearchInto(q, 5, nil, &cold); err != nil {
+		t.Fatal(err)
+	}
+	// Leaves were resident from the build (PinNew); a second identical
+	// query must be all hits either way.
+	var warm Stats
+	if _, err := pt.RangeSearchInto(q, 5, nil, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.PageMisses != 0 {
+		t.Fatalf("warm query missed %d pages", warm.PageMisses)
+	}
+	if warm.NodeAccesses == 0 || warm.NodeAccesses != cold.NodeAccesses {
+		t.Fatalf("logical accounting diverged: cold %d warm %d", cold.NodeAccesses, warm.NodeAccesses)
+	}
+
+	// After a pool reset every leaf visit is a real miss.
+	if err := sp.Pool().Reset(); err != nil {
+		t.Fatal(err)
+	}
+	var reset Stats
+	if _, err := pt.RangeSearchInto(q, 5, nil, &reset); err != nil {
+		t.Fatal(err)
+	}
+	if reset.PageMisses == 0 {
+		t.Fatal("cold query after reset reported zero page misses")
+	}
+	if reset.PageMisses > reset.NodeAccesses {
+		t.Fatalf("misses %d exceed node accesses %d", reset.PageMisses, reset.NodeAccesses)
+	}
+}
+
+// TestPagedClose removes the file and its pool pages.
+func TestPagedClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sp := testSpace(t, 512, 16)
+	_, pt := buildPaged(t, sp, 4, randItems(rng, 500, 4))
+	if err := pt.Close(sp); err != nil {
+		t.Fatal(err)
+	}
+	if st := sp.Stats(); st.Resident != 0 {
+		t.Fatalf("resident pages after close: %+v", st)
+	}
+}

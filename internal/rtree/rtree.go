@@ -30,8 +30,12 @@ type Config struct {
 // (Splits, Reinserts).
 type Stats struct {
 	// NodeAccesses counts every node visited by a query — the paper's
-	// "page accesses" measure (one node = one page).
+	// "page accesses" measure (one node = one page). For a paged tree this
+	// is the logical count; PageMisses is the subset that really hit disk.
 	NodeAccesses int
+	// PageMisses counts node visits the buffer pool could not serve from
+	// memory (paged trees only; always 0 for in-RAM trees).
+	PageMisses int
 	// LeafHits counts leaf entries returned as candidates.
 	LeafHits int
 	// Splits and Reinserts count structural events during inserts.

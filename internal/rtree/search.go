@@ -99,6 +99,34 @@ func (t *Tree) IncrementalNN(q Rect, yield func(Neighbor) bool) {
 // kth-best distance. Node and leaf accesses accumulate into st (which may be
 // nil); the tree itself is never mutated, so concurrent searches are safe.
 func (t *Tree) IncrementalNNStats(q Rect, yield func(Neighbor) bool, st *Stats) {
+	it := t.NNIter(q, st)
+	defer it.Close()
+	for {
+		nb, ok := it.Next()
+		if !ok {
+			return
+		}
+		if !yield(nb) {
+			return
+		}
+	}
+}
+
+// NNIter is the pull-based form of IncrementalNNStats: Next returns
+// neighbors in ascending distance order on demand. The pull form lets a
+// caller lazily merge several ranked streams (the paged base tree and the
+// in-RAM delta tree) without materializing either. Close releases the
+// pooled frontier; it is safe to call once, after which Next must not be
+// used.
+type NNIter struct {
+	t  *Tree
+	q  Rect
+	st *Stats
+	pq *nnHeap
+}
+
+// NNIter starts an incremental nearest-neighbor traversal. st may be nil.
+func (t *Tree) NNIter(q Rect, st *Stats) *NNIter {
 	if q.Dim() != t.dim {
 		panic("rtree: query dimension mismatch")
 	}
@@ -106,33 +134,43 @@ func (t *Tree) IncrementalNNStats(q Rect, yield func(Neighbor) bool, st *Stats) 
 		st = &Stats{}
 	}
 	pq := nnHeapPool.Get().(*nnHeap)
-	defer func() {
-		pq.reset() // drop Item.Point references before pooling
-		nnHeapPool.Put(pq)
-	}()
 	pq.push(nnEntry{node: t.root, dist: math.Sqrt(t.root.mbrOrZero().SquaredMinDistRect(q))})
+	return &NNIter{t: t, q: q, st: st, pq: pq}
+}
+
+// Next returns the next-nearest item, or ok=false when exhausted.
+func (it *NNIter) Next() (Neighbor, bool) {
+	pq := it.pq
 	for pq.len() > 0 {
 		e := pq.pop()
 		if e.node != nil {
 			n := e.node
-			st.NodeAccesses++
+			it.st.NodeAccesses++
 			if n.leaf {
-				for i, it := range n.items {
-					d := math.Sqrt(q.SquaredMinDist(n.rects[i].Lo))
-					pq.push(nnEntry{item: it, hasItem: true, dist: d})
+				for i, item := range n.items {
+					d := math.Sqrt(it.q.SquaredMinDist(n.rects[i].Lo))
+					pq.push(nnEntry{item: item, hasItem: true, dist: d})
 				}
 			} else {
 				for i, child := range n.children {
-					d := math.Sqrt(n.rects[i].SquaredMinDistRect(q))
+					d := math.Sqrt(n.rects[i].SquaredMinDistRect(it.q))
 					pq.push(nnEntry{node: child, dist: d})
 				}
 			}
 			continue
 		}
-		st.LeafHits++
-		if !yield(Neighbor{Item: e.item, Dist: e.dist}) {
-			return
-		}
+		it.st.LeafHits++
+		return Neighbor{Item: e.item, Dist: e.dist}, true
+	}
+	return Neighbor{}, false
+}
+
+// Close returns the frontier to the pool.
+func (it *NNIter) Close() {
+	if it.pq != nil {
+		it.pq.reset() // drop Item.Point references before pooling
+		nnHeapPool.Put(it.pq)
+		it.pq = nil
 	}
 }
 

@@ -323,6 +323,7 @@ func (c *Coordinator) QueryCtx(ctx context.Context, pitch ts.Series, topK int, d
 			KeoghSurvivors:  r.resp.KeoghSurvivors,
 			LBSurvivors:     r.resp.LBSurvivors,
 			ExactDTW:        r.resp.ExactDTW,
+			LogicalPages:    r.resp.LogicalPages,
 			PageAccesses:    r.resp.PageAccesses,
 			Degraded:        r.resp.Degraded,
 		})

@@ -100,6 +100,7 @@ func (h *Handler) handleQueryPlanned(w http.ResponseWriter, r *http.Request) {
 		KeoghSurvivors:  stats.KeoghSurvivors,
 		LBSurvivors:     stats.LBSurvivors,
 		ExactDTW:        stats.ExactDTW,
+		LogicalPages:    stats.LogicalPages,
 		PageAccesses:    stats.PageAccesses,
 		Degraded:        stats.Degraded,
 	}

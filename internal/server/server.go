@@ -48,6 +48,7 @@ import (
 	"warping/internal/membership"
 	"warping/internal/midi"
 	"warping/internal/music"
+	"warping/internal/pager"
 	"warping/internal/qbh"
 	"warping/internal/replica"
 	"warping/internal/ts"
@@ -99,6 +100,13 @@ type replicationReporter interface {
 // the gossip agent lives beside the node, not inside it.
 type membershipReporter interface {
 	MembershipView() (membership.View, bool)
+}
+
+// poolReporter is implemented by backends whose storage can run
+// out-of-core (*qbh.System, *qbh.Concurrent, *qbh.Durable); /stats
+// surfaces the buffer-pool counters when paged mode is active.
+type poolReporter interface {
+	PoolStats() (pager.Stats, bool)
 }
 
 // Config tunes the serving path. The zero value of any field selects the
@@ -265,9 +273,27 @@ type StatsResponse struct {
 	Songs       int                  `json:"songs"`
 	Phrases     int                  `json:"phrases"`
 	Shards      *ShardsResponse      `json:"shards,omitempty"`
+	BufferPool  *BufferPoolResponse  `json:"buffer_pool,omitempty"`
 	Durability  *DurabilityResponse  `json:"durability,omitempty"`
 	Replication *ReplicationResponse `json:"replication,omitempty"`
 	Membership  *MembershipResponse  `json:"membership,omitempty"`
+}
+
+// BufferPoolResponse reports the out-of-core page pool in /stats, present
+// only when the backend runs paged storage. HitRate is Hits/(Hits+Misses);
+// Misses are real disk reads — the physical counterpart of the per-query
+// logical_pages counter.
+type BufferPoolResponse struct {
+	PageSize   int     `json:"page_size"`
+	PoolPages  int     `json:"pool_pages"`
+	Resident   int     `json:"resident"`
+	Pinned     int     `json:"pinned"`
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	Evictions  uint64  `json:"evictions"`
+	Writebacks uint64  `json:"writebacks"`
+	Overflows  uint64  `json:"overflows"`
+	HitRate    float64 `json:"hit_rate"`
 }
 
 // ShardsResponse reports the index partition layout in /stats: writes lock
@@ -350,9 +376,14 @@ type QueryResponse struct {
 	// observable per stage across the cluster, not just end to end.
 	CoarseSurvivors int `json:"coarse_survivors"`
 	KeoghSurvivors  int `json:"keogh_survivors"`
-	LBSurvivors     int `json:"lb_survivors"`
-	ExactDTW        int `json:"exact_dtw"`
-	PageAccesses    int `json:"page_accesses"`
+	LBSurvivors int `json:"lb_survivors"`
+	ExactDTW    int `json:"exact_dtw"`
+	// LogicalPages counts index nodes/buckets visited — the paper's
+	// page-access measure, independent of caching. PageAccesses is the
+	// physical cost: real buffer-pool misses when the backend runs
+	// out-of-core, equal to LogicalPages in all-in-RAM mode.
+	LogicalPages int `json:"logical_pages"`
+	PageAccesses int `json:"page_accesses"`
 	// Degraded reports that the query hit its exact-DTW budget and the
 	// ranking is best-effort rather than exact.
 	Degraded bool `json:"degraded,omitempty"`
@@ -367,6 +398,22 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	if sr, ok := h.sys.(shardReporter); ok {
 		st := sr.ShardStats()
 		resp.Shards = &ShardsResponse{Count: st.Shards, Backend: st.Backend, Lens: st.Lens}
+	}
+	if pr, ok := h.sys.(poolReporter); ok {
+		if st, paged := pr.PoolStats(); paged {
+			resp.BufferPool = &BufferPoolResponse{
+				PageSize:   st.PageSize,
+				PoolPages:  st.PoolPages,
+				Resident:   st.Resident,
+				Pinned:     st.Pinned,
+				Hits:       st.Hits,
+				Misses:     st.Misses,
+				Evictions:  st.Evictions,
+				Writebacks: st.Writeback,
+				Overflows:  st.Overflows,
+				HitRate:    st.HitRate(),
+			}
+		}
 	}
 	if dr, ok := h.sys.(durabilityReporter); ok {
 		st := dr.DurabilityStats()
@@ -641,6 +688,7 @@ func (h *Handler) respondQuery(w http.ResponseWriter, r *http.Request, pitch ts.
 		KeoghSurvivors:  stats.KeoghSurvivors,
 		LBSurvivors:     stats.LBSurvivors,
 		ExactDTW:        stats.ExactDTW,
+		LogicalPages:    stats.LogicalPages,
 		PageAccesses:    stats.PageAccesses,
 		Degraded:        stats.Degraded,
 	}

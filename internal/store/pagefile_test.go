@@ -1,0 +1,166 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestPageFileRoundTrip(t *testing.T) {
+	fsys := OS()
+	path := filepath.Join(t.TempDir(), "x.pages")
+	pf, err := CreatePageFile(fsys, path, 512, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 20
+	want := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		pid := pf.Allocate()
+		if pid != uint64(i) {
+			t.Fatalf("pid %d, want %d", pid, i)
+		}
+		buf := make([]byte, 512)
+		rng.Read(buf[PageHeaderSize:])
+		want[i] = append([]byte(nil), buf[PageHeaderSize:]...)
+		if err := pf.WritePage(pid, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite one page to prove in-place update works.
+	buf := make([]byte, 512)
+	rng.Read(buf[PageHeaderSize:])
+	want[3] = append([]byte(nil), buf[PageHeaderSize:]...)
+	if err := pf.WritePage(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf2, err := OpenPageFile(fsys, path, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	if pf2.NumPages() != n {
+		t.Fatalf("NumPages = %d, want %d", pf2.NumPages(), n)
+	}
+	if pf2.PageSize() != 512 {
+		t.Fatalf("PageSize = %d", pf2.PageSize())
+	}
+	got := make([]byte, 512)
+	for i := 0; i < n; i++ {
+		if err := pf2.ReadPage(uint64(i), got); err != nil {
+			t.Fatalf("read page %d: %v", i, err)
+		}
+		if string(got[PageHeaderSize:]) != string(want[i]) {
+			t.Fatalf("page %d payload mismatch", i)
+		}
+	}
+}
+
+func TestPageFileRejectsCorruption(t *testing.T) {
+	fsys := OS()
+	path := filepath.Join(t.TempDir(), "x.pages")
+	pf, err := CreatePageFile(fsys, path, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	for i := range buf[PageHeaderSize:] {
+		buf[PageHeaderSize+i] = byte(i)
+	}
+	pid := pf.Allocate()
+	if err := pf.WritePage(pid, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte on disk behind the PageFile's back.
+	raw, err := fsys.OpenFile(path, 0x2 /* os.O_RDWR */, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(pageFileHeaderSize + PageHeaderSize + 5)
+	if _, err := raw.Seek(off, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write([]byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+
+	if err := pf.ReadPage(pid, buf); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt page read: %v, want ErrChecksum", err)
+	}
+	pf.Close()
+}
+
+func TestPageFileRejectsMisdirectedPage(t *testing.T) {
+	fsys := OS()
+	path := filepath.Join(t.TempDir(), "x.pages")
+	pf, err := CreatePageFile(fsys, path, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	p0, p1 := pf.Allocate(), pf.Allocate()
+	if err := pf.WritePage(p0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.WritePage(p1, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Forge page 1 with page 0's recorded id but a valid checksum: a
+	// misdirected write. ReadPage(1) must reject it.
+	forged := make([]byte, 256)
+	forged[4] = 1 // kind
+	binary.LittleEndian.PutUint64(forged[8:16], 0)
+	binary.LittleEndian.PutUint32(forged, crc32.Checksum(forged[4:], castagnoli))
+	raw, err := fsys.OpenFile(path, 0x2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Seek(pageFileHeaderSize+256, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write(forged); err != nil {
+		t.Fatal(err)
+	}
+	raw.Close()
+	if err := pf.ReadPage(1, buf); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("misdirected page read: %v, want ErrChecksum", err)
+	}
+	pf.Close()
+}
+
+func TestPageFileWrongKind(t *testing.T) {
+	fsys := OS()
+	path := filepath.Join(t.TempDir(), "x.pages")
+	pf, err := CreatePageFile(fsys, path, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+	if _, err := OpenPageFile(fsys, path, 4); !errors.Is(err, ErrKind) {
+		t.Fatalf("open with wrong kind: %v, want ErrKind", err)
+	}
+}
+
+func TestPageFileBadPageSize(t *testing.T) {
+	fsys := OS()
+	path := filepath.Join(t.TempDir(), "x.pages")
+	if _, err := CreatePageFile(fsys, path, 300, 1); err == nil {
+		t.Fatal("non-power-of-two page size accepted")
+	}
+	if _, err := CreatePageFile(fsys, path, 128, 1); err == nil {
+		t.Fatal("tiny page size accepted")
+	}
+}
