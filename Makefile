@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-all chaos chaos-membership bench bench-json bench-json-pr4 bench-json-pr5 bench-json-pr7 bench-json-pr9 bench-smoke fuzz-seeds cover experiments experiments-small clean
+.PHONY: all build test vet race race-all chaos chaos-membership bench bench-json bench-json-pr4 bench-json-pr5 bench-json-pr7 bench-json-pr9 bench-json-pr10 bench-smoke fuzz-seeds cover experiments experiments-small clean
 
 all: vet test
 
@@ -77,6 +77,19 @@ bench-json-pr9:
 bench-json-pr7:
 	$(GO) test -run='^$$' -bench='BenchmarkPruningPower' -benchmem ./internal/experiments/ \
 		| $(GO) run ./cmd/benchjson -label pruning -o BENCH_pr7.json
+
+# PR10: batched execution + result cache. Two sides of one artifact:
+# the index-level comparison of one group of concurrent near-duplicate
+# range queries executed serially vs through the Batcher (ns/op and
+# allocs/op per group), and the end-to-end open-loop trajectories from
+# cmd/qbhload — the same Zipf workload at equal target QPS with the cache
+# off, the cache on, and batched execution on (mean/p50/p99 latency,
+# achieved QPS, cache hit rate).
+bench-json-pr10:
+	$(GO) test -run='^$$' -bench='BenchmarkBatchedRange' -benchmem -benchtime=2s ./internal/index/ \
+		| $(GO) run ./cmd/benchjson -label index-batch -o BENCH_pr10.json
+	$(GO) run ./cmd/qbhload -scenarios -songs 120 -qps 150 -duration 5s -pool 16 -zipf-s 1.5 \
+		| $(GO) run ./cmd/benchjson -label qbhload -o BENCH_pr10.json
 
 # One iteration of every benchmark: catches bit-rot in benchmark code
 # without spending CI time on stable measurements (matches the CI step).

@@ -34,6 +34,17 @@
 // rebuilt on startup — so enabling, disabling, or resizing the pool
 // across restarts is always safe.
 //
+// -result-cache-bytes N caches verified rankings under the quantized
+// identity of the query (band radius, result size, feature envelope
+// rounded to half a semitone), so the near-identical hums a trending song
+// attracts are answered without touching the index; every upload or
+// delete invalidates the whole cache by bumping the corpus epoch.
+// Responses served from cache carry "cached": true and GET /stats grows a
+// result_cache block. -batch-window D gathers concurrent queries arriving
+// within D into one index sweep per shard; results are bit-identical to
+// serial execution (see cmd/qbhload for an open-loop generator that
+// exercises both).
+//
 // -shards N partitions the phrase index across N independently locked
 // shards: an upload write-locks only the shards receiving its phrases
 // while queries fan out across all shards in parallel. -backend selects
@@ -139,6 +150,8 @@ func main() {
 	adaptiveBand := flag.Bool("adaptive-band", false, "estimate the warping band per query from the query's own tempo variance (set identically on coordinator and replicas)")
 	poolPages := flag.Int("pool-pages", 0, "out-of-core paged storage: buffer-pool capacity in pages (0 = all-in-RAM; requires -data, spills to <data>/pages)")
 	pageSize := flag.Int("page-size", 0, "page size in bytes for -pool-pages (power of two, widened to fit one normal-form series; 0 = 8192)")
+	resultCacheBytes := flag.Int64("result-cache-bytes", 0, "normalized-query result cache budget in bytes (0 = disabled): repeated near-identical hums are answered from cache until the next upload/delete, responses served this way carry \"cached\": true, and GET /stats grows a result_cache block")
+	batchWindow := flag.Duration("batch-window", 0, "batched query execution gather window (0 = disabled): concurrent queries arriving within the window share one index sweep per shard; results stay bit-identical to serial execution")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -257,6 +270,7 @@ func main() {
 			os.Exit(1)
 		}
 		durable = d
+		enableQueryAccel(d.EnableResultCache, d.EnableBatching, *resultCacheBytes, *batchWindow)
 		if *role == "primary" || *role == "follower" {
 			n, err := replica.NewNode(d, replica.NodeConfig{
 				Group:            *group,
@@ -311,6 +325,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		enableQueryAccel(sys.EnableResultCache, sys.EnableBatching, *resultCacheBytes, *batchWindow)
 		handler = server.NewWithConfig(sys, cfg)
 		st := sys.ShardStats()
 		log.Printf("database ready: %d songs, %d phrases, %d shard(s) [%s]",
@@ -378,6 +393,19 @@ func main() {
 		}
 	}
 	log.Printf("shutdown complete")
+}
+
+// enableQueryAccel wires the -result-cache-bytes and -batch-window flags
+// into a built (or recovered) system; both default to off.
+func enableQueryAccel(cache func(int64), batch func(time.Duration, int), cacheBytes int64, window time.Duration) {
+	if cacheBytes > 0 {
+		cache(cacheBytes)
+		log.Printf("result cache enabled: %d byte budget", cacheBytes)
+	}
+	if window > 0 {
+		batch(window, 0)
+		log.Printf("batched execution enabled: %v gather window", window)
+	}
 }
 
 // splitList decodes a comma-separated flag into its non-empty entries.

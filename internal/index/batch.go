@@ -1,0 +1,465 @@
+// Batched multi-query execution: a small gather window groups concurrent
+// in-flight query plans and executes each batch with one corpus sweep per
+// shard instead of one per query. The spatial fetch (for all-range batches
+// with feature boxes, a single merged-envelope search at the maximum
+// epsilon; otherwise the full live-slot list) runs once per batch, the
+// candidate slots are sorted ascending, and a single corpusReader streams
+// them — so in paged mode every page is pinned once per batch, not once
+// per query. The four-stage cascade still runs per (query, candidate)
+// pair at that query's own threshold, so results are bit-identical to
+// serial execution:
+//
+//   - every pruning stage is a sound lower bound (Theorem 1; Lemire's
+//     two-pass argument for LB_Improved), so enumerating a candidate
+//     superset can never add or drop a match — membership is decided
+//     solely by the final exact banded DTW at the query's own epsilon
+//     (or running kth-best cutoff), computed by the same kernel on the
+//     same operands as the serial path;
+//   - distances are the same math.Sqrt(SquaredBandedWithin) values, and
+//     the final (distance, id) sortMatches gives the same tie-break order.
+//
+// QueryStats are the one deliberate divergence: candidate counts and
+// page/node accesses reflect the shared batch sweep (each request reports
+// the work of the sweep it rode), not the counts a lone serial query would
+// have seen. The differential tests therefore compare matches, not stats.
+package index
+
+import (
+	"context"
+	"math"
+	"slices"
+	"sync"
+	"time"
+
+	"warping/internal/core"
+	"warping/internal/gridfile"
+	"warping/internal/rtree"
+)
+
+// DefaultBatchWindow is the gather window used when a Batcher is built
+// with a non-positive window: long enough for concurrent arrivals at a few
+// hundred QPS to coalesce, short enough to be invisible next to a DTW
+// verification cascade.
+const DefaultBatchWindow = 200 * time.Microsecond
+
+// DefaultBatchMax is the batch size that flushes a gather window early.
+const DefaultBatchMax = 16
+
+// Batcher groups concurrent queries against one Sharded searcher into
+// batches. The first request of a batch arms the gather window; the batch
+// flushes when the window elapses or DefaultBatchMax requests are waiting,
+// whichever comes first. A batch of one falls through to the serial path,
+// so sparse traffic pays only the window's latency, never extra work.
+// Batcher is safe for concurrent use.
+type Batcher struct {
+	sh       *Sharded
+	window   time.Duration
+	maxBatch int
+
+	mu      sync.Mutex
+	pending []*batchReq
+}
+
+// NewBatcher creates a batcher over sh. window <= 0 selects
+// DefaultBatchWindow; maxBatch <= 0 selects DefaultBatchMax.
+func NewBatcher(sh *Sharded, window time.Duration, maxBatch int) *Batcher {
+	if window <= 0 {
+		window = DefaultBatchWindow
+	}
+	if maxBatch <= 0 {
+		maxBatch = DefaultBatchMax
+	}
+	return &Batcher{sh: sh, window: window, maxBatch: maxBatch}
+}
+
+// Window returns the configured gather window.
+func (b *Batcher) Window() time.Duration { return b.window }
+
+type batchOp uint8
+
+const (
+	opRange batchOp = iota
+	opKNN
+)
+
+// batchReq is one in-flight query waiting for its batch to flush. done is
+// buffered so the flusher never blocks on a slow requester.
+type batchReq struct {
+	ctx  context.Context
+	p    *Plan
+	op   batchOp
+	eps  float64 // range threshold (opRange)
+	k    int     // result size (opKNN)
+	lim  Limits
+	done chan batchOut
+}
+
+type batchOut struct {
+	matches []Match
+	stats   QueryStats
+	err     error
+}
+
+// RangeQueryPlan is Sharded.RangeQueryPlan through the gather window:
+// the call blocks for at most the window (plus execution) and may share
+// its corpus sweep with other queries that arrived inside it.
+func (b *Batcher) RangeQueryPlan(ctx context.Context, p *Plan, epsilon float64, lim Limits) ([]Match, QueryStats, error) {
+	return b.submit(&batchReq{ctx: ctx, p: p, op: opRange, eps: epsilon, lim: lim, done: make(chan batchOut, 1)})
+}
+
+// KNNPlan is Sharded.KNNPlan through the gather window; see RangeQueryPlan.
+func (b *Batcher) KNNPlan(ctx context.Context, p *Plan, k int, lim Limits) ([]Match, QueryStats, error) {
+	if k <= 0 {
+		return nil, QueryStats{}, nil
+	}
+	return b.submit(&batchReq{ctx: ctx, p: p, op: opKNN, k: k, lim: lim, done: make(chan batchOut, 1)})
+}
+
+func (b *Batcher) submit(r *batchReq) ([]Match, QueryStats, error) {
+	b.mu.Lock()
+	b.pending = append(b.pending, r)
+	if len(b.pending) >= b.maxBatch {
+		batch := b.pending
+		b.pending = nil
+		b.mu.Unlock()
+		b.run(batch)
+	} else {
+		if len(b.pending) == 1 {
+			time.AfterFunc(b.window, b.flush)
+		}
+		b.mu.Unlock()
+	}
+	out := <-r.done
+	return out.matches, out.stats, out.err
+}
+
+// flush drains whatever gathered during the window. A batch that already
+// flushed on size leaves pending empty and this fire is a no-op.
+func (b *Batcher) flush() {
+	b.mu.Lock()
+	batch := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.run(batch)
+	}
+}
+
+// run executes one batch and delivers each request's result. A batch of
+// one is exactly the serial path (same code, same stats); larger batches
+// fan one shared sweep per shard across the shards in parallel, then merge
+// per request.
+func (b *Batcher) run(reqs []*batchReq) {
+	if len(reqs) == 1 {
+		r := reqs[0]
+		var out batchOut
+		switch r.op {
+		case opRange:
+			out.matches, out.stats, out.err = b.sh.RangeQueryPlan(r.ctx, r.p, r.eps, r.lim)
+		default:
+			out.matches, out.stats, out.err = b.sh.KNNPlan(r.ctx, r.p, r.k, r.lim)
+		}
+		r.done <- out
+		return
+	}
+	nsh := len(b.sh.shards)
+	if nsh > 1 {
+		// Couple each request's per-shard sub-sweeps exactly as the serial
+		// fan-out does: one shared exact-DTW budget and, for kNN, the
+		// cross-shard kth-best bound.
+		for _, r := range reqs {
+			if r.lim.shared == nil {
+				r.lim.shared = newSharedQuery(r.lim.MaxExactDTW, nsh)
+			}
+		}
+	}
+	perShard := make([][]batchOut, nsh)
+	var wg sync.WaitGroup
+	for i, s := range b.sh.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			perShard[i] = sweepShard(s.s, reqs)
+		}(i, s)
+	}
+	wg.Wait()
+	for j, r := range reqs {
+		var out []Match
+		var stats QueryStats
+		var err error
+		for i := range perShard {
+			res := perShard[i][j]
+			out = append(out, res.matches...)
+			stats.add(res.stats)
+			if res.err != nil && err == nil {
+				err = res.err
+			}
+		}
+		sortMatches(out)
+		if r.op == opKNN && len(out) > r.k {
+			out = out[:r.k]
+		}
+		r.done <- batchOut{matches: out, stats: stats, err: err}
+	}
+}
+
+// batchCand is one candidate of a shard's shared sweep.
+type batchCand struct {
+	slot int32
+	id   int64
+}
+
+// batchExec is the per-(shard, request) verification state of one shared
+// sweep: the request's own thresholds and cascade constants, its running
+// matches, and its private stats.
+type batchExec struct {
+	req  *batchReq
+	fe   *core.FeatureEnvelope
+	rq   rangeQuery // opRange
+	ks   knnState   // opKNN
+	best topK       // opKNN result heap (not scratch-pooled: the sweep owns it)
+
+	out   []Match
+	stats QueryStats
+	err   error
+	done  bool
+}
+
+// sweepShard runs every request of a batch over one shard with a single
+// candidate fetch and a single slot-ordered corpus pass. Requests are
+// independent: each keeps its own cascade thresholds, budget, hook,
+// context and result list, and a request that finishes early (cancelled,
+// budget-exhausted) just stops participating in the sweep.
+func sweepShard(s Searcher, reqs []*batchReq) []batchOut {
+	st := corpusOf(s)
+	v := getVerifier()
+	defer putVerifier(v)
+
+	execs := make([]batchExec, len(reqs))
+	for i, r := range reqs {
+		e := &execs[i]
+		e.req = r
+		e.fe = r.p.featureEnvelope()
+		if r.op == opRange {
+			// The sweep enumerates a shared candidate superset, so the fine
+			// feature box is applied inside the cascade (the linear-scan
+			// form) rather than spatially.
+			e.rq = rangeQuery{q: r.p.q, env: r.p.env, fe: e.fe, cfe: r.p.coarseEnvelope(), band: r.p.band, eps2: r.eps * r.eps, useLB: true}
+		} else {
+			e.best = topK{k: r.k}
+			e.ks = knnState{v: v, q: r.p.q, env: r.p.env, cfe: r.p.coarseEnvelope(), band: r.p.band, best: &e.best, lim: r.lim, stats: &e.stats, useLB: true}
+		}
+	}
+
+	cands, logical, misses := batchCandidates(s, st, reqs)
+	r := st.reader()
+	live := len(reqs)
+	for _, c := range cands {
+		if live == 0 {
+			break
+		}
+		var ent entry
+		resolved := false
+		for i := range execs {
+			e := &execs[i]
+			if e.done {
+				continue
+			}
+			if err := e.req.ctx.Err(); err != nil {
+				e.err, e.done = err, true
+				live--
+				continue
+			}
+			if !resolved {
+				var rerr error
+				if ent, rerr = r.at(int(c.slot)); rerr != nil {
+					// A torn spill read fails every request still sweeping
+					// this shard; the merged error surfaces per request.
+					for j := range execs {
+						if !execs[j].done {
+							execs[j].err, execs[j].done = rerr, true
+						}
+					}
+					live = 0
+					break
+				}
+				resolved = true
+			}
+			if e.req.op == opRange {
+				e.stepRange(v, c.id, ent)
+			} else {
+				e.stepKNN(c.id, ent)
+			}
+			if e.done {
+				live--
+			}
+		}
+	}
+	sweepMisses := r.misses()
+	r.release()
+
+	res := make([]batchOut, len(reqs))
+	for i := range execs {
+		e := &execs[i]
+		if e.req.op == opKNN {
+			e.out = append(e.out, e.best.m...)
+			sortMatches(e.out)
+			if len(e.out) > e.req.k {
+				e.out = e.out[:e.req.k]
+			}
+		}
+		// Shared-sweep accounting: every rider reports the batch's fetch and
+		// I/O (the sweep ran once on their collective behalf).
+		e.stats.LogicalPages += logical
+		if st.paged != nil {
+			e.stats.PageAccesses += misses + sweepMisses
+		} else {
+			e.stats.PageAccesses += logical
+		}
+		res[i] = batchOut{matches: e.out, stats: e.stats, err: e.err}
+	}
+	return res
+}
+
+// stepRange verifies one candidate for one range request: the exact loop
+// body of the serial verifyRange (budget, cascade at the request's own
+// eps², DTW kernel), so a completed sweep yields the identical match set.
+func (e *batchExec) stepRange(v *verifier, id int64, ent entry) {
+	lim := e.req.lim
+	if lim.exhausted(e.stats.ExactDTW) {
+		e.stats.Degraded = true
+		e.done = true
+		return
+	}
+	e.stats.Candidates++
+	o := v.rangeCascade(ent, &e.rq)
+	countStage(&e.stats, o)
+	if o != lbPassed {
+		return
+	}
+	if !lim.reserveDTW(e.stats.ExactDTW) {
+		e.stats.Degraded = true
+		e.done = true
+		return
+	}
+	e.stats.LBSurvivors++
+	if lim.CandidateHook != nil {
+		lim.CandidateHook()
+	}
+	e.stats.ExactDTW++
+	if d2, ok := v.ws.SquaredBandedWithin(ent.x, e.rq.q, e.rq.band, e.rq.eps2); ok {
+		e.out = append(e.out, Match{ID: id, Dist: math.Sqrt(d2)})
+	}
+}
+
+// stepKNN verifies one candidate for one kNN request: a feature-box gate
+// at the running cutoff (the grid backend's expanding-ring pattern — a
+// sound Theorem 1 prune, so skipped candidates provably cannot enter the
+// top-k), then the shared knnState refinement.
+func (e *batchExec) stepKNN(id int64, ent entry) {
+	if e.fe != nil {
+		if c := e.ks.cutoff(); !math.IsInf(c, 1) && core.SquaredDistToBox(ent.feat, *e.fe) > c*c {
+			return
+		}
+	}
+	if !e.ks.refine(e.req.ctx, id, ent) {
+		e.err = e.ks.err
+		e.done = true
+	}
+}
+
+// batchCandidates builds the shared candidate list of one shard's sweep,
+// sorted by slot so the corpus pass is sequential (and, paged, pins each
+// page once). All-range batches whose plans carry feature boxes fetch
+// through the shard's spatial structure with the elementwise-merged box at
+// the maximum epsilon — a superset of every request's own fetch region, so
+// no request can lose a candidate it would have seen serially. Batches
+// with a kNN request (no epsilon to bound the fetch at flush time) or a
+// box-less plan sweep every live slot instead. Returns the fetch's logical
+// node/bucket accesses and real page misses.
+func batchCandidates(s Searcher, st *corpus, reqs []*batchReq) (cands []batchCand, logical, misses int) {
+	mergeable := true
+	for _, r := range reqs {
+		if r.op != opRange || !r.p.hasFE {
+			mergeable = false
+			break
+		}
+	}
+	if mergeable {
+		if c, l, m, ok := mergedFetch(s, st, reqs); ok {
+			cands, logical, misses = c, l, m
+		} else {
+			mergeable = false
+		}
+	}
+	if !mergeable {
+		for slot, id := range st.ids {
+			if st.alive[slot] {
+				cands = append(cands, batchCand{slot: int32(slot), id: id})
+			}
+		}
+		return cands, 0, 0
+	}
+	slices.SortFunc(cands, func(a, b batchCand) int {
+		switch {
+		case a.slot < b.slot:
+			return -1
+		case a.slot > b.slot:
+			return 1
+		}
+		return 0
+	})
+	return cands, logical, misses
+}
+
+// mergedFetch runs one spatial search covering every request of an
+// all-range batch. ok is false when the backend has no mergeable spatial
+// structure (linear scan) or the paged base read failed — the caller then
+// falls back to the exhaustive live-slot sweep, which is always a sound
+// superset.
+func mergedFetch(s Searcher, st *corpus, reqs []*batchReq) (cands []batchCand, logical, misses int, ok bool) {
+	lo := slices.Clone(reqs[0].p.fe.Lower)
+	hi := slices.Clone(reqs[0].p.fe.Upper)
+	maxEps := reqs[0].eps
+	for _, r := range reqs[1:] {
+		for d := range lo {
+			lo[d] = math.Min(lo[d], r.p.fe.Lower[d])
+			hi[d] = math.Max(hi[d], r.p.fe.Upper[d])
+		}
+		maxEps = math.Max(maxEps, r.eps)
+	}
+	switch ix := s.(type) {
+	case *Index:
+		var tstats rtree.Stats
+		box := rtree.Rect{Lo: lo, Hi: hi}
+		items := ix.tree.RangeSearchRectInto(box, maxEps, nil, &tstats)
+		if ix.ptree != nil {
+			nDelta := len(items)
+			all, err := ix.ptree.RangeSearchInto(box, maxEps, items, &tstats)
+			if err != nil {
+				return nil, 0, 0, false
+			}
+			live := all[:nDelta]
+			for _, it := range all[nDelta:] {
+				if st.alive[it.Slot] {
+					live = append(live, it)
+				}
+			}
+			items = live
+		}
+		for _, it := range items {
+			cands = append(cands, batchCand{slot: it.Slot, id: it.ID})
+		}
+		return cands, tstats.NodeAccesses, tstats.PageMisses, true
+	case *GridIndex:
+		var gstats gridfile.Stats
+		items := ix.grid.RangeSearchBoxInto(lo, hi, maxEps, nil, &gstats)
+		for _, it := range items {
+			cands = append(cands, batchCand{slot: it.Slot, id: it.ID})
+		}
+		return cands, gstats.BucketAccesses, 0, true
+	}
+	return nil, 0, 0, false
+}

@@ -1,0 +1,91 @@
+package index
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"warping/internal/core"
+	"warping/internal/ts"
+)
+
+// benchQueryGroup builds a group of near-duplicate query plans: one base
+// walk with per-query jitter small enough that all plans fetch overlapping
+// candidate sets — the duplicate-heavy traffic shape batching is for.
+func benchQueryGroup(b *testing.B, sh *Sharded, r *rand.Rand, group int) []*Plan {
+	b.Helper()
+	base := randomWalk(r, testN)
+	plans := make([]*Plan, group)
+	for i := range plans {
+		q := make(ts.Series, len(base))
+		for j := range q {
+			q[j] = base[j] + r.NormFloat64()*0.05
+		}
+		p, err := sh.NewPlan(q, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plans[i] = p
+	}
+	return plans
+}
+
+// BenchmarkBatchedRange compares one group of concurrent near-duplicate
+// range queries executed serially (each its own fan-out, tree search and
+// corpus sweep) against the same group through a Batcher (one merged
+// fetch and one sweep per shard). One op is the whole group, so ns/op and
+// allocs/op are directly comparable across the two modes; the batched
+// mode must win both — that is the perf claim of this PR's tentpole.
+func BenchmarkBatchedRange(b *testing.B) {
+	const (
+		corpusSize = 4000
+		group      = 8
+		shards     = 4
+	)
+	r := rand.New(rand.NewSource(21))
+	tr := core.NewPAA(testN, testDim)
+	sh, err := NewSharded(BackendRTree, tr, Config{}, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < corpusSize; i++ {
+		if err := sh.Add(int64(i), randomWalk(r, testN)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	plans := benchQueryGroup(b, sh, r, group)
+	eps := float64(testN) * 0.05
+	ctx := context.Background()
+
+	run := func(b *testing.B, exec func(p *Plan) ([]Match, QueryStats, error)) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for _, p := range plans {
+				wg.Add(1)
+				go func(p *Plan) {
+					defer wg.Done()
+					if _, _, err := exec(p); err != nil {
+						b.Error(err)
+					}
+				}(p)
+			}
+			wg.Wait()
+		}
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		run(b, func(p *Plan) ([]Match, QueryStats, error) {
+			return sh.RangeQueryPlan(ctx, p, eps, Limits{})
+		})
+	})
+	b.Run("batched", func(b *testing.B) {
+		bt := NewBatcher(sh, time.Second, group)
+		run(b, func(p *Plan) ([]Match, QueryStats, error) {
+			return bt.RangeQueryPlan(ctx, p, eps, Limits{})
+		})
+	})
+}

@@ -1,0 +1,167 @@
+package index
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"warping/internal/core"
+	"warping/internal/ts"
+)
+
+// buildBatchCorpus returns a sharded backend loaded with count random
+// walks, plus the raw data.
+func buildBatchCorpus(t testing.TB, kind BackendKind, shards, count int, seed int64) (*Sharded, []ts.Series) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	tr := core.NewPAA(testN, testDim)
+	sh, err := NewSharded(kind, tr, Config{}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]ts.Series, count)
+	for i := range data {
+		data[i] = randomWalk(r, testN)
+		if err := sh.Add(int64(i), data[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sh, data
+}
+
+// The differential test of batched execution: a group of concurrent
+// queries submitted through a Batcher — forced into one batch by a long
+// gather window sized to the group — must return bit-identical results
+// (same IDs, same distances, same order) to the same plans executed
+// serially, across every backend and shard count. Batching only changes
+// which candidate superset is enumerated; membership is decided by the
+// same exact-DTW kernel at each query's own threshold, so any divergence
+// is a bug. Run under -race this also proves the shared sweep is sound
+// under the shard read locks.
+func TestBatchedMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	ctx := context.Background()
+	for _, kind := range []BackendKind{BackendRTree, BackendGrid, BackendScan} {
+		for _, shards := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s-shards-%d", kind, shards), func(t *testing.T) {
+				sh, _ := buildBatchCorpus(t, kind, shards, 300, 42)
+				for trial := 0; trial < 4; trial++ {
+					const group = 6
+					// A mixed group: range queries at different radii plus
+					// kNN, so one batch exercises both the merged-envelope
+					// fetch (all-range batches) and the full-sweep fallback.
+					type job struct {
+						p    *Plan
+						op   string
+						eps  float64
+						k    int
+						want []Match
+					}
+					jobs := make([]*job, group)
+					for i := range jobs {
+						q := randomWalk(r, testN)
+						delta := 0.02 + r.Float64()*0.15
+						p, err := sh.NewPlan(q, delta)
+						if err != nil {
+							t.Fatal(err)
+						}
+						j := &job{p: p}
+						if trial%2 == 0 || i < group/2 {
+							j.op = "range"
+							j.eps = float64(testN) * (0.03 + r.Float64()*0.05)
+							j.want, _, err = sh.RangeQueryPlan(ctx, p, j.eps, Limits{})
+						} else {
+							j.op = "knn"
+							j.k = 1 + r.Intn(12)
+							j.want, _, err = sh.KNNPlan(ctx, p, j.k, Limits{})
+						}
+						if err != nil {
+							t.Fatal(err)
+						}
+						jobs[i] = j
+					}
+					// maxBatch = group and a generous window: all submitters
+					// land in one batch, and the last arrival flushes it.
+					b := NewBatcher(sh, time.Second, group)
+					var wg sync.WaitGroup
+					errs := make([]error, group)
+					got := make([][]Match, group)
+					for i, j := range jobs {
+						wg.Add(1)
+						go func(i int, j *job) {
+							defer wg.Done()
+							if j.op == "range" {
+								got[i], _, errs[i] = b.RangeQueryPlan(ctx, j.p, j.eps, Limits{})
+							} else {
+								got[i], _, errs[i] = b.KNNPlan(ctx, j.p, j.k, Limits{})
+							}
+						}(i, j)
+					}
+					wg.Wait()
+					for i, j := range jobs {
+						if errs[i] != nil {
+							t.Fatalf("trial %d %s[%d]: %v", trial, j.op, i, errs[i])
+						}
+						diffMatches(t, fmt.Sprintf("trial-%d/%s-%d", trial, j.op, i), got[i], j.want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// A batch of one must take the serial path and still agree; a kNN with
+// k <= 0 returns empty without touching the index.
+func TestBatcherSingleAndDegenerate(t *testing.T) {
+	sh, _ := buildBatchCorpus(t, BackendRTree, 4, 100, 7)
+	b := NewBatcher(sh, 50*time.Microsecond, 8)
+	r := rand.New(rand.NewSource(3))
+	ctx := context.Background()
+	q := randomWalk(r, testN)
+	p, err := sh.NewPlan(q, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := float64(testN) * 0.05
+	want, _, err := sh.RangeQueryPlan(ctx, p, eps, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := b.RangeQueryPlan(ctx, p, eps, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffMatches(t, "single", got, want)
+	if m, _, err := b.KNNPlan(ctx, p, 0, Limits{}); err != nil || len(m) != 0 {
+		t.Fatalf("k=0: %v matches, err %v", m, err)
+	}
+}
+
+// Cancellation mid-batch: every query in the batch observes the error
+// rather than hanging on its done channel.
+func TestBatcherCancellation(t *testing.T) {
+	sh, _ := buildBatchCorpus(t, BackendScan, 1, 200, 11)
+	b := NewBatcher(sh, time.Second, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := rand.New(rand.NewSource(5))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		q := randomWalk(r, testN)
+		p, err := sh.NewPlan(q, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(p *Plan) {
+			defer wg.Done()
+			if _, _, err := b.RangeQueryPlan(ctx, p, float64(testN)*0.05, Limits{}); err == nil {
+				t.Error("cancelled batch returned no error")
+			}
+		}(p)
+	}
+	wg.Wait()
+}

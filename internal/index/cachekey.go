@@ -1,0 +1,54 @@
+// Result-cache keys: a compact, deterministic identity for a query plan,
+// quantized so near-identical hums of the same melody collapse onto one
+// key. Two queries share a key exactly when they agree on band radius,
+// result size and every feature-envelope coordinate rounded to the
+// quantization step — by construction the cache then serves one
+// representative's verified result set for the whole equivalence class
+// (that is the point: hot QBH traffic is thousands of near-identical
+// contours of the same trending song). The key is a plain byte string so
+// the coordinator can ship it to replicas verbatim and every replica's
+// cache agrees on hits without recomputing the transform.
+package index
+
+import (
+	"math"
+	"strconv"
+)
+
+// CacheKeyQuantum is the feature-space rounding step of CacheKey. Feature
+// coordinates are sums of semitone values over envelope segments; half a
+// semitone absorbs pitch-tracking jitter between two hums of the same
+// phrase without conflating genuinely different contours.
+const CacheKeyQuantum = 0.5
+
+// CacheKey returns the quantized identity of this plan for a kNN query of
+// the given result size. Plans without a feature envelope (transform-less
+// scan) quantize the raw normal-form series instead — longer, but still
+// deterministic and collision-safe at the same resolution.
+func (p *Plan) CacheKey(topK int) string {
+	b := make([]byte, 0, 16+18*2*len(p.fe.Lower))
+	b = append(b, 'k')
+	b = strconv.AppendInt(b, int64(topK), 10)
+	b = append(b, '|', 'b')
+	b = strconv.AppendInt(b, int64(p.band), 10)
+	b = append(b, '|')
+	quant := func(v float64) {
+		b = strconv.AppendInt(b, int64(math.Round(v/CacheKeyQuantum)), 10)
+		b = append(b, ',')
+	}
+	if p.hasFE {
+		b = append(b, 'f')
+		for _, v := range p.fe.Lower {
+			quant(v)
+		}
+		for _, v := range p.fe.Upper {
+			quant(v)
+		}
+	} else {
+		b = append(b, 'q')
+		for _, v := range p.q {
+			quant(v)
+		}
+	}
+	return string(b)
+}

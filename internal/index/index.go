@@ -89,6 +89,10 @@ type QueryStats struct {
 	// and returned without refining every candidate: the results are the
 	// best found within budget, not guaranteed exact.
 	Degraded bool
+	// Cached reports that the result set was served from a result cache
+	// without executing the query (qbh layer); the other counters then
+	// describe the original execution that populated the cache entry.
+	Cached bool
 }
 
 // add accumulates the counters of another query round into s. Degraded is
@@ -102,6 +106,7 @@ func (s *QueryStats) add(o QueryStats) {
 	s.LogicalPages += o.LogicalPages
 	s.PageAccesses += o.PageAccesses
 	s.Degraded = s.Degraded || o.Degraded
+	s.Cached = s.Cached || o.Cached
 }
 
 // Add is the exported form of add, for callers (like the qbh growth loop)

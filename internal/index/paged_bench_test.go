@@ -108,10 +108,10 @@ func BenchmarkPagedRangeCold(b *testing.B) {
 	for _, pool := range pagedBenchPools {
 		b.Run(poolName(pool), func(b *testing.B) {
 			ix, sp, queries := pagedBenchCorpus(b, pool, 4000)
-			var before pager.Stats
-			if sp != nil {
-				before = sp.Stats()
-			}
+			// Reset zeroes the pool counters along with the frames, so
+			// per-iteration totals are accumulated rather than diffed
+			// against a pre-loop snapshot.
+			var hits, misses uint64
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -123,9 +123,21 @@ func BenchmarkPagedRangeCold(b *testing.B) {
 					b.StartTimer()
 				}
 				ix.RangeQuery(queries[i%len(queries)], 40, 0.1)
+				if sp != nil {
+					b.StopTimer()
+					st := sp.Stats()
+					hits += st.Hits
+					misses += st.Misses
+					b.StartTimer()
+				}
 			}
 			b.StopTimer()
-			reportPool(b, sp, before)
+			if sp != nil {
+				if h, m := float64(hits), float64(misses); h+m > 0 {
+					b.ReportMetric(100*h/(h+m), "hit%")
+				}
+				b.ReportMetric(float64(misses)/float64(b.N), "misses/op")
+			}
 		})
 	}
 }

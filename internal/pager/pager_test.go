@@ -344,3 +344,51 @@ func TestTornPageDetected(t *testing.T) {
 		t.Fatalf("read of torn page: %v, want ErrChecksum", err)
 	}
 }
+
+// TestResetZeroesCounters proves Reset leaves a clean stat baseline: a
+// pool that has seen misses, evictions and overflow frames reports all
+// counters — overflows included — as zero afterwards, so cold-cache
+// benchmarks that reuse a pool measure only their own traffic.
+func TestResetZeroesCounters(t *testing.T) {
+	sp := openSpace(t, 512, 8)
+	col, err := sp.NewColumn(60) // 1 record per 512B page
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for s := 0; s < n; s++ {
+		if err := col.Append(record(60, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pin past capacity to force overflow frames, then release.
+	curs := make([]Cursor, n)
+	for s := 0; s < n; s++ {
+		curs[s] = col.Reader()
+		if _, err := curs[s].At(s); err != nil {
+			t.Fatalf("pin %d: %v", s, err)
+		}
+	}
+	for s := range curs {
+		curs[s].Release()
+	}
+	if st := sp.Stats(); st.Misses == 0 || st.Overflows == 0 {
+		t.Fatalf("setup did not exercise the counters: %+v", st)
+	}
+	if err := sp.Pool().Reset(); err != nil {
+		t.Fatal(err)
+	}
+	st := sp.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 || st.Writeback != 0 || st.Overflows != 0 {
+		t.Fatalf("counters survived Reset: %+v", st)
+	}
+	// The next pin is a real cold miss counted from the clean baseline.
+	r := col.Reader()
+	if _, err := r.At(0); err != nil {
+		t.Fatal(err)
+	}
+	r.Release()
+	if st := sp.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("post-reset baseline dirty: %+v", st)
+	}
+}

@@ -393,7 +393,8 @@ func (p *Pool) allFrames() []*Frame {
 }
 
 // Reset flushes all dirty pages and then empties the pool — every later pin
-// is a cold miss. Benchmarks use it to measure cold-cache behavior. Fails
+// is a cold miss — and zeroes every stat counter (overflows included), so a
+// benchmark that reuses the pool starts from a clean stat baseline. Fails
 // if any page is pinned.
 func (p *Pool) Reset() error {
 	if err := p.FlushAll(); err != nil {
@@ -420,6 +421,7 @@ func (p *Pool) Reset() error {
 		}
 	}
 	p.extra = nil
+	p.hits, p.misses, p.evictions, p.writebacks, p.overflows = 0, 0, 0, 0, 0
 	return nil
 }
 

@@ -1,0 +1,252 @@
+package qbh
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"warping/internal/index"
+	"warping/internal/music"
+)
+
+// A repeated identical query must be served from cache (Cached: true,
+// bit-identical results), and any corpus mutation must invalidate it.
+func TestResultCacheHitAndInvalidation(t *testing.T) {
+	s, err := Build(testSongs(1, 30), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableResultCache(1 << 20)
+	pitch := music.OdeToJoy().TimeSeries()
+
+	first, st1, err := s.QueryCtx(context.Background(), pitch, 5, 0.1, index.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Cached {
+		t.Fatal("first query reported cached")
+	}
+	again, st2, err := s.QueryCtx(context.Background(), pitch, 5, 0.1, index.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatal("repeat query not served from cache")
+	}
+	if len(again) != len(first) {
+		t.Fatalf("cached result has %d matches, want %d", len(again), len(first))
+	}
+	for i := range again {
+		if again[i] != first[i] {
+			t.Fatalf("cached match %d = %+v, want %+v", i, again[i], first[i])
+		}
+	}
+	cs, ok := s.CacheStats()
+	if !ok || cs.Hits != 1 || cs.Misses != 1 || cs.Entries == 0 {
+		t.Fatalf("cache stats after hit: %+v ok=%v", cs, ok)
+	}
+
+	// A mutation bumps the epoch; the same query misses, re-executes, and
+	// the stale entry is counted as an invalidation.
+	if _, err := s.AddSongTitled("new", music.TwinkleTwinkle()); err != nil {
+		t.Fatal(err)
+	}
+	_, st3, err := s.QueryCtx(context.Background(), pitch, 5, 0.1, index.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Cached {
+		t.Fatal("query after mutation served stale cache entry")
+	}
+	cs, _ = s.CacheStats()
+	if cs.Invalidations == 0 {
+		t.Fatalf("no invalidation recorded: %+v", cs)
+	}
+
+	// Different topK is a different key.
+	_, st4, err := s.QueryCtx(context.Background(), pitch, 3, 0.1, index.Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st4.Cached {
+		t.Fatal("different topK shared a cache entry")
+	}
+}
+
+// HitRate must be 0 (not NaN, not 1) on a fresh cache — the reporting
+// contract /stats depends on.
+func TestCacheStatsHitRateFresh(t *testing.T) {
+	var cs CacheStats
+	if got := cs.HitRate(); got != 0 {
+		t.Fatalf("fresh HitRate = %v, want 0", got)
+	}
+	cs = CacheStats{Hits: 3, Misses: 1}
+	if got := cs.HitRate(); got != 0.75 {
+		t.Fatalf("HitRate = %v, want 0.75", got)
+	}
+}
+
+// LRU byte budget: entries past the budget are evicted oldest-first, and
+// an entry larger than the whole budget is not stored.
+func TestResultCacheEviction(t *testing.T) {
+	c := newResultCache(600)
+	songs := []SongMatch{{SongID: 1, Title: "xxxxxxxxxx", Dist: 1}}
+	per := entryBytes("k0", songs)
+	for i := 0; i < 10; i++ {
+		c.put(fmt.Sprintf("k%d", i), 0, songs, index.QueryStats{})
+	}
+	st := c.stats()
+	if st.Bytes > 600 {
+		t.Fatalf("cache over budget: %+v", st)
+	}
+	if want := int(600 / per); st.Entries > want {
+		t.Fatalf("entries %d, want <= %d (per-entry %d bytes)", st.Entries, want, per)
+	}
+	// The newest key survives, the oldest was evicted.
+	if _, _, ok := c.get("k9", 0); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, _, ok := c.get("k0", 0); ok {
+		t.Fatal("oldest entry survived past the budget")
+	}
+	// Oversized entry: silently not stored.
+	big := make([]SongMatch, 100)
+	c.put("big", 0, big, index.QueryStats{})
+	if _, _, ok := c.get("big", 0); ok {
+		t.Fatal("entry larger than the budget was stored")
+	}
+}
+
+// The staleness race test: readers hammer one cached query while a writer
+// loops add → remove of a song whose melody IS that query. The invariant
+// pinned here is the epoch ordering — after AddSong returns, no cached
+// result missing the song may be served; after RemoveSong returns, no
+// cached result containing it may be served. Run under -race this also
+// proves the cache/epoch plumbing is data-race free against concurrent
+// mutation.
+func TestResultCacheNeverServesStale(t *testing.T) {
+	s, err := Build(testSongs(2, 20), Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableResultCache(4 << 20)
+	melody := music.OdeToJoy()
+	pitch := melody.TimeSeries()
+	const target = "target-song"
+
+	contains := func(ms []SongMatch) (int64, bool) {
+		for _, m := range ms {
+			if m.Title == target {
+				return m.SongID, true
+			}
+		}
+		return 0, false
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				// Concurrent reads may race the in-flight mutation — both
+				// outcomes are legal mid-mutation; this goroutine only
+				// drives cache traffic under -race.
+				if _, _, err := s.QueryCtx(context.Background(), pitch, 5, 0.1, index.Limits{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	for round := 0; round < 15; round++ {
+		song, err := s.AddSongTitled(target, melody)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// AddSong has returned: a cached pre-add result is no longer
+		// servable, so the exact-melody query must find the song.
+		got, st, err := s.QueryCtx(context.Background(), pitch, 5, 0.1, index.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := contains(got); !ok {
+			t.Fatalf("round %d: query after AddSong missed the song (cached=%v)", round, st.Cached)
+		}
+		if !s.RemoveSong(song.ID) {
+			t.Fatalf("round %d: RemoveSong(%d) found nothing", round, song.ID)
+		}
+		got, st, err = s.QueryCtx(context.Background(), pitch, 5, 0.1, index.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id, ok := contains(got); ok {
+			t.Fatalf("round %d: query after RemoveSong still returned song %d (cached=%v)", round, id, st.Cached)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// Batched growth-loop execution must be invisible in results: the same
+// queries with and without EnableBatching return identical rankings, and
+// caching composes with batching.
+func TestSystemBatchingAgreesWithSerial(t *testing.T) {
+	s, err := Build(testSongs(3, 40), Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	songs := s.Songs()
+	queries := make([]music.Melody, 6)
+	for i := range queries {
+		queries[i] = songs[r.Intn(len(songs))].Melody
+	}
+	type res struct{ ms []SongMatch }
+	serial := make([]res, len(queries))
+	for i, m := range queries {
+		ms, _, err := s.QueryCtx(context.Background(), m.TimeSeries(), 5, 0.1, index.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res{ms}
+	}
+	s.EnableBatching(0, 0) // default window
+	var wg sync.WaitGroup
+	batched := make([]res, len(queries))
+	errs := make([]error, len(queries))
+	for i, m := range queries {
+		wg.Add(1)
+		go func(i int, m music.Melody) {
+			defer wg.Done()
+			ms, _, err := s.QueryCtx(context.Background(), m.TimeSeries(), 5, 0.1, index.Limits{})
+			batched[i] = res{ms}
+			errs[i] = err
+		}(i, m)
+	}
+	wg.Wait()
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatalf("batched query %d: %v", i, errs[i])
+		}
+		if len(batched[i].ms) != len(serial[i].ms) {
+			t.Fatalf("query %d: batched %d matches, serial %d", i, len(batched[i].ms), len(serial[i].ms))
+		}
+		for j := range batched[i].ms {
+			if batched[i].ms[j] != serial[i].ms[j] {
+				t.Fatalf("query %d match %d: batched %+v, serial %+v", i, j, batched[i].ms[j], serial[i].ms[j])
+			}
+		}
+	}
+	// Batching off again restores the direct path.
+	s.EnableBatching(-1, 0)
+	ms, _, err := s.QueryCtx(context.Background(), queries[0].TimeSeries(), 5, 0.1, index.Limits{})
+	if err != nil || len(ms) != len(serial[0].ms) {
+		t.Fatalf("after disabling batching: %d matches, err %v", len(ms), err)
+	}
+}

@@ -3,6 +3,7 @@ package qbh
 import (
 	"context"
 	"io"
+	"time"
 
 	"warping/internal/index"
 	"warping/internal/music"
@@ -43,6 +44,26 @@ func (c *Concurrent) QueryCtx(ctx context.Context, pitch ts.Series, topK int, de
 func (c *Concurrent) QueryPlanCtx(ctx context.Context, p *index.Plan, topK int, lim index.Limits) ([]SongMatch, index.QueryStats, error) {
 	return c.sys.QueryPlanCtx(ctx, p, topK, lim)
 }
+
+// QueryPlanKeyCtx is QueryPlanCtx with a coordinator-shipped cache key;
+// see System.QueryPlanKeyCtx.
+func (c *Concurrent) QueryPlanKeyCtx(ctx context.Context, p *index.Plan, topK int, lim index.Limits, key string) ([]SongMatch, index.QueryStats, error) {
+	return c.sys.QueryPlanKeyCtx(ctx, p, topK, lim, key)
+}
+
+// EnableResultCache switches the normalized-query result cache on; see
+// System.EnableResultCache.
+func (c *Concurrent) EnableResultCache(maxBytes int64) { c.sys.EnableResultCache(maxBytes) }
+
+// EnableBatching routes growth-loop kNN rounds through a gather window;
+// see System.EnableBatching.
+func (c *Concurrent) EnableBatching(window time.Duration, maxBatch int) {
+	c.sys.EnableBatching(window, maxBatch)
+}
+
+// CacheStats reports the result cache counters; ok is false when the
+// cache is disabled.
+func (c *Concurrent) CacheStats() (CacheStats, bool) { return c.sys.CacheStats() }
 
 // NumSongs reports the number of songs.
 func (c *Concurrent) NumSongs() int { return c.sys.NumSongs() }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"warping/internal/core"
 	"warping/internal/index"
@@ -131,6 +132,20 @@ type System struct {
 	mu      sync.RWMutex
 	phrases []Phrase
 	songs   map[int64]music.Song
+
+	// epoch counts completed corpus mutations: AddSong and RemoveSong bump
+	// it after their index inserts/removes have all landed (compaction
+	// reaping flows through RemoveSong, so it bumps too). The result cache
+	// tags entries with the epoch read before execution and serves only
+	// tag-current entries — see cache.go for the staleness argument.
+	epoch atomic.Int64
+	// cache, when non-nil, short-circuits QueryPlanCtx for quantized-
+	// identical queries (EnableResultCache).
+	cache atomic.Pointer[resultCache]
+	// batcher, when non-nil, routes growth-loop kNN rounds through a
+	// gather window so concurrent queries share corpus sweeps
+	// (EnableBatching).
+	batcher atomic.Pointer[index.Batcher]
 }
 
 // Build constructs a system over the given songs. Songs are segmented into
@@ -306,6 +321,10 @@ func (s *System) addSong(song music.Song, allocateID bool) (music.Song, error) {
 		adds = append(adds, indexed{id: id, nf: s.Normalize(ph.TimeSeries())})
 	}
 	s.mu.Unlock()
+	// The epoch bumps after every index insert has landed (also on the
+	// error path — a partial insert still mutated the corpus), so a cached
+	// result can never outlive a completed mutation.
+	defer s.bumpEpoch()
 	for _, a := range adds {
 		if err := s.ix.Add(a.id, a.nf); err != nil {
 			return music.Song{}, fmt.Errorf("qbh: indexing phrase %d: %w", a.id, err)
@@ -340,7 +359,10 @@ func (s *System) RemoveSong(id int64) bool {
 	// Unindex after mu is released, mirroring addSong's lock ordering. The
 	// window where a tombstoned phrase is still indexed is harmless:
 	// aggregate resolves its SongID from the tombstone and drops matches of
-	// songs no longer in the map.
+	// songs no longer in the map. The epoch bumps only after the last index
+	// delete: once RemoveSong returns, no pre-removal cached result can be
+	// served (see cache.go).
+	defer s.bumpEpoch()
 	for _, pid := range phraseIDs {
 		s.ix.Remove(pid)
 	}
@@ -460,9 +482,44 @@ func (s *System) QueryCtx(ctx context.Context, pitch ts.Series, topK int, delta 
 // group executes it here without recomputing anything. A plan for the
 // wrong normal-form length returns index.ErrQueryLength.
 func (s *System) QueryPlanCtx(ctx context.Context, p *index.Plan, topK int, lim index.Limits) ([]SongMatch, index.QueryStats, error) {
+	return s.QueryPlanKeyCtx(ctx, p, topK, lim, "")
+}
+
+// QueryPlanKeyCtx is QueryPlanCtx with an optional precomputed cache key.
+// When the result cache is enabled, the key identifies the plan's
+// quantized equivalence class (index.Plan.CacheKey); coordinators compute
+// it once and ship it with the plan so every replica's cache agrees on
+// hits without recomputing anything. An empty key is computed locally.
+// Cache hits return the stored verified ranking with stats.Cached set;
+// degraded or failed executions are never cached.
+func (s *System) QueryPlanKeyCtx(ctx context.Context, p *index.Plan, topK int, lim index.Limits, key string) ([]SongMatch, index.QueryStats, error) {
 	if err := s.ix.CheckPlan(p); err != nil {
 		return nil, index.QueryStats{}, fmt.Errorf("qbh: %w", err)
 	}
+	c := s.cache.Load()
+	var epoch int64
+	if c != nil {
+		// The epoch is read before execution: if a mutation completes while
+		// this query runs, the entry stored below carries a stale tag and
+		// can never be served after that mutation returned.
+		epoch = s.epoch.Load()
+		if key == "" {
+			key = p.CacheKey(topK)
+		}
+		if songs, stats, ok := c.get(key, epoch); ok {
+			stats.Cached = true
+			return songs, stats, nil
+		}
+	}
+	songs, stats, err := s.queryPlan(ctx, p, topK, lim)
+	if c != nil && err == nil && !stats.Degraded {
+		c.put(key, epoch, songs, stats)
+	}
+	return songs, stats, err
+}
+
+// queryPlan is the uncached ranked-retrieval growth loop.
+func (s *System) queryPlan(ctx context.Context, p *index.Plan, topK int, lim index.Limits) ([]SongMatch, index.QueryStats, error) {
 	// Cumulative work across all growth rounds. Each round's counters are
 	// summed (and Degraded OR-ed) so Candidates/ExactDTW/PageAccesses
 	// report what the whole query cost — overwriting with the last round's
@@ -477,7 +534,7 @@ func (s *System) QueryPlanCtx(ctx context.Context, p *index.Plan, topK int, lim 
 	}
 	for {
 		nPhrases := s.NumPhrases()
-		matches, st, err := s.ix.KNNPlan(ctx, p, k, lim)
+		matches, st, err := s.knnPlan(ctx, p, k, lim)
 		stats.Add(st)
 		songs := s.aggregate(matches)
 		if err != nil || stats.Degraded || len(songs) >= topK || k >= nPhrases {

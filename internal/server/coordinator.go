@@ -282,7 +282,10 @@ func (c *Coordinator) QueryCtx(ctx context.Context, pitch ts.Series, topK int, d
 		return nil, index.QueryStats{}, fmt.Errorf("coordinator: no reachable topology (membership view empty)")
 	}
 	p := c.plan(pitch, delta)
-	body, err := json.Marshal(PlannedRequest{Plan: p.Wire(), TopK: topK})
+	// The cache key is computed once here and shipped with the plan, so
+	// every replica's result cache agrees on the query's identity — a hit
+	// on one replica of a group is a hit on all of them.
+	body, err := json.Marshal(PlannedRequest{Plan: p.Wire(), TopK: topK, CacheKey: p.CacheKey(topK)})
 	if err != nil {
 		return nil, index.QueryStats{}, err
 	}
@@ -326,6 +329,7 @@ func (c *Coordinator) QueryCtx(ctx context.Context, pitch ts.Series, topK int, d
 			LogicalPages:    r.resp.LogicalPages,
 			PageAccesses:    r.resp.PageAccesses,
 			Degraded:        r.resp.Degraded,
+			Cached:          r.resp.Cached,
 		})
 		for _, m := range r.resp.Matches {
 			matches = append(matches, qbh.SongMatch{SongID: m.SongID, Title: m.Title, Dist: m.Dist})

@@ -18,12 +18,23 @@ type plannedQuerier interface {
 	QueryPlanCtx(ctx context.Context, p *index.Plan, topK int, lim index.Limits) ([]qbh.SongMatch, index.QueryStats, error)
 }
 
+// keyedPlannedQuerier is the cache-aware superset of plannedQuerier: the
+// coordinator computes the quantized cache key once and ships it with the
+// plan, so every replica looks up (and fills) its result cache under the
+// same identity without requantizing.
+type keyedPlannedQuerier interface {
+	QueryPlanKeyCtx(ctx context.Context, p *index.Plan, topK int, lim index.Limits, key string) ([]qbh.SongMatch, index.QueryStats, error)
+}
+
 // PlannedRequest is the POST /query/planned payload: a serialized query
 // plan — normal form, k-envelope, feature box, all computed once by the
-// coordinator — plus the result count.
+// coordinator — plus the result count and the coordinator-computed result
+// cache key (empty when the coordinator predates caching; the replica
+// then derives its own key).
 type PlannedRequest struct {
-	Plan index.PlanWire `json:"plan"`
-	TopK int            `json:"top"`
+	Plan     index.PlanWire `json:"plan"`
+	TopK     int            `json:"top"`
+	CacheKey string         `json:"cache_key,omitempty"`
 }
 
 // Handle registers an additional route on the handler's mux — replication
@@ -82,7 +93,13 @@ func (h *Handler) handleQueryPlanned(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	lim := index.Limits{MaxExactDTW: h.cfg.MaxExactDTW, CandidateHook: h.candidateHook}
-	matches, stats, err := pq.QueryPlanCtx(ctx, plan, req.TopK, lim)
+	var matches []qbh.SongMatch
+	var stats index.QueryStats
+	if kq, ok := pq.(keyedPlannedQuerier); ok && req.CacheKey != "" {
+		matches, stats, err = kq.QueryPlanKeyCtx(ctx, plan, req.TopK, lim, req.CacheKey)
+	} else {
+		matches, stats, err = pq.QueryPlanCtx(ctx, plan, req.TopK, lim)
+	}
 	if err != nil {
 		// A plan/index mismatch is the caller's fault; anything else is a
 		// deadline or cancellation, as in respondQuery.
@@ -103,6 +120,7 @@ func (h *Handler) handleQueryPlanned(w http.ResponseWriter, r *http.Request) {
 		LogicalPages:    stats.LogicalPages,
 		PageAccesses:    stats.PageAccesses,
 		Degraded:        stats.Degraded,
+		Cached:          stats.Cached,
 	}
 	for _, m := range matches {
 		resp.Matches = append(resp.Matches, MatchResponse{SongID: m.SongID, Title: m.Title, Dist: m.Dist})

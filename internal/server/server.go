@@ -109,6 +109,13 @@ type poolReporter interface {
 	PoolStats() (pager.Stats, bool)
 }
 
+// cacheReporter is implemented by backends with a normalized-query result
+// cache (*qbh.Concurrent, *qbh.Durable); /stats surfaces the hit/miss/
+// invalidation counters when the cache is enabled.
+type cacheReporter interface {
+	CacheStats() (qbh.CacheStats, bool)
+}
+
 // Config tunes the serving path. The zero value of any field selects the
 // default.
 type Config struct {
@@ -274,6 +281,7 @@ type StatsResponse struct {
 	Phrases     int                  `json:"phrases"`
 	Shards      *ShardsResponse      `json:"shards,omitempty"`
 	BufferPool  *BufferPoolResponse  `json:"buffer_pool,omitempty"`
+	ResultCache *ResultCacheResponse `json:"result_cache,omitempty"`
 	Durability  *DurabilityResponse  `json:"durability,omitempty"`
 	Replication *ReplicationResponse `json:"replication,omitempty"`
 	Membership  *MembershipResponse  `json:"membership,omitempty"`
@@ -294,6 +302,20 @@ type BufferPoolResponse struct {
 	Writebacks uint64  `json:"writebacks"`
 	Overflows  uint64  `json:"overflows"`
 	HitRate    float64 `json:"hit_rate"`
+}
+
+// ResultCacheResponse reports the normalized-query result cache in
+// /stats, present only when the backend was started with a cache budget.
+// HitRate is Hits/(Hits+Misses), 0 before the first lookup; an
+// epoch-invalidated lookup counts as both an invalidation and a miss.
+type ResultCacheResponse struct {
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Invalidations int64   `json:"invalidations"`
+	Entries       int     `json:"entries"`
+	Bytes         int64   `json:"bytes"`
+	MaxBytes      int64   `json:"max_bytes"`
+	HitRate       float64 `json:"hit_rate"`
 }
 
 // ShardsResponse reports the index partition layout in /stats: writes lock
@@ -387,6 +409,9 @@ type QueryResponse struct {
 	// Degraded reports that the query hit its exact-DTW budget and the
 	// ranking is best-effort rather than exact.
 	Degraded bool `json:"degraded,omitempty"`
+	// Cached reports that the result was served from the normalized-query
+	// result cache; the work counters above describe the cached execution.
+	Cached bool `json:"cached,omitempty"`
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -401,6 +426,13 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if pr, ok := h.sys.(poolReporter); ok {
 		if st, paged := pr.PoolStats(); paged {
+			// A pool that has served no requests has no hit rate; Stats.HitRate
+			// reports the optimistic 1 in that state, but a monitoring surface
+			// must not claim a perfect rate (or NaN) before the first lookup.
+			rate := st.HitRate()
+			if st.Hits+st.Misses == 0 {
+				rate = 0
+			}
 			resp.BufferPool = &BufferPoolResponse{
 				PageSize:   st.PageSize,
 				PoolPages:  st.PoolPages,
@@ -411,7 +443,20 @@ func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 				Evictions:  st.Evictions,
 				Writebacks: st.Writeback,
 				Overflows:  st.Overflows,
-				HitRate:    st.HitRate(),
+				HitRate:    rate,
+			}
+		}
+	}
+	if cr, ok := h.sys.(cacheReporter); ok {
+		if st, enabled := cr.CacheStats(); enabled {
+			resp.ResultCache = &ResultCacheResponse{
+				Hits:          st.Hits,
+				Misses:        st.Misses,
+				Invalidations: st.Invalidations,
+				Entries:       st.Entries,
+				Bytes:         st.Bytes,
+				MaxBytes:      st.MaxBytes,
+				HitRate:       st.HitRate(),
 			}
 		}
 	}
@@ -691,6 +736,7 @@ func (h *Handler) respondQuery(w http.ResponseWriter, r *http.Request, pitch ts.
 		LogicalPages:    stats.LogicalPages,
 		PageAccesses:    stats.PageAccesses,
 		Degraded:        stats.Degraded,
+		Cached:          stats.Cached,
 	}
 	for _, m := range matches {
 		resp.Matches = append(resp.Matches, MatchResponse{SongID: m.SongID, Title: m.Title, Dist: m.Dist})
